@@ -1,0 +1,66 @@
+// Ablation — fling kinematics (§3.3.1): how fling duration T(v) and
+// distance D(v) scale with release velocity and device pixel density, and
+// what prediction horizon that buys the middleware (the time budget between
+// finger release and the last object entering the viewport).
+#include <cstdio>
+
+#include "scroll/animation.h"
+#include "scroll/device_profile.h"
+#include "scroll/fling.h"
+
+int main() {
+  using namespace mfhttp;
+
+  std::printf("=== Ablation: Android fling model, Eqs. (1)-(5) ===\n");
+  std::printf("DECELERATION_RATE = %.6f\n\n", fling_deceleration_rate());
+
+  std::printf("--- T(v), D(v) on the Nexus 6 (493 ppi) ---\n");
+  std::printf("%12s %12s %14s %16s\n", "v (px/s)", "T(v) (ms)", "D(v) (px)",
+              "screens scrolled");
+  FlingParams nexus6;
+  nexus6.ppi = 493;
+  for (double v : {200.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0, 16000.0, 24650.0}) {
+    FlingModel m(v, nexus6);
+    std::printf("%12.0f %12.0f %14.0f %16.2f\n", v, m.duration_ms(),
+                m.total_distance_px(), m.total_distance_px() / 2560.0);
+  }
+
+  std::printf("\n--- D(v) at v = 4000 px/s across devices ---\n");
+  std::printf("%-12s %8s %12s %12s\n", "device", "ppi", "T (ms)", "D (px)");
+  struct Dev {
+    const char* name;
+    DeviceProfile profile;
+  } devices[] = {
+      {"lowend", DeviceProfile::lowend()},
+      {"tablet10", DeviceProfile::tablet10()},
+      {"nexus5", DeviceProfile::nexus5()},
+      {"nexus6", DeviceProfile::nexus6()},
+  };
+  for (const Dev& d : devices) {
+    FlingParams p;
+    p.ppi = d.profile.ppi;
+    FlingModel m(4000, p);
+    std::printf("%-12s %8.0f %12.0f %12.0f\n", d.name, d.profile.ppi,
+                m.duration_ms(), m.total_distance_px());
+  }
+
+  std::printf("\n--- prediction horizon: time between release and object entry ---\n");
+  std::printf("(how long before an object at distance d the middleware knows it's coming)\n");
+  std::printf("%12s %16s %16s %16s\n", "v (px/s)", "entry@1 screen", "entry@2 screens",
+              "horizon left");
+  ScrollConfig cfg(DeviceProfile::nexus6());
+  for (double v : {6000.0, 10000.0, 16000.0}) {
+    ScrollAnimation a({0, -v}, cfg);
+    double t1 = a.time_for_distance(2560);
+    double t2 = a.time_for_distance(5120);
+    if (a.total_distance() < 2560) {
+      std::printf("%12.0f %16s %16s %16s\n", v, "unreached", "unreached", "-");
+      continue;
+    }
+    std::printf("%12.0f %13.0f ms %13.0f ms %13.0f ms\n", v, t1,
+                a.total_distance() >= 5120 ? t2 : -1.0, a.duration_ms() - t1);
+  }
+  std::printf("\n(every millisecond of horizon is lead time the flow controller\n"
+              " has to fetch the object before the user sees the gap)\n");
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Extension experiment — sustained browsing: instead of Fig. 7's single
+// random scroll, a user works down a long page with a stream of think-time-
+// separated flings (the BrowsingGestureSource model). For every place the
+// viewport settles, how long until it is fully rendered, and what did the
+// whole session cost?
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "core/middleware.h"
+#include "gesture/recognizer.h"
+#include "gesture/synthetic.h"
+#include "http/proxy.h"
+#include "http/sim_http.h"
+#include "util/stats.h"
+#include "web/blocklist_controller.h"
+#include "web/browser.h"
+#include "web/corpus.h"
+
+namespace {
+
+using namespace mfhttp;
+
+struct SessionStats {
+  Samples settle_lag_ms;  // settle time -> viewport fully loaded
+  Bytes bytes = 0;
+  std::size_t images_fetched = 0;
+  std::size_t images_total = 0;
+};
+
+SessionStats run(const WebPage& page, bool enable_mfhttp, std::uint64_t seed,
+                 TimeMs session_ms) {
+  const DeviceProfile device = DeviceProfile::nexus6();
+  Simulator sim;
+  Link::Params cp;
+  cp.bandwidth = BandwidthTrace::constant(1e6);
+  cp.latency_ms = 8;
+  cp.sharing = Link::Sharing::kFairShare;
+  Link client_link(sim, cp);
+  Link server_link(sim, Link::Params{});
+  ObjectStore store;
+  for (const PageResource& r : page.structure) store.put(parse_url(r.url)->path, r.size);
+  for (const MediaObject& img : page.images)
+    store.put(parse_url(img.top_version().url)->path, img.top_version().size);
+  SimHttpOrigin origin(sim, &store, &server_link);
+  MitmProxy proxy(sim, &origin, &client_link);
+
+  Rect vp0{0, 0, device.screen_w_px, device.screen_h_px};
+  ScrollTracker::Params tp;
+  tp.scroll = ScrollConfig(device);
+  tp.coverage_step_ms = 8.0;
+  tp.content_bounds = page.bounds();
+
+  std::optional<Middleware> middleware;
+  std::optional<BlockListController> controller;
+  std::optional<TouchEventMonitor> monitor;
+  if (enable_mfhttp) {
+    Middleware::Params mp;
+    mp.tracker = tp;
+    mp.flow.weights = {1.0, 0.0};
+    mp.flow.ignore_bandwidth_constraint = true;
+    mp.initial_viewport = vp0;
+    mp.gesture_uplink_ms = 8;
+    middleware.emplace(mp, page.images, BandwidthTrace::constant(1e6), &sim);
+    controller.emplace(page, vp0, &proxy);
+    proxy.set_interceptor(&*controller);
+    middleware->set_policy_callback(
+        [&](const ScrollAnalysis& a, const DownloadPolicy& p) {
+          controller->on_policy(a, p);
+        });
+    monitor.emplace(device, [&](const Gesture& g) { middleware->on_gesture(g); });
+  }
+
+  // Ground truth (same gestures in both arms thanks to the shared seed).
+  ScrollTracker gt_tracker(tp);
+  ViewportState gt_viewport(vp0, page.bounds());
+  GestureRecognizer gt_recognizer(device);
+  struct Settle {
+    TimeMs time_ms;
+    Rect viewport;
+  };
+  std::vector<Settle> settles;
+
+  Browser browser(sim, &proxy, page);
+  sim.schedule_at(0, [&] { browser.load(); });
+
+  BrowsingGestureSource source(device, {}, Rng(seed));
+  TimeMs t = 800;
+  while (t < session_ms - 3000) {
+    TouchTrace trace = source.next_swipe(t);
+    t = trace.back().time_ms;
+    for (const TouchEvent& ev : trace) {
+      sim.schedule_at(ev.time_ms, [&, ev] {
+        if (monitor) monitor->on_touch_event(ev);
+        if (auto g = gt_recognizer.on_touch_event(ev)) {
+          gt_viewport.interrupt(g->down_time_ms);
+          gt_viewport.apply_contact_pan(*g);
+          if (g->scrolls()) {
+            ScrollPrediction pred =
+                gt_tracker.predict(*g, gt_viewport.at(g->up_time_ms));
+            gt_viewport.begin_animation(pred);
+            settles.push_back(
+                {pred.start_time_ms + static_cast<TimeMs>(pred.duration_ms),
+                 pred.final_viewport()});
+          }
+        }
+      });
+    }
+  }
+
+  sim.run_until(session_ms);
+
+  SessionStats out;
+  out.bytes = client_link.bytes_delivered_total();
+  out.images_total = page.images.size();
+  out.images_fetched = browser.images_completed();
+  for (const Settle& s : settles) {
+    TimeMs loaded = browser.viewport_load_time(s.viewport);
+    if (loaded < 0) continue;  // session ended before it finished
+    out.settle_lag_ms.add(
+        static_cast<double>(std::max<TimeMs>(0, loaded - s.time_ms)));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const DeviceProfile device = DeviceProfile::nexus6();
+  Rng rng(42);
+  WebPage page;
+  for (const SiteSpec& spec : alexa25_specs()) {
+    Rng r = rng.fork();
+    if (spec.name == "qq") page = generate_page(spec, device, r);
+  }
+
+  std::printf("=== Extension: sustained browsing session (qq-like, 30 s) ===\n");
+  std::printf("(1 MB/s WLAN; fling stream with think time; lag = settle -> viewport ready)\n\n");
+  std::printf("%-10s %6s %12s %12s %12s %14s %12s\n", "arm", "seeds", "mean lag",
+              "median", "p90", "MB moved", "imgs");
+
+  for (bool mfhttp : {false, true}) {
+    Samples lag;
+    RunningStats bytes;
+    std::size_t fetched = 0, total = 0;
+    for (std::uint64_t seed : {11ull, 22ull, 33ull}) {
+      SessionStats s = run(page, mfhttp, seed, 30'000);
+      for (double v : s.settle_lag_ms.values()) lag.add(v);
+      bytes.add(static_cast<double>(s.bytes));
+      fetched += s.images_fetched;
+      total += s.images_total;
+    }
+    std::printf("%-10s %6d %10.0fms %10.0fms %10.0fms %14.1f %7zu/%zu\n",
+                mfhttp ? "mf-http" : "baseline", 3, lag.mean(), lag.median(),
+                lag.percentile(90), bytes.mean() / 1e6, fetched, total);
+  }
+  std::printf("\n(every settle should find its viewport already rendered; the\n"
+              " baseline pays for that with the whole page, MF-HTTP with only\n"
+              " the content the user actually swept across)\n");
+  return 0;
+}

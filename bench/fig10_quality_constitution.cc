@@ -1,0 +1,103 @@
+// Figure 10 — video quality constitution under different bandwidths.
+//
+// Three test videos, ten synthetic viewers each, bandwidth swept over the
+// paper's 250..1000 KB/s range. For each (video, bandwidth, scheduler) the
+// harness prints the percentage of playback time spent at each spherical
+// resolution, with "NA" marking seconds where no resolution fit. The paper's
+// result: MF-HTTP outperforms greedy whole-frame DASH at every bandwidth,
+// holding high quality when bandwidth is low.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "gesture/recognizer.h"
+#include "gesture/synthetic.h"
+#include "video/session.h"
+
+namespace {
+
+using namespace mfhttp;
+
+ViewportTrace make_viewer_trace(const DeviceProfile& device, std::uint64_t seed,
+                                TimeMs duration_ms) {
+  ViewportTrace::Params tp;
+  tp.device = device;
+  ViewportTrace trace(tp);
+  VideoDragSource source(device, {}, Rng(seed));
+  GestureRecognizer recognizer(device);
+  TimeMs now = 0;
+  while (now < duration_ms) {
+    TouchTrace t = source.next_gesture(now);
+    now = t.back().time_ms;
+    for (const TouchEvent& ev : t)
+      if (auto g = recognizer.on_touch_event(ev)) trace.add_gesture(*g);
+  }
+  return trace;
+}
+
+}  // namespace
+
+int main() {
+  const DeviceProfile device = DeviceProfile::nexus6();
+  const int kViewers = 10;  // the paper's 10 volunteers
+  const std::vector<double> kBandwidthsKB = {250, 500, 750, 1000};
+
+  // Three videos of different content complexity (the paper's three YouTube
+  // clips at 1080s/720s/480s/360s).
+  std::vector<VideoAsset::Params> video_params(3);
+  video_params[0].name = "video1";
+  video_params[0].bitrate_multiplier = 1.0;
+  video_params[0].seed = 7;
+  video_params[1].name = "video2";
+  video_params[1].bitrate_multiplier = 2.8;  // action-heavy: whole-frame 360s
+  // floor ~280 KB/s exceeds the 250 KB/s budget (the paper's "NA" case)
+  video_params[1].seed = 8;
+  video_params[2].name = "video3";
+  video_params[2].bitrate_multiplier = 0.8;  // mostly static scenery
+  video_params[2].seed = 9;
+
+  std::printf("=== Fig. 10: %% of time at each resolution (MF vs greedy DASH) ===\n");
+  MfHttpTileScheduler mf;
+  GreedyDashScheduler greedy;
+
+  for (const VideoAsset::Params& vp : video_params) {
+    VideoAsset video(vp);
+    std::printf("\n--- %s (bitrate x%.2f) ---\n", vp.name.c_str(),
+                vp.bitrate_multiplier);
+    std::printf("%-10s %-12s %8s %8s %8s %8s %8s | %10s\n", "bw(KB/s)", "scheme",
+                "NA", "360s", "480s", "720s", "1080s", "mean res");
+
+    for (double kb : kBandwidthsKB) {
+      auto bandwidth = BandwidthTrace::constant(kb_per_sec(kb));
+      for (const TileScheduler* sched :
+           {static_cast<const TileScheduler*>(&mf),
+            static_cast<const TileScheduler*>(&greedy)}) {
+        // Aggregate over the 10 viewers.
+        std::map<int, int> seconds;
+        double mean_res = 0;
+        int total_seconds = 0;
+        for (int viewer = 0; viewer < kViewers; ++viewer) {
+          ViewportTrace trace =
+              make_viewer_trace(device, 100 + static_cast<std::uint64_t>(viewer),
+                                vp.duration_s * 1000);
+          auto result = run_streaming_session(video, trace, bandwidth, *sched,
+                                              StreamingSessionParams{});
+          for (auto [q, n] : result.seconds_at_quality()) seconds[q] += n;
+          mean_res += result.mean_resolution(video);
+          total_seconds += static_cast<int>(result.segments.size());
+        }
+        mean_res /= kViewers;
+        auto pct = [&](int q) {
+          return 100.0 * seconds[q] / static_cast<double>(total_seconds);
+        };
+        std::printf("%-10.0f %-12s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%% | %9.0fp\n",
+                    kb, sched->name().c_str(), pct(-1), pct(0), pct(1), pct(2),
+                    pct(3), mean_res);
+      }
+    }
+  }
+  std::printf("\n(paper: MF-HTTP constantly outperforms greedy DASH at every\n"
+              " bandwidth for all test videos, and keeps quality high when\n"
+              " bandwidth is low)\n");
+  return 0;
+}

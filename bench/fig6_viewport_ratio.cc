@@ -1,0 +1,42 @@
+// Figure 6 — "viewport size / webpage size" for the Alexa-like top-25 corpus.
+//
+// The paper reports 11 sites with full-size viewports (search engines and
+// login pages) and 14 with limited-size viewports, bottoming out at 4.1%
+// (Sohu). This harness regenerates the per-site ratio series.
+#include <algorithm>
+#include <cstdio>
+
+#include "scroll/device_profile.h"
+#include "util/rng.h"
+#include "web/corpus.h"
+
+int main() {
+  using namespace mfhttp;
+  const DeviceProfile device = DeviceProfile::nexus6();
+  Rng rng(42);
+  auto corpus = generate_corpus(device, rng);
+
+  std::printf("=== Fig. 6: viewport size / webpage size (Alexa-like top 25) ===\n");
+  std::printf("%-18s %12s %12s %10s %8s\n", "site", "page_h(px)", "vp_h(px)",
+              "ratio", "class");
+
+  int full = 0, limited = 0;
+  double min_ratio = 1.0;
+  std::string min_site;
+  for (const WebPage& page : corpus) {
+    double ratio = page.viewport_ratio(device.screen_h_px);
+    bool is_full = ratio >= 1.0 - 1e-9;
+    (is_full ? full : limited)++;
+    if (ratio < min_ratio) {
+      min_ratio = ratio;
+      min_site = page.site;
+    }
+    std::printf("%-18s %12.0f %12.0f %9.1f%% %8s\n", page.site.c_str(), page.height,
+                device.screen_h_px, ratio * 100.0, is_full ? "full" : "limited");
+  }
+  std::printf("\nfull-size viewports:    %d (paper: 11)\n", full);
+  std::printf("limited-size viewports: %d (paper: 14)\n", limited);
+  std::printf("minimum ratio:          %.1f%% at %s (paper: 4.1%% at Sohu)\n",
+              min_ratio * 100.0, min_site.c_str());
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 8 — same-timestamp loading progress of two browsing sessions.
+//
+// The paper shows two screenshots taken at the same instant: the MF-HTTP
+// session has finished loading the viewport while the baseline "still
+// struggles downloading objects disregarding whether they are in the
+// viewport". The machine-readable equivalent: the fraction of the (moving)
+// viewport's image bytes present over time, sampled identically for both.
+#include <algorithm>
+#include <cstdio>
+
+#include "web/corpus.h"
+#include "web/experiment.h"
+
+int main() {
+  using namespace mfhttp;
+  const DeviceProfile device = DeviceProfile::nexus6();
+  Rng rng(42);
+  // A YouTube-like limited-viewport page, matching the paper's example.
+  WebPage page;
+  for (const SiteSpec& spec : alexa25_specs()) {
+    if (spec.name == "youtube") {
+      Rng site_rng = rng.fork();
+      page = generate_page(spec, device, site_rng);
+      break;
+    }
+  }
+
+  BrowsingSessionConfig cfg;
+  cfg.device = device;
+  cfg.fill_sample_ms = 200;
+  cfg.seed = 7;
+
+  cfg.enable_mfhttp = false;
+  BrowsingSessionResult base = run_browsing_session(page, cfg);
+  cfg.enable_mfhttp = true;
+  BrowsingSessionResult mf = run_browsing_session(page, cfg);
+
+  std::printf("=== Fig. 8: viewport fill over time (youtube-like page) ===\n");
+  std::printf("%-10s %16s %16s\n", "time(ms)", "baseline fill", "mf-http fill");
+  std::size_t n = std::min(base.fill_timeline.size(), mf.fill_timeline.size());
+  bool base_done = false, mf_done = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto [t, fb] = base.fill_timeline[i];
+    double fm = mf.fill_timeline[i].second;
+    std::printf("%-10lld %15.1f%% %15.1f%%\n", static_cast<long long>(t), fb * 100,
+                fm * 100);
+    if (!mf_done && fm >= 1.0 - 1e-9) {
+      std::printf("           --- mf-http viewport fully loaded ---\n");
+      mf_done = true;
+    }
+    if (!base_done && fb >= 1.0 - 1e-9) {
+      std::printf("           --- baseline viewport fully loaded ---\n");
+      base_done = true;
+    }
+    if (base_done && mf_done) break;
+  }
+  std::printf("\nviewport load time: baseline %lld ms, mf-http %lld ms\n",
+              static_cast<long long>(base.initial_viewport_load_ms),
+              static_cast<long long>(mf.initial_viewport_load_ms));
+  std::printf("bytes over client link: baseline %lld, mf-http %lld\n",
+              static_cast<long long>(base.bytes_downloaded),
+              static_cast<long long>(mf.bytes_downloaded));
+  return 0;
+}

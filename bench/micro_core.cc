@@ -1,0 +1,188 @@
+// Micro-benchmarks (google-benchmark) for the middleware's hot paths: the
+// touch-to-policy latency budget. The paper runs the optimizer "whenever a
+// user touch event is detected" (§3.4.2), so everything here must fit well
+// under one frame (~16 ms).
+#include <benchmark/benchmark.h>
+
+#include "core/flow_controller.h"
+#include "core/knapsack.h"
+#include "core/scroll_tracker.h"
+#include "geom/swept_region.h"
+#include "gesture/velocity_tracker.h"
+#include "net/link.h"
+#include "scroll/fling.h"
+#include "util/rng.h"
+#include "video/tiling.h"
+
+namespace {
+
+using namespace mfhttp;
+
+const DeviceProfile kDevice = DeviceProfile::nexus6();
+
+void BM_FlingModelConstruct(benchmark::State& state) {
+  FlingParams params;
+  params.ppi = 493;
+  double v = 500;
+  for (auto _ : state) {
+    FlingModel m(v, params);
+    benchmark::DoNotOptimize(m.total_distance_px());
+    v = v < 20'000 ? v + 1 : 500;
+  }
+}
+BENCHMARK(BM_FlingModelConstruct);
+
+void BM_FlingDistanceAt(benchmark::State& state) {
+  FlingParams params;
+  params.ppi = 493;
+  FlingModel m(8000, params);
+  double t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.distance_at(t));
+    t = t < m.duration_ms() ? t + 0.5 : 0;
+  }
+}
+BENCHMARK(BM_FlingDistanceAt);
+
+void BM_VelocityTrackerLsq2(benchmark::State& state) {
+  TouchTrace trace;
+  for (TimeMs t = 0; t <= 96; t += 8)
+    trace.push_back({t, {static_cast<double>(t) * 3, static_cast<double>(t) * -5},
+                     t == 0 ? TouchAction::kDown : TouchAction::kMove});
+  for (auto _ : state) {
+    VelocityTracker tracker(VelocityStrategy::kLsq2);
+    for (const TouchEvent& ev : trace) tracker.add(ev);
+    benchmark::DoNotOptimize(tracker.velocity());
+  }
+}
+BENCHMARK(BM_VelocityTrackerLsq2);
+
+void BM_SweptRegionTest(benchmark::State& state) {
+  Rng rng(1);
+  SweptRegion sweep{Rect{0, 0, 1440, 2560}, Vec2{300, 5500}};
+  std::vector<Rect> objects;
+  for (int i = 0; i < 256; ++i)
+    objects.push_back({rng.uniform(-500, 2000), rng.uniform(-500, 9000),
+                       rng.uniform(50, 800), rng.uniform(50, 800)});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(intersects_swept_region(sweep, objects[i & 255]));
+    ++i;
+  }
+}
+BENCHMARK(BM_SweptRegionTest);
+
+ScrollAnalysis make_analysis(int objects, double step_ms) {
+  ScrollTracker::Params tp;
+  tp.scroll = ScrollConfig(kDevice);
+  tp.coverage_step_ms = step_ms;
+  ScrollTracker tracker(tp);
+  Gesture g;
+  g.kind = GestureKind::kFling;
+  g.down_time_ms = 0;
+  g.up_time_ms = 150;
+  g.release_velocity = {0, -12'000};
+  std::vector<MediaObject> objs;
+  for (int i = 0; i < objects; ++i)
+    objs.push_back(make_single_version_object("o", Rect{100, i * 600.0, 800, 400},
+                                              50'000, "u"));
+  ScrollPrediction pred = tracker.predict(g, Rect{0, 0, 1440, 2560});
+  return tracker.analyze(pred, objs);
+}
+
+void BM_ScrollAnalyze(benchmark::State& state) {
+  // End-to-end §3.3 analysis: the per-gesture geometry work.
+  ScrollTracker::Params tp;
+  tp.scroll = ScrollConfig(kDevice);
+  tp.coverage_step_ms = static_cast<double>(state.range(1));
+  ScrollTracker tracker(tp);
+  Gesture g;
+  g.kind = GestureKind::kFling;
+  g.down_time_ms = 0;
+  g.up_time_ms = 150;
+  g.release_velocity = {0, -12'000};
+  std::vector<MediaObject> objs;
+  for (int i = 0; i < state.range(0); ++i)
+    objs.push_back(make_single_version_object("o", Rect{100, i * 600.0, 800, 400},
+                                              50'000, "u"));
+  ScrollPrediction pred = tracker.predict(g, Rect{0, 0, 1440, 2560});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tracker.analyze(pred, objs));
+  }
+}
+BENCHMARK(BM_ScrollAnalyze)->Args({32, 1})->Args({32, 4})->Args({128, 4});
+
+void BM_FlowOptimize(benchmark::State& state) {
+  // The full §3.4 optimization on a realistic gesture's worth of objects.
+  ScrollAnalysis analysis = make_analysis(static_cast<int>(state.range(0)), 4.0);
+  std::vector<MediaObject> objs;
+  for (int i = 0; i < state.range(0); ++i) {
+    MediaObject o;
+    o.id = "o";
+    o.rect = {100, i * 600.0, 800, 400};
+    o.versions = {{360, 10'000, "l"}, {720, 40'000, "m"}, {1080, 120'000, "h"}};
+    objs.push_back(o);
+  }
+  FlowController fc(FlowController::Params{});
+  auto bw = BandwidthTrace::constant(2e6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fc.optimize(analysis, objs, bw));
+  }
+}
+BENCHMARK(BM_FlowOptimize)->Arg(16)->Arg(64);
+
+void BM_PrefixKnapsackDp(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<KnapsackItem> items;
+  Bytes cap = 0;
+  for (int i = 0; i < state.range(0); ++i) {
+    cap += rng.uniform_int(20'000, 120'000);
+    KnapsackItem it;
+    it.capacity = cap;
+    Bytes w = rng.uniform_int(5'000, 60'000);
+    double v = rng.uniform(0.1, 0.5);
+    for (int j = 0; j < 4; ++j) {
+      it.weights.push_back(w * (j + 1));
+      it.values.push_back(v * (j + 1));
+    }
+    items.push_back(std::move(it));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_prefix_knapsack(items, 1024));
+  }
+}
+BENCHMARK(BM_PrefixKnapsackDp)->Arg(16)->Arg(64);
+
+void BM_VisibleTiles(benchmark::State& state) {
+  TileGrid grid(4, 4, 3840, 1920);
+  FieldOfView fov;
+  double yaw = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid.visible_tiles({yaw, 0.2}, fov));
+    yaw += 0.01;
+  }
+}
+BENCHMARK(BM_VisibleTiles);
+
+void BM_LinkThroughput(benchmark::State& state) {
+  // Simulated-seconds per wall-second of the rate-limited link.
+  for (auto _ : state) {
+    Simulator sim;
+    Link::Params p;
+    p.bandwidth = BandwidthTrace::constant(2e6);
+    p.sharing = Link::Sharing::kFairShare;
+    Link link(sim, p);
+    int done = 0;
+    for (int i = 0; i < 64; ++i)
+      link.submit(100'000, [&done](Bytes, bool c) {
+        if (c) ++done;
+      });
+    sim.run();
+    benchmark::DoNotOptimize(done);
+  }
+}
+BENCHMARK(BM_LinkThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

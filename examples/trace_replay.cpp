@@ -1,0 +1,81 @@
+// Record/replay tooling: synthesize a browsing gesture trace, persist it as
+// CSV (the format volunteers' touches would be captured in, §6.2.1), reload
+// it, and replay it through the middleware to print the per-gesture
+// download policies — the workflow for analyzing captured user studies
+// offline.
+//
+// Build & run:  ./build/examples/trace_replay [trace.csv]
+#include <cstdio>
+#include <string>
+
+#include "core/middleware.h"
+#include "gesture/synthetic.h"
+#include "trace/trace_io.h"
+#include "web/corpus.h"
+
+using namespace mfhttp;
+
+int main(int argc, char** argv) {
+  const DeviceProfile device = DeviceProfile::nexus6();
+  const std::string path = argc > 1 ? argv[1] : "/tmp/mfhttp_session_trace.csv";
+
+  // 1. Record: a short browsing session of three swipes.
+  {
+    BrowsingGestureSource source(device, {}, Rng(7));
+    TouchTrace all;
+    TimeMs now = 500;
+    for (int i = 0; i < 3; ++i) {
+      TouchTrace t = source.next_swipe(now);
+      now = t.back().time_ms + 800;
+      all.insert(all.end(), t.begin(), t.end());
+    }
+    if (!save_touch_trace(path, all)) {
+      std::printf("cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("recorded %zu touch events -> %s\n", all.size(), path.c_str());
+  }
+
+  // 2. Replay against a sohu-like page.
+  auto trace = load_touch_trace(path);
+  if (!trace) {
+    std::printf("cannot parse %s\n", path.c_str());
+    return 1;
+  }
+  Rng rng(42);
+  WebPage page;
+  for (const SiteSpec& spec : alexa25_specs()) {
+    Rng site_rng = rng.fork();
+    if (spec.name == "sohu") page = generate_page(spec, device, site_rng);
+  }
+
+  Middleware::Params mp;
+  mp.tracker.scroll = ScrollConfig(device);
+  mp.tracker.coverage_step_ms = 4.0;
+  mp.tracker.content_bounds = page.bounds();
+  mp.flow.weights = {1.0, 0.5};
+  mp.initial_viewport = {0, 0, device.screen_w_px, device.screen_h_px};
+  Middleware middleware(mp, page.images, BandwidthTrace::constant(2e6), nullptr);
+
+  int gesture_no = 0;
+  middleware.set_policy_callback([&](const ScrollAnalysis& analysis,
+                                     const DownloadPolicy& policy) {
+    ++gesture_no;
+    std::size_t fetch = 0;
+    for (const DownloadDecision& d : policy.decisions)
+      if (d.download()) ++fetch;
+    std::printf(
+        "gesture %d: %s, scroll %.0f px over %.0f ms -> %zu involved images,"
+        " %zu to download (%.1f KB)\n",
+        gesture_no, to_string(analysis.prediction.gesture.kind),
+        analysis.prediction.displacement.norm(), analysis.prediction.duration_ms,
+        policy.decisions.size(), fetch,
+        static_cast<double>(policy.total_bytes) / 1000.0);
+  });
+
+  TouchEventMonitor monitor(device, [&](const Gesture& g) { middleware.on_gesture(g); });
+  monitor.feed(*trace);
+  std::printf("replayed %zu events, %d scrolling gestures\n", trace->size(),
+              gesture_no);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Web-browsing case study (§5.1): load an Alexa-like page through the full
+// simulated stack — browser, MITM proxy, middleware, WLAN link — once as a
+// vanilla browser and once with MF-HTTP's block-list flow controller, and
+// compare what the user actually experiences.
+//
+// Build & run:  ./build/examples/web_browsing [site]
+#include <cstdio>
+#include <cstring>
+
+#include "web/corpus.h"
+#include "web/experiment.h"
+
+using namespace mfhttp;
+
+int main(int argc, char** argv) {
+  const char* site = argc > 1 ? argv[1] : "sohu";
+  const DeviceProfile device = DeviceProfile::nexus6();
+
+  Rng rng(42);
+  WebPage page;
+  bool found = false;
+  for (const SiteSpec& spec : alexa25_specs()) {
+    Rng site_rng = rng.fork();
+    if (spec.name == site) {
+      page = generate_page(spec, device, site_rng);
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    std::printf("unknown site '%s'; pick one of:", site);
+    for (const SiteSpec& spec : alexa25_specs()) std::printf(" %s", spec.name.c_str());
+    std::printf("\n");
+    return 1;
+  }
+
+  std::printf("site: %s — %.0f x %.0f px page, %zu images (%.1f MB), viewport"
+              " covers %.1f%%\n\n",
+              page.site.c_str(), page.width, page.height, page.images.size(),
+              static_cast<double>(page.total_image_bytes()) / 1e6,
+              100.0 * page.viewport_ratio(device.screen_h_px));
+
+  BrowsingSessionConfig cfg;
+  cfg.device = device;
+  cfg.seed = 7;
+  cfg.fill_sample_ms = 250;
+
+  cfg.enable_mfhttp = false;
+  BrowsingSessionResult base = run_browsing_session(page, cfg);
+  cfg.enable_mfhttp = true;
+  BrowsingSessionResult mf = run_browsing_session(page, cfg);
+
+  std::printf("%-34s %14s %14s\n", "", "baseline", "mf-http");
+  std::printf("%-34s %14lld %14lld\n", "initial viewport load time (ms)",
+              static_cast<long long>(base.initial_viewport_load_ms),
+              static_cast<long long>(mf.initial_viewport_load_ms));
+  std::printf("%-34s %14lld %14lld\n", "final viewport load time (ms)",
+              static_cast<long long>(base.final_viewport_load_ms),
+              static_cast<long long>(mf.final_viewport_load_ms));
+  std::printf("%-34s %14.2f %14.2f\n", "bytes over the WLAN (MB)",
+              static_cast<double>(base.bytes_downloaded) / 1e6,
+              static_cast<double>(mf.bytes_downloaded) / 1e6);
+  std::printf("%-34s %11zu/%zu %11zu/%zu\n", "images never transferred",
+              base.images_avoided, base.images_total, mf.images_avoided,
+              mf.images_total);
+
+  if (base.initial_viewport_load_ms > 0 && mf.initial_viewport_load_ms > 0) {
+    std::printf("\nviewport load time reduction: %.1f%%\n",
+                100.0 * (1.0 - static_cast<double>(mf.initial_viewport_load_ms) /
+                                   static_cast<double>(base.initial_viewport_load_ms)));
+  }
+
+  std::printf("\nviewport fill over the first seconds (the Fig. 8 effect):\n");
+  std::printf("%-10s %12s %12s\n", "t (ms)", "baseline", "mf-http");
+  for (std::size_t i = 0; i < base.fill_timeline.size() && i < 16; ++i) {
+    std::printf("%-10lld %11.1f%% %11.1f%%\n",
+                static_cast<long long>(base.fill_timeline[i].first),
+                100.0 * base.fill_timeline[i].second,
+                100.0 * mf.fill_timeline[i].second);
+  }
+  return 0;
+}

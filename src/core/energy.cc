@@ -1,0 +1,21 @@
+#include "core/energy.h"
+
+#include "util/check.h"
+
+namespace mfhttp {
+
+double transfer_energy_joules(const RadioEnergyParams& params, Bytes size) {
+  MFHTTP_CHECK(size >= 0);
+  return params.promotion_joules +
+         params.transfer_joules_per_mb * static_cast<double>(size) / 1e6 +
+         params.tail_joules;
+}
+
+CostFunction radio_energy_cost(const RadioEnergyParams& params) {
+  return [params](Bytes size) {
+    if (size <= 0) return 0.0;
+    return transfer_energy_joules(params, size);
+  };
+}
+
+}  // namespace mfhttp

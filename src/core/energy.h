@@ -1,0 +1,39 @@
+// Radio energy cost model — the canonical instantiation of the paper's
+// generic cost function c(f) (§3.4.1 keeps it "generic so that it can be
+// easily adapted to different practical scenarios"; energy per download is
+// the scenario its related work [11][23][24] studies).
+//
+// A cellular/WiFi radio charges three components per fetch:
+//   * promotion: leaving idle for the high-power connected state,
+//   * transfer:  energy proportional to bytes moved,
+//   * tail:      the radio lingers in the high-power state after the
+//                transfer before demoting (dominant for small objects).
+//
+// The resulting cost is affine with a substantial constant term, which —
+// unlike the linear model — makes the optimizer prefer *fewer* downloads,
+// not just fewer bytes.
+#pragma once
+
+#include "core/qoe.h"
+#include "util/types.h"
+
+namespace mfhttp {
+
+struct RadioEnergyParams {
+  double promotion_joules = 0;
+  double transfer_joules_per_mb = 0;
+  double tail_joules = 0;
+
+  // Ballpark figures from the LTE/WiFi measurement literature.
+  static RadioEnergyParams lte() { return {1.2, 12.0, 1.0}; }
+  static RadioEnergyParams wifi() { return {0.1, 5.0, 0.25}; }
+};
+
+// Energy (joules) to fetch one object of `size` bytes on a cold radio.
+double transfer_energy_joules(const RadioEnergyParams& params, Bytes size);
+
+// CostFunction adapter for the flow controller. By convention c(0) == 0
+// (not downloading costs nothing), then the affine radio model applies.
+CostFunction radio_energy_cost(const RadioEnergyParams& params);
+
+}  // namespace mfhttp

@@ -1,0 +1,118 @@
+#include "core/flow_controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace mfhttp {
+
+const DownloadDecision* DownloadPolicy::find(std::size_t object_index) const {
+  for (const DownloadDecision& d : decisions)
+    if (d.object_index == object_index) return &d;
+  return nullptr;
+}
+
+FlowController::FlowController(Params params) : params_(std::move(params)) {
+  MFHTTP_CHECK(params_.cost != nullptr);
+  MFHTTP_CHECK(params_.capacity_unit_bytes > 0);
+  MFHTTP_CHECK(params_.weights.p >= 0 && params_.weights.q >= 0);
+}
+
+DownloadPolicy FlowController::optimize(const ScrollAnalysis& analysis,
+                                        const std::vector<MediaObject>& objects,
+                                        const BandwidthTrace& bandwidth) const {
+  MFHTTP_CHECK(analysis.coverages.size() == objects.size());
+  DownloadPolicy policy;
+
+  const std::vector<std::size_t> involved = analysis.involved_by_entry_time();
+  if (involved.empty()) return policy;
+
+  const ScrollPrediction& pred = analysis.prediction;
+  const double S = pred.viewport0.area();
+  const double T = pred.duration_ms;
+  const TimeMs start = pred.start_time_ms;
+
+  // c_M — Eq. 10's normalizer; guard against degenerate zero (e.g. zero-size
+  // objects): costs then normalize to 0.
+  double c_m = max_cost(params_.cost, objects, involved, bandwidth, start, T);
+
+  // Build the knapsack instance in entry order.
+  std::vector<KnapsackItem> items;
+  items.reserve(involved.size());
+  Bytes total_top_weight = 0;
+  for (std::size_t idx : involved)
+    total_top_weight += objects[idx].top_version().size;
+
+  std::vector<double> qoe_cache;  // per (item, version), row-major
+  std::vector<double> cost_cache;
+  for (std::size_t idx : involved) {
+    const MediaObject& obj = objects[idx];
+    MFHTTP_CHECK_MSG(obj.versions_sorted(), "versions must ascend by resolution");
+    const ObjectCoverage& cov = analysis.coverages[idx];
+    const double r_m = obj.top_version().resolution;
+
+    KnapsackItem item;
+    for (const MediaVersion& ver : obj.versions) {
+      double q = qoe_score(params_.qoe, cov, S, T, ver.resolution, r_m);
+      double c = c_m > 0 ? params_.cost(ver.size) / c_m : 0.0;
+      item.values.push_back(params_.weights.p * q - params_.weights.q * c);
+      item.weights.push_back(ver.size);
+      qoe_cache.push_back(q);
+      cost_cache.push_back(c);
+    }
+    if (params_.ignore_bandwidth_constraint) {
+      // Effectively unconstrained; the 2x slack keeps the DP's conservative
+      // weight round-up from clipping the last item at the exact boundary.
+      item.capacity = 2 * total_top_weight + 1;
+    } else {
+      double w = bandwidth.bytes_between(
+          start, start + static_cast<TimeMs>(std::ceil(
+                             std::max(0.0, cov.entry_time_ms))));
+      item.capacity = static_cast<Bytes>(w);
+    }
+    items.push_back(std::move(item));
+  }
+
+  Params::Solver solver =
+      params_.use_greedy ? Params::Solver::kGreedy : params_.solver;
+  KnapsackSolution sol;
+  switch (solver) {
+    case Params::Solver::kGreedy:
+      sol = solve_prefix_knapsack_greedy(items);
+      break;
+    case Params::Solver::kBranchAndBound:
+      sol = solve_prefix_knapsack_bnb(items).solution;
+      break;
+    case Params::Solver::kDp:
+      sol = solve_prefix_knapsack(items, params_.capacity_unit_bytes);
+      break;
+  }
+
+  std::size_t cache_pos = 0;
+  for (std::size_t k = 0; k < involved.size(); ++k) {
+    const std::size_t idx = involved[k];
+    const MediaObject& obj = objects[idx];
+    DownloadDecision d;
+    d.object_index = idx;
+    d.entry_time_ms = analysis.coverages[idx].entry_time_ms;
+    d.version = sol.chosen[k];
+    if (d.version >= 0) {
+      std::size_t flat = cache_pos + static_cast<std::size_t>(d.version);
+      d.qoe = qoe_cache[flat];
+      d.cost = cost_cache[flat];
+      d.value = params_.weights.p * d.qoe - params_.weights.q * d.cost;
+      policy.total_bytes += obj.versions[static_cast<std::size_t>(d.version)].size;
+    }
+    cache_pos += obj.versions.size();
+    policy.decisions.push_back(d);
+  }
+  policy.objective = sol.total_value;
+  MFHTTP_DEBUG << "flow policy: " << policy.decisions.size() << " involved, "
+               << policy.total_bytes << " bytes, objective " << policy.objective;
+  return policy;
+}
+
+}  // namespace mfhttp

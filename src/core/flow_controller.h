@@ -1,0 +1,74 @@
+// Flow controller (§3.4): evaluates Q_{i,j} and C_{i,j} for every media
+// object involved in a scroll and solves the download-policy optimization
+// (Eq. 11 s.t. Eq. 12, 13) via the prefix-capacity knapsack.
+#pragma once
+
+#include <vector>
+
+#include "core/knapsack.h"
+#include "core/media_object.h"
+#include "core/qoe.h"
+#include "core/scroll_tracker.h"
+#include "net/bandwidth_trace.h"
+
+namespace mfhttp {
+
+struct FlowWeights {
+  double p = 1.0;  // QoE weight
+  double q = 1.0;  // cost weight (the paper sets q = 0 for web browsing)
+};
+
+struct DownloadDecision {
+  std::size_t object_index = 0;
+  int version = -1;          // chosen version index, or -1 to skip
+  double entry_time_ms = -1; // t_i
+  double qoe = 0;            // Q_{i,version} (0 when skipped)
+  double cost = 0;           // C_{i,version} (0 when skipped)
+  double value = 0;          // p*qoe - q*cost
+
+  bool download() const { return version >= 0; }
+};
+
+struct DownloadPolicy {
+  // One decision per *involved* object, ordered by entry time.
+  std::vector<DownloadDecision> decisions;
+  double objective = 0;    // Eq. 11 value of the selection
+  Bytes total_bytes = 0;   // bytes the policy downloads
+
+  // Decision for a given object index, or nullptr if not involved.
+  const DownloadDecision* find(std::size_t object_index) const;
+};
+
+class FlowController {
+ public:
+  struct Params {
+    FlowWeights weights;
+    QoEParams qoe;
+    CostFunction cost = linear_cost();
+    // Capacity discretization of the DP (bytes per unit).
+    Bytes capacity_unit_bytes = 1024;
+    // Optimizer backend: the paper's DP (default), the exact-in-bytes
+    // branch-and-bound, or the greedy value-density heuristic (ablations).
+    enum class Solver { kDp, kBranchAndBound, kGreedy };
+    Solver solver = Solver::kDp;
+    // Back-compat alias for Solver::kGreedy.
+    bool use_greedy = false;
+    // Drop Eq. 13 entirely — §5.1.2: "As bandwidth is rarely the bottleneck
+    // for web browsing, we release the bandwidth constraint".
+    bool ignore_bandwidth_constraint = false;
+  };
+
+  explicit FlowController(Params params);
+
+  const Params& params() const { return params_; }
+
+  // Compute the optimal download policy for one analyzed scroll.
+  DownloadPolicy optimize(const ScrollAnalysis& analysis,
+                          const std::vector<MediaObject>& objects,
+                          const BandwidthTrace& bandwidth) const;
+
+ private:
+  Params params_;
+};
+
+}  // namespace mfhttp

@@ -1,0 +1,67 @@
+// The flow controller's optimizer (§3.4.2): a 0/1 knapsack variant where
+// items arrive in viewport-entry order and the capacity available to the
+// first i' items is the bandwidth accumulated by the time object i' enters
+// the viewport (Eq. 13). Solved by dynamic programming with the
+// stage-clamped recurrence of Eq. 14.
+//
+// Three solvers share one instance format:
+//   * solve_prefix_knapsack            — the paper's DP (capacity discretized)
+//   * solve_prefix_knapsack_bruteforce — exact reference for testing (small n)
+//   * solve_prefix_knapsack_greedy     — value-density heuristic (ablation)
+#pragma once
+
+#include <vector>
+
+#include "util/types.h"
+
+namespace mfhttp {
+
+// One media object with m candidate versions.
+struct KnapsackItem {
+  std::vector<double> values;   // v(i,j) = p*Q_{i,j} - q*C_{i,j}
+  std::vector<Bytes> weights;   // w(i,j) = f_{i,j}
+  // W(t_i): cumulative bandwidth when this object enters the viewport.
+  // Items must be ordered so capacities are nondecreasing.
+  Bytes capacity = 0;
+};
+
+struct KnapsackSolution {
+  // chosen[i]: selected version index, or -1 to skip object i.
+  std::vector<int> chosen;
+  double total_value = 0;
+  Bytes total_weight = 0;
+};
+
+// Validate and evaluate a selection against an instance; returns false if
+// any prefix-capacity constraint is violated (solution fields untouched).
+bool evaluate_selection(const std::vector<KnapsackItem>& items,
+                        const std::vector<int>& chosen, KnapsackSolution* out);
+
+// DP of Eq. 14. `capacity_unit_bytes` discretizes capacity: weights round up,
+// capacities round down (conservative — never produces an infeasible plan).
+// Smaller units are more exact but slower: O(n * m * W/unit).
+KnapsackSolution solve_prefix_knapsack(const std::vector<KnapsackItem>& items,
+                                       Bytes capacity_unit_bytes = 1024);
+
+// Exhaustive search over all (m+1)^n assignments. Testing/reference only.
+KnapsackSolution solve_prefix_knapsack_bruteforce(
+    const std::vector<KnapsackItem>& items);
+
+// Density-ordered greedy heuristic (take best value/weight first while all
+// prefix constraints hold). Used by the ablation benchmarks.
+KnapsackSolution solve_prefix_knapsack_greedy(const std::vector<KnapsackItem>& items);
+
+// Exact branch-and-bound solver working directly in bytes (no capacity
+// discretization). Prunes with the fractional-relaxation upper bound, so it
+// excels exactly where the DP struggles: few items but byte-scale
+// capacities. `max_nodes` bounds the search; on overrun the best solution
+// found so far is returned with `exact` false.
+struct BranchAndBoundResult {
+  KnapsackSolution solution;
+  bool exact = true;          // search completed (result provably optimal)
+  std::size_t nodes_visited = 0;
+};
+BranchAndBoundResult solve_prefix_knapsack_bnb(
+    const std::vector<KnapsackItem>& items, std::size_t max_nodes = 2'000'000);
+
+}  // namespace mfhttp

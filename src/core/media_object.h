@@ -1,0 +1,53 @@
+// Media objects — the downloadable units MF-HTTP schedules (§3.4): an image
+// in a web page, or a tile-segment of a DASH stream. Each object has a
+// position in content coordinates and m versions ordered by increasing
+// resolution (r_1 < ... < r_m), each with its own file size f_{i,j} and URL.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/rect.h"
+#include "util/check.h"
+#include "util/types.h"
+
+namespace mfhttp {
+
+struct MediaVersion {
+  double resolution = 0;  // r_j — any monotone quality scalar (e.g. height px)
+  Bytes size = 0;         // f_{i,j} — wire size
+  std::string url;        // where this version is fetched from
+};
+
+struct MediaObject {
+  std::string id;
+  Rect rect;  // bounding box in content (page / projected-frame) coordinates
+  std::vector<MediaVersion> versions;  // ascending by resolution; never empty
+
+  std::size_t version_count() const { return versions.size(); }
+
+  const MediaVersion& top_version() const {
+    MFHTTP_CHECK(!versions.empty());
+    return versions.back();
+  }
+
+  // Validate the §3.4 ordering assumption (ascending resolutions).
+  bool versions_sorted() const {
+    for (std::size_t j = 1; j < versions.size(); ++j)
+      if (versions[j].resolution < versions[j - 1].resolution) return false;
+    return !versions.empty();
+  }
+};
+
+// Convenience: single-version object (the web case — one file per image).
+inline MediaObject make_single_version_object(std::string id, Rect rect, Bytes size,
+                                              std::string url,
+                                              double resolution = 1.0) {
+  MediaObject obj;
+  obj.id = std::move(id);
+  obj.rect = rect;
+  obj.versions.push_back({resolution, size, std::move(url)});
+  return obj;
+}
+
+}  // namespace mfhttp

@@ -1,0 +1,117 @@
+#include "core/middleware.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace mfhttp {
+
+void TouchEventMonitor::on_touch_event(const TouchEvent& ev) {
+  if (auto gesture = recognizer_.on_touch_event(ev)) {
+    if (on_gesture_) on_gesture_(*gesture);
+  }
+}
+
+Middleware::Middleware(Params params, std::vector<MediaObject> objects,
+                       BandwidthTrace bandwidth, Simulator* sim)
+    : tracker_(params.tracker),
+      flow_(params.flow),
+      objects_(std::move(objects)),
+      bandwidth_(std::move(bandwidth)),
+      sim_(sim),
+      gesture_uplink_ms_(params.gesture_uplink_ms),
+      enable_flywheel_(params.enable_flywheel),
+      unscaled_viewport_(params.initial_viewport),
+      viewport_(params.initial_viewport, params.tracker.content_bounds) {}
+
+void Middleware::set_objects(std::vector<MediaObject> objects,
+                             Rect initial_viewport) {
+  objects_ = std::move(objects);
+  unscaled_viewport_ = initial_viewport;
+  viewport_scale_ = 1.0;
+  viewport_ = ViewportState(initial_viewport, tracker_.params().content_bounds);
+  last_analysis_.reset();
+  last_policy_.reset();
+}
+
+void Middleware::set_viewport_scale(double scale, TimeMs at_time_ms) {
+  MFHTTP_CHECK_MSG(scale > 0, "viewport scale must be positive");
+  Rect current = viewport_.interrupt(at_time_ms);
+  viewport_scale_ = scale;
+  Rect scaled{0, 0, unscaled_viewport_.w / scale, unscaled_viewport_.h / scale};
+  scaled.x = current.center().x - scaled.w / 2;
+  scaled.y = current.center().y - scaled.h / 2;
+  ViewportState next(scaled, tracker_.params().content_bounds);
+  // Re-clamp inside the content by panning nowhere.
+  Gesture noop;
+  next.apply_contact_pan(noop);
+  viewport_ = next;
+}
+
+void Middleware::on_pinch(const PinchGesture& pinch, double min_scale,
+                          double max_scale) {
+  MFHTTP_CHECK(min_scale > 0 && max_scale >= min_scale);
+  double next = std::clamp(viewport_scale_ * pinch.scale_factor(), min_scale,
+                           max_scale);
+  set_viewport_scale(next, pinch.end_time_ms);
+}
+
+void Middleware::on_gesture(const Gesture& gesture) {
+  if (sim_ && gesture_uplink_ms_ > 0) {
+    sim_->schedule_after(gesture_uplink_ms_,
+                         [this, gesture] { process_gesture(gesture); });
+  } else {
+    process_gesture(gesture);
+  }
+}
+
+void Middleware::process_gesture(const Gesture& gesture) {
+  // OverScroller flywheel: speed remaining in an interrupted fling carries
+  // into the next one when the finger flicks the same way.
+  Vec2 carried_velocity{};
+  if (enable_flywheel_ && viewport_.active_animation().has_value()) {
+    const ScrollPrediction& active = *viewport_.active_animation();
+    double t = static_cast<double>(gesture.down_time_ms - active.start_time_ms);
+    if (t >= 0 && t < active.duration_ms &&
+        active.animation.kind() == ScrollKind::kFling) {
+      double remaining_speed = active.animation.speed_at(t);
+      // The animation direction is the *viewport* direction; the carried
+      // finger-space velocity is its opposite.
+      Vec2 viewport_dir = active.displacement.normalized();
+      Vec2 finger_dir = Vec2{} - viewport_dir;
+      if (finger_dir.dot(gesture.release_velocity.normalized()) > 0.5)
+        carried_velocity = finger_dir * remaining_speed;
+    }
+  }
+
+  // A new touch aborts any unfinished scroll simulation (§4.2). Finger-space
+  // quantities convert to content space through the viewport scale.
+  Gesture content_gesture = gesture;
+  if (viewport_scale_ != 1.0) {
+    content_gesture.up_pos =
+        gesture.down_pos + gesture.finger_displacement() / viewport_scale_;
+    content_gesture.release_velocity =
+        gesture.release_velocity / viewport_scale_;
+  }
+  viewport_.interrupt(content_gesture.down_time_ms);
+  viewport_.apply_contact_pan(content_gesture);
+
+  if (!content_gesture.scrolls()) return;
+
+  Gesture boosted = content_gesture;
+  boosted.release_velocity += carried_velocity;
+
+  Rect vp_at_release = viewport_.at(gesture.up_time_ms);
+  ScrollPrediction pred = tracker_.predict(boosted, vp_at_release);
+  viewport_.begin_animation(pred);
+
+  ScrollAnalysis analysis = tracker_.analyze(pred, objects_);
+  DownloadPolicy policy = flow_.optimize(analysis, objects_, bandwidth_);
+  last_analysis_ = analysis;
+  last_policy_ = policy;
+  MFHTTP_DEBUG << "middleware: gesture " << to_string(gesture.kind) << " -> "
+               << policy.decisions.size() << " involved objects";
+  if (on_policy_) on_policy_(analysis, policy);
+}
+
+}  // namespace mfhttp

@@ -1,0 +1,157 @@
+#include "core/scroll_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mfhttp {
+
+Rect ScrollPrediction::viewport_at(double t_ms) const {
+  if (t_ms <= 0) return viewport0;
+  if (t_ms >= duration_ms) return final_viewport();
+  Vec2 d = animation.displacement_at(t_ms);
+  // Axes clamp independently (a scrollable view stops the blocked axis at
+  // its content edge while the other keeps going): never move an axis past
+  // its clamped total.
+  auto clamp_axis = [](double v, double limit) {
+    if (limit >= 0) return std::min(v, limit);
+    return std::max(v, limit);
+  };
+  d.x = clamp_axis(d.x, displacement.x);
+  d.y = clamp_axis(d.y, displacement.y);
+  return viewport0.translated(d);
+}
+
+std::vector<ScrollPrediction::PathSample> ScrollPrediction::sample_path(
+    double step_ms) const {
+  MFHTTP_CHECK(step_ms > 0);
+  std::vector<PathSample> out;
+  for (double t = 0; t < duration_ms; t += step_ms)
+    out.push_back({t, viewport_at(t), animation.speed_at(t)});
+  out.push_back({duration_ms, final_viewport(), 0.0});
+  return out;
+}
+
+ScrollPrediction ScrollTracker::predict(const Gesture& gesture,
+                                        const Rect& viewport) const {
+  ScrollPrediction pred;
+  pred.gesture = gesture;
+  pred.viewport0 = viewport;
+  pred.start_time_ms = gesture.up_time_ms;
+
+  // Content follows the finger; the viewport moves opposite the finger
+  // velocity through content coordinates.
+  Vec2 viewport_velocity = Vec2{} - gesture.release_velocity;
+  pred.animation = ScrollAnimation(viewport_velocity, params_.scroll);
+
+  Vec2 full = pred.animation.total_displacement();
+  // The velocity tracker's least-squares fit leaves ~1e-13 px/s residue on
+  // an axis the finger never moved along; without flushing it to zero a
+  // viewport already at that axis's content edge would clamp the whole
+  // scroll to nothing.
+  if (std::abs(full.x) < 1e-6) full.x = 0;
+  if (std::abs(full.y) < 1e-6) full.y = 0;
+  // Content bounds clamp each axis INDEPENDENTLY, like Android's scrollable
+  // views: a diagonal fling on a vertically-scrollable page loses its x
+  // motion at the edge while y continues. The swept region is then the
+  // straight line to the per-axis-clamped endpoint — a close approximation
+  // of the bent true path whenever one axis dominates.
+  double fx = 1.0, fy = 1.0;
+  if (params_.content_bounds) {
+    const Rect& bounds = *params_.content_bounds;
+    auto axis_limit = [](double lo, double hi, double vp_lo, double vp_hi,
+                         double d) -> double {
+      if (d > 0) {
+        double room = hi - vp_hi;
+        return room <= 0 ? 0.0 : room / d;
+      }
+      if (d < 0) {
+        double room = vp_lo - lo;
+        return room <= 0 ? 0.0 : room / (-d);
+      }
+      return 1.0;
+    };
+    fx = std::clamp(axis_limit(bounds.left(), bounds.right(), viewport.left(),
+                               viewport.right(), full.x),
+                    0.0, 1.0);
+    fy = std::clamp(axis_limit(bounds.top(), bounds.bottom(), viewport.top(),
+                               viewport.bottom(), full.y),
+                    0.0, 1.0);
+  }
+  pred.displacement = {full.x * fx, full.y * fy};
+  // The animation ends when the last still-moving axis stops.
+  double end_fraction = 0.0;
+  if (full.x != 0) end_fraction = std::max(end_fraction, fx);
+  if (full.y != 0) end_fraction = std::max(end_fraction, fy);
+  pred.duration_ms =
+      end_fraction >= 1.0
+          ? pred.animation.duration_ms()
+          : pred.animation.time_for_distance(pred.animation.total_distance() *
+                                             end_fraction);
+  return pred;
+}
+
+ScrollAnalysis ScrollTracker::analyze(const ScrollPrediction& prediction,
+                                      const std::vector<MediaObject>& objects) const {
+  ScrollAnalysis analysis;
+  analysis.prediction = prediction;
+  analysis.coverages.resize(objects.size());
+
+  const SweptRegion sweep = prediction.sweep();
+  const Rect final_vp = prediction.final_viewport();
+  const double total_dist = prediction.displacement.norm();
+  const double step = params_.coverage_step_ms;
+  MFHTTP_CHECK(step > 0);
+
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    ObjectCoverage& cov = analysis.coverages[i];
+    cov.object_index = i;
+    const Rect& rect = objects[i].rect;
+
+    cov.in_initial_viewport = prediction.viewport0.overlaps(rect);
+    cov.in_final_viewport = final_vp.overlaps(rect);
+    cov.involved = intersects_swept_region(sweep, rect);
+    if (!cov.involved) continue;
+
+    if (cov.in_initial_viewport) {
+      cov.entry_time_ms = 0;
+    } else {
+      double frac = first_overlap_fraction(sweep, rect);
+      MFHTTP_DCHECK(frac >= 0);
+      cov.entry_time_ms = prediction.animation.time_for_distance(frac * total_dist);
+    }
+
+    cov.final_coverage = final_vp.overlap_area(rect);
+
+    if (prediction.duration_ms <= 0) {
+      // Degenerate scroll (click / fully clamped): only the standing
+      // viewport matters.
+      cov.coverage_integral = 0;
+      continue;
+    }
+    // Midpoint-rule integral of s_i(t) over the animation — the discrete sum
+    // Σ_{t=1}^{T} s_i(t) of Eq. (7) with configurable resolution.
+    double integral = 0;
+    for (double t = step / 2; t < prediction.duration_ms; t += step) {
+      double s = prediction.viewport_at(t).overlap_area(rect);
+      integral += s * step;
+    }
+    cov.coverage_integral = integral;
+  }
+  return analysis;
+}
+
+std::vector<std::size_t> ScrollAnalysis::involved_by_entry_time() const {
+  std::vector<std::size_t> idx;
+  for (const ObjectCoverage& c : coverages)
+    if (c.involved) idx.push_back(c.object_index);
+  std::sort(idx.begin(), idx.end(), [this](std::size_t a, std::size_t b) {
+    if (coverages[a].entry_time_ms != coverages[b].entry_time_ms)
+      return coverages[a].entry_time_ms < coverages[b].entry_time_ms;
+    return a < b;
+  });
+  return idx;
+}
+
+}  // namespace mfhttp

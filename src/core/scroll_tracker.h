@@ -1,0 +1,95 @@
+// Screen scrolling tracker (§3.3): turns a recognized gesture into the full
+// predetermined viewport trajectory, then measures, per media object, when
+// it enters the viewport and how much of the viewport it covers over time.
+//
+// Sign convention: the gesture's release velocity is the *finger* velocity.
+// Content follows the finger, so the viewport (the window into the content)
+// displaces in the opposite direction: viewport_displacement(t) =
+// -d(t) * (v_x/v, v_y/v).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/media_object.h"
+#include "geom/swept_region.h"
+#include "gesture/gesture.h"
+#include "scroll/animation.h"
+#include "util/types.h"
+
+namespace mfhttp {
+
+// Full prediction of one scrolling animation, made at finger release.
+struct ScrollPrediction {
+  Gesture gesture;
+  ScrollAnimation animation;  // scalar kinematics along the gesture axis
+  Rect viewport0;             // viewport at animation start (content coords)
+  Vec2 displacement;          // total signed viewport displacement (clamped)
+  double duration_ms = 0;     // effective duration (shortened if clamped)
+  TimeMs start_time_ms = 0;   // absolute time of finger release
+
+  SweptRegion sweep() const { return SweptRegion{viewport0, displacement}; }
+  Rect final_viewport() const { return viewport0.translated(displacement); }
+
+  // Viewport position t_ms after release (clamp-aware).
+  Rect viewport_at(double t_ms) const;
+
+  // Sampled trajectory for export/visualization: viewport rect and scroll
+  // speed every `step_ms`, inclusive of t = 0 and t = duration.
+  struct PathSample {
+    double t_ms = 0;
+    Rect viewport;
+    double speed_px_s = 0;
+  };
+  std::vector<PathSample> sample_path(double step_ms) const;
+};
+
+// Per-object result of analyzing one scroll (§3.3.3 + §3.3.4).
+struct ObjectCoverage {
+  std::size_t object_index = 0;
+  bool involved = false;         // intersects the swept region at some point
+  double entry_time_ms = -1;     // t_i: first overlap, ms after release
+  double coverage_integral = 0;  // ∫ s_i(t) dt over the animation (px^2 * ms)
+  double final_coverage = 0;     // s_i(T): overlap area in the final viewport
+  bool in_initial_viewport = false;
+  bool in_final_viewport = false;
+};
+
+struct ScrollAnalysis {
+  ScrollPrediction prediction;
+  std::vector<ObjectCoverage> coverages;  // one per input object, same order
+
+  // Indices of involved objects sorted by entry time (the ordering Eq. 13
+  // assumes: t_1 <= t_2 <= ... <= t_n).
+  std::vector<std::size_t> involved_by_entry_time() const;
+};
+
+class ScrollTracker {
+ public:
+  struct Params {
+    ScrollConfig scroll;
+    // Discrete-time step for the coverage integral Σ s_i(t). The paper sums
+    // per millisecond; coarser steps trade accuracy for speed.
+    double coverage_step_ms = 1.0;
+    // Optional content bounds; the viewport is clamped inside (a fling at
+    // the page bottom stops early).
+    std::optional<Rect> content_bounds;
+  };
+
+  explicit ScrollTracker(Params params) : params_(std::move(params)) {}
+
+  const Params& params() const { return params_; }
+
+  // Predict the whole animation at finger release. `viewport` is the
+  // viewport at release time, in content coordinates.
+  ScrollPrediction predict(const Gesture& gesture, const Rect& viewport) const;
+
+  // Identify involved objects and compute their coverage trajectories.
+  ScrollAnalysis analyze(const ScrollPrediction& prediction,
+                         const std::vector<MediaObject>& objects) const;
+
+ private:
+  Params params_;
+};
+
+}  // namespace mfhttp

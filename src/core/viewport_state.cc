@@ -1,0 +1,38 @@
+#include "core/viewport_state.h"
+
+#include <algorithm>
+
+namespace mfhttp {
+
+Rect ViewportState::clamp_to_bounds(Rect vp) const {
+  if (!bounds_) return vp;
+  const Rect& b = *bounds_;
+  if (vp.w <= b.w) vp.x = std::clamp(vp.x, b.left(), b.right() - vp.w);
+  if (vp.h <= b.h) vp.y = std::clamp(vp.y, b.top(), b.bottom() - vp.h);
+  return vp;
+}
+
+Rect ViewportState::at(TimeMs time_ms) const {
+  if (!animation_) return viewport_;
+  if (time_ms <= animation_->start_time_ms) return animation_->viewport0;
+  double t = static_cast<double>(time_ms - animation_->start_time_ms);
+  return animation_->viewport_at(t);
+}
+
+Rect ViewportState::interrupt(TimeMs time_ms) {
+  viewport_ = at(time_ms);
+  animation_.reset();
+  return viewport_;
+}
+
+void ViewportState::apply_contact_pan(const Gesture& gesture) {
+  Vec2 pan = Vec2{} - gesture.finger_displacement();
+  viewport_ = clamp_to_bounds(viewport_.translated(pan));
+}
+
+void ViewportState::begin_animation(const ScrollPrediction& prediction) {
+  animation_ = prediction;
+  viewport_ = prediction.final_viewport();  // rest position once it finishes
+}
+
+}  // namespace mfhttp

@@ -1,0 +1,56 @@
+// Viewport position over time, across gestures and scrolling animations.
+//
+// The tracker side of the middleware keeps one of these per session: during
+// finger contact the content tracks the finger 1:1 (viewport moves opposite
+// the finger), and after release the predicted animation takes over. A new
+// gesture aborts any unfinished animation at the moment of touch-down
+// (§4.2: "Whenever a touch event with a newer timestamp arrives, the
+// simulation of current/unfinished scrolling is aborted").
+#pragma once
+
+#include <optional>
+
+#include "core/scroll_tracker.h"
+#include "geom/rect.h"
+#include "gesture/gesture.h"
+#include "util/types.h"
+
+namespace mfhttp {
+
+class ViewportState {
+ public:
+  ViewportState(Rect initial, std::optional<Rect> content_bounds)
+      : viewport_(initial), bounds_(std::move(content_bounds)) {}
+
+  // Viewport at an absolute time, accounting for any active animation.
+  Rect at(TimeMs time_ms) const;
+
+  // Abort any active animation as of `time_ms` (viewport freezes where the
+  // animation had it) and return the frozen position.
+  Rect interrupt(TimeMs time_ms);
+
+  // Apply the finger-contact pan of a gesture: the viewport moves by
+  // -finger_displacement, clamped to the content bounds.
+  void apply_contact_pan(const Gesture& gesture);
+
+  // Install the post-release animation (replaces any previous one).
+  void begin_animation(const ScrollPrediction& prediction);
+
+  const std::optional<ScrollPrediction>& active_animation() const {
+    return animation_;
+  }
+
+  const std::optional<Rect>& content_bounds() const { return bounds_; }
+
+  // Rest position ignoring any animation (mostly for tests).
+  Rect base_viewport() const { return viewport_; }
+
+ private:
+  Rect clamp_to_bounds(Rect vp) const;
+
+  Rect viewport_;  // position when no animation is active
+  std::optional<Rect> bounds_;
+  std::optional<ScrollPrediction> animation_;
+};
+
+}  // namespace mfhttp

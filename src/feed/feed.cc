@@ -1,0 +1,65 @@
+#include "feed/feed.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace mfhttp {
+
+std::size_t Feed::clip_count() const {
+  std::size_t n = 0;
+  for (const FeedPost& p : posts)
+    if (p.kind == PostKind::kClip) ++n;
+  return n;
+}
+
+Bytes Feed::total_full_bytes() const {
+  Bytes total = 0;
+  for (const MediaObject& m : media) total += m.top_version().size;
+  return total;
+}
+
+Feed generate_feed(const FeedSpec& spec, const DeviceProfile& device, Rng& rng) {
+  MFHTTP_CHECK(spec.post_count > 0);
+  MFHTTP_CHECK(spec.clip_fraction >= 0 && spec.clip_fraction <= 1);
+
+  Feed feed;
+  feed.origin = "http://feed.example";
+  feed.width = device.screen_w_px;
+  feed.height = spec.post_count * spec.post_height;
+
+  for (int i = 0; i < spec.post_count; ++i) {
+    FeedPost post;
+    post.kind = rng.chance(spec.clip_fraction) ? PostKind::kClip : PostKind::kPhoto;
+    // Media box fills most of the width; caption/engagement chrome fills the
+    // rest of the post slot.
+    double media_h = spec.post_height * rng.uniform(0.55, 0.75);
+    double w = feed.width * rng.uniform(0.85, 1.0);
+    double x = rng.uniform(0.0, feed.width - w);
+    double y = i * spec.post_height + rng.uniform(0.0, spec.post_height - media_h);
+    post.rect = {x, y, w, media_h};
+    post.media_index = feed.media.size();
+
+    double jitter = std::exp(rng.normal(0.0, spec.size_jitter_sigma));
+    MediaObject media;
+    media.rect = post.rect;
+    if (post.kind == PostKind::kPhoto) {
+      media.id = strformat("photo-%03d", i);
+      media.versions = {{720, static_cast<Bytes>(spec.photo_bytes * jitter),
+                         feed.origin + strformat("/photo/%03d.jpg", i)}};
+    } else {
+      media.id = strformat("clip-%03d", i);
+      // Version 0: poster thumbnail; version 1: the full clip.
+      media.versions = {{240, static_cast<Bytes>(spec.thumb_bytes * jitter),
+                         feed.origin + strformat("/clip/%03d_thumb.jpg", i)},
+                        {720, static_cast<Bytes>(spec.clip_bytes * jitter),
+                         feed.origin + strformat("/clip/%03d.mp4", i)}};
+    }
+    feed.media.push_back(std::move(media));
+    feed.posts.push_back(post);
+  }
+  return feed;
+}
+
+}  // namespace mfhttp

@@ -1,0 +1,58 @@
+// Mobile social-networking feed — the paper's third motivating application
+// (Fig. 3; the authors' companion work, "Mobile instant video clip sharing
+// with screen scrolling", IEEE TMM 2018).
+//
+// A feed is an endless vertical timeline of posts; a post carries either a
+// photo or an autoplaying video clip. Clips are the interesting media: each
+// has TWO versions — a cheap poster thumbnail and the full clip — so the
+// flow controller's version selection (not just block/allow) matters:
+//
+//   * a clip that will *settle* in the viewport should be preloaded in full
+//     so it autoplays instantly,
+//   * a clip the user merely flings past deserves only its thumbnail,
+//   * a clip that never appears should not be fetched at all.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/media_object.h"
+#include "scroll/device_profile.h"
+#include "util/rng.h"
+
+namespace mfhttp {
+
+enum class PostKind { kPhoto, kClip };
+
+struct FeedPost {
+  PostKind kind = PostKind::kPhoto;
+  Rect rect;          // media box in feed coordinates
+  std::size_t media_index = 0;  // index into Feed::media
+};
+
+struct Feed {
+  std::string origin;  // e.g. "http://feed.example"
+  double width = 0;
+  double height = 0;
+  std::vector<FeedPost> posts;        // top to bottom
+  std::vector<MediaObject> media;     // parallel: photos 1 version, clips 2
+
+  Rect bounds() const { return {0, 0, width, height}; }
+  std::size_t clip_count() const;
+  Bytes total_full_bytes() const;  // everything at its top version
+};
+
+struct FeedSpec {
+  int post_count = 60;
+  double clip_fraction = 0.4;        // share of posts that are video clips
+  double post_height = 900;          // media box height incl. caption gap
+  Bytes photo_bytes = 150'000;
+  Bytes thumb_bytes = 25'000;        // clip poster frame
+  Bytes clip_bytes = 700'000;        // full short clip (~6 s at ~1 Mbps)
+  double size_jitter_sigma = 0.3;    // lognormal jitter on all sizes
+};
+
+// Deterministically generate a feed for the given device width.
+Feed generate_feed(const FeedSpec& spec, const DeviceProfile& device, Rng& rng);
+
+}  // namespace mfhttp

@@ -1,0 +1,51 @@
+// Flow controller for the social feed: extends the §5.1.2 block-list
+// workflow with version *selection*. Photos behave like web images
+// (release/keep-blocked); clips additionally honour the optimizer's version
+// choice — a clip the user only glimpses is released as its thumbnail via
+// the proxy's substitution path, while a clip that settles in the viewport
+// gets the full file.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/flow_controller.h"
+#include "feed/feed.h"
+#include "http/proxy.h"
+
+namespace mfhttp {
+
+class FeedController : public Interceptor {
+ public:
+  struct Stats {
+    std::size_t full_releases = 0;   // clips/photos released at top version
+    std::size_t thumb_releases = 0;  // clips substituted with their thumbnail
+  };
+
+  FeedController(const Feed& feed, Rect initial_viewport, MitmProxy* proxy);
+
+  // Interceptor: the app always requests the top version; anything not yet
+  // cleared by policy is parked.
+  InterceptDecision on_request(const HttpRequest& request) override;
+
+  // Wire to Middleware::set_policy_callback.
+  void on_policy(const ScrollAnalysis& analysis, const DownloadPolicy& policy);
+
+  bool is_blocked(const std::string& top_url) const {
+    return block_list_.contains(top_url);
+  }
+  std::size_t block_list_size() const { return block_list_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void release_full(std::size_t media_index);
+  void release_as_version(std::size_t media_index, int version);
+
+  const Feed& feed_;
+  MitmProxy* proxy_;
+  std::unordered_set<std::string> block_list_;  // keyed by top-version URL
+  Stats stats_;
+};
+
+}  // namespace mfhttp

@@ -1,0 +1,175 @@
+#include "feed/feed_experiment.h"
+
+#include <optional>
+#include <vector>
+
+#include "core/middleware.h"
+#include "feed/feed_controller.h"
+#include "gesture/recognizer.h"
+#include "gesture/synthetic.h"
+#include "http/proxy.h"
+#include "http/sim_http.h"
+#include "sim/simulator.h"
+#include "util/check.h"
+
+namespace mfhttp {
+
+namespace {
+
+struct MediaLoadState {
+  TimeMs complete_ms = -1;
+  Bytes delivered = 0;
+};
+
+struct SettleEvent {
+  TimeMs time_ms;
+  Rect viewport;
+};
+
+}  // namespace
+
+FeedSessionResult run_feed_session(const Feed& feed, const FeedSessionConfig& config) {
+  Simulator sim;
+  Rng rng(config.seed);
+
+  Link::Params cp;
+  cp.bandwidth = BandwidthTrace::constant(config.client_bandwidth);
+  cp.latency_ms = config.client_latency_ms;
+  cp.sharing = Link::Sharing::kFairShare;
+  Link client_link(sim, cp);
+  Link::Params sp;
+  sp.bandwidth = BandwidthTrace::constant(config.server_bandwidth);
+  sp.latency_ms = config.server_latency_ms;
+  sp.sharing = Link::Sharing::kFairShare;
+  Link server_link(sim, sp);
+
+  ObjectStore store;
+  for (const MediaObject& m : feed.media)
+    for (const MediaVersion& v : m.versions)
+      store.put(parse_url(v.url)->path, v.size);
+  SimHttpOrigin origin(sim, &store, &server_link);
+  MitmProxy proxy(sim, &origin, &client_link);
+
+  const Rect vp0{0, 0, config.device.screen_w_px, config.device.screen_h_px};
+
+  ScrollTracker::Params tracker_params;
+  tracker_params.scroll = ScrollConfig(config.device);
+  tracker_params.coverage_step_ms = 4.0;
+  tracker_params.content_bounds = feed.bounds();
+
+  // Ground-truth trajectory (same in both arms).
+  ScrollTracker gt_tracker(tracker_params);
+  ViewportState gt_viewport(vp0, feed.bounds());
+  GestureRecognizer gt_recognizer(config.device);
+  std::vector<SettleEvent> settles;
+  settles.push_back({0, vp0});  // the feed's opening state
+
+  std::optional<Middleware> middleware;
+  std::optional<FeedController> controller;
+  std::optional<TouchEventMonitor> monitor;
+  if (config.enable_mfhttp) {
+    Middleware::Params mp;
+    mp.tracker = tracker_params;
+    mp.flow.weights = config.weights;
+    mp.flow.ignore_bandwidth_constraint = true;  // feeds, like pages (§5.1.2)
+    mp.initial_viewport = vp0;
+    mp.gesture_uplink_ms = config.client_latency_ms;
+    middleware.emplace(mp, feed.media,
+                       BandwidthTrace::constant(config.client_bandwidth), &sim);
+    controller.emplace(feed, vp0, &proxy);
+    proxy.set_interceptor(&*controller);
+    middleware->set_policy_callback(
+        [&](const ScrollAnalysis& a, const DownloadPolicy& p) {
+          controller->on_policy(a, p);
+        });
+    monitor.emplace(config.device,
+                    [&](const Gesture& g) { middleware->on_gesture(g); });
+  }
+
+  // The feed app requests every post's media (top version) when it opens.
+  std::vector<MediaLoadState> states(feed.media.size());
+  sim.schedule_at(0, [&] {
+    for (std::size_t i = 0; i < feed.media.size(); ++i) {
+      FetchCallbacks cbs;
+      cbs.on_complete = [&states, i, &sim](const FetchResult& r) {
+        if (r.blocked) return;
+        states[i].complete_ms = sim.now();
+        states[i].delivered = r.body_size;
+      };
+      proxy.fetch(HttpRequest::get(feed.media[i].top_version().url), std::move(cbs));
+    }
+  });
+
+  // The flings.
+  for (int k = 0; k < config.fling_count; ++k) {
+    SwipeSpec spec;
+    spec.start_time_ms = config.first_fling_ms + k * config.fling_interval_ms;
+    spec.start = {rng.uniform(config.device.screen_w_px * 0.3,
+                              config.device.screen_w_px * 0.7),
+                  config.device.screen_h_px * 0.75};
+    spec.direction = {rng.uniform(-0.04, 0.04), -1};
+    spec.speed_px_s = config.fling_speed_px_s;
+    for (const TouchEvent& ev : synthesize_swipe(spec)) {
+      sim.schedule_at(ev.time_ms, [&, ev] {
+        if (monitor) monitor->on_touch_event(ev);
+        if (auto g = gt_recognizer.on_touch_event(ev)) {
+          gt_viewport.interrupt(g->down_time_ms);
+          gt_viewport.apply_contact_pan(*g);
+          if (g->scrolls()) {
+            ScrollPrediction pred =
+                gt_tracker.predict(*g, gt_viewport.at(g->up_time_ms));
+            gt_viewport.begin_animation(pred);
+            settles.push_back(
+                {pred.start_time_ms + static_cast<TimeMs>(pred.duration_ms),
+                 pred.final_viewport()});
+          }
+        }
+      });
+    }
+  }
+
+  sim.run_until(config.session_ms);
+
+  // Score instant playback: for each clip, find the first *scroll-driven*
+  // settle event whose viewport shows it; it plays instantly iff the FULL
+  // clip had completely arrived by that moment. Clips already on screen when
+  // the feed opens are the cold-start set — no scroll prediction can help
+  // them, so they are excluded from the metric.
+  FeedSessionResult result;
+  result.clips_total = feed.clip_count();
+  result.full_corpus_bytes = feed.total_full_bytes();
+  result.bytes_downloaded = client_link.bytes_delivered_total();
+
+  for (std::size_t i = 0; i < feed.media.size(); ++i) {
+    const MediaObject& media = feed.media[i];
+    bool is_clip = media.versions.size() > 1;
+    if (!is_clip) continue;
+    if (settles.front().viewport.overlaps(media.rect)) continue;  // cold start
+    std::optional<TimeMs> settle_time;
+    for (std::size_t k = 1; k < settles.size(); ++k) {
+      if (settles[k].viewport.overlaps(media.rect)) {
+        settle_time = settles[k].time_ms;
+        break;
+      }
+    }
+    if (!settle_time) continue;
+    ++result.clips_settled;
+    const MediaLoadState& st = states[i];
+    bool full_arrived = st.complete_ms >= 0 && st.complete_ms <= *settle_time &&
+                        st.delivered >= media.top_version().size;
+    if (full_arrived) ++result.clips_instant;
+  }
+  result.instant_play_rate =
+      result.clips_settled > 0
+          ? static_cast<double>(result.clips_instant) / result.clips_settled
+          : 0.0;
+
+  std::size_t transferred = 0;
+  for (const MediaLoadState& st : states)
+    if (st.complete_ms >= 0) ++transferred;
+  result.media_avoided = feed.media.size() - transferred;
+  if (controller) result.thumbs_substituted = controller->stats().thumb_releases;
+  return result;
+}
+
+}  // namespace mfhttp

@@ -1,0 +1,50 @@
+// End-to-end feed-scrolling session: a user flings down the timeline several
+// times; the metric that matters is *instant playback* — when the feed
+// settles, is the clip in front of the user already fully downloaded?
+#pragma once
+
+#include <cstdint>
+
+#include "core/flow_controller.h"
+#include "feed/feed.h"
+#include "net/bandwidth_trace.h"
+
+namespace mfhttp {
+
+struct FeedSessionConfig {
+  DeviceProfile device = DeviceProfile::nexus6();
+  bool enable_mfhttp = true;
+
+  BytesPerSec client_bandwidth = 2.5e6;
+  TimeMs client_latency_ms = 8;
+  BytesPerSec server_bandwidth = 12.5e6;
+  TimeMs server_latency_ms = 4;
+
+  int fling_count = 4;
+  TimeMs first_fling_ms = 1000;
+  TimeMs fling_interval_ms = 4000;
+  double fling_speed_px_s = 9000;
+
+  // Cost pressure: with q > 0 the optimizer hands glimpsed clips their
+  // thumbnails instead of megabyte clips.
+  FlowWeights weights{1.0, 0.3};
+
+  TimeMs session_ms = 30'000;
+  std::uint64_t seed = 1;
+};
+
+struct FeedSessionResult {
+  std::size_t clips_total = 0;
+  std::size_t clips_settled = 0;   // clips that ever rested in the viewport
+  std::size_t clips_instant = 0;   // of those, fully loaded when they settled
+  double instant_play_rate = 0;    // clips_instant / clips_settled
+
+  Bytes bytes_downloaded = 0;      // over the client link
+  Bytes full_corpus_bytes = 0;     // what download-everything would move
+  std::size_t thumbs_substituted = 0;  // clips served as posters
+  std::size_t media_avoided = 0;   // media never transferred at all
+};
+
+FeedSessionResult run_feed_session(const Feed& feed, const FeedSessionConfig& config);
+
+}  // namespace mfhttp

@@ -1,0 +1,94 @@
+#include "geom/swept_region.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace mfhttp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Open interval of sweep fractions t at which `object` overlaps the viewport
+// on one axis. The viewport edge at fraction t is p + t*d .. p + t*d + extent;
+// overlap on the axis requires o < p + t*d + extent and p + t*d < o + o_extent,
+// i.e. a < t*d < b with a = o - p - extent, b = o + o_extent - p.
+struct OpenInterval {
+  double lo = -kInf;
+  double hi = kInf;
+  bool empty = false;
+};
+
+OpenInterval axis_interval(double p, double extent, double o, double o_extent,
+                           double d) {
+  double a = o - p - extent;
+  double b = o + o_extent - p;
+  OpenInterval iv;
+  if (d == 0) {
+    iv.empty = !(a < 0 && 0 < b);
+    return iv;
+  }
+  double t0 = a / d;
+  double t1 = b / d;
+  iv.lo = std::min(t0, t1);
+  iv.hi = std::max(t0, t1);
+  return iv;
+}
+
+OpenInterval overlap_interval(const SweptRegion& sweep, const Rect& object) {
+  const Rect& vp = sweep.viewport;
+  OpenInterval ix =
+      axis_interval(vp.x, vp.w, object.x, object.w, sweep.displacement.x);
+  OpenInterval iy =
+      axis_interval(vp.y, vp.h, object.y, object.h, sweep.displacement.y);
+  OpenInterval iv;
+  iv.empty = ix.empty || iy.empty;
+  iv.lo = std::max(ix.lo, iy.lo);
+  iv.hi = std::min(ix.hi, iy.hi);
+  if (iv.lo >= iv.hi) iv.empty = true;
+  return iv;
+}
+
+}  // namespace
+
+double SweptRegion::area() const {
+  return viewport.w * viewport.h + viewport.w * std::abs(displacement.y) +
+         viewport.h * std::abs(displacement.x);
+}
+
+bool intersects_swept_region(const SweptRegion& sweep, const Rect& object) {
+  if (object.empty() || sweep.viewport.empty()) return false;
+  OpenInterval iv = overlap_interval(sweep, object);
+  // Need the open (lo, hi) interval to meet the closed sweep range [0, 1].
+  return !iv.empty && iv.lo < 1.0 && iv.hi > 0.0;
+}
+
+double first_overlap_fraction(const SweptRegion& sweep, const Rect& object) {
+  if (object.empty() || sweep.viewport.empty()) return -1.0;
+  OpenInterval iv = overlap_interval(sweep, object);
+  if (iv.empty || iv.lo >= 1.0 || iv.hi <= 0.0) return -1.0;
+  return std::clamp(iv.lo, 0.0, 1.0);
+}
+
+bool paper_conditions_q1(const SweptRegion& sweep, const Rect& object) {
+  const double dx = sweep.displacement.x;
+  const double dy = sweep.displacement.y;
+  MFHTTP_CHECK_MSG(dx > 0 && dy > 0,
+                   "paper_conditions_q1 is only defined for the D_x>0, D_y>0 quadrant");
+  const Rect& vp = sweep.viewport;
+  const double xi = object.x, yi = object.y, wi = object.w, hi = object.h;
+  // Condition (1): x_p - w_i < x_i < x_p + w_p + D_x.
+  if (!(vp.x - wi < xi && xi < vp.x + vp.w + dx)) return false;
+  // Condition (2): y_p - h_i < y_i < y_p + h_p + D_y.
+  if (!(vp.y - hi < yi && yi < vp.y + vp.h + dy)) return false;
+  // Condition (3): between the two diagonal boundary lines.
+  const double slope = dy / dx;
+  const double lower = slope * (xi - vp.x - vp.w) + vp.y - hi;
+  const double upper = slope * (xi + wi - vp.x) + vp.y + vp.h;
+  return lower < yi && yi < upper;
+}
+
+}  // namespace mfhttp

@@ -1,0 +1,45 @@
+// 2-D vector over doubles (screen coordinates: x grows right, y grows down,
+// matching Android's view coordinate system).
+#pragma once
+
+#include <cmath>
+
+namespace mfhttp {
+
+struct Vec2 {
+  double x = 0;
+  double y = 0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(Vec2 o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  double norm() const { return std::hypot(x, y); }
+  constexpr double norm_sq() const { return x * x + y * y; }
+  constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+
+  // Unit vector; (0,0) maps to (0,0).
+  Vec2 normalized() const {
+    double n = norm();
+    return n > 0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+}  // namespace mfhttp

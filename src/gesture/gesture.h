@@ -1,0 +1,41 @@
+// Recognized input gestures. The paper distinguishes click, drag, and fling
+// (§3.2); only the latter two trigger scrolling animation.
+#pragma once
+
+#include "geom/vec2.h"
+#include "gesture/touch_event.h"
+#include "util/types.h"
+
+namespace mfhttp {
+
+enum class GestureKind { kClick, kDrag, kFling };
+
+struct Gesture {
+  GestureKind kind = GestureKind::kClick;
+  TimeMs down_time_ms = 0;      // finger contact
+  TimeMs up_time_ms = 0;        // finger release; scrolling animation starts here
+  Vec2 down_pos;
+  Vec2 up_pos;
+  Vec2 release_velocity;        // px/s per axis at release (zero for clicks)
+
+  // Finger travel while in contact. During contact the content tracks the
+  // finger 1:1, so the viewport has already moved by -finger_displacement()
+  // (content follows finger; viewport moves opposite) when the animation
+  // begins.
+  Vec2 finger_displacement() const { return up_pos - down_pos; }
+
+  TimeMs contact_duration_ms() const { return up_time_ms - down_time_ms; }
+
+  bool scrolls() const { return kind != GestureKind::kClick; }
+};
+
+inline const char* to_string(GestureKind k) {
+  switch (k) {
+    case GestureKind::kClick: return "click";
+    case GestureKind::kDrag: return "drag";
+    case GestureKind::kFling: return "fling";
+  }
+  return "?";
+}
+
+}  // namespace mfhttp

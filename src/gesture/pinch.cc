@@ -1,0 +1,49 @@
+#include "gesture/pinch.h"
+
+#include <cmath>
+
+namespace mfhttp {
+
+std::optional<PinchGesture> PinchRecognizer::on_touch_event(const TouchEvent& ev) {
+  if (ev.pointer < 0 || ev.pointer > 1) return std::nullopt;  // 3+ fingers: ignore
+  const int p = ev.pointer;
+
+  switch (ev.action) {
+    case TouchAction::kDown:
+      down_[p] = true;
+      pos_[p] = ev.pos;
+      if (is_pinch_active()) {
+        pinch_start_ms_ = ev.time_ms;
+        start_span_ = span();
+        spans_moved_ = false;
+      }
+      return std::nullopt;
+
+    case TouchAction::kMove:
+      if (!down_[p]) return std::nullopt;
+      pos_[p] = ev.pos;
+      if (is_pinch_active() && std::abs(span() - start_span_) > span_slop_px_)
+        spans_moved_ = true;
+      return std::nullopt;
+
+    case TouchAction::kUp: {
+      if (!down_[p]) return std::nullopt;
+      bool was_pinch = is_pinch_active();
+      pos_[p] = ev.pos;
+      double final_span = span();
+      down_[p] = false;
+      if (!was_pinch || !spans_moved_ || start_span_ <= 0) return std::nullopt;
+      PinchGesture out;
+      out.start_time_ms = pinch_start_ms_;
+      out.end_time_ms = ev.time_ms;
+      out.focus = (pos_[0] + pos_[1]) / 2.0;
+      out.start_span_px = start_span_;
+      out.end_span_px = final_span;
+      spans_moved_ = false;
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace mfhttp

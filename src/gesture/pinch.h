@@ -1,0 +1,54 @@
+// Two-finger pinch recognition — the gesture behind the "viewport scale"
+// device configuration of §3.2. Feed it the same DOWN/MOVE/UP stream the
+// scroll recognizer sees (with pointer ids); while two pointers are in
+// contact it tracks their span and emits a PinchGesture when either lifts.
+//
+// Single-pointer sequences pass through untouched: is_pinch_active() tells
+// the caller whether to suppress the scroll recognizer for the contact.
+#pragma once
+
+#include <optional>
+
+#include "geom/vec2.h"
+#include "gesture/touch_event.h"
+
+namespace mfhttp {
+
+struct PinchGesture {
+  TimeMs start_time_ms = 0;
+  TimeMs end_time_ms = 0;
+  Vec2 focus;               // midpoint of the two fingers at release
+  double start_span_px = 0; // finger distance when the second finger landed
+  double end_span_px = 0;   // finger distance at release
+
+  // > 1 zooms in (fingers spread), < 1 zooms out.
+  double scale_factor() const {
+    return start_span_px > 0 ? end_span_px / start_span_px : 1.0;
+  }
+};
+
+class PinchRecognizer {
+ public:
+  // Minimum span change before a two-finger contact counts as a pinch
+  // rather than a two-finger tap (px).
+  explicit PinchRecognizer(double span_slop_px = 24.0)
+      : span_slop_px_(span_slop_px) {}
+
+  // Returns a completed pinch when one of the two fingers lifts.
+  std::optional<PinchGesture> on_touch_event(const TouchEvent& ev);
+
+  // True while two pointers are down (scroll recognition should pause).
+  bool is_pinch_active() const { return down_[0] && down_[1]; }
+
+ private:
+  double span() const { return (pos_[0] - pos_[1]).norm(); }
+
+  double span_slop_px_;
+  bool down_[2] = {false, false};
+  Vec2 pos_[2];
+  TimeMs pinch_start_ms_ = 0;
+  double start_span_ = 0;
+  bool spans_moved_ = false;
+};
+
+}  // namespace mfhttp

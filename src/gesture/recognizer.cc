@@ -1,0 +1,53 @@
+#include "gesture/recognizer.h"
+
+#include "util/logging.h"
+
+namespace mfhttp {
+
+std::optional<Gesture> GestureRecognizer::on_touch_event(const TouchEvent& ev) {
+  tracker_.add(ev);
+  switch (ev.action) {
+    case TouchAction::kDown:
+      in_contact_ = true;
+      moved_beyond_slop_ = false;
+      down_event_ = ev;
+      last_pos_ = ev.pos;
+      last_delta_ = {};
+      return std::nullopt;
+
+    case TouchAction::kMove: {
+      if (!in_contact_) return std::nullopt;  // stray MOVE; ignore
+      last_delta_ = ev.pos - last_pos_;
+      last_pos_ = ev.pos;
+      if ((ev.pos - down_event_.pos).norm() > device_.touch_slop_px())
+        moved_beyond_slop_ = true;
+      return std::nullopt;
+    }
+
+    case TouchAction::kUp: {
+      if (!in_contact_) return std::nullopt;
+      in_contact_ = false;
+      Gesture g;
+      g.down_time_ms = down_event_.time_ms;
+      g.up_time_ms = ev.time_ms;
+      g.down_pos = down_event_.pos;
+      g.up_pos = ev.pos;
+      if (!moved_beyond_slop_ &&
+          (ev.pos - down_event_.pos).norm() <= device_.touch_slop_px()) {
+        g.kind = GestureKind::kClick;
+        g.release_velocity = {};
+      } else {
+        g.release_velocity = tracker_.velocity();
+        double speed = g.release_velocity.norm();
+        g.kind = speed >= device_.min_fling_velocity_px_s() ? GestureKind::kFling
+                                                            : GestureKind::kDrag;
+      }
+      MFHTTP_TRACE << "gesture " << to_string(g.kind) << " v=("
+                   << g.release_velocity.x << "," << g.release_velocity.y << ") px/s";
+      return g;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace mfhttp

@@ -1,0 +1,44 @@
+// Streaming gesture recognition — the classification half of the touch event
+// monitor (§3.2, §4.1).
+//
+// Feed DOWN/MOVE/UP events in time order; on UP the recognizer classifies the
+// whole contact as click (finger never left the touch-slop radius), fling
+// (release speed >= the density-scaled minimum fling velocity) or drag, and
+// returns the completed Gesture.
+#pragma once
+
+#include <optional>
+
+#include "gesture/gesture.h"
+#include "gesture/velocity_tracker.h"
+#include "scroll/device_profile.h"
+
+namespace mfhttp {
+
+class GestureRecognizer {
+ public:
+  explicit GestureRecognizer(const DeviceProfile& device,
+                             VelocityStrategy strategy = VelocityStrategy::kLsq2)
+      : device_(device), tracker_(strategy) {}
+
+  // Returns the completed gesture on UP events; std::nullopt otherwise.
+  std::optional<Gesture> on_touch_event(const TouchEvent& ev);
+
+  // True while a finger is down.
+  bool in_contact() const { return in_contact_; }
+
+  // Incremental finger movement since the previous event of this contact
+  // (valid during MOVE processing; used to scroll content live).
+  Vec2 last_move_delta() const { return last_delta_; }
+
+ private:
+  DeviceProfile device_;
+  VelocityTracker tracker_;
+  bool in_contact_ = false;
+  bool moved_beyond_slop_ = false;
+  TouchEvent down_event_{};
+  Vec2 last_pos_;
+  Vec2 last_delta_;
+};
+
+}  // namespace mfhttp

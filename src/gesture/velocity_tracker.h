@@ -1,0 +1,56 @@
+// Release-velocity estimation from recent touch samples.
+//
+// Android's VelocityTracker fits a low-degree polynomial by least squares to
+// the pointer positions observed within a ~100 ms horizon and reports the
+// derivative at the latest sample. We implement the same strategy (degree 2
+// by default, matching Android's LSQ2), with a degree-1 fallback when there
+// are too few samples. The paper's simpler description — "displacement
+// divided by the touch time" (§3.2) — is available as kEndpoints for
+// ablation.
+#pragma once
+
+#include <deque>
+
+#include "gesture/touch_event.h"
+#include "geom/vec2.h"
+
+namespace mfhttp {
+
+enum class VelocityStrategy {
+  kLsq2,       // degree-2 least squares (Android default)
+  kLsq1,       // degree-1 least squares
+  kEndpoints,  // (last - first) / dt over the horizon — the paper's Eq. in §3.2
+};
+
+class VelocityTracker {
+ public:
+  explicit VelocityTracker(VelocityStrategy strategy = VelocityStrategy::kLsq2,
+                           TimeMs horizon_ms = 100)
+      : strategy_(strategy), horizon_ms_(horizon_ms) {}
+
+  // Feed every DOWN/MOVE/UP event of the active pointer in time order.
+  // DOWN clears history (a new gesture begins).
+  void add(const TouchEvent& ev);
+
+  void clear() { samples_.clear(); }
+
+  // Velocity estimate (px/s per axis) at the most recent sample.
+  // Zero when fewer than 2 samples are available.
+  Vec2 velocity() const;
+
+  std::size_t sample_count() const { return samples_.size(); }
+
+ private:
+  struct Sample {
+    TimeMs time_ms;
+    Vec2 pos;
+  };
+
+  void drop_stale(TimeMs now_ms);
+
+  VelocityStrategy strategy_;
+  TimeMs horizon_ms_;
+  std::deque<Sample> samples_;
+};
+
+}  // namespace mfhttp

@@ -1,0 +1,58 @@
+#include "http/cache.h"
+
+#include "util/check.h"
+
+namespace mfhttp {
+
+LruCache::LruCache(Bytes capacity_bytes) : capacity_(capacity_bytes) {
+  MFHTTP_CHECK(capacity_ >= 0);
+}
+
+std::optional<CachedObject> LruCache::get(const std::string& url) {
+  auto it = index_.find(url);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->object;
+}
+
+bool LruCache::put(const std::string& url, CachedObject object) {
+  MFHTTP_CHECK(object.size >= 0);
+  if (object.size > capacity_) return false;
+  erase(url);
+  while (used_ + object.size > capacity_) evict_one();
+  used_ += object.size;
+  lru_.push_front(Entry{url, std::move(object)});
+  index_[url] = lru_.begin();
+  ++stats_.insertions;
+  return true;
+}
+
+bool LruCache::erase(const std::string& url) {
+  auto it = index_.find(url);
+  if (it == index_.end()) return false;
+  used_ -= it->second->object.size;
+  lru_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+void LruCache::evict_one() {
+  MFHTTP_CHECK(!lru_.empty());
+  const Entry& victim = lru_.back();
+  used_ -= victim.object.size;
+  index_.erase(victim.url);
+  lru_.pop_back();
+  ++stats_.evictions;
+}
+
+void LruCache::clear() {
+  lru_.clear();
+  index_.clear();
+  used_ = 0;
+}
+
+}  // namespace mfhttp

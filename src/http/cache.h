@@ -1,0 +1,71 @@
+// LRU object cache for the middleware server (§4.2: the screen scrolling
+// tracker/flow controller "can access the related data on the cache of the
+// middleware server or directly from the multimedia service server").
+//
+// Keyed by absolute URL; stores response metadata and size (the event-level
+// stack transfers sizes). Eviction is strict LRU by byte capacity. An object
+// larger than the whole capacity is never admitted.
+#pragma once
+
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "util/types.h"
+
+namespace mfhttp {
+
+struct CachedObject {
+  Bytes size = 0;
+  int status = 200;
+  std::string content_type;
+};
+
+class LruCache {
+ public:
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t insertions = 0;
+    std::size_t evictions = 0;
+  };
+
+  explicit LruCache(Bytes capacity_bytes);
+
+  // Lookup; a hit refreshes recency and counts in stats.
+  std::optional<CachedObject> get(const std::string& url);
+
+  // Peek without touching recency or stats (for tests/inspection).
+  bool contains(const std::string& url) const { return index_.contains(url); }
+
+  // Insert/overwrite; evicts LRU entries until the object fits. Objects
+  // larger than the capacity are rejected (returns false).
+  bool put(const std::string& url, CachedObject object);
+
+  // Remove one entry; returns true if present.
+  bool erase(const std::string& url);
+
+  void clear();
+
+  Bytes capacity() const { return capacity_; }
+  Bytes bytes_used() const { return used_; }
+  std::size_t entry_count() const { return index_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::string url;
+    CachedObject object;
+  };
+
+  void evict_one();
+
+  Bytes capacity_;
+  Bytes used_ = 0;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace mfhttp

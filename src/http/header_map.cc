@@ -1,0 +1,54 @@
+#include "http/header_map.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace mfhttp {
+
+void HeaderMap::add(std::string_view name, std::string_view value) {
+  entries_.push_back({std::string(name), std::string(value)});
+}
+
+void HeaderMap::set(std::string_view name, std::string_view value) {
+  remove(name);
+  add(name, value);
+}
+
+std::optional<std::string> HeaderMap::get(std::string_view name) const {
+  for (const Entry& e : entries_)
+    if (iequals(e.name, name)) return e.value;
+  return std::nullopt;
+}
+
+std::vector<std::string> HeaderMap::get_all(std::string_view name) const {
+  std::vector<std::string> out;
+  for (const Entry& e : entries_)
+    if (iequals(e.name, name)) out.push_back(e.value);
+  return out;
+}
+
+std::size_t HeaderMap::remove(std::string_view name) {
+  std::size_t before = entries_.size();
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const Entry& e) { return iequals(e.name, name); }),
+                 entries_.end());
+  return before - entries_.size();
+}
+
+std::optional<long long> HeaderMap::content_length() const {
+  auto v = get("Content-Length");
+  if (!v) return std::nullopt;
+  std::string_view s = trim(*v);
+  if (s.empty()) return std::nullopt;
+  long long out = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    if (out > (1LL << 56)) return std::nullopt;  // absurd length
+    out = out * 10 + (c - '0');
+  }
+  return out;
+}
+
+}  // namespace mfhttp

@@ -1,0 +1,48 @@
+// Case-insensitive HTTP header collection preserving insertion order.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mfhttp {
+
+class HeaderMap {
+ public:
+  struct Entry {
+    std::string name;
+    std::string value;
+  };
+
+  // Append a header (duplicates allowed, as in HTTP).
+  void add(std::string_view name, std::string_view value);
+
+  // Replace all occurrences of `name` with a single entry.
+  void set(std::string_view name, std::string_view value);
+
+  // First value for `name` (case-insensitive), if any.
+  std::optional<std::string> get(std::string_view name) const;
+
+  // All values for `name`.
+  std::vector<std::string> get_all(std::string_view name) const;
+
+  bool contains(std::string_view name) const { return get(name).has_value(); }
+
+  // Remove all occurrences; returns number removed.
+  std::size_t remove(std::string_view name);
+
+  // Parsed Content-Length, if present and a valid non-negative integer.
+  std::optional<long long> content_length() const;
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  bool operator==(const HeaderMap&) const = default;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace mfhttp

@@ -1,0 +1,91 @@
+#include "http/message.h"
+
+#include "util/strings.h"
+
+namespace mfhttp {
+
+std::optional<Url> HttpRequest::url() const {
+  if (starts_with(target, "http://") || starts_with(target, "https://"))
+    return parse_url(target);
+  auto host = headers.get("Host");
+  if (!host) return std::nullopt;
+  return parse_url("http://" + *host + target);
+}
+
+namespace {
+std::string serialize_common(std::string start_line, const HeaderMap& headers,
+                             const std::string& body) {
+  std::string out = std::move(start_line);
+  bool has_length = headers.contains("Content-Length") ||
+                    headers.contains("Transfer-Encoding");
+  for (const auto& e : headers.entries()) out += e.name + ": " + e.value + "\r\n";
+  if (!has_length && !body.empty())
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "\r\n";
+  out += body;
+  return out;
+}
+}  // namespace
+
+std::string HttpRequest::serialize() const {
+  return serialize_common(method + " " + target + " " + version + "\r\n", headers,
+                          body);
+}
+
+HttpRequest HttpRequest::get(const Url& url) {
+  HttpRequest req;
+  req.method = "GET";
+  req.target = url.path_and_query();
+  req.headers.set("Host", url.port == 80 ? url.host
+                                         : url.host + ":" + std::to_string(url.port));
+  return req;
+}
+
+HttpRequest HttpRequest::get(std::string_view absolute_url) {
+  auto url = parse_url(absolute_url);
+  if (!url) {
+    HttpRequest req;
+    req.target = std::string(absolute_url);
+    return req;
+  }
+  return get(*url);
+}
+
+std::string HttpResponse::serialize() const {
+  return serialize_common(
+      version + " " + std::to_string(status) + " " + reason + "\r\n", headers, body);
+}
+
+HttpResponse HttpResponse::make(int status, std::string_view reason, std::string body,
+                                std::string_view content_type) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.reason = reason.empty() ? std::string(default_reason(status))
+                               : std::string(reason);
+  resp.body = std::move(body);
+  resp.headers.set("Content-Type", content_type);
+  resp.headers.set("Content-Length", std::to_string(resp.body.size()));
+  return resp;
+}
+
+std::string_view default_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 206: return "Partial Content";
+    case 301: return "Moved Permanently";
+    case 302: return "Found";
+    case 304: return "Not Modified";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 408: return "Request Timeout";
+    case 500: return "Internal Server Error";
+    case 502: return "Bad Gateway";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+}  // namespace mfhttp

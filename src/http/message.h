@@ -1,0 +1,48 @@
+// HTTP/1.1 request and response models with wire serialization.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "http/header_map.h"
+#include "http/url.h"
+
+namespace mfhttp {
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string target = "/";  // origin-form or absolute-form (proxy requests)
+  std::string version = "HTTP/1.1";
+  HeaderMap headers;
+  std::string body;
+
+  // Absolute URL of the request: absolute-form target if present, otherwise
+  // reconstructed from the Host header (http scheme assumed).
+  std::optional<Url> url() const;
+
+  // Serialize to wire format (adds Content-Length for non-empty bodies if
+  // absent).
+  std::string serialize() const;
+
+  static HttpRequest get(const Url& url);
+  static HttpRequest get(std::string_view absolute_url);
+};
+
+struct HttpResponse {
+  std::string version = "HTTP/1.1";
+  int status = 200;
+  std::string reason = "OK";
+  HeaderMap headers;
+  std::string body;
+
+  std::string serialize() const;
+
+  static HttpResponse make(int status, std::string_view reason,
+                           std::string body = {},
+                           std::string_view content_type = "text/plain");
+};
+
+// Default reason phrase for a status code ("OK", "Not Found", ...).
+std::string_view default_reason(int status);
+
+}  // namespace mfhttp

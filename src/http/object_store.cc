@@ -1,0 +1,32 @@
+#include "http/object_store.h"
+
+#include "util/check.h"
+
+namespace mfhttp {
+
+void ObjectStore::put(std::string path, Bytes size, std::string content_type) {
+  MFHTTP_CHECK(size >= 0);
+  MFHTTP_CHECK(!path.empty() && path[0] == '/');
+  objects_[std::move(path)] = StoredObject{size, std::move(content_type), std::nullopt};
+}
+
+void ObjectStore::put_body(std::string path, std::string body,
+                           std::string content_type) {
+  MFHTTP_CHECK(!path.empty() && path[0] == '/');
+  auto size = static_cast<Bytes>(body.size());
+  objects_[std::move(path)] =
+      StoredObject{size, std::move(content_type), std::move(body)};
+}
+
+const StoredObject* ObjectStore::find(std::string_view path) const {
+  auto it = objects_.find(std::string(path));
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+Bytes ObjectStore::total_bytes() const {
+  Bytes total = 0;
+  for (const auto& [path, obj] : objects_) total += obj.wire_size();
+  return total;
+}
+
+}  // namespace mfhttp

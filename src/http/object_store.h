@@ -1,0 +1,44 @@
+// Content repository backing a simulated HTTP origin server.
+//
+// Experiments care about object *sizes* (what the link transfers and the
+// knapsack weighs), so bodies are stored as sizes; codec-level demos and
+// tests may attach real payload bytes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "util/types.h"
+
+namespace mfhttp {
+
+struct StoredObject {
+  Bytes size = 0;                 // response body size on the wire
+  std::string content_type = "application/octet-stream";
+  std::optional<std::string> body;  // real payload (optional; size wins if both)
+
+  Bytes wire_size() const { return body ? static_cast<Bytes>(body->size()) : size; }
+};
+
+class ObjectStore {
+ public:
+  // Register an object by path ("/img/3.jpg"). Replaces existing.
+  void put(std::string path, Bytes size,
+           std::string content_type = "application/octet-stream");
+
+  // Register an object with a real payload.
+  void put_body(std::string path, std::string body,
+                std::string content_type = "text/plain");
+
+  const StoredObject* find(std::string_view path) const;
+  bool contains(std::string_view path) const { return find(path) != nullptr; }
+  std::size_t size() const { return objects_.size(); }
+  Bytes total_bytes() const;
+
+ private:
+  std::unordered_map<std::string, StoredObject> objects_;
+};
+
+}  // namespace mfhttp

@@ -1,0 +1,73 @@
+// Incremental HTTP/1.1 parser for requests and responses.
+//
+// Feed arbitrary byte slices as they arrive from the transport; completed
+// messages queue up and are taken in order. Supports Content-Length bodies,
+// chunked transfer coding (with trailers), bodiless statuses (1xx/204/304),
+// and read-until-close response bodies (via finish()).
+#pragma once
+
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include "http/message.h"
+
+namespace mfhttp {
+
+class HttpParser {
+ public:
+  enum class Mode { kRequest, kResponse };
+
+  explicit HttpParser(Mode mode) : mode_(mode) {}
+
+  // Consume bytes. Returns false once the stream is in an error state
+  // (further input is ignored).
+  bool feed(std::string_view data);
+
+  // Signal end-of-stream. Completes a read-until-close response body;
+  // truncated messages in any other state become errors.
+  void finish();
+
+  // The next response should be treated as bodiless (reply to a HEAD).
+  void expect_head_response() { head_response_ = true; }
+
+  bool has_error() const { return state_ == State::kError; }
+  const std::string& error() const { return error_; }
+
+  std::size_t message_count() const {
+    return mode_ == Mode::kRequest ? requests_.size() : responses_.size();
+  }
+  bool has_message() const { return message_count() > 0; }
+
+  // Precondition: has_message() and the matching mode.
+  HttpRequest take_request();
+  HttpResponse take_response();
+
+ private:
+  enum class State { kStartLine, kHeaders, kBody, kChunkSize, kChunkData,
+                     kChunkDataEnd, kTrailers, kError };
+
+  void fail(std::string msg);
+  bool parse_start_line(std::string_view line);
+  bool parse_header_line(std::string_view line);
+  void on_headers_complete();
+  void complete_message();
+  HeaderMap& current_headers();
+  std::string& current_body();
+
+  Mode mode_;
+  State state_ = State::kStartLine;
+  std::string buffer_;           // unconsumed input
+  std::string error_;
+  bool head_response_ = false;
+
+  HttpRequest req_;              // message under construction
+  HttpResponse resp_;
+  long long body_remaining_ = 0; // for kBody / kChunkData
+  bool read_until_close_ = false;
+
+  std::deque<HttpRequest> requests_;
+  std::deque<HttpResponse> responses_;
+};
+
+}  // namespace mfhttp

@@ -1,0 +1,230 @@
+#include "http/proxy.h"
+
+#include <memory>
+#include <utility>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace mfhttp {
+
+MitmProxy::MitmProxy(Simulator& sim, HttpFetcher* upstream, Link* client_link,
+                     Params params)
+    : sim_(sim), upstream_(upstream), client_link_(client_link), params_(params) {
+  MFHTTP_CHECK(upstream_ != nullptr);
+  MFHTTP_CHECK(client_link_ != nullptr);
+}
+
+std::string MitmProxy::url_of(const HttpRequest& request) {
+  auto url = request.url();
+  return url ? url->to_string() : request.target;
+}
+
+HttpFetcher::FetchId MitmProxy::fetch(const HttpRequest& request,
+                                      FetchCallbacks callbacks) {
+  MFHTTP_CHECK(callbacks.on_complete != nullptr);
+  FetchId id = next_id_++;
+  Pending& p = pending_[id];
+  p.request = request;
+  p.callbacks = std::move(callbacks);
+  p.url = url_of(request);
+  p.request_ms = sim_.now();
+
+  InterceptDecision decision =
+      interceptor_ ? interceptor_->on_request(request) : InterceptDecision::allow();
+  p.priority = decision.priority;
+  switch (decision.action) {
+    case InterceptDecision::Action::kAllow:
+      ++stats_.allowed;
+      start_upstream(id);
+      break;
+    case InterceptDecision::Action::kRewrite: {
+      ++stats_.rewritten;
+      auto url = parse_url(decision.rewrite_url);
+      MFHTTP_CHECK_MSG(url.has_value(), "rewrite target must be an absolute URL");
+      p.request = HttpRequest::get(*url);
+      start_upstream(id);
+      break;
+    }
+    case InterceptDecision::Action::kBlock:
+      ++stats_.blocked;
+      p.reject_event = sim_.schedule_after(params_.reject_delay_ms,
+                                           [this, id] { finish_blocked(id, 403); });
+      break;
+    case InterceptDecision::Action::kDefer:
+      ++stats_.deferred;
+      p.deferred = true;
+      MFHTTP_TRACE << "proxy defer " << p.url;
+      break;
+  }
+  return id;
+}
+
+void MitmProxy::start_upstream(FetchId id) {
+  auto it = pending_.find(id);
+  MFHTTP_CHECK(it != pending_.end());
+  Pending& p = it->second;
+  p.deferred = false;
+
+  // Middleware-server cache: a hit skips the upstream hop entirely. Keyed by
+  // the URL actually fetched upstream (which differs from p.url after a
+  // rewrite), so substituted responses never poison the original's entry.
+  const std::string fetch_url = url_of(p.request);
+  if (cache_ != nullptr) {
+    if (auto hit = cache_->get(fetch_url)) {
+      serve_from_cache(id, *hit);
+      return;
+    }
+  }
+
+  FetchCallbacks up;
+  up.on_headers = [this, id, fetch_url](const SimResponseMeta& meta) {
+    auto pit = pending_.find(id);
+    if (pit == pending_.end()) return;
+    Pending& pd = pit->second;
+    if (pd.callbacks.on_headers) pd.callbacks.on_headers(meta);
+    if (!pending_.contains(id)) return;  // callback may cancel
+
+    // Begin streaming to the client as soon as upstream headers arrive
+    // (cut-through forwarding; the client hop is the bottleneck).
+    start_client_transfer(id, meta, fetch_url);
+  };
+  up.on_complete = [this, id](const FetchResult&) {
+    // Proxy-side copy finished; the client-side transfer finishes the fetch.
+    auto pit = pending_.find(id);
+    if (pit != pending_.end()) pit->second.upstream_id = HttpFetcher::kInvalidFetch;
+  };
+  p.upstream_id = upstream_->fetch(p.request, std::move(up));
+}
+
+void MitmProxy::serve_from_cache(FetchId id, const CachedObject& object) {
+  auto it = pending_.find(id);
+  MFHTTP_CHECK(it != pending_.end());
+  ++stats_.cache_hits;
+  stats_.bytes_from_upstream_saved += object.size;
+  SimResponseMeta meta;
+  meta.status = object.status;
+  meta.body_size = object.size;
+  meta.content_type = object.content_type;
+  if (it->second.callbacks.on_headers) it->second.callbacks.on_headers(meta);
+  if (!pending_.contains(id)) return;  // callback may cancel
+  start_client_transfer(id, meta, /*cache_key=*/{});
+}
+
+void MitmProxy::start_client_transfer(FetchId id, const SimResponseMeta& meta,
+                                      std::string cache_key) {
+  auto it = pending_.find(id);
+  MFHTTP_CHECK(it != pending_.end());
+  auto received = std::make_shared<Bytes>(0);
+  const Bytes total = meta.body_size;
+  const int status = meta.status;
+  const std::string content_type = meta.content_type;
+  it->second.client_transfer = client_link_->submit(
+      total,
+      [this, id, total, status, content_type, cache_key = std::move(cache_key),
+       received](Bytes chunk, bool complete) {
+        auto cit = pending_.find(id);
+        if (cit == pending_.end()) return;
+        *received += chunk;
+        stats_.bytes_to_client += chunk;
+        if (cit->second.callbacks.on_progress)
+          cit->second.callbacks.on_progress(chunk, *received, total);
+        if (complete) {
+          Pending done = std::move(cit->second);
+          pending_.erase(cit);
+          FetchResult result;
+          result.url = done.url;
+          result.status = status;
+          result.body_size = *received;
+          result.request_ms = done.request_ms;
+          result.complete_ms = sim_.now();
+          if (done.upstream_id != HttpFetcher::kInvalidFetch)
+            upstream_->cancel(done.upstream_id);  // upstream may lag the client
+          if (!cache_key.empty() && cache_ != nullptr && status == 200)
+            cache_->put(cache_key, CachedObject{total, status, content_type});
+          done.callbacks.on_complete(result);
+          if (interceptor_) interceptor_->on_fetch_complete(result);
+        }
+      },
+      it->second.priority);
+}
+
+void MitmProxy::finish_blocked(FetchId id, int status) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  Pending done = std::move(it->second);
+  pending_.erase(it);
+  FetchResult result;
+  result.url = done.url;
+  result.status = status;
+  result.body_size = 0;
+  result.request_ms = done.request_ms;
+  result.complete_ms = sim_.now();
+  result.blocked = true;
+  done.callbacks.on_complete(result);
+  if (interceptor_) interceptor_->on_fetch_complete(result);
+}
+
+bool MitmProxy::cancel(FetchId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return false;
+  Pending& p = it->second;
+  if (p.reject_event != Simulator::kInvalidEvent) sim_.cancel(p.reject_event);
+  if (p.upstream_id != HttpFetcher::kInvalidFetch) upstream_->cancel(p.upstream_id);
+  if (p.client_transfer != Link::kInvalidTransfer)
+    client_link_->cancel(p.client_transfer);
+  pending_.erase(it);
+  return true;
+}
+
+std::size_t MitmProxy::release(const std::string& url, int priority) {
+  std::vector<FetchId> ids;
+  for (auto& [id, p] : pending_)
+    if (p.deferred && p.url == url) ids.push_back(id);
+  for (FetchId id : ids) {
+    ++stats_.released;
+    MFHTTP_TRACE << "proxy release " << url;
+    pending_[id].priority = priority;
+    start_upstream(id);
+  }
+  return ids.size();
+}
+
+std::size_t MitmProxy::release_rewritten(const std::string& url,
+                                         const std::string& substitute_url,
+                                         int priority) {
+  auto substitute = parse_url(substitute_url);
+  MFHTTP_CHECK_MSG(substitute.has_value(), "substitute must be an absolute URL");
+  std::vector<FetchId> ids;
+  for (auto& [id, p] : pending_)
+    if (p.deferred && p.url == url) ids.push_back(id);
+  for (FetchId id : ids) {
+    ++stats_.released;
+    ++stats_.rewritten;
+    MFHTTP_TRACE << "proxy release " << url << " as " << substitute_url;
+    pending_[id].request = HttpRequest::get(*substitute);
+    pending_[id].priority = priority;
+    start_upstream(id);
+  }
+  return ids.size();
+}
+
+std::size_t MitmProxy::abort_deferred(const std::string& url) {
+  std::vector<FetchId> ids;
+  for (auto& [id, p] : pending_)
+    if (p.deferred && p.url == url) ids.push_back(id);
+  for (FetchId id : ids) {
+    ++stats_.aborted;
+    finish_blocked(id, 403);
+  }
+  return ids.size();
+}
+
+std::vector<std::string> MitmProxy::deferred_urls() const {
+  std::vector<std::string> out;
+  for (const auto& [id, p] : pending_)
+    if (p.deferred) out.push_back(p.url);
+  return out;
+}
+
+}  // namespace mfhttp

@@ -1,0 +1,144 @@
+// Man-in-the-middle HTTP proxy — the simulated counterpart of the paper's
+// mitmdump deployment (§4.3): every client request passes through an
+// interceptor that may allow, block, defer, or rewrite it, and allowed
+// responses stream back to the client over the (bottleneck) client link.
+//
+// Deferral is the mechanism behind the flow controller's block list: a
+// deferred request is parked until release(url) (object became relevant) or
+// abort_deferred(url) (object stays blocked). Rewriting maps a request to a
+// different representation (e.g. a lower-resolution tile in the 360° video
+// case study).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "http/cache.h"
+#include "http/sim_http.h"
+
+namespace mfhttp {
+
+struct InterceptDecision {
+  enum class Action { kAllow, kBlock, kDefer, kRewrite };
+  Action action = Action::kAllow;
+  std::string rewrite_url;  // used when action == kRewrite
+  // Transfer priority on the client link (kFifo links serve higher first;
+  // fair-share links ignore it). Only meaningful for kAllow/kRewrite.
+  int priority = 0;
+
+  static InterceptDecision allow(int priority = 0) {
+    return {Action::kAllow, {}, priority};
+  }
+  static InterceptDecision block() { return {Action::kBlock, {}, 0}; }
+  static InterceptDecision defer() { return {Action::kDefer, {}, 0}; }
+  static InterceptDecision rewrite(std::string url, int priority = 0) {
+    return {Action::kRewrite, std::move(url), priority};
+  }
+};
+
+// Policy hook. The flow controller implements this.
+class Interceptor {
+ public:
+  virtual ~Interceptor() = default;
+  virtual InterceptDecision on_request(const HttpRequest& request) = 0;
+  // Informational: a fetch this proxy served (or blocked) finished.
+  virtual void on_fetch_complete(const FetchResult& result) { (void)result; }
+};
+
+struct MitmProxyParams {
+  // Delay for the proxy to reject a blocked request back to the client.
+  TimeMs reject_delay_ms = 5;
+};
+
+class MitmProxy : public HttpFetcher {
+ public:
+  using Params = MitmProxyParams;
+
+  struct Stats {
+    std::size_t allowed = 0;
+    std::size_t blocked = 0;
+    std::size_t deferred = 0;
+    std::size_t released = 0;
+    std::size_t aborted = 0;
+    std::size_t rewritten = 0;
+    std::size_t cache_hits = 0;
+    Bytes bytes_to_client = 0;
+    Bytes bytes_from_upstream_saved = 0;  // upstream bytes avoided via cache
+  };
+
+  // upstream: where allowed requests are forwarded (usually a SimHttpOrigin
+  // whose link models the fast proxy-origin hop).
+  // client_link: the bottleneck hop to the device; response bodies stream
+  // over it.
+  MitmProxy(Simulator& sim, HttpFetcher* upstream, Link* client_link,
+            Params params = {});
+
+  // No interceptor (nullptr) means allow everything — the baseline path.
+  void set_interceptor(Interceptor* interceptor) { interceptor_ = interceptor; }
+
+  // Optional middleware-server cache (§4.2). Successful GET responses are
+  // admitted; later fetches of the same URL skip the upstream hop entirely
+  // and stream to the client straight from the proxy.
+  void set_cache(LruCache* cache) { cache_ = cache; }
+
+  FetchId fetch(const HttpRequest& request, FetchCallbacks callbacks) override;
+  bool cancel(FetchId id) override;
+
+  // Start all deferred requests whose URL matches. Returns count released.
+  // `priority` applies to the client-link transfer (see InterceptDecision).
+  std::size_t release(const std::string& url, int priority = 0);
+
+  // Release deferred requests for `url`, but fetch `substitute_url` instead
+  // (e.g. a thumbnail for a video clip the user will only glimpse). The
+  // client still sees its original request complete — with the substitute's
+  // bytes. Returns count released.
+  std::size_t release_rewritten(const std::string& url,
+                                const std::string& substitute_url,
+                                int priority = 0);
+
+  // Fail all deferred requests whose URL matches as blocked. Returns count.
+  std::size_t abort_deferred(const std::string& url);
+
+  // URLs currently parked in the deferred queue (in arrival order).
+  std::vector<std::string> deferred_urls() const;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    HttpRequest request;
+    FetchCallbacks callbacks;
+    std::string url;
+    TimeMs request_ms;
+    int priority = 0;
+    bool deferred = false;
+    Simulator::EventId reject_event = Simulator::kInvalidEvent;
+    HttpFetcher::FetchId upstream_id = HttpFetcher::kInvalidFetch;
+    Link::TransferId client_transfer = Link::kInvalidTransfer;
+  };
+
+  void start_upstream(FetchId id);
+  // Stream a cache hit to the client without touching the upstream.
+  void serve_from_cache(FetchId id, const CachedObject& object);
+  // cache_key: URL under which to admit the response on completion; empty
+  // disables admission (cache hits, rewritten-away originals).
+  void start_client_transfer(FetchId id, const SimResponseMeta& meta,
+                             std::string cache_key);
+  void finish_blocked(FetchId id, int status);
+  static std::string url_of(const HttpRequest& request);
+
+  Simulator& sim_;
+  HttpFetcher* upstream_;
+  Link* client_link_;
+  Params params_;
+  Interceptor* interceptor_ = nullptr;
+  LruCache* cache_ = nullptr;
+  FetchId next_id_ = 1;
+  std::map<FetchId, Pending> pending_;  // ordered: deferred_urls in arrival order
+  Stats stats_;
+};
+
+}  // namespace mfhttp

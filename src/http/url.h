@@ -1,0 +1,26 @@
+// Minimal URL parsing: scheme://host[:port]/path[?query].
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mfhttp {
+
+struct Url {
+  std::string scheme;  // "http"
+  std::string host;
+  int port = 80;
+  std::string path = "/";   // always starts with '/'
+  std::string query;        // without '?'
+
+  std::string path_and_query() const {
+    return query.empty() ? path : path + "?" + query;
+  }
+  std::string to_string() const;
+};
+
+// Parses an absolute URL; returns nullopt on malformed input.
+std::optional<Url> parse_url(std::string_view s);
+
+}  // namespace mfhttp

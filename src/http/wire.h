@@ -1,0 +1,136 @@
+// Wire-level HTTP/1.1 endpoints over BytePipe byte streams.
+//
+// The event-level stack (SimHttpOrigin / MitmProxy) moves *sizes* — ideal
+// for experiments. This layer moves *bytes*: real request/response messages
+// are serialized onto simulated TCP streams and re-parsed at the other end,
+// exactly what the paper's mitmdump deployment does. It exists to prove the
+// codec + policy path end to end (and powers the wire-level tests and the
+// mitm_proxy example).
+//
+// Connections are HTTP/1.1 keep-alive, handled strictly serially: one
+// request is answered completely before the next is read. A deferred
+// request therefore blocks its connection until released — the same
+// head-of-line behaviour a parked mitmproxy flow has.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "http/message.h"
+#include "http/object_store.h"
+#include "http/parser.h"
+#include "http/proxy.h"
+#include "net/byte_pipe.h"
+
+namespace mfhttp {
+
+// Deterministic filler payload for stored objects without real bodies.
+std::string synthesize_body(std::string_view path, Bytes size);
+
+// Entity tag the wire server hands out for an object (quoted, per RFC 9110).
+std::string object_etag(std::string_view path, Bytes size);
+
+// Parsed "Range: bytes=<first>-<last>" header (single range only; suffix
+// form "bytes=-N" and open form "bytes=N-" both supported). `last` is
+// inclusive, per RFC 9110. Returns nullopt for anything unparsable.
+struct ByteRange {
+  long long first = 0;
+  long long last = 0;  // inclusive
+};
+std::optional<ByteRange> parse_byte_range(std::string_view header_value,
+                                          long long body_size);
+
+// Serves an ObjectStore over a channel (reads requests from `rx`, writes
+// responses to `tx`).
+class WireHttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  WireHttpServer(const ObjectStore* store, BytePipe* rx, BytePipe* tx);
+
+  // Override request handling entirely (default: serve the store, 404
+  // otherwise).
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  std::size_t requests_served() const { return requests_served_; }
+
+ private:
+  void on_bytes(std::string_view data);
+  HttpResponse handle(const HttpRequest& request) const;
+
+  const ObjectStore* store_;
+  BytePipe* rx_;
+  BytePipe* tx_;
+  HttpParser parser_{HttpParser::Mode::kRequest};
+  Handler handler_;
+  std::size_t requests_served_ = 0;
+};
+
+// Issues requests over a channel and matches responses FIFO.
+class WireHttpClient {
+ public:
+  using ResponseFn = std::function<void(const HttpResponse&)>;
+
+  WireHttpClient(BytePipe* tx, BytePipe* rx);
+
+  // Serialize and send; `on_response` fires when the full response arrives.
+  void send(const HttpRequest& request, ResponseFn on_response);
+
+  std::size_t pending() const { return pending_.size(); }
+
+ private:
+  void on_bytes(std::string_view data);
+
+  BytePipe* tx_;
+  BytePipe* rx_;
+  HttpParser parser_{HttpParser::Mode::kResponse};
+  std::deque<ResponseFn> pending_;
+};
+
+// Byte-level man-in-the-middle proxy: client channel on one side, an
+// upstream WireHttpClient-style channel to the origin on the other, with the
+// same Interceptor policy hooks as the event-level MitmProxy.
+class WireMitmProxy {
+ public:
+  // client_rx/client_tx: the device-facing stream pair.
+  // upstream_tx/upstream_rx: the origin-facing stream pair.
+  WireMitmProxy(BytePipe* client_rx, BytePipe* client_tx, BytePipe* upstream_tx,
+                BytePipe* upstream_rx);
+
+  void set_interceptor(Interceptor* interceptor) { interceptor_ = interceptor; }
+
+  // Release a deferred request (by absolute URL). Returns true if one was
+  // parked. The connection resumes where it stalled.
+  bool release(const std::string& url);
+
+  std::size_t requests_proxied() const { return proxied_; }
+  std::size_t requests_blocked() const { return blocked_; }
+  const std::optional<std::string>& deferred_url() const { return deferred_url_; }
+
+ private:
+  void on_client_bytes(std::string_view data);
+  void pump();  // handle the next parsed request if idle
+  void forward_upstream(const HttpRequest& request);
+  void respond_blocked(const HttpRequest& request);
+  void on_upstream_bytes(std::string_view data);
+
+  BytePipe* client_rx_;
+  BytePipe* client_tx_;
+  BytePipe* upstream_tx_;
+  BytePipe* upstream_rx_;
+  Interceptor* interceptor_ = nullptr;
+
+  HttpParser client_parser_{HttpParser::Mode::kRequest};
+  HttpParser upstream_parser_{HttpParser::Mode::kResponse};
+  std::deque<HttpRequest> backlog_;      // parsed but unhandled requests
+  bool awaiting_upstream_ = false;       // a forwarded request is in flight
+  std::optional<HttpRequest> deferred_;  // the parked request, if any
+  std::optional<std::string> deferred_url_;
+  std::size_t proxied_ = 0;
+  std::size_t blocked_ = 0;
+};
+
+}  // namespace mfhttp

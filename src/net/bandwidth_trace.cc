@@ -1,0 +1,68 @@
+#include "net/bandwidth_trace.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mfhttp {
+
+BandwidthTrace::BandwidthTrace(std::vector<BytesPerSec> rates, TimeMs slot_ms)
+    : rates_(std::move(rates)), slot_ms_(slot_ms) {
+  MFHTTP_CHECK(!rates_.empty());
+  MFHTTP_CHECK(slot_ms_ > 0);
+  for (BytesPerSec r : rates_) MFHTTP_CHECK_MSG(r >= 0, "negative bandwidth");
+}
+
+BandwidthTrace BandwidthTrace::constant(BytesPerSec rate) {
+  return BandwidthTrace({rate}, 1000);
+}
+
+BandwidthTrace BandwidthTrace::from_slots(std::vector<BytesPerSec> rates,
+                                          TimeMs slot_ms) {
+  return BandwidthTrace(std::move(rates), slot_ms);
+}
+
+BandwidthTrace BandwidthTrace::random_walk(Rng& rng, BytesPerSec mean,
+                                           BytesPerSec stddev, BytesPerSec min,
+                                           BytesPerSec max, std::size_t slots,
+                                           TimeMs slot_ms) {
+  MFHTTP_CHECK(slots > 0);
+  MFHTTP_CHECK(min >= 0 && min <= max);
+  std::vector<BytesPerSec> rates;
+  rates.reserve(slots);
+  double cur = std::clamp(mean, min, max);
+  for (std::size_t i = 0; i < slots; ++i) {
+    // Mean reversion keeps the walk near `mean`; the innovation term makes
+    // slot-to-slot variation comparable to real WLAN traces.
+    cur += 0.3 * (mean - cur) + rng.normal(0, stddev);
+    cur = std::clamp(cur, min, max);
+    rates.push_back(cur);
+  }
+  return BandwidthTrace(std::move(rates), slot_ms);
+}
+
+BytesPerSec BandwidthTrace::rate_at(TimeMs t_ms) const {
+  if (t_ms < 0) return rates_.front();
+  auto slot = static_cast<std::size_t>(t_ms / slot_ms_);
+  return rates_[std::min(slot, rates_.size() - 1)];
+}
+
+double BandwidthTrace::bytes_between(TimeMs t0_ms, TimeMs t1_ms) const {
+  MFHTTP_CHECK(t0_ms <= t1_ms);
+  if (t0_ms == t1_ms) return 0;
+  double total = 0;
+  TimeMs t = t0_ms;
+  while (t < t1_ms) {
+    auto slot = static_cast<std::size_t>(t / slot_ms_);
+    TimeMs slot_end = (slot >= rates_.size() - 1)
+                          ? t1_ms  // final slot extends forever
+                          : std::min<TimeMs>((static_cast<TimeMs>(slot) + 1) * slot_ms_,
+                                             t1_ms);
+    BytesPerSec rate = rates_[std::min(slot, rates_.size() - 1)];
+    total += rate * static_cast<double>(slot_end - t) / 1000.0;
+    t = slot_end;
+  }
+  return total;
+}
+
+}  // namespace mfhttp

@@ -1,0 +1,52 @@
+// Time-varying available bandwidth B(t) — the quantity the flow controller's
+// capacity constraints (Eq. 13) and the simulated link both consume.
+//
+// Stored as piecewise-constant bytes/s over fixed-width slots; the last slot
+// extends to infinity, so a constant trace is a single slot.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace mfhttp {
+
+class BandwidthTrace {
+ public:
+  // Constant rate forever.
+  static BandwidthTrace constant(BytesPerSec rate);
+
+  // Explicit per-slot rates.
+  static BandwidthTrace from_slots(std::vector<BytesPerSec> rates,
+                                   TimeMs slot_ms = 1000);
+
+  // Mean-reverting random walk, clamped to [min, max]; `slots` slots of
+  // `slot_ms` each. Used for the Fig. 9/10 variable-bandwidth scenarios.
+  static BandwidthTrace random_walk(Rng& rng, BytesPerSec mean, BytesPerSec stddev,
+                                    BytesPerSec min, BytesPerSec max,
+                                    std::size_t slots, TimeMs slot_ms = 1000);
+
+  // Instantaneous rate at time t (bytes/s).
+  BytesPerSec rate_at(TimeMs t_ms) const;
+
+  // Integral of B over [t0, t1), in bytes (exact for the piecewise-constant
+  // representation).
+  double bytes_between(TimeMs t0_ms, TimeMs t1_ms) const;
+
+  // Cumulative capacity W(t) = integral of B over [0, t) — the knapsack
+  // capacity of Eq. 13/14.
+  double cumulative_bytes(TimeMs t_ms) const { return bytes_between(0, t_ms); }
+
+  TimeMs slot_ms() const { return slot_ms_; }
+  std::size_t slot_count() const { return rates_.size(); }
+  const std::vector<BytesPerSec>& slots() const { return rates_; }
+
+ private:
+  BandwidthTrace(std::vector<BytesPerSec> rates, TimeMs slot_ms);
+
+  std::vector<BytesPerSec> rates_;
+  TimeMs slot_ms_;
+};
+
+}  // namespace mfhttp

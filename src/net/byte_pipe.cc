@@ -1,0 +1,67 @@
+#include "net/byte_pipe.h"
+
+#include "util/check.h"
+
+namespace mfhttp {
+
+BytePipe::BytePipe(Simulator& sim, Link* link) : sim_(sim), link_(link) {
+  MFHTTP_CHECK(link_ != nullptr);
+}
+
+void BytePipe::send(std::string data) {
+  if (close_requested_ || data.empty()) return;
+  auto size = static_cast<Bytes>(data.size());
+  bytes_sent_ += size;
+  queue_.push_back(std::move(data));
+  ++inflight_transfers_;
+  link_->submit(size, [this](Bytes chunk, bool complete) {
+    deliver(chunk, complete);
+  });
+}
+
+void BytePipe::deliver(Bytes count, bool transfer_complete) {
+  // Slice `count` bytes off the head of the queue and hand them to the
+  // reader. The Link is FIFO, so transfer k's chunks arrive before transfer
+  // k+1's; queue order matches delivery order.
+  std::string out;
+  out.reserve(static_cast<std::size_t>(count));
+  Bytes remaining = count;
+  while (remaining > 0) {
+    MFHTTP_CHECK_MSG(!queue_.empty(), "link delivered more bytes than sent");
+    std::string& head = queue_.front();
+    std::size_t available = head.size() - queue_head_offset_;
+    auto take = static_cast<std::size_t>(
+        std::min<Bytes>(remaining, static_cast<Bytes>(available)));
+    out.append(head, queue_head_offset_, take);
+    queue_head_offset_ += take;
+    remaining -= static_cast<Bytes>(take);
+    if (queue_head_offset_ == head.size()) {
+      queue_.pop_front();
+      queue_head_offset_ = 0;
+    }
+  }
+  bytes_delivered_ += count;
+  if (transfer_complete) {
+    MFHTTP_CHECK(inflight_transfers_ > 0);
+    --inflight_transfers_;
+  }
+  if (on_data_ && !out.empty()) on_data_(out);
+  maybe_fire_close();
+}
+
+void BytePipe::close() {
+  if (close_requested_) return;
+  close_requested_ = true;
+  // Fire asynchronously even when nothing is queued, so a reader never sees
+  // EOF re-entrantly inside its own send() call.
+  sim_.schedule_after(0, [this] { maybe_fire_close(); });
+}
+
+void BytePipe::maybe_fire_close() {
+  if (!close_requested_ || close_fired_) return;
+  if (inflight_transfers_ > 0) return;  // queued data still in flight
+  close_fired_ = true;
+  if (on_close_) on_close_();
+}
+
+}  // namespace mfhttp

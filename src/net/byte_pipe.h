@@ -1,0 +1,77 @@
+// Ordered byte-stream transport over a simulated Link — the TCP analogue the
+// wire-level HTTP stack runs on.
+//
+// A BytePipe is unidirectional: bytes written at one end arrive, in order
+// and rate-limited by the underlying Link, at the other end's on_data
+// callback. A DuplexChannel bundles two pipes into a socket-like pair.
+//
+// Each pipe owns a FIFO of unsent payload; the Link (which must also be
+// FIFO) meters delivery. Closing the pipe delivers any queued bytes first,
+// then fires on_close — the reader sees exactly TCP's orderly-shutdown
+// semantics (data, then EOF).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "net/link.h"
+#include "sim/simulator.h"
+
+namespace mfhttp {
+
+class BytePipe {
+ public:
+  using DataFn = std::function<void(std::string_view)>;
+  using CloseFn = std::function<void()>;
+
+  // The link must use FIFO sharing: byte order is the contract.
+  BytePipe(Simulator& sim, Link* link);
+
+  void set_on_data(DataFn fn) { on_data_ = std::move(fn); }
+  void set_on_close(CloseFn fn) { on_close_ = std::move(fn); }
+
+  // Queue bytes for transmission. No-op after close().
+  void send(std::string data);
+
+  // Orderly shutdown: queued bytes still arrive, then on_close fires.
+  void close();
+
+  bool closed() const { return close_requested_; }
+  Bytes bytes_sent() const { return bytes_sent_; }
+  Bytes bytes_delivered() const { return bytes_delivered_; }
+
+ private:
+  void deliver(Bytes count, bool transfer_complete);
+  void maybe_fire_close();
+
+  Simulator& sim_;
+  Link* link_;
+  DataFn on_data_;
+  CloseFn on_close_;
+  std::deque<std::string> queue_;  // sent-but-undelivered payload, in order
+  std::size_t queue_head_offset_ = 0;
+  std::size_t inflight_transfers_ = 0;
+  bool close_requested_ = false;
+  bool close_fired_ = false;
+  Bytes bytes_sent_ = 0;
+  Bytes bytes_delivered_ = 0;
+};
+
+// A socket-like bidirectional channel: two pipes over two links.
+class DuplexChannel {
+ public:
+  DuplexChannel(Simulator& sim, Link* a_to_b, Link* b_to_a)
+      : a_to_b_(sim, a_to_b), b_to_a_(sim, b_to_a) {}
+
+  // End A writes into a_to_b and reads from b_to_a; end B the reverse.
+  BytePipe& a_to_b() { return a_to_b_; }
+  BytePipe& b_to_a() { return b_to_a_; }
+
+ private:
+  BytePipe a_to_b_;
+  BytePipe b_to_a_;
+};
+
+}  // namespace mfhttp

@@ -1,0 +1,133 @@
+#include "net/link.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace mfhttp {
+
+Link::Link(Simulator& sim, Params params) : sim_(sim), params_(std::move(params)) {
+  MFHTTP_CHECK(params_.quantum_ms > 0);
+  MFHTTP_CHECK(params_.latency_ms >= 0);
+}
+
+Link::TransferId Link::submit(Bytes size, ProgressFn on_progress, int priority) {
+  MFHTTP_CHECK(size >= 0);
+  MFHTTP_CHECK(on_progress != nullptr);
+  TransferId id = next_id_++;
+  transfers_[id] =
+      Transfer{size, std::move(on_progress), next_order_++, priority, false};
+  sim_.schedule_after(params_.latency_ms, [this, id] {
+    auto it = transfers_.find(id);
+    if (it == transfers_.end()) return;  // cancelled during latency
+    if (it->second.remaining == 0) {
+      ProgressFn cb = std::move(it->second.on_progress);
+      transfers_.erase(it);
+      cb(0, true);
+      return;
+    }
+    it->second.started = true;
+    arm_tick();
+  });
+  return id;
+}
+
+bool Link::cancel(TransferId id) { return transfers_.erase(id) > 0; }
+
+void Link::arm_tick() {
+  if (tick_event_ != Simulator::kInvalidEvent && sim_.pending(tick_event_)) return;
+  tick_event_ = sim_.schedule_after(params_.quantum_ms, [this] { tick(); });
+}
+
+void Link::tick() {
+  tick_event_ = Simulator::kInvalidEvent;
+  const TimeMs now = sim_.now();
+  const TimeMs quantum_start = now - params_.quantum_ms;
+  double budget =
+      params_.bandwidth.bytes_between(quantum_start, now) + carry_bytes_;
+
+  // Started transfers: priority first (kFifo serving order), then FIFO.
+  std::vector<std::pair<TransferId, Transfer*>> active;
+  for (auto& [id, t] : transfers_)
+    if (t.started) active.push_back({id, &t});
+  std::sort(active.begin(), active.end(), [](auto& a, auto& b) {
+    if (a.second->priority != b.second->priority)
+      return a.second->priority > b.second->priority;
+    return a.second->order < b.second->order;
+  });
+
+  struct Delivery {
+    ProgressFn fn;  // owned copy: callbacks may mutate the transfer table
+    Bytes bytes;
+    bool complete;
+  };
+  std::vector<Delivery> deliveries;
+  std::vector<TransferId> completed;
+
+  auto give = [&](TransferId id, Transfer& t, double amount) {
+    auto grant = static_cast<Bytes>(amount);
+    grant = std::min(grant, t.remaining);
+    if (grant <= 0) return 0.0;
+    t.remaining -= grant;
+    delivered_total_ += grant;
+    if (t.remaining == 0) {
+      deliveries.push_back({std::move(t.on_progress), grant, true});
+      completed.push_back(id);
+    } else {
+      deliveries.push_back({t.on_progress, grant, false});
+    }
+    return static_cast<double>(grant);
+  };
+
+  Bytes quantum_delivered = 0;
+  if (params_.sharing == Sharing::kFifo) {
+    for (auto& [id, t] : active) {
+      if (budget < 1) break;
+      double used = give(id, *t, budget);
+      budget -= used;
+      quantum_delivered += static_cast<Bytes>(used);
+    }
+  } else {
+    // Water-filling fair share: repeatedly split remaining budget among
+    // transfers that still want bytes.
+    std::vector<std::pair<TransferId, Transfer*>> wanting = active;
+    while (budget >= 1 && !wanting.empty()) {
+      double share = budget / static_cast<double>(wanting.size());
+      if (share < 1) share = 1;  // avoid infinite splitting
+      double spent = 0;
+      std::vector<std::pair<TransferId, Transfer*>> still;
+      for (auto& [id, t] : wanting) {
+        if (budget - spent < 1) break;
+        double used = give(id, *t, std::min(share, budget - spent));
+        spent += used;
+        if (t->remaining > 0) still.push_back({id, t});
+      }
+      budget -= spent;
+      quantum_delivered += static_cast<Bytes>(spent);
+      if (spent < 1) break;  // nobody could take more
+      wanting = std::move(still);
+    }
+  }
+  // Carry only the sub-byte fraction: whole bytes left over mean the link
+  // genuinely idled for part of the quantum, and idle capacity is not banked.
+  carry_bytes_ = budget - static_cast<double>(static_cast<Bytes>(budget));
+
+  for (TransferId id : completed) transfers_.erase(id);
+
+  if (params_.record_consumption && quantum_delivered > 0)
+    consumption_log_.emplace_back(quantum_start, quantum_delivered);
+
+  // Fire callbacks after internal state is consistent (callbacks may submit
+  // or cancel transfers on this link).
+  for (Delivery& d : deliveries) d.fn(d.bytes, d.complete);
+
+  bool any_started = std::any_of(transfers_.begin(), transfers_.end(),
+                                 [](auto& kv) { return kv.second.started; });
+  if (any_started)
+    arm_tick();
+  else
+    carry_bytes_ = 0;  // idle link does not bank capacity
+}
+
+}  // namespace mfhttp

@@ -1,0 +1,93 @@
+// Rate-limited byte pipe on the discrete-event simulator — the simulated
+// WLAN/cellular hop between device, middleware proxy, and origin servers.
+//
+// Transfers submitted to a link share its BandwidthTrace capacity under one
+// of two disciplines:
+//   * kFifo      — the highest-priority transfer gets all capacity, ties
+//                  broken by submission order (priority 0 for everything
+//                  reduces to the in-order scheduling Eq. 13 assumes),
+//   * kFairShare — active transfers split each quantum evenly (what N
+//                  parallel TCP connections through mitmproxy approximate).
+//
+// Capacity is dispensed in fixed quanta (default 5 ms) while any transfer is
+// active; the link is fully idle (no events) otherwise. Each transfer gets
+// streaming progress callbacks, so HTTP response bodies arrive incrementally
+// just as they would on a socket.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/bandwidth_trace.h"
+#include "sim/simulator.h"
+#include "util/types.h"
+
+namespace mfhttp {
+
+class Link {
+ public:
+  enum class Sharing { kFifo, kFairShare };
+
+  struct Params {
+    BandwidthTrace bandwidth = BandwidthTrace::constant(1e6);
+    TimeMs latency_ms = 5;   // one-way propagation delay before first byte
+    TimeMs quantum_ms = 5;   // capacity dispensing granularity
+    Sharing sharing = Sharing::kFifo;
+    bool record_consumption = false;  // keep a per-quantum throughput log
+  };
+
+  using TransferId = std::uint64_t;
+  static constexpr TransferId kInvalidTransfer = 0;
+
+  // delivered_now: bytes newly delivered; complete: true on the final call.
+  using ProgressFn = std::function<void(Bytes delivered_now, bool complete)>;
+
+  Link(Simulator& sim, Params params);
+
+  // Begin transferring `size` bytes. Progress callbacks start after the
+  // link's latency. A zero-size transfer completes after latency alone.
+  // Higher `priority` preempts lower in kFifo mode (bytes in flight are not
+  // clawed back; preemption applies from the next quantum).
+  TransferId submit(Bytes size, ProgressFn on_progress, int priority = 0);
+
+  // Abort a transfer; no further callbacks. False if unknown/finished.
+  bool cancel(TransferId id);
+
+  std::size_t active_transfers() const { return transfers_.size(); }
+  Bytes bytes_delivered_total() const { return delivered_total_; }
+
+  // Per-quantum delivery log (time_ms at quantum start, bytes delivered in
+  // that quantum); empty unless record_consumption was set.
+  const std::vector<std::pair<TimeMs, Bytes>>& consumption_log() const {
+    return consumption_log_;
+  }
+
+  const BandwidthTrace& bandwidth() const { return params_.bandwidth; }
+
+ private:
+  struct Transfer {
+    Bytes remaining;
+    ProgressFn on_progress;
+    std::uint64_t order;  // FIFO position within a priority class
+    int priority = 0;     // higher is served first (kFifo)
+    bool started = false; // latency elapsed, eligible for bandwidth
+  };
+
+  void arm_tick();
+  void tick();
+
+  Simulator& sim_;
+  Params params_;
+  TransferId next_id_ = 1;
+  std::uint64_t next_order_ = 1;
+  std::map<TransferId, Transfer> transfers_;
+  Simulator::EventId tick_event_ = Simulator::kInvalidEvent;
+  // Fractional bytes carried between quanta so low rates are not rounded away.
+  double carry_bytes_ = 0;
+  Bytes delivered_total_ = 0;
+  std::vector<std::pair<TimeMs, Bytes>> consumption_log_;
+};
+
+}  // namespace mfhttp

@@ -1,0 +1,58 @@
+#include "scroll/animation.h"
+
+#include <algorithm>
+
+namespace mfhttp {
+
+ScrollAnimation::ScrollAnimation(Vec2 velocity, const ScrollConfig& config)
+    : velocity_(velocity), speed_(velocity.norm()), direction_(velocity.normalized()) {
+  if (speed_ <= 0) return;  // kNone
+  double capped =
+      std::min(speed_, config.device.max_fling_velocity_px_s());
+  if (capped >= config.device.min_fling_velocity_px_s()) {
+    kind_ = ScrollKind::kFling;
+    fling_ = std::make_shared<FlingModel>(capped, config.fling);
+    duration_ms_ = fling_->duration_ms();
+    total_distance_ = fling_->total_distance_px();
+  } else {
+    kind_ = ScrollKind::kDrag;
+    drag_ = std::make_shared<DragModel>(capped, config.drag);
+    duration_ms_ = drag_->duration_ms();
+    total_distance_ = drag_->total_distance_px();
+  }
+}
+
+double ScrollAnimation::distance_at(double t_ms) const {
+  switch (kind_) {
+    case ScrollKind::kNone: return 0;
+    case ScrollKind::kDrag: return drag_->distance_at(t_ms);
+    case ScrollKind::kFling: return fling_->distance_at(t_ms);
+  }
+  return 0;
+}
+
+double ScrollAnimation::time_for_distance(double dist_px) const {
+  if (dist_px <= 0 || total_distance_ <= 0) return 0;
+  if (dist_px >= total_distance_) return duration_ms_;
+  // distance_at is continuous and nondecreasing; bisect to sub-ms precision.
+  double lo = 0, hi = duration_ms_;
+  for (int iter = 0; iter < 64 && hi - lo > 0.25; ++iter) {
+    double mid = (lo + hi) / 2;
+    if (distance_at(mid) < dist_px)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return hi;
+}
+
+double ScrollAnimation::speed_at(double t_ms) const {
+  switch (kind_) {
+    case ScrollKind::kNone: return 0;
+    case ScrollKind::kDrag: return drag_->speed_at(t_ms);
+    case ScrollKind::kFling: return fling_->speed_at(t_ms);
+  }
+  return 0;
+}
+
+}  // namespace mfhttp

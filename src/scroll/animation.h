@@ -1,0 +1,88 @@
+// Unified 2-D scrolling animation: classifies a release velocity as drag or
+// fling (per §3.3.1) and exposes the full predetermined viewport trajectory.
+//
+// The scalar kinematics (FlingModel / DragModel) act along the gesture
+// direction; the 2-D displacement is d(t) * (v_x / v, v_y / v) as in §3.3.2.
+// Displacements may be negative on either axis (the viewport can scroll in
+// any direction).
+#pragma once
+
+#include <memory>
+
+#include "geom/swept_region.h"
+#include "geom/vec2.h"
+#include "scroll/device_profile.h"
+#include "scroll/drag.h"
+#include "scroll/fling.h"
+#include "util/types.h"
+
+namespace mfhttp {
+
+enum class ScrollKind { kNone, kDrag, kFling };
+
+struct ScrollConfig {
+  DeviceProfile device;
+  FlingParams fling;
+  DragParams drag;
+
+  ScrollConfig() { fling.ppi = device.ppi; }
+  explicit ScrollConfig(const DeviceProfile& d) : device(d) {
+    fling.ppi = d.ppi;
+  }
+};
+
+// Immutable description of one post-release scroll animation.
+class ScrollAnimation {
+ public:
+  // No-op animation (kind()==kNone, zero duration/displacement).
+  ScrollAnimation() = default;
+
+  // velocity: release velocity in px/s on each axis (either sign).
+  // A zero velocity yields kind()==kNone with zero duration/displacement.
+  ScrollAnimation(Vec2 velocity, const ScrollConfig& config);
+
+  ScrollKind kind() const { return kind_; }
+  Vec2 release_velocity() const { return velocity_; }
+  double initial_speed() const { return speed_; }
+
+  // Total animation duration in ms — T(v) for a fling.
+  double duration_ms() const { return duration_ms_; }
+
+  // Total scalar distance along the gesture direction.
+  double total_distance() const { return total_distance_; }
+
+  // Total signed 2-D displacement (D_x(v), D_y(v)).
+  Vec2 total_displacement() const { return direction_ * total_distance_; }
+
+  // Signed 2-D displacement after t ms — (d_x(t), d_y(t)).
+  Vec2 displacement_at(double t_ms) const { return direction_ * distance_at(t_ms); }
+
+  // Scalar distance along the gesture direction after t ms.
+  double distance_at(double t_ms) const;
+
+  // Scalar speed (px/s) after t ms.
+  double speed_at(double t_ms) const;
+
+  // Inverse of distance_at: the earliest time (ms) at which the scalar
+  // distance reaches `dist_px`. Clamps to [0, duration_ms()]; distances
+  // beyond the total return the full duration.
+  double time_for_distance(double dist_px) const;
+
+  // The region a viewport starting at `viewport` covers during this scroll.
+  SweptRegion swept_region(const Rect& viewport) const {
+    return SweptRegion{viewport, total_displacement()};
+  }
+
+ private:
+  Vec2 velocity_;
+  double speed_ = 0;
+  Vec2 direction_;  // unit vector
+  ScrollKind kind_ = ScrollKind::kNone;
+  double duration_ms_ = 0;
+  double total_distance_ = 0;
+  // At most one of these is engaged, matching kind_.
+  std::shared_ptr<const FlingModel> fling_;
+  std::shared_ptr<const DragModel> drag_;
+};
+
+}  // namespace mfhttp

@@ -1,0 +1,36 @@
+// Physical display parameters of the simulated mobile device.
+//
+// The fling equations depend on pixel density (ppi), and Android scales its
+// gesture thresholds by density (px per dp = ppi / 160). The paper's test
+// device is a Nexus 6 (1440x2560 @ 493 ppi, Android 7.0), provided here as
+// the default profile.
+#pragma once
+
+namespace mfhttp {
+
+struct DeviceProfile {
+  double screen_w_px = 1440;
+  double screen_h_px = 2560;
+  double ppi = 493;
+
+  // Android density scale factor (px per dp).
+  double density() const { return ppi / 160.0; }
+
+  // Android's ViewConfiguration MINIMUM_FLING_VELOCITY is 50 dp/s; the paper
+  // quotes the 50 px/s baseline "scaled under different configurations based
+  // on the actual screen resolution".
+  double min_fling_velocity_px_s() const { return 50.0 * density(); }
+
+  // Maximum fling velocity Android will report (8000 dp/s).
+  double max_fling_velocity_px_s() const { return 8000.0 * density(); }
+
+  // Touch slop: finger movement below this is a tap, not a scroll (8 dp).
+  double touch_slop_px() const { return 8.0 * density(); }
+
+  static DeviceProfile nexus6() { return DeviceProfile{1440, 2560, 493}; }
+  static DeviceProfile nexus5() { return DeviceProfile{1080, 1920, 445}; }
+  static DeviceProfile tablet10() { return DeviceProfile{1600, 2560, 300}; }
+  static DeviceProfile lowend() { return DeviceProfile{720, 1280, 294}; }
+};
+
+}  // namespace mfhttp

@@ -1,0 +1,28 @@
+#include "scroll/drag.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mfhttp {
+
+DragModel::DragModel(double release_speed_px_s, const DragParams& params)
+    : v0_(release_speed_px_s), a_(params.deceleration_px_s2) {
+  MFHTTP_CHECK_MSG(v0_ >= 0, "drag speed must be non-negative");
+  MFHTTP_CHECK_MSG(a_ > 0, "deceleration must be positive");
+  duration_ms_ = v0_ / a_ * 1000.0;
+  distance_px_ = v0_ * v0_ / (2.0 * a_);
+}
+
+double DragModel::distance_at(double t_ms) const {
+  double t_s = std::clamp(t_ms, 0.0, duration_ms_) / 1000.0;
+  return v0_ * t_s - 0.5 * a_ * t_s * t_s;
+}
+
+double DragModel::speed_at(double t_ms) const {
+  if (t_ms >= duration_ms_) return 0.0;
+  double t_s = std::max(t_ms, 0.0) / 1000.0;
+  return v0_ - a_ * t_s;
+}
+
+}  // namespace mfhttp

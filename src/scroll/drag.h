@@ -1,0 +1,42 @@
+// Post-release deceleration of a *drag* gesture.
+//
+// The paper (§3.3.1): "For dragging, the screen scrolling speed will
+// experience a uniform deceleration, which can be easily interpreted given
+// the deceleration parameter and initial speed. As the deceleration of a
+// dragging event is usually short and has very limited impact on viewport
+// movement…". We model exactly that: constant deceleration `a` from release
+// speed v, so T = v/a, D = v^2 / (2a), d(t) = v t - a t^2 / 2.
+#pragma once
+
+#include "util/types.h"
+
+namespace mfhttp {
+
+struct DragParams {
+  // Uniform deceleration in px/s^2. Default tuned so a borderline drag
+  // (just under the fling threshold) settles within ~100 ms.
+  double deceleration_px_s2 = 4000.0;
+};
+
+class DragModel {
+ public:
+  DragModel(double release_speed_px_s, const DragParams& params);
+
+  double initial_speed() const { return v0_; }
+  double duration_ms() const { return duration_ms_; }
+  double total_distance_px() const { return distance_px_; }
+
+  // Distance travelled after t ms (clamped to the animation).
+  double distance_at(double t_ms) const;
+
+  // Instantaneous speed (px/s) after t ms.
+  double speed_at(double t_ms) const;
+
+ private:
+  double v0_;
+  double a_;  // px/s^2
+  double duration_ms_;
+  double distance_px_;
+};
+
+}  // namespace mfhttp

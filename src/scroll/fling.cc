@@ -1,0 +1,41 @@
+#include "scroll/fling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mfhttp {
+
+double fling_deceleration_rate() {
+  static const double rate = std::log(0.78) / std::log(0.9);
+  return rate;
+}
+
+FlingModel::FlingModel(double initial_speed_px_s, const FlingParams& params)
+    : v0_(initial_speed_px_s), coeff_(params.friction * params.physical_coefficient()) {
+  MFHTTP_CHECK_MSG(v0_ > 0, "fling requires positive initial speed");
+  MFHTTP_CHECK_MSG(coeff_ > 0, "friction and ppi must be positive");
+  const double decel = fling_deceleration_rate();
+  l_ = std::log(0.35 * v0_ / coeff_);                          // Eq. (1)
+  duration_ms_ = 1000.0 * std::exp(l_ / (decel - 1.0));        // Eq. (2)
+  distance_px_ = coeff_ * std::exp(decel / (decel - 1.0) * l_);  // Eq. (3)
+}
+
+double FlingModel::distance_at(double t_ms) const {
+  const double decel = fling_deceleration_rate();
+  double t = std::clamp(t_ms, 0.0, duration_ms_);
+  // Eq. (5): d(t) = D(v) - coeff * ((T - t) / 1000)^DECEL.
+  return distance_px_ - coeff_ * std::pow((duration_ms_ - t) / 1000.0, decel);
+}
+
+double FlingModel::speed_at(double t_ms) const {
+  const double decel = fling_deceleration_rate();
+  if (t_ms >= duration_ms_) return 0.0;
+  double t = std::max(t_ms, 0.0);
+  // d/dt of Eq. (5), converted to px/s (t in ms => factor 1000 cancels one
+  // power of 1000 from the ((T-t)/1000)^DECEL term).
+  return coeff_ * decel * std::pow((duration_ms_ - t) / 1000.0, decel - 1.0);
+}
+
+}  // namespace mfhttp

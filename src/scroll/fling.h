@@ -1,0 +1,69 @@
+// Android fling deceleration model — Eqs. (1)-(5) of the paper, which the
+// authors extracted from AOSP's OverScroller flywheel physics.
+//
+// Given the initial fling speed v (px/s) the entire animation is
+// deterministic:
+//
+//   l(v) = ln(0.35 v / (Fric * P_COEF))                           (1)
+//   T(v) = 1000 * exp(l / (DECEL - 1))            [milliseconds]  (2)
+//   D(v) = Fric * P_COEF * exp(DECEL/(DECEL-1) * l)  [pixels]     (3)
+//        = Fric * P_COEF * (T(v)/1000)^DECEL                      (4)
+//   d(t) = D(v) - Fric * P_COEF * ((T(v)-t)/1000)^DECEL           (5)
+//
+// with DECEL = ln(0.78)/ln(0.9) and P_COEF = 9.80665 * 39.37 * ppi * 0.84.
+#pragma once
+
+#include "util/types.h"
+
+namespace mfhttp {
+
+// DECELERATION_RATE from AOSP.
+double fling_deceleration_rate();
+
+struct FlingParams {
+  double friction = 0.015;  // ViewConfiguration.getScrollFriction() default
+  double ppi = 493;         // pixel density of the device
+
+  // P_COEF = G * inches-per-meter * ppi * tuning, from the paper.
+  double physical_coefficient() const {
+    return 9.80665 * 39.37 * ppi * 0.84;
+  }
+};
+
+class FlingModel {
+ public:
+  // speed must be > 0 (px/s). Whether a gesture *is* a fling is decided by
+  // the gesture recognizer against DeviceProfile::min_fling_velocity_px_s().
+  FlingModel(double initial_speed_px_s, const FlingParams& params);
+
+  double initial_speed() const { return v0_; }
+
+  // l(v) — Eq. (1).
+  double log_term() const { return l_; }
+
+  // Total animation duration T(v) in ms — Eq. (2).
+  double duration_ms() const { return duration_ms_; }
+
+  // Total scroll distance D(v) in px — Eq. (3)/(4).
+  double total_distance_px() const { return distance_px_; }
+
+  // Distance scrolled after t ms — Eq. (5). Clamped to [0, T(v)].
+  double distance_at(double t_ms) const;
+
+  // Instantaneous speed (px/s) after t ms (analytic derivative of Eq. 5).
+  double speed_at(double t_ms) const;
+
+  // Remaining scroll distance if the fling were interrupted at t ms.
+  double remaining_distance_at(double t_ms) const {
+    return total_distance_px() - distance_at(t_ms);
+  }
+
+ private:
+  double v0_;
+  double coeff_;        // Fric * P_COEF
+  double l_;            // Eq. (1)
+  double duration_ms_;  // Eq. (2)
+  double distance_px_;  // Eq. (3)
+};
+
+}  // namespace mfhttp

@@ -1,0 +1,53 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace mfhttp {
+
+Simulator::EventId Simulator::schedule_at(TimeMs time_ms, Callback cb) {
+  MFHTTP_CHECK_MSG(time_ms >= now_, "cannot schedule events in the past");
+  MFHTTP_CHECK(cb != nullptr);
+  EventId id = ++next_id_;
+  queue_.push({time_ms, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+bool Simulator::cancel(EventId id) { return callbacks_.erase(id) > 0; }
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    QueueEntry entry = queue_.top();
+    queue_.pop();
+    auto it = callbacks_.find(entry.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    MFHTTP_DCHECK(entry.time >= now_);
+    now_ = entry.time;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(TimeMs deadline_ms) {
+  MFHTTP_CHECK(deadline_ms >= now_);
+  while (!queue_.empty()) {
+    QueueEntry entry = queue_.top();
+    if (!callbacks_.contains(entry.id)) {
+      queue_.pop();
+      continue;
+    }
+    if (entry.time > deadline_ms) break;
+    step();
+  }
+  now_ = deadline_ms;
+}
+
+}  // namespace mfhttp

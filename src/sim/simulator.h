@@ -1,0 +1,78 @@
+// Single-threaded discrete-event simulator.
+//
+// Everything time-dependent in the reproduction — link transmission, proxy
+// scheduling, scroll animation sampling, player buffering — runs as events
+// on this engine, so experiments are exactly reproducible and can simulate
+// minutes of wall-clock in milliseconds.
+//
+// Events at the same timestamp fire in scheduling order (FIFO), which keeps
+// causality intuitive: an event scheduled by another event at the same time
+// runs after it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+#include "util/types.h"
+
+namespace mfhttp {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = std::uint64_t;
+  static constexpr EventId kInvalidEvent = 0;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimeMs now() const { return now_; }
+
+  // Schedule at an absolute simulated time (>= now).
+  EventId schedule_at(TimeMs time_ms, Callback cb);
+
+  // Schedule after a relative delay (>= 0).
+  EventId schedule_after(TimeMs delay_ms, Callback cb) {
+    return schedule_at(now_ + delay_ms, std::move(cb));
+  }
+
+  // Cancel a pending event. Returns false if already fired or cancelled.
+  bool cancel(EventId id);
+
+  bool pending(EventId id) const { return callbacks_.contains(id); }
+  std::size_t pending_count() const { return callbacks_.size(); }
+
+  // Run the next event; returns false when the queue is empty.
+  bool step();
+
+  // Run events until the queue is empty.
+  void run();
+
+  // Run all events with time <= deadline, then advance the clock to exactly
+  // the deadline (even if no event fired there).
+  void run_until(TimeMs deadline_ms);
+
+ private:
+  struct QueueEntry {
+    TimeMs time;
+    std::uint64_t seq;
+    EventId id;
+    bool operator>(const QueueEntry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  TimeMs now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace mfhttp

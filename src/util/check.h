@@ -1,0 +1,36 @@
+// Lightweight runtime contract checks.
+//
+// MFHTTP_CHECK is always on (cheap invariants guarding library correctness);
+// MFHTTP_DCHECK compiles out in NDEBUG builds (expensive sanity checks in
+// hot paths such as the simulator event loop).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mfhttp::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace mfhttp::detail
+
+#define MFHTTP_CHECK(expr)                                               \
+  do {                                                                   \
+    if (!(expr)) ::mfhttp::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define MFHTTP_CHECK_MSG(expr, msg)                                      \
+  do {                                                                   \
+    if (!(expr)) ::mfhttp::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define MFHTTP_DCHECK(expr) ((void)0)
+#else
+#define MFHTTP_DCHECK(expr) MFHTTP_CHECK(expr)
+#endif

@@ -1,0 +1,131 @@
+#include "util/json.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace mfhttp {
+
+void JsonWriter::comma_if_needed() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows "key":
+  }
+  if (!stack_.empty()) {
+    if (has_items_.back()) out_ += ',';
+    has_items_.back() = true;
+  }
+}
+
+void JsonWriter::write_escaped(std::string_view s) {
+  out_ += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out_ += strformat("\\u%04x", c);
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_if_needed();
+  out_ += '{';
+  stack_.push_back(Frame::kObject);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  MFHTTP_CHECK(!stack_.empty() && stack_.back() == Frame::kObject);
+  MFHTTP_CHECK_MSG(!pending_key_, "object closed with a dangling key");
+  out_ += '}';
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma_if_needed();
+  out_ += '[';
+  stack_.push_back(Frame::kArray);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  MFHTTP_CHECK(!stack_.empty() && stack_.back() == Frame::kArray);
+  out_ += ']';
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  MFHTTP_CHECK_MSG(!stack_.empty() && stack_.back() == Frame::kObject,
+                   "key outside an object");
+  MFHTTP_CHECK_MSG(!pending_key_, "two keys in a row");
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+  write_escaped(name);
+  out_ += ':';
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  comma_if_needed();
+  write_escaped(s);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+  comma_if_needed();
+  if (std::isfinite(d)) {
+    out_ += strformat("%.12g", d);
+  } else {
+    out_ += "null";  // JSON has no NaN/Inf
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(long long i) {
+  comma_if_needed();
+  out_ += strformat("%lld", i);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(unsigned long long u) {
+  comma_if_needed();
+  out_ += strformat("%llu", u);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  comma_if_needed();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma_if_needed();
+  out_ += "null";
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  MFHTTP_CHECK_MSG(stack_.empty(), "unclosed containers in JSON document");
+  return out_;
+}
+
+}  // namespace mfhttp

@@ -1,0 +1,58 @@
+// Minimal streaming JSON writer (objects, arrays, scalars, escaping) for
+// exporting experiment results to analysis tooling. Writer only — the
+// library never consumes JSON.
+//
+// Usage:
+//   JsonWriter w;
+//   w.begin_object();
+//   w.key("site").value("sohu");
+//   w.key("samples").begin_array();
+//   w.value(1.5).value(2).value(true);
+//   w.end_array();
+//   w.end_object();
+//   std::string out = w.str();
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mfhttp {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Key inside an object; must be followed by a value or container.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double d);
+  JsonWriter& value(long long i);
+  JsonWriter& value(int i) { return value(static_cast<long long>(i)); }
+  JsonWriter& value(unsigned long long u);
+  JsonWriter& value(std::size_t u) {
+    return value(static_cast<unsigned long long>(u));
+  }
+  JsonWriter& value(bool b);
+  JsonWriter& null();
+
+  // Finished document (all containers must be closed).
+  const std::string& str() const;
+
+ private:
+  void comma_if_needed();
+  void write_escaped(std::string_view s);
+
+  enum class Frame { kObject, kArray };
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_items_;  // parallel to stack_
+  bool pending_key_ = false;
+};
+
+}  // namespace mfhttp

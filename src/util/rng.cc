@@ -1,0 +1,32 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mfhttp {
+
+double Rng::truncated_normal(double mean, double stddev, double lo, double hi) {
+  MFHTTP_DCHECK(lo <= hi);
+  for (int i = 0; i < 64; ++i) {
+    double v = normal(mean, stddev);
+    if (v >= lo && v <= hi) return v;
+  }
+  return std::clamp(mean, lo, hi);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  MFHTTP_CHECK(!weights.empty());
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  MFHTTP_CHECK(total > 0);
+  double r = uniform(0.0, total);
+  double acc = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::fork() { return Rng(engine_()); }
+
+}  // namespace mfhttp

@@ -1,0 +1,61 @@
+// Deterministic random number generator for reproducible experiments.
+//
+// Every stochastic component (gesture synthesis, page corpus, bandwidth
+// traces, viewer head-motion) takes an Rng by reference so that a single
+// seed reproduces an entire experiment end to end.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mfhttp {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) : engine_(seed) {}
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    MFHTTP_DCHECK(lo <= hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    MFHTTP_DCHECK(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  // Normal with the given mean/stddev.
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  // Normal truncated to [lo, hi] by resampling (clamps after 64 tries).
+  double truncated_normal(double mean, double stddev, double lo, double hi);
+
+  // Exponential with the given mean (> 0).
+  double exponential(double mean) {
+    MFHTTP_DCHECK(mean > 0);
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  // Bernoulli with probability p of true.
+  bool chance(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  // Pick an index in [0, weights.size()) proportionally to weights.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  // Derive an independent child generator (e.g. one per simulated user).
+  Rng fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mfhttp

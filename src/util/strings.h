@@ -1,0 +1,28 @@
+// Small string helpers used by the HTTP parser and trace I/O.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mfhttp {
+
+// Split on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+// Remove leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+// Case-insensitive ASCII comparison (HTTP header names).
+bool iequals(std::string_view a, std::string_view b);
+
+// Lowercase ASCII copy.
+std::string to_lower(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+// printf-style formatting into std::string.
+std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace mfhttp

@@ -1,0 +1,32 @@
+// Core scalar vocabulary types shared across the library.
+//
+// MF-HTTP models time in simulated milliseconds (the unit Android's fling
+// equations use) and data volumes in bytes. Strong typedefs are deliberately
+// avoided for these two: the arithmetic crosses module boundaries constantly
+// (kinematics, bandwidth integrals, knapsack capacities) and the unit is part
+// of every identifier name instead.
+#pragma once
+
+#include <cstdint>
+
+namespace mfhttp {
+
+// Simulated time in milliseconds since the start of a run/session.
+using TimeMs = std::int64_t;
+
+// Data volume in bytes.
+using Bytes = std::int64_t;
+
+// Bandwidth in bytes per second.
+using BytesPerSec = double;
+
+// Display pixel count or coordinate (sub-pixel precision kept in double
+// where geometry demands it; discrete pixel counts live here).
+using Pixels = double;
+
+constexpr TimeMs kMsPerSec = 1000;
+
+// Convert KB/s (the unit the paper's Fig. 10 sweeps use) to bytes/s.
+constexpr BytesPerSec kb_per_sec(double kb) { return kb * 1000.0; }
+
+}  // namespace mfhttp

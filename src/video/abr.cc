@@ -1,0 +1,116 @@
+#include "video/abr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mfhttp {
+
+namespace {
+
+TilePlan whole_frame_plan(const VideoAsset& video, int segment,
+                          const std::vector<bool>& visible, int quality) {
+  const int tiles = video.grid().tile_count();
+  TilePlan plan;
+  plan.visible_count = TileGrid::count_visible(visible);
+  plan.tile_quality.assign(static_cast<std::size_t>(tiles), quality);
+  plan.viewport_quality = quality;
+  plan.bytes = video.whole_frame_segment_size(segment, quality);
+  return plan;
+}
+
+}  // namespace
+
+TilePlan RateBasedTileScheduler::plan_segment(const VideoAsset& video, int segment,
+                                              const std::vector<bool>& visible,
+                                              const SchedulerContext& context) const {
+  MFHTTP_CHECK(static_cast<int>(visible.size()) == video.grid().tile_count());
+  // Decide on nominal ladder rates against the throughput estimate; fall
+  // back to the budget when the estimator has no sample yet.
+  double usable = context.est_rate > 0
+                      ? context.est_rate * safety_
+                      : static_cast<double>(context.budget);
+  const double multiplier = video.params().bitrate_multiplier;
+  for (int q = video.quality_count() - 1; q >= 0; --q) {
+    if (video.representation(q).whole_frame_rate * multiplier <= usable)
+      return whole_frame_plan(video, segment, visible, q);
+  }
+  // Nothing nominally fits: NA.
+  TilePlan plan;
+  plan.tile_quality.assign(static_cast<std::size_t>(video.grid().tile_count()), -1);
+  plan.visible_count = TileGrid::count_visible(visible);
+  return plan;
+}
+
+int BufferBasedTileScheduler::quality_for_buffer(double buffer_s,
+                                                 int quality_count) const {
+  MFHTTP_CHECK(quality_count > 0);
+  if (buffer_s <= params_.reservoir_s) return 0;
+  if (buffer_s >= params_.cushion_s) return quality_count - 1;
+  double frac = (buffer_s - params_.reservoir_s) /
+                (params_.cushion_s - params_.reservoir_s);
+  return std::min(quality_count - 1,
+                  static_cast<int>(frac * quality_count));
+}
+
+TilePlan BufferBasedTileScheduler::plan_segment(const VideoAsset& video, int segment,
+                                                const std::vector<bool>& visible,
+                                                const SchedulerContext& context) const {
+  MFHTTP_CHECK(static_cast<int>(visible.size()) == video.grid().tile_count());
+  int q = quality_for_buffer(context.buffer_s, video.quality_count());
+  return whole_frame_plan(video, segment, visible, q);
+}
+
+TilePlan MfHttpBufferedScheduler::plan_segment(const VideoAsset& video, int segment,
+                                               const std::vector<bool>& visible,
+                                               const SchedulerContext& context) const {
+  const int tiles = video.grid().tile_count();
+  MFHTTP_CHECK(static_cast<int>(visible.size()) == tiles);
+  BufferBasedTileScheduler bba(params_);
+  int target = bba.quality_for_buffer(context.buffer_s, video.quality_count());
+
+  // MF-HTTP split: viewport tiles at the BBA target (degrading to fit the
+  // budget), everything else at the floor.
+  for (int q = target; q >= 0; --q) {
+    TilePlan plan;
+    plan.visible_count = TileGrid::count_visible(visible);
+    plan.tile_quality.resize(static_cast<std::size_t>(tiles));
+    Bytes cost = 0;
+    for (int t = 0; t < tiles; ++t) {
+      int tq = visible[static_cast<std::size_t>(t)] ? q : 0;
+      plan.tile_quality[static_cast<std::size_t>(t)] = tq;
+      cost += video.segment_size(t, segment, tq);
+    }
+    if (cost <= context.budget || q == 0) {
+      plan.viewport_quality = q;
+      plan.bytes = cost;
+      // At q == 0 the plan may exceed the budget; shed invisible tiles.
+      if (cost > context.budget && q == 0) {
+        Bytes trimmed = 0;
+        for (int t = 0; t < tiles; ++t) {
+          if (visible[static_cast<std::size_t>(t)]) {
+            trimmed += video.segment_size(t, segment, 0);
+          } else {
+            plan.tile_quality[static_cast<std::size_t>(t)] = -1;
+          }
+        }
+        if (trimmed > context.budget) {
+          // Not even the viewport fits: NA.
+          plan.tile_quality.assign(static_cast<std::size_t>(tiles), -1);
+          plan.viewport_quality = -1;
+          plan.bytes = 0;
+          return plan;
+        }
+        plan.bytes = trimmed;
+      }
+      return plan;
+    }
+  }
+  TilePlan na;
+  na.tile_quality.assign(static_cast<std::size_t>(tiles), -1);
+  na.visible_count = TileGrid::count_visible(visible);
+  return na;
+}
+
+}  // namespace mfhttp

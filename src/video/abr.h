@@ -1,0 +1,70 @@
+// Adaptive-bitrate baselines from the paper's related work (§2), adapted to
+// the tiled setting so they slot into the same player/session harnesses:
+//
+//   * RateBasedTileScheduler — classic throughput-driven DASH (Tian et al.
+//     style front-end): pick the highest whole-frame rung whose nominal rate
+//     fits under safety * estimated throughput. Viewport-oblivious.
+//   * BufferBasedTileScheduler — BBA (Huang et al., SIGCOMM'14): the rung is
+//     a function of buffer occupancy alone — floor below the reservoir, top
+//     above the cushion, linear in between. Viewport-oblivious.
+//   * MfHttpBufferedScheduler — the extension the paper leaves as future
+//     work (§5.2.2): MF-HTTP's viewport split, with the *viewport* rung
+//     chosen by the BBA map and the budget cap still enforced. Combines
+//     scroll awareness with buffer-based stability.
+#pragma once
+
+#include "video/scheduler.h"
+
+namespace mfhttp {
+
+class RateBasedTileScheduler : public TileScheduler {
+ public:
+  using TileScheduler::plan_segment;
+  explicit RateBasedTileScheduler(double safety = 0.9) : safety_(safety) {}
+  std::string name() const override { return "rate-based"; }
+  TilePlan plan_segment(const VideoAsset& video, int segment,
+                        const std::vector<bool>& visible,
+                        const SchedulerContext& context) const override;
+
+ private:
+  double safety_;
+};
+
+struct BbaParams {
+  double reservoir_s = 1.0;  // below this buffer: floor quality
+  // Above this buffer: top quality. The player decides while holding at
+  // most (max_buffer - 1) whole segments, so the cushion sits at 2 s to be
+  // reachable under the default 3 s fetch-ahead cap.
+  double cushion_s = 2.0;
+};
+
+class BufferBasedTileScheduler : public TileScheduler {
+ public:
+  using TileScheduler::plan_segment;
+  explicit BufferBasedTileScheduler(BbaParams params = {}) : params_(params) {}
+  std::string name() const override { return "buffer-based"; }
+  TilePlan plan_segment(const VideoAsset& video, int segment,
+                        const std::vector<bool>& visible,
+                        const SchedulerContext& context) const override;
+
+  // The BBA quality map (exposed for tests): buffer seconds -> ladder index.
+  int quality_for_buffer(double buffer_s, int quality_count) const;
+
+ private:
+  BbaParams params_;
+};
+
+class MfHttpBufferedScheduler : public TileScheduler {
+ public:
+  using TileScheduler::plan_segment;
+  explicit MfHttpBufferedScheduler(BbaParams params = {}) : params_(params) {}
+  std::string name() const override { return "mf-http+bba"; }
+  TilePlan plan_segment(const VideoAsset& video, int segment,
+                        const std::vector<bool>& visible,
+                        const SchedulerContext& context) const override;
+
+ private:
+  BbaParams params_;
+};
+
+}  // namespace mfhttp

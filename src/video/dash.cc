@@ -1,0 +1,88 @@
+#include "video/dash.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace mfhttp {
+
+std::vector<Representation> default_ladder() {
+  // Whole-frame KB/s: 360s=100, 480s=200, 720s=300, 1080s=500. At the low
+  // end of the paper's sweep (250 KB/s) greedy whole-frame DASH affords
+  // 480s while MF-HTTP can often hold 1080s in the viewport.
+  return {
+      {"360s", 360, 100e3},
+      {"480s", 480, 200e3},
+      {"720s", 720, 300e3},
+      {"1080s", 1080, 500e3},
+  };
+}
+
+VideoAsset::VideoAsset(Params params)
+    : params_(std::move(params)),
+      grid_(params_.tile_cols, params_.tile_rows, params_.frame_w, params_.frame_h) {
+  if (params_.ladder.empty()) params_.ladder = default_ladder();
+  MFHTTP_CHECK(params_.duration_s > 0);
+  for (std::size_t q = 1; q < params_.ladder.size(); ++q)
+    MFHTTP_CHECK_MSG(params_.ladder[q].resolution > params_.ladder[q - 1].resolution,
+                     "ladder must ascend by resolution");
+
+  // Pre-draw every (segment, quality, tile) size so all schedulers see the
+  // same content.
+  Rng rng(params_.seed);
+  const int tiles = grid_.tile_count();
+  sizes_.resize(static_cast<std::size_t>(params_.duration_s));
+  for (int s = 0; s < params_.duration_s; ++s) {
+    auto& per_quality = sizes_[static_cast<std::size_t>(s)];
+    per_quality.resize(params_.ladder.size());
+    // One shared per-segment complexity factor: an action-heavy second is
+    // expensive at every quality, preserving ladder monotonicity.
+    double segment_factor = std::exp(rng.normal(0.0, params_.vbr_sigma));
+    // Per-tile complexity is drawn once per segment and shared across
+    // qualities so a tile's size stays monotone in quality.
+    std::vector<double> tile_factors(static_cast<std::size_t>(tiles));
+    for (double& f : tile_factors)
+      f = std::exp(rng.normal(0.0, params_.vbr_sigma / 2));
+    for (std::size_t q = 0; q < params_.ladder.size(); ++q) {
+      auto& per_tile = per_quality[q];
+      per_tile.resize(static_cast<std::size_t>(tiles));
+      double tile_rate = params_.ladder[q].whole_frame_rate *
+                         params_.bitrate_multiplier / tiles;
+      for (int t = 0; t < tiles; ++t) {
+        per_tile[static_cast<std::size_t>(t)] = static_cast<Bytes>(
+            tile_rate * segment_factor * tile_factors[static_cast<std::size_t>(t)]);
+      }
+    }
+  }
+}
+
+const Representation& VideoAsset::representation(int q) const {
+  MFHTTP_CHECK(q >= 0 && static_cast<std::size_t>(q) < params_.ladder.size());
+  return params_.ladder[static_cast<std::size_t>(q)];
+}
+
+Bytes VideoAsset::segment_size(int tile, int segment, int quality) const {
+  MFHTTP_CHECK(segment >= 0 && segment < segment_count());
+  MFHTTP_CHECK(quality >= 0 && quality < quality_count());
+  MFHTTP_CHECK(tile >= 0 && tile < grid_.tile_count());
+  return sizes_[static_cast<std::size_t>(segment)][static_cast<std::size_t>(quality)]
+               [static_cast<std::size_t>(tile)];
+}
+
+Bytes VideoAsset::whole_frame_segment_size(int segment, int quality) const {
+  Bytes total = 0;
+  for (int t = 0; t < grid_.tile_count(); ++t)
+    total += segment_size(t, segment, quality);
+  return total;
+}
+
+std::string VideoAsset::segment_url(const std::string& origin, int tile, int segment,
+                                    int quality) const {
+  int r = tile / grid_.cols();
+  int c = tile % grid_.cols();
+  return origin + strformat("/%s/tile_%d_%d/%s/seg_%03d.m4s", params_.name.c_str(),
+                            r, c, representation(quality).name.c_str(), segment);
+}
+
+}  // namespace mfhttp

@@ -1,0 +1,68 @@
+// Tile-based DASH content model (§6.2.1): each test video is packaged into
+// a tile grid, encoded at the paper's four spherical resolutions (1080s,
+// 720s, 480s, 360s), and cut into 1-second segments. Segment sizes are
+// drawn per (tile, segment, quality) with VBR jitter so no two seconds cost
+// exactly the same — the source of the "NA" slices in Fig. 10.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+#include "video/tiling.h"
+
+namespace mfhttp {
+
+struct Representation {
+  std::string name;              // "1080s", "720s", ...
+  double resolution = 0;         // r_j for the QoE model (frame height)
+  BytesPerSec whole_frame_rate;  // bytes/s to stream the full frame
+};
+
+// The default ladder: whole-frame rates chosen so the Fig. 10 bandwidth
+// sweep (250..1000 KB/s) spans "only 360s affordable" to "everything fits".
+std::vector<Representation> default_ladder();
+
+class VideoAsset {
+ public:
+  struct Params {
+    std::string name = "video1";
+    int duration_s = 60;
+    int tile_cols = 4;
+    int tile_rows = 4;
+    double frame_w = 3840;  // equirect 2:1
+    double frame_h = 1920;
+    std::vector<Representation> ladder;  // ascending by resolution
+    double bitrate_multiplier = 1.0;     // per-video content complexity
+    double vbr_sigma = 0.18;             // lognormal per-segment size jitter
+    std::uint64_t seed = 7;
+  };
+
+  explicit VideoAsset(Params params);
+
+  const Params& params() const { return params_; }
+  const TileGrid& grid() const { return grid_; }
+  int segment_count() const { return params_.duration_s; }
+  int quality_count() const { return static_cast<int>(params_.ladder.size()); }
+  const Representation& representation(int q) const;
+
+  // Wire size of one tile's 1-second segment at quality q.
+  Bytes segment_size(int tile, int segment, int quality) const;
+
+  // Sum over all tiles for one segment at a uniform quality.
+  Bytes whole_frame_segment_size(int segment, int quality) const;
+
+  // DASH-style URL for a tile segment (used when streaming through the
+  // simulated HTTP stack): /<name>/tile_<r>_<c>/<quality-name>/seg_<k>.m4s
+  std::string segment_url(const std::string& origin, int tile, int segment,
+                          int quality) const;
+
+ private:
+  Params params_;
+  TileGrid grid_;
+  // sizes_[segment][quality][tile]
+  std::vector<std::vector<std::vector<Bytes>>> sizes_;
+};
+
+}  // namespace mfhttp

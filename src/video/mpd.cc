@@ -1,0 +1,192 @@
+#include "video/mpd.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace mfhttp {
+
+std::string MpdDocument::expand_template(const std::string& media_template,
+                                         int segment_number) {
+  std::string out = media_template;
+  std::size_t pos = out.find("$Number$");
+  if (pos != std::string::npos)
+    out.replace(pos, 8, strformat("%03d", segment_number));
+  return out;
+}
+
+std::string write_mpd(const VideoAsset& video, const std::string& base_url) {
+  const VideoAsset::Params& p = video.params();
+  const TileGrid& grid = video.grid();
+  std::string xml;
+  xml += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  xml += strformat(
+      "<MPD xmlns=\"urn:mpeg:dash:schema:mpd:2011\" type=\"static\""
+      " mediaPresentationDuration=\"PT%dS\" minBufferTime=\"PT1S\">\n",
+      p.duration_s);
+  xml += strformat("  <BaseURL>%s/</BaseURL>\n", base_url.c_str());
+  xml += strformat("  <Period duration=\"PT%dS\">\n", p.duration_s);
+
+  for (int tile = 0; tile < grid.tile_count(); ++tile) {
+    Rect box = grid.tile_rect(tile);
+    int row = tile / grid.cols();
+    int col = tile % grid.cols();
+    xml += strformat("    <AdaptationSet id=\"%d\" mimeType=\"video/mp4\">\n", tile);
+    xml += strformat(
+        "      <SupplementalProperty schemeIdUri=\"urn:mpeg:dash:srd:2014\""
+        " value=\"0,%d,%d,%d,%d,%d,%d\"/>\n",
+        static_cast<int>(box.x), static_cast<int>(box.y), static_cast<int>(box.w),
+        static_cast<int>(box.h), static_cast<int>(grid.frame_w()),
+        static_cast<int>(grid.frame_h()));
+    for (int q = 0; q < video.quality_count(); ++q) {
+      const Representation& rep = video.representation(q);
+      // Per-tile share of the whole-frame rate, in bits/s as DASH requires.
+      auto bandwidth = static_cast<long long>(
+          rep.whole_frame_rate * p.bitrate_multiplier / grid.tile_count() * 8);
+      xml += strformat(
+          "      <Representation id=\"tile_%d_%d_%s\" bandwidth=\"%lld\">\n", row,
+          col, rep.name.c_str(), bandwidth);
+      xml += strformat(
+          "        <SegmentTemplate media=\"%s/tile_%d_%d/%s/seg_$Number$.m4s\""
+          " duration=\"1000\" timescale=\"1000\" startNumber=\"0\"/>\n",
+          p.name.c_str(), row, col, rep.name.c_str());
+      xml += "      </Representation>\n";
+    }
+    xml += "    </AdaptationSet>\n";
+  }
+  xml += "  </Period>\n</MPD>\n";
+  return xml;
+}
+
+namespace {
+
+// Minimal forward scanner for the dialect written above.
+struct Scanner {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  // Advance to the next occurrence of `tag` (e.g. "<Representation"); returns
+  // the attribute region (between the tag name and the closing '>') or
+  // nullopt when no further occurrence exists before `end`.
+  std::optional<std::string_view> next_tag(std::string_view tag,
+                                           std::size_t end = std::string::npos) {
+    std::size_t at = text.find(tag, pos);
+    if (at == std::string_view::npos || at >= end) return std::nullopt;
+    std::size_t close = text.find('>', at);
+    if (close == std::string_view::npos) return std::nullopt;
+    pos = close + 1;
+    return text.substr(at + tag.size(), close - at - tag.size());
+  }
+
+  std::size_t find_from_here(std::string_view needle) const {
+    return text.find(needle, pos);
+  }
+};
+
+// Extract attr="value" from a tag's attribute region.
+std::optional<std::string> attr_value(std::string_view attrs, std::string_view name) {
+  std::string needle = std::string(name) + "=\"";
+  std::size_t at = attrs.find(needle);
+  if (at == std::string_view::npos) return std::nullopt;
+  std::size_t start = at + needle.size();
+  std::size_t end = attrs.find('"', start);
+  if (end == std::string_view::npos) return std::nullopt;
+  return std::string(attrs.substr(start, end - start));
+}
+
+std::optional<int> parse_duration_s(std::string_view iso) {
+  // Accepts the "PT<n>S" subset we emit.
+  if (!starts_with(iso, "PT") || !ends_with(iso, "S")) return std::nullopt;
+  std::string_view digits = iso.substr(2, iso.size() - 3);
+  if (digits.empty()) return std::nullopt;
+  int out = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    out = out * 10 + (c - '0');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<MpdDocument> parse_mpd(const std::string& xml) {
+  Scanner scan{xml};
+  auto mpd_attrs = scan.next_tag("<MPD");
+  if (!mpd_attrs) return std::nullopt;
+  auto duration_attr = attr_value(*mpd_attrs, "mediaPresentationDuration");
+  if (!duration_attr) return std::nullopt;
+  auto duration = parse_duration_s(*duration_attr);
+  if (!duration) return std::nullopt;
+
+  if (!scan.next_tag("<Period")) return std::nullopt;
+
+  MpdDocument doc;
+  doc.duration_s = *duration;
+
+  while (true) {
+    // Bound each adaptation set's representations by the start of the next
+    // one, so representation scanning cannot leak across sets.
+    auto set_attrs = scan.next_tag("<AdaptationSet");
+    if (!set_attrs) break;
+    std::size_t set_end = scan.find_from_here("</AdaptationSet>");
+    if (set_end == std::string::npos) return std::nullopt;
+
+    MpdAdaptationSet set;
+    auto srd_attrs = scan.next_tag("<SupplementalProperty", set_end);
+    if (!srd_attrs) return std::nullopt;
+    auto scheme = attr_value(*srd_attrs, "schemeIdUri");
+    auto value = attr_value(*srd_attrs, "value");
+    if (!scheme || *scheme != "urn:mpeg:dash:srd:2014" || !value)
+      return std::nullopt;
+    auto parts = split(*value, ',');
+    if (parts.size() != 7) return std::nullopt;
+    try {
+      set.srd_x = std::stoi(parts[1]);
+      set.srd_y = std::stoi(parts[2]);
+      set.srd_w = std::stoi(parts[3]);
+      set.srd_h = std::stoi(parts[4]);
+      set.srd_frame_w = std::stoi(parts[5]);
+      set.srd_frame_h = std::stoi(parts[6]);
+    } catch (...) {
+      return std::nullopt;
+    }
+
+    while (auto rep_attrs = scan.next_tag("<Representation", set_end)) {
+      MpdRepresentation rep;
+      auto id = attr_value(*rep_attrs, "id");
+      auto bandwidth = attr_value(*rep_attrs, "bandwidth");
+      if (!id || !bandwidth) return std::nullopt;
+      rep.id = *id;
+      try {
+        rep.bandwidth = std::stoll(*bandwidth);
+      } catch (...) {
+        return std::nullopt;
+      }
+      // Quality name: the suffix after the last '_' of the id.
+      std::size_t us = rep.id.rfind('_');
+      rep.quality = us == std::string::npos ? rep.id : rep.id.substr(us + 1);
+
+      auto tmpl_attrs = scan.next_tag("<SegmentTemplate", set_end);
+      if (!tmpl_attrs) return std::nullopt;
+      auto media = attr_value(*tmpl_attrs, "media");
+      if (!media) return std::nullopt;
+      rep.media_template = *media;
+      auto seg_dur = attr_value(*tmpl_attrs, "duration");
+      if (seg_dur) {
+        try {
+          doc.segment_duration_ms = std::stoi(*seg_dur);
+        } catch (...) {
+          return std::nullopt;
+        }
+      }
+      set.representations.push_back(std::move(rep));
+    }
+    if (set.representations.empty()) return std::nullopt;
+    doc.adaptation_sets.push_back(std::move(set));
+  }
+  if (doc.adaptation_sets.empty()) return std::nullopt;
+  return doc;
+}
+
+}  // namespace mfhttp

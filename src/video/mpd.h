@@ -1,0 +1,52 @@
+// DASH Media Presentation Description (MPD) with the Spatial Relationship
+// Description (SRD) extension — the manifest format of the paper's GPAC
+// packaging pipeline (§6.2.1: tiles are "segmented ... as well as the MPD
+// files, which are ready to be DASHed").
+//
+// The writer emits one AdaptationSet per tile carrying an
+// urn:mpeg:dash:srd:2014 SupplementalProperty ("source,x,y,w,h,W,H"), one
+// Representation per ladder rung, and a SegmentTemplate with $Number$
+// substitution. The parser reads that dialect back (it is a purposeful
+// subset of MPEG-DASH, not a general XML parser).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "video/dash.h"
+
+namespace mfhttp {
+
+struct MpdRepresentation {
+  std::string id;          // e.g. "tile_1_2_720s"
+  std::string quality;     // ladder name, e.g. "720s"
+  long long bandwidth = 0; // bits per second, as DASH specifies
+  std::string media_template;  // e.g. ".../seg_$Number$.m4s"
+};
+
+struct MpdAdaptationSet {
+  int srd_x = 0, srd_y = 0, srd_w = 0, srd_h = 0;  // tile box in frame px
+  int srd_frame_w = 0, srd_frame_h = 0;            // whole frame dims
+  std::vector<MpdRepresentation> representations;
+};
+
+struct MpdDocument {
+  int duration_s = 0;
+  int segment_duration_ms = 1000;
+  std::vector<MpdAdaptationSet> adaptation_sets;  // one per tile, row-major
+
+  // Expand a representation's media template for a segment number.
+  static std::string expand_template(const std::string& media_template,
+                                     int segment_number);
+};
+
+// Serialize the asset's tiling/ladder as an MPD manifest. URLs are relative
+// to `base_url` (emitted as <BaseURL>).
+std::string write_mpd(const VideoAsset& video, const std::string& base_url);
+
+// Parse the dialect written by write_mpd. Returns nullopt on any structural
+// error (missing MPD/Period, bad SRD, missing SegmentTemplate, ...).
+std::optional<MpdDocument> parse_mpd(const std::string& xml);
+
+}  // namespace mfhttp

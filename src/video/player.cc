@@ -1,0 +1,195 @@
+#include "video/player.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace mfhttp {
+
+double BufferedSessionResult::mean_scheduled_resolution(const VideoAsset& video) const {
+  double sum = 0;
+  int n = 0;
+  for (const PlayedSegment& s : segments) {
+    if (s.scheduled_quality < 0) continue;
+    sum += video.representation(s.scheduled_quality).resolution;
+    ++n;
+  }
+  return n > 0 ? sum / n : 0;
+}
+
+double BufferedSessionResult::mean_hit_fraction() const {
+  if (segments.empty()) return 0;
+  double sum = 0;
+  for (const PlayedSegment& s : segments) sum += s.hit_fraction();
+  return sum / static_cast<double>(segments.size());
+}
+
+namespace {
+
+// The whole session as one simulator program.
+struct PlayerRun {
+  PlayerRun(const VideoAsset& video, const ViewportTrace& viewport,
+            const BandwidthTrace& bandwidth, const TileScheduler& scheduler,
+            const BufferedPlayerParams& params)
+      : video_(video), viewport_(viewport), scheduler_(scheduler), params_(params) {
+    Link::Params lp;
+    lp.bandwidth = bandwidth;
+    lp.latency_ms = params.link_latency_ms;
+    lp.sharing = Link::Sharing::kFifo;
+    link_ = std::make_unique<Link>(sim_, lp);
+    const int n = video.segment_count();
+    result_.scheduler = scheduler.name();
+    result_.segments.resize(static_cast<std::size_t>(n));
+    plans_.resize(static_cast<std::size_t>(n));
+    downloaded_.assign(static_cast<std::size_t>(n), false);
+    for (int i = 0; i < n; ++i)
+      result_.segments[static_cast<std::size_t>(i)].segment = i;
+  }
+
+  BufferedSessionResult run() {
+    maybe_fetch();
+    sim_.run();
+    return std::move(result_);
+  }
+
+ private:
+  int buffered_ahead() const { return fetched_count_ - next_play_; }
+
+  void maybe_fetch() {
+    if (fetching_ || next_fetch_ >= video_.segment_count()) return;
+    if (buffered_ahead() >= static_cast<int>(params_.max_buffer_s)) return;
+
+    const int seg = next_fetch_;
+    PlayedSegment& rec = result_.segments[static_cast<std::size_t>(seg)];
+    rec.fetch_start_ms = sim_.now();
+
+    // Orientation "now" — the tracker follows the current viewport location.
+    std::vector<bool> visible =
+        video_.grid().visible_tiles(viewport_.at(sim_.now()), params_.fov);
+
+    // Budget from the throughput estimate; before any sample exists, probe
+    // at the cost of a floor-quality whole frame.
+    SchedulerContext ctx;
+    ctx.budget = est_rate_ > 0
+                     ? static_cast<Bytes>(est_rate_ * params_.throughput_safety)
+                     : video_.whole_frame_segment_size(seg, 0);
+    ctx.buffer_s = static_cast<double>(buffered_ahead());
+    ctx.est_rate = est_rate_;
+    TilePlan plan = scheduler_.plan_segment(video_, seg, visible, ctx);
+    plans_[static_cast<std::size_t>(seg)] = plan;
+    rec.scheduled_quality = plan.viewport_quality;
+    rec.bytes = plan.bytes;
+
+    if (plan.stalled() || plan.bytes == 0) {
+      // Nothing fits (or nothing to fetch): this second will play empty.
+      on_segment_fetched(seg);
+      return;
+    }
+
+    fetching_ = true;
+    ++next_fetch_;
+    link_->submit(plan.bytes, [this, seg](Bytes, bool complete) {
+      if (!complete) return;
+      fetching_ = false;
+      on_segment_fetched(seg);
+    });
+  }
+
+  void on_segment_fetched(int seg) {
+    PlayedSegment& rec = result_.segments[static_cast<std::size_t>(seg)];
+    rec.fetch_done_ms = sim_.now();
+    if (seg == next_fetch_) ++next_fetch_;  // the skipped (stalled-plan) path
+    downloaded_[static_cast<std::size_t>(seg)] = true;
+    ++fetched_count_;
+    result_.total_bytes += rec.bytes;
+
+    // Throughput sample (EWMA); zero-byte plans carry no signal.
+    TimeMs elapsed = rec.fetch_done_ms - rec.fetch_start_ms;
+    if (rec.bytes > 0 && elapsed > 0) {
+      double sample =
+          static_cast<double>(rec.bytes) / (static_cast<double>(elapsed) / 1000.0);
+      est_rate_ = est_rate_ > 0 ? 0.5 * est_rate_ + 0.5 * sample : sample;
+    }
+
+    if (!playback_started_ &&
+        fetched_count_ >= static_cast<int>(params_.startup_buffer_s)) {
+      playback_started_ = true;
+      result_.startup_delay_ms = sim_.now();
+      play_tick();
+    } else if (stalled_waiting_for_ == seg) {
+      // Rebuffering ends the moment the late segment lands.
+      result_.stall_ms += sim_.now() - stall_start_ms_;
+      stalled_waiting_for_ = -1;
+      play_tick();
+    }
+    maybe_fetch();
+  }
+
+  void play_tick() {
+    if (next_play_ >= video_.segment_count()) return;  // session over
+    const int seg = next_play_;
+    if (!downloaded_[static_cast<std::size_t>(seg)]) {
+      // Stall: resume from on_segment_fetched.
+      ++result_.stall_count;
+      stall_start_ms_ = sim_.now();
+      stalled_waiting_for_ = seg;
+      return;
+    }
+    PlayedSegment& rec = result_.segments[static_cast<std::size_t>(seg)];
+    rec.playback_ms = sim_.now();
+
+    // What the user actually looks at mid-second vs what was fetched.
+    std::vector<bool> visible_now =
+        video_.grid().visible_tiles(viewport_.at(sim_.now() + 500), params_.fov);
+    const TilePlan& plan = plans_[static_cast<std::size_t>(seg)];
+    for (int t = 0; t < video_.grid().tile_count(); ++t) {
+      if (!visible_now[static_cast<std::size_t>(t)]) continue;
+      ++rec.visible_at_playback;
+      if (!plan.tile_quality.empty() &&
+          plan.tile_quality[static_cast<std::size_t>(t)] == plan.viewport_quality &&
+          plan.viewport_quality >= 0)
+        ++rec.hit_at_playback;
+    }
+
+    ++next_play_;
+    maybe_fetch();  // playback advanced; buffer may have room again
+    if (next_play_ < video_.segment_count())
+      sim_.schedule_after(1000, [this] { play_tick(); });
+  }
+
+  Simulator sim_;
+  const VideoAsset& video_;
+  const ViewportTrace& viewport_;
+  const TileScheduler& scheduler_;
+  BufferedPlayerParams params_;
+  std::unique_ptr<Link> link_;
+
+  BufferedSessionResult result_;
+  std::vector<TilePlan> plans_;
+  std::vector<bool> downloaded_;
+  int next_fetch_ = 0;
+  int fetched_count_ = 0;
+  int next_play_ = 0;
+  bool fetching_ = false;
+  bool playback_started_ = false;
+  int stalled_waiting_for_ = -1;
+  TimeMs stall_start_ms_ = 0;
+  double est_rate_ = 0;  // bytes/s EWMA
+};
+
+}  // namespace
+
+BufferedSessionResult run_buffered_session(const VideoAsset& video,
+                                           const ViewportTrace& viewport,
+                                           const BandwidthTrace& bandwidth,
+                                           const TileScheduler& scheduler,
+                                           const BufferedPlayerParams& params) {
+  MFHTTP_CHECK(params.startup_buffer_s >= 1.0);
+  MFHTTP_CHECK(params.max_buffer_s >= params.startup_buffer_s);
+  PlayerRun run(video, viewport, bandwidth, scheduler, params);
+  return run.run();
+}
+
+}  // namespace mfhttp

@@ -1,0 +1,69 @@
+// Event-driven tile-DASH player with a real buffer, run on the simulator.
+//
+// The per-second arithmetic in session.h mirrors the paper's offline
+// simulation; this player closes the remaining gap to a real client:
+//
+//   * segments are fetched sequentially over a rate-limited link, with the
+//     throughput *estimated* from completed transfers (no oracle bandwidth),
+//   * playback starts after a startup buffer and stalls when the next
+//     segment is late (stall count/duration are first-class outputs),
+//   * fetch-ahead is capped by a buffer target,
+//   * because tiles are chosen at fetch time but watched at playback time,
+//     the player measures the viewport *hit fraction* — how much of what the
+//     user actually looks at was fetched at viewport quality.
+#pragma once
+
+#include <vector>
+
+#include "net/link.h"
+#include "sim/simulator.h"
+#include "video/scheduler.h"
+#include "video/viewport_trace.h"
+
+namespace mfhttp {
+
+struct BufferedPlayerParams {
+  FieldOfView fov;
+  double startup_buffer_s = 1.0;  // segments buffered before playback starts
+  double max_buffer_s = 3.0;      // stop fetching ahead beyond this
+  double throughput_safety = 0.9; // schedule against est_rate * safety
+  TimeMs link_latency_ms = 10;
+};
+
+struct PlayedSegment {
+  int segment = 0;
+  int scheduled_quality = -1;   // plan's viewport quality at fetch time
+  TimeMs fetch_start_ms = 0;
+  TimeMs fetch_done_ms = 0;
+  TimeMs playback_ms = 0;       // when this second actually played
+  Bytes bytes = 0;
+  int visible_at_playback = 0;  // tiles visible when it played
+  int hit_at_playback = 0;      // of those, fetched at viewport quality
+  double hit_fraction() const {
+    return visible_at_playback > 0
+               ? static_cast<double>(hit_at_playback) / visible_at_playback
+               : 1.0;
+  }
+};
+
+struct BufferedSessionResult {
+  std::string scheduler;
+  std::vector<PlayedSegment> segments;
+  TimeMs startup_delay_ms = 0;  // first-frame latency
+  int stall_count = 0;
+  TimeMs stall_ms = 0;          // total rebuffering time after startup
+  Bytes total_bytes = 0;
+
+  double mean_scheduled_resolution(const VideoAsset& video) const;
+  double mean_hit_fraction() const;
+};
+
+// Stream the whole asset through `scheduler` over a link shaped by
+// `bandwidth`, driven by the viewer's orientation trace.
+BufferedSessionResult run_buffered_session(const VideoAsset& video,
+                                           const ViewportTrace& viewport,
+                                           const BandwidthTrace& bandwidth,
+                                           const TileScheduler& scheduler,
+                                           const BufferedPlayerParams& params);
+
+}  // namespace mfhttp

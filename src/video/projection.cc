@@ -1,0 +1,90 @@
+#include "video/projection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mfhttp {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+struct Vec3 {
+  double x, y, z;
+};
+
+Vec3 normalize(Vec3 v) {
+  double n = std::sqrt(v.x * v.x + v.y * v.y + v.z * v.z);
+  return {v.x / n, v.y / n, v.z / n};
+}
+}  // namespace
+
+ViewOrientation normalize_orientation(ViewOrientation o) {
+  // Wrap yaw into (-pi, pi].
+  o.yaw = std::fmod(o.yaw, 2 * kPi);
+  if (o.yaw <= -kPi) o.yaw += 2 * kPi;
+  if (o.yaw > kPi) o.yaw -= 2 * kPi;
+  o.pitch = std::clamp(o.pitch, -kPi / 2, kPi / 2);
+  return o;
+}
+
+ViewOrientation interpolate_orientation(const ViewOrientation& a,
+                                        const ViewOrientation& b, double t) {
+  ViewOrientation na = normalize_orientation(a);
+  ViewOrientation nb = normalize_orientation(b);
+  double dyaw = nb.yaw - na.yaw;
+  if (dyaw > kPi) dyaw -= 2 * kPi;    // take the short way around
+  if (dyaw < -kPi) dyaw += 2 * kPi;
+  ViewOrientation out;
+  out.yaw = na.yaw + dyaw * t;
+  out.pitch = na.pitch + (nb.pitch - na.pitch) * t;
+  return normalize_orientation(out);
+}
+
+Vec2 project_equirect(const ViewOrientation& dir, double frame_w, double frame_h) {
+  MFHTTP_DCHECK(frame_w > 0 && frame_h > 0);
+  ViewOrientation n = normalize_orientation(dir);
+  double u = (n.yaw + kPi) / (2 * kPi) * frame_w;
+  double v = (kPi / 2 - n.pitch) / kPi * frame_h;
+  // Numeric edge: yaw == pi maps to frame_w; fold back into range.
+  if (u >= frame_w) u -= frame_w;
+  v = std::clamp(v, 0.0, std::nexttoward(frame_h, 0.0));
+  return {u, v};
+}
+
+std::vector<Vec2> viewport_footprint(const ViewOrientation& center,
+                                     const FieldOfView& fov, double frame_w,
+                                     double frame_h, int samples_x, int samples_y) {
+  MFHTTP_CHECK(samples_x >= 2 && samples_y >= 2);
+  ViewOrientation c = normalize_orientation(center);
+  const double cy = std::cos(c.yaw), sy = std::sin(c.yaw);
+  const double cp = std::cos(c.pitch), sp = std::sin(c.pitch);
+  // Camera basis (no roll): forward towards the view direction, right along
+  // the horizon, up towards increasing pitch.
+  const Vec3 fwd{cp * cy, cp * sy, sp};
+  const Vec3 right{-sy, cy, 0};
+  const Vec3 up{-sp * cy, -sp * sy, cp};
+
+  std::vector<Vec2> points;
+  points.reserve(static_cast<std::size_t>(samples_x) * samples_y);
+  for (int iy = 0; iy < samples_y; ++iy) {
+    double b = (static_cast<double>(iy) / (samples_y - 1) - 0.5) * fov.vertical_rad;
+    double tb = std::tan(b);
+    for (int ix = 0; ix < samples_x; ++ix) {
+      double a =
+          (static_cast<double>(ix) / (samples_x - 1) - 0.5) * fov.horizontal_rad;
+      double ta = std::tan(a);
+      Vec3 d = normalize({fwd.x + ta * right.x + tb * up.x,
+                          fwd.y + ta * right.y + tb * up.y,
+                          fwd.z + ta * right.z + tb * up.z});
+      ViewOrientation sample;
+      sample.yaw = std::atan2(d.y, d.x);
+      sample.pitch = std::asin(std::clamp(d.z, -1.0, 1.0));
+      points.push_back(project_equirect(sample, frame_w, frame_h));
+    }
+  }
+  return points;
+}
+
+}  // namespace mfhttp

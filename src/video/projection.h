@@ -1,0 +1,45 @@
+// Equirectangular projection and spherical viewport geometry (§5.2.1).
+//
+// A 360° frame is a sphere unwrapped onto a 2πr x πr plane. The user's view
+// direction is (yaw, pitch): yaw ∈ (-π, π] is longitude (wraps), pitch ∈
+// [-π/2, π/2] is latitude. The visible region for a given field of view is
+// computed by casting sample rays across the FOV and projecting each onto
+// the frame — this handles the longitude wrap and the polar stretching that
+// make the footprint non-rectangular.
+#pragma once
+
+#include <vector>
+
+#include "geom/vec2.h"
+
+namespace mfhttp {
+
+struct ViewOrientation {
+  double yaw = 0;    // radians, wraps into (-pi, pi]
+  double pitch = 0;  // radians, clamped to [-pi/2, pi/2]
+};
+
+// Normalize yaw into (-pi, pi] and clamp pitch.
+ViewOrientation normalize_orientation(ViewOrientation o);
+
+// Linear interpolation along the shortest yaw arc.
+ViewOrientation interpolate_orientation(const ViewOrientation& a,
+                                        const ViewOrientation& b, double t);
+
+struct FieldOfView {
+  double horizontal_rad = 100.0 * 3.14159265358979323846 / 180.0;
+  double vertical_rad = 70.0 * 3.14159265358979323846 / 180.0;
+};
+
+// Map a view direction to equirectangular frame coordinates (u, v) in
+// [0, frame_w) x [0, frame_h).
+Vec2 project_equirect(const ViewOrientation& dir, double frame_w, double frame_h);
+
+// Sample directions covering the viewport: a samples_x x samples_y grid over
+// the FOV, rotated to the view orientation. Returned as frame coordinates.
+std::vector<Vec2> viewport_footprint(const ViewOrientation& center,
+                                     const FieldOfView& fov, double frame_w,
+                                     double frame_h, int samples_x = 15,
+                                     int samples_y = 9);
+
+}  // namespace mfhttp

@@ -1,0 +1,103 @@
+#include "video/scheduler.h"
+
+#include <numeric>
+
+#include "util/check.h"
+
+namespace mfhttp {
+
+namespace {
+
+Bytes plan_cost(const VideoAsset& video, int segment,
+                const std::vector<int>& tile_quality) {
+  Bytes total = 0;
+  for (int t = 0; t < video.grid().tile_count(); ++t) {
+    int q = tile_quality[static_cast<std::size_t>(t)];
+    if (q >= 0) total += video.segment_size(t, segment, q);
+  }
+  return total;
+}
+
+}  // namespace
+
+TilePlan MfHttpTileScheduler::plan_segment(const VideoAsset& video, int segment,
+                                           const std::vector<bool>& visible,
+                                           const SchedulerContext& context) const {
+  const Bytes budget = context.budget;
+  const int tiles = video.grid().tile_count();
+  MFHTTP_CHECK(static_cast<int>(visible.size()) == tiles);
+  TilePlan plan;
+  plan.tile_quality.assign(static_cast<std::size_t>(tiles), -1);
+  plan.visible_count = TileGrid::count_visible(visible);
+
+  // Invisible tiles always at the lowest quality (they may become visible
+  // mid-segment after a drag); visible tiles at the best quality that fits.
+  for (int q = video.quality_count() - 1; q >= 0; --q) {
+    std::vector<int> trial(static_cast<std::size_t>(tiles));
+    for (int t = 0; t < tiles; ++t)
+      trial[static_cast<std::size_t>(t)] = visible[static_cast<std::size_t>(t)] ? q : 0;
+    Bytes cost = plan_cost(video, segment, trial);
+    if (cost <= budget) {
+      plan.tile_quality = std::move(trial);
+      plan.viewport_quality = q;
+      plan.bytes = cost;
+      return plan;
+    }
+  }
+  // Even the lowest uniform quality does not fit: shed the invisible tiles
+  // and retry with the viewport alone.
+  std::vector<int> viewport_only(static_cast<std::size_t>(tiles), -1);
+  for (int t = 0; t < tiles; ++t)
+    if (visible[static_cast<std::size_t>(t)]) viewport_only[static_cast<std::size_t>(t)] = 0;
+  Bytes cost = plan_cost(video, segment, viewport_only);
+  if (cost <= budget) {
+    plan.tile_quality = std::move(viewport_only);
+    plan.viewport_quality = 0;
+    plan.bytes = cost;
+    return plan;
+  }
+  // NA — bandwidth insufficient for any resolution.
+  return plan;
+}
+
+TilePlan GreedyDashScheduler::plan_segment(const VideoAsset& video, int segment,
+                                           const std::vector<bool>& visible,
+                                           const SchedulerContext& context) const {
+  const Bytes budget = context.budget;
+  const int tiles = video.grid().tile_count();
+  MFHTTP_CHECK(static_cast<int>(visible.size()) == tiles);
+  TilePlan plan;
+  plan.tile_quality.assign(static_cast<std::size_t>(tiles), -1);
+  plan.visible_count = TileGrid::count_visible(visible);
+
+  for (int q = video.quality_count() - 1; q >= 0; --q) {
+    Bytes cost = video.whole_frame_segment_size(segment, q);
+    if (cost <= budget) {
+      plan.tile_quality.assign(static_cast<std::size_t>(tiles), q);
+      plan.viewport_quality = q;
+      plan.bytes = cost;
+      return plan;
+    }
+  }
+  return plan;  // NA
+}
+
+std::string FixedRateScheduler::name() const {
+  return "fixed-q" + std::to_string(quality_);
+}
+
+TilePlan FixedRateScheduler::plan_segment(const VideoAsset& video, int segment,
+                                          const std::vector<bool>& visible,
+                                          const SchedulerContext& /*context*/) const {
+  const int tiles = video.grid().tile_count();
+  MFHTTP_CHECK(static_cast<int>(visible.size()) == tiles);
+  MFHTTP_CHECK(quality_ >= 0 && quality_ < video.quality_count());
+  TilePlan plan;
+  plan.visible_count = TileGrid::count_visible(visible);
+  plan.tile_quality.assign(static_cast<std::size_t>(tiles), quality_);
+  plan.viewport_quality = quality_;
+  plan.bytes = video.whole_frame_segment_size(segment, quality_);
+  return plan;
+}
+
+}  // namespace mfhttp

@@ -1,0 +1,97 @@
+// Per-segment tile/rate selection policies (§5.2.2, §6.2).
+//
+//   * MfHttpTileScheduler — the paper's principle: given the available
+//     bandwidth, minimize the quality of tiles with no viewport overlap and
+//     maximize the quality of tiles that appear in the viewport.
+//   * GreedyDashScheduler — the Fig. 10 comparator: stream the whole frame
+//     at the highest resolution the budget affords.
+//   * FixedRateScheduler — the Fig. 9 baseline: whole frame at a fixed
+//     resolution, viewport-oblivious.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+#include "video/dash.h"
+
+namespace mfhttp {
+
+struct TilePlan {
+  // Per tile: chosen quality index into the ladder, or -1 to skip the tile.
+  std::vector<int> tile_quality;
+  // Quality shown in the viewport this segment; -1 = NA (insufficient
+  // bandwidth for any resolution).
+  int viewport_quality = -1;
+  Bytes bytes = 0;  // total wire size of the plan
+  int visible_count = 0;
+
+  bool stalled() const { return viewport_quality < 0; }
+};
+
+// Everything a scheduler may key its decision on. The offline per-second
+// session fills only `budget`; the buffered player also supplies its buffer
+// occupancy and throughput estimate, which the literature-style ABR
+// baselines (video/abr.h) consume.
+struct SchedulerContext {
+  Bytes budget = 0;       // byte allowance for this segment
+  double buffer_s = 0;    // seconds of content buffered ahead of playback
+  double est_rate = 0;    // throughput estimate, bytes/s (0 = unknown)
+
+  static SchedulerContext from_budget(Bytes budget) {
+    SchedulerContext ctx;
+    ctx.budget = budget;
+    return ctx;
+  }
+};
+
+class TileScheduler {
+ public:
+  virtual ~TileScheduler() = default;
+  virtual std::string name() const = 0;
+  // `visible` has one entry per tile.
+  virtual TilePlan plan_segment(const VideoAsset& video, int segment,
+                                const std::vector<bool>& visible,
+                                const SchedulerContext& context) const = 0;
+
+  // Convenience for budget-only callers (tests, offline session).
+  TilePlan plan_segment(const VideoAsset& video, int segment,
+                        const std::vector<bool>& visible, Bytes budget) const {
+    return plan_segment(video, segment, visible,
+                        SchedulerContext::from_budget(budget));
+  }
+};
+
+class MfHttpTileScheduler : public TileScheduler {
+ public:
+  using TileScheduler::plan_segment;
+  std::string name() const override { return "mf-http"; }
+  TilePlan plan_segment(const VideoAsset& video, int segment,
+                        const std::vector<bool>& visible,
+                        const SchedulerContext& context) const override;
+};
+
+class GreedyDashScheduler : public TileScheduler {
+ public:
+  using TileScheduler::plan_segment;
+  std::string name() const override { return "greedy-dash"; }
+  TilePlan plan_segment(const VideoAsset& video, int segment,
+                        const std::vector<bool>& visible,
+                        const SchedulerContext& context) const override;
+};
+
+class FixedRateScheduler : public TileScheduler {
+ public:
+  using TileScheduler::plan_segment;
+  explicit FixedRateScheduler(int quality) : quality_(quality) {}
+  std::string name() const override;
+  TilePlan plan_segment(const VideoAsset& video, int segment,
+                        const std::vector<bool>& visible,
+                        const SchedulerContext& context) const override;
+
+ private:
+  int quality_;
+};
+
+}  // namespace mfhttp

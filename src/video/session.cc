@@ -1,0 +1,158 @@
+#include "video/session.h"
+
+#include <algorithm>
+
+#include "http/proxy.h"
+#include "util/json.h"
+#include "http/sim_http.h"
+#include "sim/simulator.h"
+#include "util/check.h"
+
+namespace mfhttp {
+
+std::map<int, int> StreamingSessionResult::seconds_at_quality() const {
+  std::map<int, int> out;
+  for (const SegmentRecord& r : segments) ++out[r.viewport_quality];
+  return out;
+}
+
+double StreamingSessionResult::fraction_at(int quality) const {
+  if (segments.empty()) return 0;
+  auto n = std::count_if(segments.begin(), segments.end(),
+                         [quality](const SegmentRecord& r) {
+                           return r.viewport_quality == quality;
+                         });
+  return static_cast<double>(n) / static_cast<double>(segments.size());
+}
+
+double StreamingSessionResult::mean_resolution(const VideoAsset& video) const {
+  double sum = 0;
+  int n = 0;
+  for (const SegmentRecord& r : segments) {
+    if (r.viewport_quality < 0) continue;
+    sum += video.representation(r.viewport_quality).resolution;
+    ++n;
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+std::string StreamingSessionResult::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("scheduler").value(scheduler);
+  w.key("total_bytes").value(static_cast<long long>(total_bytes));
+  w.key("segments").begin_array();
+  for (const SegmentRecord& s : segments) {
+    w.begin_object();
+    w.key("segment").value(s.segment);
+    w.key("visible_tiles").value(s.visible_tiles);
+    w.key("viewport_quality").value(s.viewport_quality);
+    w.key("bytes").value(static_cast<long long>(s.bytes));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+StreamingSessionResult run_streaming_session(const VideoAsset& video,
+                                             const ViewportTrace& viewport,
+                                             const BandwidthTrace& bandwidth,
+                                             const TileScheduler& scheduler,
+                                             const StreamingSessionParams& params) {
+  StreamingSessionResult result;
+  result.scheduler = scheduler.name();
+
+  const TimeMs session_ms = static_cast<TimeMs>(video.segment_count()) * 1000;
+  const double mean_rate = bandwidth.bytes_between(0, session_ms) /
+                           (static_cast<double>(session_ms) / 1000.0);
+  const Bytes carry_cap = static_cast<Bytes>(params.carry_cap_s * mean_rate);
+
+  Bytes carry = 0;
+  for (int seg = 0; seg < video.segment_count(); ++seg) {
+    const TimeMs t0 = static_cast<TimeMs>(seg) * 1000;
+    const Bytes fresh = static_cast<Bytes>(bandwidth.bytes_between(t0, t0 + 1000));
+    const Bytes budget = fresh + carry;
+
+    // Orientation sampled mid-segment — the tracker "keeps a close track of
+    // the viewport's current location" (§5.2.2).
+    ViewOrientation view = viewport.at(t0 + 500);
+    std::vector<bool> visible = video.grid().visible_tiles(view, params.fov);
+
+    TilePlan plan = scheduler.plan_segment(video, seg, visible, budget);
+    MFHTTP_DCHECK(plan.bytes <= budget || plan.viewport_quality < 0 ||
+                  dynamic_cast<const FixedRateScheduler*>(&scheduler) != nullptr);
+
+    carry = std::min<Bytes>(std::max<Bytes>(budget - plan.bytes, 0), carry_cap);
+
+    SegmentRecord record;
+    record.segment = seg;
+    record.visible_tiles = plan.visible_count;
+    record.viewport_quality = plan.viewport_quality;
+    record.bytes = plan.bytes;
+    record.budget = budget;
+    result.segments.push_back(record);
+    result.total_bytes += plan.bytes;
+    result.plans.push_back(std::move(plan));
+  }
+  return result;
+}
+
+std::vector<TimeMs> replay_session_over_http(const VideoAsset& video,
+                                             const StreamingSessionResult& session,
+                                             const BandwidthTrace& bandwidth) {
+  Simulator sim;
+  Link::Params link_params;
+  link_params.bandwidth = bandwidth;
+  link_params.latency_ms = 5;
+  link_params.sharing = Link::Sharing::kFifo;  // segments fetched in order
+  Link link(sim, link_params);  // bottleneck device hop
+
+  Link::Params cdn_params;
+  cdn_params.bandwidth = BandwidthTrace::constant(50e6);  // fast CDN hop
+  cdn_params.latency_ms = 2;
+  Link cdn_link(sim, cdn_params);
+
+  MFHTTP_CHECK(session.plans.size() == session.segments.size());
+  const std::string origin_url = "http://cdn.example";
+  ObjectStore store;
+  // Register exactly the tile segments the plans download.
+  for (std::size_t si = 0; si < session.plans.size(); ++si) {
+    const TilePlan& plan = session.plans[si];
+    const int segment = session.segments[si].segment;
+    for (int t = 0; t < video.grid().tile_count(); ++t) {
+      int q = plan.tile_quality[static_cast<std::size_t>(t)];
+      if (q < 0) continue;
+      auto url = parse_url(video.segment_url(origin_url, t, segment, q));
+      MFHTTP_CHECK(url.has_value());
+      store.put(url->path, video.segment_size(t, segment, q), "video/mp4");
+    }
+  }
+  SimHttpOrigin origin(sim, &store, &cdn_link);
+  MitmProxy proxy(sim, &origin, &link);
+
+  // Fetch every chosen tile; a segment completes when its last tile lands.
+  // Requests are issued in segment order and the FIFO link preserves it.
+  std::vector<TimeMs> completion(session.segments.size(), -1);
+  std::vector<std::size_t> remaining(session.segments.size(), 0);
+
+  for (std::size_t si = 0; si < session.plans.size(); ++si) {
+    const TilePlan& plan = session.plans[si];
+    const int segment = session.segments[si].segment;
+    for (int t = 0; t < video.grid().tile_count(); ++t) {
+      int q = plan.tile_quality[static_cast<std::size_t>(t)];
+      if (q < 0) continue;
+      ++remaining[si];
+      FetchCallbacks cbs;
+      cbs.on_complete = [&completion, &remaining, si, &sim](const FetchResult&) {
+        if (--remaining[si] == 0) completion[si] = sim.now();
+      };
+      proxy.fetch(HttpRequest::get(video.segment_url(origin_url, t, segment, q)),
+                  std::move(cbs));
+    }
+  }
+  sim.run();
+  return completion;
+}
+
+}  // namespace mfhttp

@@ -1,0 +1,44 @@
+#include "video/tiling.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mfhttp {
+
+TileGrid::TileGrid(int cols, int rows, double frame_w, double frame_h)
+    : cols_(cols), rows_(rows), frame_w_(frame_w), frame_h_(frame_h) {
+  MFHTTP_CHECK(cols_ > 0 && rows_ > 0);
+  MFHTTP_CHECK(frame_w_ > 0 && frame_h_ > 0);
+}
+
+int TileGrid::tile_at(Vec2 p) const {
+  int cx = static_cast<int>(p.x / frame_w_ * cols_);
+  int cy = static_cast<int>(p.y / frame_h_ * rows_);
+  cx = std::clamp(cx, 0, cols_ - 1);
+  cy = std::clamp(cy, 0, rows_ - 1);
+  return cy * cols_ + cx;
+}
+
+Rect TileGrid::tile_rect(int tile) const {
+  MFHTTP_CHECK(tile >= 0 && tile < tile_count());
+  double tw = frame_w_ / cols_;
+  double th = frame_h_ / rows_;
+  int cx = tile % cols_;
+  int cy = tile / cols_;
+  return {cx * tw, cy * th, tw, th};
+}
+
+std::vector<bool> TileGrid::visible_tiles(const ViewOrientation& view,
+                                          const FieldOfView& fov) const {
+  std::vector<bool> mask(static_cast<std::size_t>(tile_count()), false);
+  for (Vec2 p : viewport_footprint(view, fov, frame_w_, frame_h_))
+    mask[static_cast<std::size_t>(tile_at(p))] = true;
+  return mask;
+}
+
+int TileGrid::count_visible(const std::vector<bool>& mask) {
+  return static_cast<int>(std::count(mask.begin(), mask.end(), true));
+}
+
+}  // namespace mfhttp

@@ -1,0 +1,41 @@
+// Tile grid over the equirectangular frame (§5.2.1: 4x4 tiles, per the
+// paper's GPAC packaging) and viewport→tile classification (§5.2.2: tiles
+// that appear in the viewport vs. tiles with no overlap).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/rect.h"
+#include "video/projection.h"
+
+namespace mfhttp {
+
+class TileGrid {
+ public:
+  TileGrid(int cols, int rows, double frame_w, double frame_h);
+
+  int cols() const { return cols_; }
+  int rows() const { return rows_; }
+  int tile_count() const { return cols_ * rows_; }
+  double frame_w() const { return frame_w_; }
+  double frame_h() const { return frame_h_; }
+
+  // Tile index for a frame coordinate (clamped into range).
+  int tile_at(Vec2 frame_point) const;
+
+  Rect tile_rect(int tile) const;
+
+  // Tiles the viewport touches, as a tile_count()-sized mask. Computed by
+  // projecting an FOV ray grid (handles longitude wrap and pole stretch).
+  std::vector<bool> visible_tiles(const ViewOrientation& view,
+                                  const FieldOfView& fov) const;
+
+  static int count_visible(const std::vector<bool>& mask);
+
+ private:
+  int cols_, rows_;
+  double frame_w_, frame_h_;
+};
+
+}  // namespace mfhttp

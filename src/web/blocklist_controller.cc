@@ -1,0 +1,61 @@
+#include "web/blocklist_controller.h"
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace mfhttp {
+
+BlockListController::BlockListController(const WebPage& page, Rect initial_viewport,
+                                         MitmProxy* proxy)
+    : page_(page), proxy_(proxy) {
+  MFHTTP_CHECK(proxy_ != nullptr);
+  for (std::size_t i = 0; i < page_.images.size(); ++i) {
+    const MediaObject& img = page_.images[i];
+    url_to_image_[img.top_version().url] = i;
+    if (!initial_viewport.overlaps(img.rect))
+      block_list_.insert(img.top_version().url);  // step (1)
+  }
+  MFHTTP_INFO << "block list: " << block_list_.size() << "/" << page_.images.size()
+              << " images start blocked";
+}
+
+InterceptDecision BlockListController::on_request(const HttpRequest& request) {
+  auto url = request.url();
+  std::string url_str = url ? url->to_string() : request.target;
+  if (block_list_.contains(url_str)) return InterceptDecision::defer();  // step (2)
+  // Unblocked images are viewport-critical; anything else is structure.
+  bool is_image = url_to_image_.contains(url_str);
+  return InterceptDecision::allow(is_image ? kPriorityViewport
+                                           : kPriorityStructure);
+}
+
+void BlockListController::release_image(std::size_t index, int priority) {
+  const std::string& url = page_.images[index].top_version().url;
+  if (block_list_.erase(url) > 0) {
+    ++releases_;
+    proxy_->release(url, priority);
+  }
+}
+
+void BlockListController::on_policy(const ScrollAnalysis& analysis,
+                                    const DownloadPolicy& policy) {
+  MFHTTP_CHECK(analysis.coverages.size() == page_.images.size());
+  for (std::size_t i = 0; i < page_.images.size(); ++i) {
+    const ObjectCoverage& cov = analysis.coverages[i];
+    // Step (3): current/final-viewport images are the most crucial to QoE —
+    // release unconditionally.
+    if (cov.in_initial_viewport || cov.in_final_viewport) {
+      release_image(i, kPriorityViewport);
+      continue;
+    }
+    // Transient images: released only with a positive optimizer value, and
+    // at a lower link priority than viewport-critical images.
+    if (cov.involved) {
+      const DownloadDecision* d = policy.find(i);
+      if (d != nullptr && d->download() && d->value > 0)
+        release_image(i, kPriorityTransient);
+    }
+  }
+}
+
+}  // namespace mfhttp

@@ -1,0 +1,56 @@
+// Block-list flow controller for web browsing — the §5.1.2 workflow.
+//
+//  (1) When the page is requested, every image outside the initial viewport
+//      goes on the block list.
+//  (2) Requests whose URL is on the block list are parked at the proxy
+//      (deferred), never touching the bottleneck link.
+//  (3) On every scroll update from the screen scrolling tracker: images in
+//      the current or final viewport leave the block list unconditionally;
+//      images that appear only transiently are released iff their optimizer
+//      value p·Q − q·C is positive; everything else stays blocked.
+//  (4) Each new gesture repeats (3) with fresh analysis.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/flow_controller.h"
+#include "core/scroll_tracker.h"
+#include "http/proxy.h"
+#include "web/page.h"
+
+namespace mfhttp {
+
+class BlockListController : public Interceptor {
+ public:
+  BlockListController(const WebPage& page, Rect initial_viewport, MitmProxy* proxy);
+
+  // Interceptor: structural resources pass through; blocked images defer.
+  InterceptDecision on_request(const HttpRequest& request) override;
+
+  // Wire this to Middleware::set_policy_callback.
+  void on_policy(const ScrollAnalysis& analysis, const DownloadPolicy& policy);
+
+  // Transfer priorities on the client link (meaningful on kFifo links):
+  // structural resources above everything, then viewport-critical images,
+  // then transient-corridor images.
+  static constexpr int kPriorityStructure = 3;
+  static constexpr int kPriorityViewport = 2;
+  static constexpr int kPriorityTransient = 1;
+
+  bool is_blocked(const std::string& url) const { return block_list_.contains(url); }
+  std::size_t block_list_size() const { return block_list_.size(); }
+  std::size_t releases() const { return releases_; }
+
+ private:
+  void release_image(std::size_t index, int priority);
+
+  const WebPage& page_;
+  MitmProxy* proxy_;
+  std::unordered_set<std::string> block_list_;
+  std::unordered_map<std::string, std::size_t> url_to_image_;
+  std::size_t releases_ = 0;
+};
+
+}  // namespace mfhttp

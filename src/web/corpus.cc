@@ -1,0 +1,105 @@
+#include "web/corpus.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace mfhttp {
+
+const std::vector<SiteSpec>& alexa25_specs() {
+  // Names are illustrative stand-ins for Alexa's 2017 top-25 mix the paper
+  // used. Ratios: 11 sites at 1.0 (search + login pages), 14 limited-size,
+  // minimum 0.041 matching the paper's Sohu observation.
+  static const std::vector<SiteSpec> specs = {
+      // --- full-size viewports: search engines ---
+      {"google", 1.0, 3, 20'000, 15'000, 350'000},
+      {"google-in", 1.0, 3, 20'000, 15'000, 350'000},
+      {"google-jp", 1.0, 3, 20'000, 15'000, 350'000},
+      {"google-de", 1.0, 3, 20'000, 15'000, 350'000},
+      {"google-uk", 1.0, 3, 20'000, 15'000, 350'000},
+      {"live", 1.0, 4, 45'000, 30'000, 280'000},
+      {"baidu", 1.0, 4, 25'000, 18'000, 200'000},
+      // --- full-size viewports: login pages ---
+      {"facebook-login", 1.0, 2, 35'000, 28'000, 310'000},
+      {"twitter-login", 1.0, 3, 30'000, 25'000, 260'000},
+      {"linkedin-login", 1.0, 2, 32'000, 24'000, 290'000},
+      {"instagram-login", 1.0, 2, 28'000, 30'000, 330'000},
+      // --- limited-size viewports: general content sites ---
+      {"youtube", 0.110, 38, 70'000, 90'000, 540'000},
+      {"yahoo", 0.095, 42, 65'000, 110'000, 620'000},
+      {"wikipedia", 0.180, 18, 35'000, 60'000, 120'000},
+      {"reddit", 0.085, 46, 55'000, 85'000, 480'000},
+      {"qq", 0.060, 55, 80'000, 120'000, 700'000},
+      {"taobao", 0.055, 60, 85'000, 100'000, 650'000},
+      {"amazon", 0.120, 34, 75'000, 95'000, 520'000},
+      {"sohu", 0.041, 70, 90'000, 130'000, 760'000},
+      {"sina", 0.048, 64, 85'000, 125'000, 720'000},
+      {"jd", 0.065, 52, 80'000, 105'000, 610'000},
+      {"ebay", 0.140, 30, 70'000, 88'000, 450'000},
+      {"netflix", 0.200, 22, 95'000, 72'000, 560'000},
+      {"vk", 0.160, 26, 60'000, 78'000, 380'000},
+      {"yandex", 0.350, 12, 45'000, 55'000, 300'000},
+  };
+  return specs;
+}
+
+WebPage generate_page(const SiteSpec& spec, const DeviceProfile& device, Rng& rng) {
+  MFHTTP_CHECK(spec.viewport_ratio > 0 && spec.viewport_ratio <= 1.0);
+  MFHTTP_CHECK(spec.image_count >= 0);
+
+  WebPage page;
+  page.site = spec.name;
+  page.origin = "http://" + spec.name + ".example";
+  page.width = device.screen_w_px;
+  page.height = device.screen_h_px / spec.viewport_ratio;
+
+  page.structure.push_back(
+      {ResourceKind::kHtml, page.origin + "/index.html", spec.html_bytes});
+  // Split css/js into a stylesheet and two scripts, as real pages do.
+  page.structure.push_back(
+      {ResourceKind::kStylesheet, page.origin + "/site.css", spec.css_js_bytes / 3});
+  page.structure.push_back(
+      {ResourceKind::kScript, page.origin + "/app.js", spec.css_js_bytes / 3});
+  page.structure.push_back(
+      {ResourceKind::kScript, page.origin + "/vendor.js",
+       spec.css_js_bytes - 2 * (spec.css_js_bytes / 3)});
+
+  if (spec.image_count == 0) return page;
+
+  // Stack images down the page with text gaps between them. Each image is
+  // 30-100% of the page width and 150-600 px tall; the vertical budget is
+  // divided so images spread over the whole page.
+  const double usable_h = page.height;
+  const double slot_h = usable_h / spec.image_count;
+  for (int k = 0; k < spec.image_count; ++k) {
+    double w = rng.uniform(0.30, 1.0) * page.width;
+    double h = rng.uniform(150.0, 600.0);
+    h = std::min(h, std::max(80.0, slot_h * 0.9));
+    double x = rng.uniform(0.0, page.width - w);
+    double slot_top = slot_h * k;
+    double y = slot_top + rng.uniform(0.0, std::max(1.0, slot_h - h));
+
+    double size_factor = std::exp(rng.normal(0.0, 0.45));
+    auto bytes = static_cast<Bytes>(
+        std::max(4000.0, static_cast<double>(spec.avg_image_bytes) * size_factor));
+
+    std::string url = page.origin + strformat("/img/%02d.jpg", k);
+    page.images.push_back(make_single_version_object(
+        strformat("%s-img-%02d", spec.name.c_str(), k), Rect{x, y, w, h}, bytes,
+        std::move(url)));
+  }
+  return page;
+}
+
+std::vector<WebPage> generate_corpus(const DeviceProfile& device, Rng& rng) {
+  std::vector<WebPage> corpus;
+  for (const SiteSpec& spec : alexa25_specs()) {
+    Rng site_rng = rng.fork();
+    corpus.push_back(generate_page(spec, device, site_rng));
+  }
+  return corpus;
+}
+
+}  // namespace mfhttp

@@ -1,0 +1,40 @@
+// Synthetic Alexa-top-25 page corpus — the stand-in for the paper's §6.1
+// workload (see DESIGN.md §2).
+//
+// The corpus mirrors the layout statistics the paper reports in Fig. 6:
+// 11 sites render full-size viewports (search engines and login pages whose
+// whole page fits the screen) and 14 render limited-size viewports, with
+// viewport/page ratios down to ≈4.1% (the Sohu-like site). Image geometry
+// and byte sizes are generated deterministically from a seed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scroll/device_profile.h"
+#include "util/rng.h"
+#include "web/page.h"
+
+namespace mfhttp {
+
+struct SiteSpec {
+  std::string name;
+  // viewport_h / page_h; 1.0 means the page exactly fits the screen.
+  double viewport_ratio = 1.0;
+  int image_count = 0;
+  Bytes avg_image_bytes = 60 * 1000;
+  Bytes html_bytes = 40 * 1000;
+  Bytes css_js_bytes = 120 * 1000;
+};
+
+// The 25 site specs (11 full-viewport + 14 limited-viewport).
+const std::vector<SiteSpec>& alexa25_specs();
+
+// Instantiate one page: lay out `spec.image_count` images down a page of
+// height viewport_h / ratio, with sizes jittered by `rng`.
+WebPage generate_page(const SiteSpec& spec, const DeviceProfile& device, Rng& rng);
+
+// Generate the whole corpus with per-site forked RNGs.
+std::vector<WebPage> generate_corpus(const DeviceProfile& device, Rng& rng);
+
+}  // namespace mfhttp

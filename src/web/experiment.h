@@ -1,0 +1,73 @@
+// End-to-end browsing session runner (§6.1): one page load plus one random
+// scrolling touch, measured with and without MF-HTTP in the path. This is
+// the harness behind the Fig. 7/8 benchmarks and the integration tests.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/flow_controller.h"
+#include "gesture/synthetic.h"
+#include "net/link.h"
+#include "scroll/device_profile.h"
+#include "web/page.h"
+
+namespace mfhttp {
+
+struct BrowsingSessionConfig {
+  DeviceProfile device = DeviceProfile::nexus6();
+  bool enable_mfhttp = true;
+
+  // Network: the paper's campus-WLAN setup — a fast middleware-origin hop
+  // and a (comparatively) constrained device hop that all responses share.
+  BytesPerSec client_bandwidth = 2.0e6;   // 2 MB/s WLAN share
+  TimeMs client_latency_ms = 8;
+  // How concurrent responses share the device hop: kFairShare models N
+  // parallel connections; kFifo realizes Eq. 13's "schedule the download in
+  // the same order that the objects are requested".
+  Link::Sharing client_sharing = Link::Sharing::kFairShare;
+  BytesPerSec server_bandwidth = 12.5e6;  // ~100 Mbps campus backbone
+  TimeMs server_latency_ms = 4;
+
+  // One scrolling touch per session, fired once the page has had a moment
+  // to start rendering.
+  TimeMs scroll_at_ms = 1200;
+  double swipe_speed_px_s = 5000;   // finger speed (fling intensity)
+  bool swipe_up = false;            // finger direction; false = scroll down
+  FlowWeights weights{1.0, 0.0};    // paper: q = 0 for web experiments
+
+  TimeMs session_ms = 60'000;
+  // Sampling period of the Fig. 8 viewport-fill timeline; 0 disables.
+  TimeMs fill_sample_ms = 50;
+
+  std::uint64_t seed = 1;
+};
+
+struct BrowsingSessionResult {
+  // Viewport load time (Fig. 7 metric): all structural resources plus every
+  // image overlapping the *default* (initial) viewport are complete.
+  TimeMs initial_viewport_load_ms = -1;
+  // Same for the post-scroll resting viewport, measured from session start.
+  TimeMs final_viewport_load_ms = -1;
+
+  Bytes bytes_downloaded = 0;       // over the client link
+  Bytes total_image_bytes = 0;      // what a download-everything client wants
+  std::size_t images_total = 0;
+  std::size_t images_completed = 0;
+  std::size_t images_avoided = 0;   // never transferred (parked or refused)
+
+  // (time_ms, fraction of current-viewport image bytes present) — Fig. 8.
+  std::vector<std::pair<TimeMs, double>> fill_timeline;
+
+  Rect initial_viewport;
+  Rect final_viewport;
+
+  // Machine-readable export (util/json.h) for analysis pipelines.
+  std::string to_json() const;
+};
+
+BrowsingSessionResult run_browsing_session(const WebPage& page,
+                                           const BrowsingSessionConfig& config);
+
+}  // namespace mfhttp

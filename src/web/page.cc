@@ -1,0 +1,24 @@
+#include "web/page.h"
+
+namespace mfhttp {
+
+Bytes WebPage::total_image_bytes() const {
+  Bytes total = 0;
+  for (const MediaObject& img : images) total += img.top_version().size;
+  return total;
+}
+
+Bytes WebPage::total_structure_bytes() const {
+  Bytes total = 0;
+  for (const PageResource& r : structure) total += r.size;
+  return total;
+}
+
+std::vector<std::size_t> WebPage::images_in(const Rect& viewport) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < images.size(); ++i)
+    if (viewport.overlaps(images[i].rect)) out.push_back(i);
+  return out;
+}
+
+}  // namespace mfhttp

@@ -1,0 +1,237 @@
+// Tests for the social-feed case study: feed generation, the
+// version-selecting controller, and end-to-end instant-playback sessions.
+#include <gtest/gtest.h>
+
+#include "feed/feed.h"
+#include "feed/feed_controller.h"
+#include "feed/feed_experiment.h"
+#include "http/sim_http.h"
+
+namespace mfhttp {
+namespace {
+
+const DeviceProfile kDevice = DeviceProfile::nexus6();
+
+Feed make_feed(std::uint64_t seed = 3, int posts = 50) {
+  FeedSpec spec;
+  spec.post_count = posts;
+  Rng rng(seed);
+  return generate_feed(spec, kDevice, rng);
+}
+
+// ---------- generation ----------
+
+TEST(Feed, GeneratesRequestedPosts) {
+  Feed feed = make_feed();
+  EXPECT_EQ(feed.posts.size(), 50u);
+  EXPECT_EQ(feed.media.size(), 50u);
+  EXPECT_DOUBLE_EQ(feed.width, kDevice.screen_w_px);
+  EXPECT_GT(feed.height, kDevice.screen_h_px * 10);
+}
+
+TEST(Feed, ClipsHaveThumbAndFullVersions) {
+  Feed feed = make_feed();
+  std::size_t clips = 0;
+  for (std::size_t i = 0; i < feed.posts.size(); ++i) {
+    const MediaObject& m = feed.media[feed.posts[i].media_index];
+    EXPECT_TRUE(m.versions_sorted()) << i;
+    if (feed.posts[i].kind == PostKind::kClip) {
+      ++clips;
+      ASSERT_EQ(m.versions.size(), 2u);
+      EXPECT_LT(m.versions[0].size, m.versions[1].size);  // thumb << clip
+      EXPECT_NE(m.versions[0].url, m.versions[1].url);
+    } else {
+      EXPECT_EQ(m.versions.size(), 1u);
+    }
+  }
+  EXPECT_EQ(clips, feed.clip_count());
+  // Roughly the configured clip fraction.
+  EXPECT_GT(clips, 10u);
+  EXPECT_LT(clips, 35u);
+}
+
+TEST(Feed, PostsOrderedDownTheTimeline) {
+  Feed feed = make_feed();
+  double prev_y = -1;
+  for (const FeedPost& p : feed.posts) {
+    EXPECT_GT(p.rect.y, prev_y);
+    prev_y = p.rect.y;
+    EXPECT_GE(p.rect.x, 0);
+    EXPECT_LE(p.rect.right(), feed.width + 1e-6);
+  }
+}
+
+TEST(Feed, DeterministicForSeed) {
+  Feed a = make_feed(9), b = make_feed(9);
+  ASSERT_EQ(a.media.size(), b.media.size());
+  for (std::size_t i = 0; i < a.media.size(); ++i) {
+    EXPECT_EQ(a.media[i].rect, b.media[i].rect);
+    EXPECT_EQ(a.media[i].top_version().size, b.media[i].top_version().size);
+  }
+}
+
+// ---------- controller ----------
+
+struct FeedControllerFixture : public ::testing::Test {
+  FeedControllerFixture()
+      : feed(make_feed()),
+        client_link(sim, Link::Params{}),
+        server_link(sim, Link::Params{}),
+        origin(sim, &store, &server_link),
+        proxy(sim, &origin, &client_link),
+        vp0{0, 0, kDevice.screen_w_px, kDevice.screen_h_px} {
+    for (const MediaObject& m : feed.media)
+      for (const MediaVersion& v : m.versions) store.put(parse_url(v.url)->path, v.size);
+  }
+
+  Simulator sim;
+  Feed feed;
+  ObjectStore store;
+  Link client_link, server_link;
+  SimHttpOrigin origin;
+  MitmProxy proxy;
+  Rect vp0;
+};
+
+TEST_F(FeedControllerFixture, InitialViewportMediaNotBlocked) {
+  FeedController controller(feed, vp0, &proxy);
+  for (const MediaObject& m : feed.media) {
+    bool in_vp = vp0.overlaps(m.rect);
+    EXPECT_EQ(controller.is_blocked(m.top_version().url), !in_vp) << m.id;
+  }
+}
+
+TEST_F(FeedControllerFixture, PolicyGivesSettledClipsFullVersion) {
+  FeedController controller(feed, vp0, &proxy);
+  proxy.set_interceptor(&controller);
+
+  // Park every blocked media at the proxy (the app requested everything).
+  for (const MediaObject& m : feed.media) {
+    FetchCallbacks cbs;
+    cbs.on_complete = [](const FetchResult&) {};
+    proxy.fetch(HttpRequest::get(m.top_version().url), std::move(cbs));
+  }
+  sim.run_until(10);
+
+  ScrollTracker::Params tp;
+  tp.scroll = ScrollConfig(kDevice);
+  tp.coverage_step_ms = 4.0;
+  tp.content_bounds = feed.bounds();
+  ScrollTracker tracker(tp);
+  Gesture g;
+  g.kind = GestureKind::kFling;
+  g.down_time_ms = 0;
+  g.up_time_ms = 150;
+  g.release_velocity = {0, -9000};
+  ScrollPrediction pred = tracker.predict(g, vp0);
+  ScrollAnalysis analysis = tracker.analyze(pred, feed.media);
+  FlowController::Params fp;
+  fp.weights = {1.0, 0.3};
+  fp.ignore_bandwidth_constraint = true;
+  DownloadPolicy policy =
+      FlowController(fp).optimize(analysis, feed.media, BandwidthTrace::constant(2e6));
+
+  controller.on_policy(analysis, policy);
+  sim.run();
+
+  // Everything overlapping the final viewport got its FULL version.
+  Rect final_vp = pred.final_viewport();
+  for (const MediaObject& m : feed.media) {
+    if (!final_vp.overlaps(m.rect)) continue;
+    EXPECT_FALSE(controller.is_blocked(m.top_version().url)) << m.id;
+  }
+  EXPECT_GT(controller.stats().full_releases, 0u);
+}
+
+TEST_F(FeedControllerFixture, GlimpsedClipsGetThumbnails) {
+  FeedController controller(feed, vp0, &proxy);
+  proxy.set_interceptor(&controller);
+  std::unordered_map<std::string, Bytes> delivered;
+  for (const MediaObject& m : feed.media) {
+    FetchCallbacks cbs;
+    std::string url = m.top_version().url;
+    cbs.on_complete = [&delivered, url](const FetchResult& r) {
+      delivered[url] = r.body_size;
+    };
+    proxy.fetch(HttpRequest::get(url), std::move(cbs));
+  }
+  sim.run_until(10);
+
+  ScrollTracker::Params tp;
+  tp.scroll = ScrollConfig(kDevice);
+  tp.coverage_step_ms = 4.0;
+  tp.content_bounds = feed.bounds();
+  ScrollTracker tracker(tp);
+  Gesture g;
+  g.kind = GestureKind::kFling;
+  g.down_time_ms = 0;
+  g.up_time_ms = 150;
+  g.release_velocity = {0, -20000};  // violent fling: long transit corridor
+  ScrollPrediction pred = tracker.predict(g, vp0);
+  ScrollAnalysis analysis = tracker.analyze(pred, feed.media);
+  FlowController::Params fp;
+  fp.weights = {1.0, 0.6};  // enough cost pressure to prefer thumbnails
+  fp.ignore_bandwidth_constraint = true;
+  DownloadPolicy policy =
+      FlowController(fp).optimize(analysis, feed.media, BandwidthTrace::constant(2e6));
+  controller.on_policy(analysis, policy);
+  sim.run();
+
+  if (controller.stats().thumb_releases > 0) {
+    // Substituted clips completed with their *thumbnail* sizes.
+    std::size_t thumb_sized = 0;
+    for (const MediaObject& m : feed.media) {
+      if (m.versions.size() < 2) continue;
+      auto it = delivered.find(m.top_version().url);
+      if (it != delivered.end() && it->second == m.versions[0].size) ++thumb_sized;
+    }
+    EXPECT_EQ(thumb_sized, controller.stats().thumb_releases);
+  }
+}
+
+// ---------- end-to-end session ----------
+
+TEST(FeedSession, MfHttpImprovesInstantPlayback) {
+  // A feed long enough that "just download everything" cannot finish within
+  // the session — the regime the paper's motivation (Fig. 3) lives in.
+  Feed feed = make_feed(21, 120);
+  FeedSessionConfig cfg;
+  cfg.seed = 5;
+  cfg.enable_mfhttp = false;
+  FeedSessionResult base = run_feed_session(feed, cfg);
+  cfg.enable_mfhttp = true;
+  FeedSessionResult mf = run_feed_session(feed, cfg);
+
+  ASSERT_GT(base.clips_settled, 0u);
+  ASSERT_EQ(mf.clips_settled, base.clips_settled);  // same trajectory
+  // The headline: the user settles on clips that are already playable.
+  EXPECT_GT(mf.instant_play_rate, base.instant_play_rate);
+  // And the bill is smaller.
+  EXPECT_LT(mf.bytes_downloaded, base.bytes_downloaded);
+  EXPECT_GT(mf.media_avoided, 0u);
+}
+
+TEST(FeedSession, DeterministicForSeed) {
+  Feed feed = make_feed(31, 40);
+  FeedSessionConfig cfg;
+  cfg.seed = 9;
+  FeedSessionResult a = run_feed_session(feed, cfg);
+  FeedSessionResult b = run_feed_session(feed, cfg);
+  EXPECT_EQ(a.clips_instant, b.clips_instant);
+  EXPECT_EQ(a.bytes_downloaded, b.bytes_downloaded);
+  EXPECT_EQ(a.thumbs_substituted, b.thumbs_substituted);
+}
+
+TEST(FeedSession, CostPressureProducesThumbnailSubstitutions) {
+  Feed feed = make_feed(41, 80);
+  FeedSessionConfig cfg;
+  cfg.seed = 13;
+  cfg.enable_mfhttp = true;
+  cfg.weights = {1.0, 0.6};
+  cfg.fling_speed_px_s = 20000;  // long corridors, many glimpsed clips
+  FeedSessionResult r = run_feed_session(feed, cfg);
+  EXPECT_GT(r.thumbs_substituted, 0u);
+}
+
+}  // namespace
+}  // namespace mfhttp

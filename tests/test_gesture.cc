@@ -1,0 +1,305 @@
+// Tests for the touch pipeline: velocity tracking, gesture recognition, and
+// the synthetic gesture sources.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gesture/recognizer.h"
+#include "gesture/synthetic.h"
+#include "gesture/velocity_tracker.h"
+#include "scroll/device_profile.h"
+#include "util/rng.h"
+
+namespace mfhttp {
+namespace {
+
+const DeviceProfile kDevice = DeviceProfile::nexus6();
+
+TouchTrace constant_velocity_trace(Vec2 start, Vec2 v_px_s, TimeMs duration_ms,
+                                   TimeMs step_ms = 8) {
+  TouchTrace t;
+  t.push_back({0, start, TouchAction::kDown});
+  for (TimeMs ms = step_ms; ms < duration_ms; ms += step_ms)
+    t.push_back({ms, start + v_px_s * (static_cast<double>(ms) / 1000.0),
+                 TouchAction::kMove});
+  t.push_back({duration_ms, start + v_px_s * (static_cast<double>(duration_ms) / 1000.0),
+               TouchAction::kUp});
+  return t;
+}
+
+// ---------- VelocityTracker ----------
+
+class VelocityStrategySweep : public ::testing::TestWithParam<VelocityStrategy> {};
+
+TEST_P(VelocityStrategySweep, ConstantVelocityRecovered) {
+  VelocityTracker tracker(GetParam());
+  Vec2 v{1500, -2500};
+  for (const TouchEvent& ev : constant_velocity_trace({500, 1500}, v, 160))
+    tracker.add(ev);
+  Vec2 est = tracker.velocity();
+  EXPECT_NEAR(est.x, v.x, std::abs(v.x) * 0.05 + 1);
+  EXPECT_NEAR(est.y, v.y, std::abs(v.y) * 0.05 + 1);
+}
+
+TEST_P(VelocityStrategySweep, StationaryFingerZeroVelocity) {
+  VelocityTracker tracker(GetParam());
+  tracker.add({0, {100, 100}, TouchAction::kDown});
+  for (TimeMs t = 8; t <= 96; t += 8) tracker.add({t, {100, 100}, TouchAction::kMove});
+  Vec2 est = tracker.velocity();
+  EXPECT_NEAR(est.x, 0, 1e-6);
+  EXPECT_NEAR(est.y, 0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, VelocityStrategySweep,
+                         ::testing::Values(VelocityStrategy::kLsq2,
+                                           VelocityStrategy::kLsq1,
+                                           VelocityStrategy::kEndpoints));
+
+TEST(VelocityTracker, TooFewSamplesIsZero) {
+  VelocityTracker tracker;
+  EXPECT_EQ(tracker.velocity(), Vec2{});
+  tracker.add({0, {10, 10}, TouchAction::kDown});
+  EXPECT_EQ(tracker.velocity(), Vec2{});
+}
+
+TEST(VelocityTracker, DownResetsHistory) {
+  VelocityTracker tracker;
+  for (const TouchEvent& ev : constant_velocity_trace({0, 0}, {5000, 0}, 100))
+    tracker.add(ev);
+  tracker.add({200, {0, 0}, TouchAction::kDown});
+  EXPECT_EQ(tracker.sample_count(), 1u);
+  EXPECT_EQ(tracker.velocity(), Vec2{});
+}
+
+TEST(VelocityTracker, StaleSamplesDropped) {
+  VelocityTracker tracker(VelocityStrategy::kLsq2, 100);
+  tracker.add({0, {0, 0}, TouchAction::kDown});
+  tracker.add({10, {10, 0}, TouchAction::kMove});
+  tracker.add({500, {20, 0}, TouchAction::kMove});  // >100ms later
+  EXPECT_EQ(tracker.sample_count(), 1u);
+}
+
+TEST(VelocityTracker, Lsq2TracksDeceleratingFinger) {
+  // A linearly decelerating finger: LSQ2 should report (near) the
+  // instantaneous release velocity, not the window average.
+  VelocityTracker lsq2(VelocityStrategy::kLsq2);
+  VelocityTracker endpoints(VelocityStrategy::kEndpoints);
+  double v0 = 4000, a = 20000;  // px/s, px/s^2 deceleration
+  for (TimeMs t = 0; t <= 96; t += 8) {
+    double ts = static_cast<double>(t) / 1000;
+    double x = v0 * ts - 0.5 * a * ts * ts;
+    TouchEvent ev{t, {x, 0}, t == 0 ? TouchAction::kDown : TouchAction::kMove};
+    lsq2.add(ev);
+    endpoints.add(ev);
+  }
+  double v_end = v0 - a * 0.096;  // instantaneous at last sample
+  EXPECT_NEAR(lsq2.velocity().x, v_end, 120);
+  // Endpoints averages over the window and overestimates.
+  EXPECT_GT(endpoints.velocity().x, v_end + 500);
+}
+
+// ---------- GestureRecognizer ----------
+
+TEST(GestureRecognizer, TapIsClick) {
+  GestureRecognizer rec(kDevice);
+  std::optional<Gesture> g;
+  for (const TouchEvent& ev : synthesize_tap({700, 1200}, 100))
+    if (auto out = rec.on_touch_event(ev)) g = out;
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->kind, GestureKind::kClick);
+  EXPECT_FALSE(g->scrolls());
+  EXPECT_EQ(g->release_velocity, Vec2{});
+}
+
+TEST(GestureRecognizer, FastSwipeIsFling) {
+  GestureRecognizer rec(kDevice);
+  SwipeSpec spec;
+  spec.start = {700, 1800};
+  spec.direction = {0, -1};
+  spec.speed_px_s = 4000;
+  std::optional<Gesture> g;
+  for (const TouchEvent& ev : synthesize_swipe(spec))
+    if (auto out = rec.on_touch_event(ev)) g = out;
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->kind, GestureKind::kFling);
+  EXPECT_NEAR(g->release_velocity.y, -4000, 200);
+  EXPECT_NEAR(g->release_velocity.x, 0, 50);
+}
+
+TEST(GestureRecognizer, SlowSwipeIsDrag) {
+  GestureRecognizer rec(kDevice);
+  SwipeSpec spec;
+  spec.start = {700, 1800};
+  spec.direction = {0, -1};
+  spec.speed_px_s = 100;  // below nexus6 threshold (~154 px/s)
+  spec.contact_ms = 400;
+  std::optional<Gesture> g;
+  for (const TouchEvent& ev : synthesize_swipe(spec))
+    if (auto out = rec.on_touch_event(ev)) g = out;
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->kind, GestureKind::kDrag);
+}
+
+TEST(GestureRecognizer, DeceleratedReleaseIsDrag) {
+  GestureRecognizer rec(kDevice);
+  SwipeSpec spec;
+  spec.start = {700, 1800};
+  spec.direction = {1, 0};
+  spec.speed_px_s = 900;  // fast finger...
+  spec.decelerate_before_release = true;  // ...but slow release
+  spec.contact_ms = 400;
+  std::optional<Gesture> g;
+  for (const TouchEvent& ev : synthesize_swipe(spec))
+    if (auto out = rec.on_touch_event(ev)) g = out;
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->kind, GestureKind::kDrag);
+}
+
+TEST(GestureRecognizer, GestureTimesAndPositions) {
+  GestureRecognizer rec(kDevice);
+  SwipeSpec spec;
+  spec.start = {700, 1800};
+  spec.start_time_ms = 5000;
+  spec.contact_ms = 160;
+  spec.speed_px_s = 3000;
+  std::optional<Gesture> g;
+  for (const TouchEvent& ev : synthesize_swipe(spec))
+    if (auto out = rec.on_touch_event(ev)) g = out;
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->down_time_ms, 5000);
+  EXPECT_EQ(g->up_time_ms, 5160);
+  EXPECT_EQ(g->contact_duration_ms(), 160);
+  EXPECT_EQ(g->down_pos, (Vec2{700, 1800}));
+  EXPECT_LT(g->finger_displacement().y, 0);  // finger moved up
+}
+
+TEST(GestureRecognizer, StrayMoveIgnored) {
+  GestureRecognizer rec(kDevice);
+  EXPECT_FALSE(rec.on_touch_event({0, {1, 1}, TouchAction::kMove}).has_value());
+  EXPECT_FALSE(rec.on_touch_event({1, {1, 1}, TouchAction::kUp}).has_value());
+}
+
+TEST(GestureRecognizer, TwoSequentialGestures) {
+  GestureRecognizer rec(kDevice);
+  int gestures = 0;
+  SwipeSpec spec;
+  spec.start = {700, 1800};
+  spec.speed_px_s = 3000;
+  for (const TouchEvent& ev : synthesize_swipe(spec))
+    if (rec.on_touch_event(ev)) ++gestures;
+  spec.start_time_ms = 2000;
+  for (const TouchEvent& ev : synthesize_swipe(spec))
+    if (rec.on_touch_event(ev)) ++gestures;
+  EXPECT_EQ(gestures, 2);
+}
+
+// ---------- Synthetic sources ----------
+
+TEST(SynthesizeSwipe, TraceWellFormed) {
+  SwipeSpec spec;
+  spec.start = {100, 100};
+  spec.contact_ms = 100;
+  spec.sample_interval_ms = 10;
+  TouchTrace t = synthesize_swipe(spec);
+  ASSERT_GE(t.size(), 3u);
+  EXPECT_EQ(t.front().action, TouchAction::kDown);
+  EXPECT_EQ(t.back().action, TouchAction::kUp);
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_GT(t[i].time_ms, t[i - 1].time_ms);
+    EXPECT_EQ(t[i].action, i + 1 == t.size() ? TouchAction::kUp : TouchAction::kMove);
+  }
+}
+
+TEST(SynthesizeSwipe, TravelMatchesSpeedTimesTime) {
+  SwipeSpec spec;
+  spec.start = {0, 0};
+  spec.direction = {1, 0};
+  spec.speed_px_s = 2000;
+  spec.contact_ms = 200;
+  TouchTrace t = synthesize_swipe(spec);
+  EXPECT_NEAR(t.back().pos.x, 2000 * 0.2, 1.0);
+}
+
+TEST(BrowsingGestureSource, ProducesFlingsAfterThinkTime) {
+  BrowsingGestureSource src(kDevice, {}, Rng(3));
+  GestureRecognizer rec(kDevice);
+  TimeMs now = 0;
+  int flings = 0;
+  for (int i = 0; i < 20; ++i) {
+    TouchTrace t = src.next_swipe(now);
+    ASSERT_FALSE(t.empty());
+    EXPECT_GE(t.front().time_ms, now);  // respects not_before
+    std::optional<Gesture> g;
+    for (const TouchEvent& ev : t)
+      if (auto out = rec.on_touch_event(ev)) g = out;
+    ASSERT_TRUE(g.has_value());
+    if (g->kind == GestureKind::kFling) ++flings;
+    now = t.back().time_ms;
+  }
+  EXPECT_GE(flings, 15);  // browsing swipes are overwhelmingly flings
+}
+
+TEST(BrowsingGestureSource, MostSwipesScrollDown) {
+  BrowsingGestureSource::Params params;
+  params.p_scroll_up = 0.1;
+  BrowsingGestureSource src(kDevice, params, Rng(9));
+  int down = 0, total = 40;
+  TimeMs now = 0;
+  for (int i = 0; i < total; ++i) {
+    TouchTrace t = src.next_swipe(now);
+    if (t.back().pos.y < t.front().pos.y) ++down;  // finger moved up = scroll down
+    now = t.back().time_ms;
+  }
+  EXPECT_GT(down, total * 3 / 4);
+}
+
+TEST(VideoDragSource, DragsDominate) {
+  VideoDragSource src(kDevice, {}, Rng(5));
+  GestureRecognizer rec(kDevice);
+  int drags = 0, total = 40;
+  TimeMs now = 0;
+  for (int i = 0; i < total; ++i) {
+    TouchTrace t = src.next_gesture(now);
+    std::optional<Gesture> g;
+    for (const TouchEvent& ev : t)
+      if (auto out = rec.on_touch_event(ev)) g = out;
+    ASSERT_TRUE(g.has_value());
+    if (g->kind == GestureKind::kDrag) ++drags;
+    now = t.back().time_ms;
+  }
+  // §5.2.2: "360-degree video users produce much more drag events than
+  // fling events".
+  EXPECT_GE(drags, total * 7 / 10);
+}
+
+TEST(VideoDragSource, HeadingIsUnitAndPersistent) {
+  VideoDragSource::Params params;
+  params.heading_persistence = 0.95;
+  VideoDragSource src(kDevice, params, Rng(5));
+  Vec2 prev = src.heading();
+  EXPECT_NEAR(prev.norm(), 1.0, 1e-9);
+  TimeMs now = 0;
+  for (int i = 0; i < 10; ++i) {
+    TouchTrace t = src.next_gesture(now);
+    now = t.back().time_ms;
+    Vec2 h = src.heading();
+    EXPECT_NEAR(h.norm(), 1.0, 1e-9);
+    // High persistence: successive headings stay correlated.
+    EXPECT_GT(h.dot(prev), 0.5);
+    prev = h;
+  }
+}
+
+TEST(SyntheticSources, Reproducible) {
+  BrowsingGestureSource a(kDevice, {}, Rng(77));
+  BrowsingGestureSource b(kDevice, {}, Rng(77));
+  for (int i = 0; i < 5; ++i) {
+    TouchTrace ta = a.next_swipe(i * 1000);
+    TouchTrace tb = b.next_swipe(i * 1000);
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t k = 0; k < ta.size(); ++k) EXPECT_EQ(ta[k], tb[k]);
+  }
+}
+
+}  // namespace
+}  // namespace mfhttp

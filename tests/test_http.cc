@@ -1,0 +1,421 @@
+// Tests for the HTTP/1.1 substrate: headers, URLs, messages, the incremental
+// parser (including byte-at-a-time feeds, chunked coding, pipelining and
+// malformed input), and the object store.
+#include <gtest/gtest.h>
+
+#include "http/header_map.h"
+#include "http/message.h"
+#include "http/object_store.h"
+#include "http/parser.h"
+#include "http/url.h"
+
+namespace mfhttp {
+namespace {
+
+// ---------- HeaderMap ----------
+
+TEST(HeaderMap, CaseInsensitiveGet) {
+  HeaderMap h;
+  h.add("Content-Type", "text/html");
+  EXPECT_EQ(h.get("content-type"), "text/html");
+  EXPECT_EQ(h.get("CONTENT-TYPE"), "text/html");
+  EXPECT_FALSE(h.get("content-length").has_value());
+}
+
+TEST(HeaderMap, DuplicatesPreserved) {
+  HeaderMap h;
+  h.add("Set-Cookie", "a=1");
+  h.add("Set-Cookie", "b=2");
+  auto all = h.get_all("set-cookie");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], "a=1");
+  EXPECT_EQ(all[1], "b=2");
+  EXPECT_EQ(h.get("Set-Cookie"), "a=1");  // first wins
+}
+
+TEST(HeaderMap, SetReplacesAll) {
+  HeaderMap h;
+  h.add("X", "1");
+  h.add("X", "2");
+  h.set("x", "3");
+  EXPECT_EQ(h.get_all("X").size(), 1u);
+  EXPECT_EQ(h.get("X"), "3");
+}
+
+TEST(HeaderMap, RemoveCountsRemoved) {
+  HeaderMap h;
+  h.add("A", "1");
+  h.add("a", "2");
+  h.add("B", "3");
+  EXPECT_EQ(h.remove("A"), 2u);
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_EQ(h.remove("A"), 0u);
+}
+
+TEST(HeaderMap, ContentLengthParsing) {
+  HeaderMap h;
+  h.set("Content-Length", "12345");
+  EXPECT_EQ(h.content_length(), 12345);
+  h.set("Content-Length", " 99 ");
+  EXPECT_EQ(h.content_length(), 99);
+  h.set("Content-Length", "12a");
+  EXPECT_FALSE(h.content_length().has_value());
+  h.set("Content-Length", "-5");
+  EXPECT_FALSE(h.content_length().has_value());
+  h.set("Content-Length", "");
+  EXPECT_FALSE(h.content_length().has_value());
+}
+
+// ---------- Url ----------
+
+TEST(Url, ParseBasic) {
+  auto u = parse_url("http://example.com/path/to/x?q=1");
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->scheme, "http");
+  EXPECT_EQ(u->host, "example.com");
+  EXPECT_EQ(u->port, 80);
+  EXPECT_EQ(u->path, "/path/to/x");
+  EXPECT_EQ(u->query, "q=1");
+  EXPECT_EQ(u->path_and_query(), "/path/to/x?q=1");
+}
+
+TEST(Url, ParsePort) {
+  auto u = parse_url("http://example.com:8080/x");
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->port, 8080);
+  EXPECT_EQ(u->to_string(), "http://example.com:8080/x");
+}
+
+TEST(Url, HttpsDefaultPort) {
+  auto u = parse_url("https://secure.example");
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->port, 443);
+  EXPECT_EQ(u->path, "/");
+}
+
+TEST(Url, HostLowercased) {
+  auto u = parse_url("http://EXAMPLE.Com/X");
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->host, "example.com");
+  EXPECT_EQ(u->path, "/X");  // path case preserved
+}
+
+TEST(Url, RoundTripToString) {
+  for (const char* s : {"http://a.example/x/y?z=1", "http://a.example/",
+                        "http://a.example:81/p"}) {
+    auto u = parse_url(s);
+    ASSERT_TRUE(u.has_value()) << s;
+    EXPECT_EQ(u->to_string(), s);
+  }
+}
+
+TEST(Url, Malformed) {
+  EXPECT_FALSE(parse_url("").has_value());
+  EXPECT_FALSE(parse_url("example.com/x").has_value());
+  EXPECT_FALSE(parse_url("ftp://example.com/").has_value());
+  EXPECT_FALSE(parse_url("http://").has_value());
+  EXPECT_FALSE(parse_url("http://host:99999/").has_value());
+  EXPECT_FALSE(parse_url("http://host:abc/").has_value());
+  EXPECT_FALSE(parse_url("http://host:/").has_value());
+}
+
+// ---------- Messages ----------
+
+TEST(HttpRequest, GetFactorySetsHostAndTarget) {
+  auto req = HttpRequest::get("http://site.example/img/1.jpg?v=2");
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.target, "/img/1.jpg?v=2");
+  EXPECT_EQ(req.headers.get("Host"), "site.example");
+  auto url = req.url();
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->to_string(), "http://site.example/img/1.jpg?v=2");
+}
+
+TEST(HttpRequest, NonDefaultPortInHost) {
+  auto req = HttpRequest::get("http://site.example:8081/x");
+  EXPECT_EQ(req.headers.get("Host"), "site.example:8081");
+  ASSERT_TRUE(req.url().has_value());
+  EXPECT_EQ(req.url()->port, 8081);
+}
+
+TEST(HttpRequest, SerializeAddsContentLength) {
+  HttpRequest req;
+  req.method = "POST";
+  req.target = "/submit";
+  req.headers.set("Host", "h");
+  req.body = "hello";
+  std::string wire = req.serialize();
+  EXPECT_NE(wire.find("POST /submit HTTP/1.1\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\nhello"), std::string::npos);
+}
+
+TEST(HttpResponse, MakeSetsReasonAndLength) {
+  auto resp = HttpResponse::make(404, "", "gone");
+  EXPECT_EQ(resp.reason, "Not Found");
+  EXPECT_EQ(resp.headers.get("Content-Length"), "4");
+  std::string wire = resp.serialize();
+  EXPECT_NE(wire.find("HTTP/1.1 404 Not Found\r\n"), std::string::npos);
+}
+
+TEST(DefaultReason, CoversCommonCodes) {
+  EXPECT_EQ(default_reason(200), "OK");
+  EXPECT_EQ(default_reason(403), "Forbidden");
+  EXPECT_EQ(default_reason(502), "Bad Gateway");
+  EXPECT_EQ(default_reason(299), "Unknown");
+}
+
+// ---------- Parser: requests ----------
+
+TEST(HttpParser, SimpleGetRequest) {
+  HttpParser p(HttpParser::Mode::kRequest);
+  ASSERT_TRUE(p.feed("GET /x HTTP/1.1\r\nHost: h\r\n\r\n"));
+  ASSERT_TRUE(p.has_message());
+  HttpRequest req = p.take_request();
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.target, "/x");
+  EXPECT_EQ(req.version, "HTTP/1.1");
+  EXPECT_EQ(req.headers.get("Host"), "h");
+  EXPECT_TRUE(req.body.empty());
+}
+
+TEST(HttpParser, RequestWithBody) {
+  HttpParser p(HttpParser::Mode::kRequest);
+  ASSERT_TRUE(p.feed("POST /s HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello"));
+  ASSERT_TRUE(p.has_message());
+  EXPECT_EQ(p.take_request().body, "hello");
+}
+
+TEST(HttpParser, ByteAtATime) {
+  HttpParser p(HttpParser::Mode::kRequest);
+  std::string wire = "POST /s HTTP/1.1\r\nContent-Length: 5\r\nX-A: b\r\n\r\nhello";
+  for (char c : wire) ASSERT_TRUE(p.feed(std::string_view(&c, 1)));
+  ASSERT_TRUE(p.has_message());
+  HttpRequest req = p.take_request();
+  EXPECT_EQ(req.body, "hello");
+  EXPECT_EQ(req.headers.get("X-A"), "b");
+}
+
+TEST(HttpParser, PipelinedRequests) {
+  HttpParser p(HttpParser::Mode::kRequest);
+  ASSERT_TRUE(p.feed("GET /1 HTTP/1.1\r\n\r\nGET /2 HTTP/1.1\r\n\r\n"));
+  EXPECT_EQ(p.message_count(), 2u);
+  EXPECT_EQ(p.take_request().target, "/1");
+  EXPECT_EQ(p.take_request().target, "/2");
+}
+
+TEST(HttpParser, ToleratesBareLf) {
+  HttpParser p(HttpParser::Mode::kRequest);
+  ASSERT_TRUE(p.feed("GET /x HTTP/1.1\nHost: h\n\n"));
+  ASSERT_TRUE(p.has_message());
+  EXPECT_EQ(p.take_request().headers.get("Host"), "h");
+}
+
+TEST(HttpParser, SkipsBlankLinesBetweenMessages) {
+  HttpParser p(HttpParser::Mode::kRequest);
+  ASSERT_TRUE(p.feed("\r\n\r\nGET /x HTTP/1.1\r\n\r\n"));
+  EXPECT_TRUE(p.has_message());
+}
+
+TEST(HttpParser, MalformedRequestLine) {
+  HttpParser p(HttpParser::Mode::kRequest);
+  EXPECT_FALSE(p.feed("NONSENSE\r\n\r\n"));
+  EXPECT_TRUE(p.has_error());
+  // Further input ignored.
+  EXPECT_FALSE(p.feed("GET /x HTTP/1.1\r\n\r\n"));
+  EXPECT_FALSE(p.has_message());
+}
+
+TEST(HttpParser, MalformedHeader) {
+  HttpParser p(HttpParser::Mode::kRequest);
+  EXPECT_FALSE(p.feed("GET /x HTTP/1.1\r\nNoColonHere\r\n\r\n"));
+  EXPECT_TRUE(p.has_error());
+}
+
+TEST(HttpParser, HeaderWhitespaceTrimmed) {
+  HttpParser p(HttpParser::Mode::kRequest);
+  ASSERT_TRUE(p.feed("GET /x HTTP/1.1\r\nX-K:   padded value  \r\n\r\n"));
+  EXPECT_EQ(p.take_request().headers.get("X-K"), "padded value");
+}
+
+// ---------- Parser: responses ----------
+
+TEST(HttpParser, SimpleResponse) {
+  HttpParser p(HttpParser::Mode::kResponse);
+  ASSERT_TRUE(p.feed("HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\nabc"));
+  ASSERT_TRUE(p.has_message());
+  HttpResponse resp = p.take_response();
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.reason, "OK");
+  EXPECT_EQ(resp.body, "abc");
+}
+
+TEST(HttpParser, MultiWordReason) {
+  HttpParser p(HttpParser::Mode::kResponse);
+  ASSERT_TRUE(p.feed("HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n"));
+  EXPECT_EQ(p.take_response().reason, "Not Found");
+}
+
+TEST(HttpParser, BodilessStatuses) {
+  for (const char* line :
+       {"HTTP/1.1 204 No Content\r\n\r\n", "HTTP/1.1 304 Not Modified\r\n\r\n",
+        "HTTP/1.1 100 Continue\r\n\r\n"}) {
+    HttpParser p(HttpParser::Mode::kResponse);
+    ASSERT_TRUE(p.feed(line)) << line;
+    ASSERT_TRUE(p.has_message()) << line;
+    EXPECT_TRUE(p.take_response().body.empty());
+  }
+}
+
+TEST(HttpParser, HeadResponseHasNoBody) {
+  HttpParser p(HttpParser::Mode::kResponse);
+  p.expect_head_response();
+  ASSERT_TRUE(p.feed("HTTP/1.1 200 OK\r\nContent-Length: 500\r\n\r\n"));
+  ASSERT_TRUE(p.has_message());
+  EXPECT_TRUE(p.take_response().body.empty());
+}
+
+TEST(HttpParser, ReadUntilCloseBody) {
+  HttpParser p(HttpParser::Mode::kResponse);
+  ASSERT_TRUE(p.feed("HTTP/1.1 200 OK\r\n\r\npartial body"));
+  EXPECT_FALSE(p.has_message());  // body open until EOF
+  ASSERT_TRUE(p.feed(" more"));
+  p.finish();
+  ASSERT_TRUE(p.has_message());
+  EXPECT_EQ(p.take_response().body, "partial body more");
+}
+
+TEST(HttpParser, ChunkedBody) {
+  HttpParser p(HttpParser::Mode::kResponse);
+  ASSERT_TRUE(
+      p.feed("HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+             "5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n"));
+  ASSERT_TRUE(p.has_message());
+  EXPECT_EQ(p.take_response().body, "hello world");
+}
+
+TEST(HttpParser, ChunkedWithExtensionsAndHexSizes) {
+  HttpParser p(HttpParser::Mode::kResponse);
+  ASSERT_TRUE(
+      p.feed("HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+             "A;ext=1\r\n0123456789\r\n0\r\n\r\n"));
+  ASSERT_TRUE(p.has_message());
+  EXPECT_EQ(p.take_response().body.size(), 10u);
+}
+
+TEST(HttpParser, ChunkedWithTrailers) {
+  HttpParser p(HttpParser::Mode::kResponse);
+  ASSERT_TRUE(
+      p.feed("HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+             "3\r\nabc\r\n0\r\nX-Trailer: yes\r\n\r\n"));
+  ASSERT_TRUE(p.has_message());
+  HttpResponse resp = p.take_response();
+  EXPECT_EQ(resp.body, "abc");
+  EXPECT_EQ(resp.headers.get("X-Trailer"), "yes");
+}
+
+TEST(HttpParser, ChunkedByteAtATime) {
+  HttpParser p(HttpParser::Mode::kResponse);
+  std::string wire =
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "4\r\nwxyz\r\n0\r\n\r\n";
+  for (char c : wire) ASSERT_TRUE(p.feed(std::string_view(&c, 1)));
+  ASSERT_TRUE(p.has_message());
+  EXPECT_EQ(p.take_response().body, "wxyz");
+}
+
+TEST(HttpParser, BadChunkSize) {
+  HttpParser p(HttpParser::Mode::kResponse);
+  EXPECT_FALSE(
+      p.feed("HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n"));
+  EXPECT_TRUE(p.has_error());
+}
+
+TEST(HttpParser, MissingCrlfAfterChunk) {
+  HttpParser p(HttpParser::Mode::kResponse);
+  EXPECT_FALSE(
+      p.feed("HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+             "3\r\nabcX\r\n"));
+  EXPECT_TRUE(p.has_error());
+}
+
+TEST(HttpParser, TruncatedBodyOnFinishIsError) {
+  HttpParser p(HttpParser::Mode::kResponse);
+  ASSERT_TRUE(p.feed("HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nabc"));
+  p.finish();
+  EXPECT_TRUE(p.has_error());
+}
+
+TEST(HttpParser, CleanFinishAtMessageBoundary) {
+  HttpParser p(HttpParser::Mode::kResponse);
+  ASSERT_TRUE(p.feed("HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n"));
+  p.finish();
+  EXPECT_FALSE(p.has_error());
+}
+
+TEST(HttpParser, BadStatusCode) {
+  HttpParser p(HttpParser::Mode::kResponse);
+  EXPECT_FALSE(p.feed("HTTP/1.1 20x OK\r\n\r\n"));
+  EXPECT_TRUE(p.has_error());
+}
+
+TEST(HttpParser, SerializeParseRoundTrip) {
+  HttpRequest req = HttpRequest::get("http://h.example/a/b?c=d");
+  req.headers.add("Accept", "image/*");
+  HttpParser p(HttpParser::Mode::kRequest);
+  ASSERT_TRUE(p.feed(req.serialize()));
+  ASSERT_TRUE(p.has_message());
+  HttpRequest back = p.take_request();
+  EXPECT_EQ(back.method, req.method);
+  EXPECT_EQ(back.target, req.target);
+  EXPECT_EQ(back.headers.get("Host"), req.headers.get("Host"));
+  EXPECT_EQ(back.headers.get("Accept"), "image/*");
+}
+
+TEST(HttpParser, ResponseSerializeParseRoundTrip) {
+  HttpResponse resp = HttpResponse::make(200, "OK", "payload", "text/plain");
+  HttpParser p(HttpParser::Mode::kResponse);
+  ASSERT_TRUE(p.feed(resp.serialize()));
+  ASSERT_TRUE(p.has_message());
+  HttpResponse back = p.take_response();
+  EXPECT_EQ(back.status, 200);
+  EXPECT_EQ(back.body, "payload");
+  EXPECT_EQ(back.headers.get("Content-Type"), "text/plain");
+}
+
+// ---------- ObjectStore ----------
+
+TEST(ObjectStore, PutAndFind) {
+  ObjectStore store;
+  store.put("/img/1.jpg", 1234, "image/jpeg");
+  const StoredObject* obj = store.find("/img/1.jpg");
+  ASSERT_NE(obj, nullptr);
+  EXPECT_EQ(obj->wire_size(), 1234);
+  EXPECT_EQ(obj->content_type, "image/jpeg");
+  EXPECT_EQ(store.find("/missing"), nullptr);
+}
+
+TEST(ObjectStore, BodyWinsOverSize) {
+  ObjectStore store;
+  store.put_body("/x", "hello world");
+  EXPECT_EQ(store.find("/x")->wire_size(), 11);
+}
+
+TEST(ObjectStore, ReplaceExisting) {
+  ObjectStore store;
+  store.put("/x", 10);
+  store.put("/x", 20);
+  EXPECT_EQ(store.find("/x")->wire_size(), 20);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(ObjectStore, TotalBytes) {
+  ObjectStore store;
+  store.put("/a", 10);
+  store.put("/b", 30);
+  store.put_body("/c", "xyz");
+  EXPECT_EQ(store.total_bytes(), 43);
+}
+
+}  // namespace
+}  // namespace mfhttp

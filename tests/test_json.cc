@@ -1,0 +1,150 @@
+// Tests for the JSON writer and the experiment exporters, plus the scroll
+// path sampler.
+#include <gtest/gtest.h>
+
+#include "core/scroll_tracker.h"
+#include "util/json.h"
+#include "gesture/recognizer.h"
+#include "gesture/synthetic.h"
+#include "video/session.h"
+#include "web/corpus.h"
+#include "web/experiment.h"
+
+namespace mfhttp {
+namespace {
+
+TEST(JsonWriter, FlatObject) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("mf-http");
+  w.key("count").value(42);
+  w.key("ratio").value(0.5);
+  w.key("ok").value(true);
+  w.key("missing").null();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            R"({"name":"mf-http","count":42,"ratio":0.5,"ok":true,"missing":null})");
+}
+
+TEST(JsonWriter, NestedContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("xs").begin_array().value(1).value(2).value(3).end_array();
+  w.key("inner").begin_object().key("k").value("v").end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"xs":[1,2,3],"inner":{"k":"v"}})");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("a").begin_array().end_array();
+  w.key("o").begin_object().end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"a":[],"o":{}})");
+}
+
+TEST(JsonWriter, StringEscaping) {
+  JsonWriter w;
+  w.begin_array();
+  w.value("a\"b\\c\nd\te");
+  w.value(std::string_view("ctl\x01", 4));
+  w.end_array();
+  EXPECT_EQ(w.str(), "[\"a\\\"b\\\\c\\nd\\te\",\"ctl\\u0001\"]");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::nan(""));
+  w.value(1.0 / 0.0);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(JsonWriter, TopLevelArrayOfObjects) {
+  JsonWriter w;
+  w.begin_array();
+  for (int i = 0; i < 2; ++i) {
+    w.begin_object();
+    w.key("i").value(i);
+    w.end_object();
+  }
+  w.end_array();
+  EXPECT_EQ(w.str(), R"([{"i":0},{"i":1}])");
+}
+
+TEST(BrowsingSessionJson, ExportsWellFormedDocument) {
+  Rng rng(3);
+  WebPage page = generate_page(alexa25_specs()[13], DeviceProfile::nexus6(), rng);
+  BrowsingSessionConfig cfg;
+  cfg.fill_sample_ms = 500;
+  cfg.session_ms = 5000;
+  BrowsingSessionResult result = run_browsing_session(page, cfg);
+  std::string json = result.to_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"initial_viewport_load_ms\":"), std::string::npos);
+  EXPECT_NE(json.find("\"fill_timeline\":["), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  int braces = 0, brackets = 0;
+  for (char c : json) {
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(StreamingSessionJson, ExportsWellFormedDocument) {
+  VideoAsset::Params vp;
+  vp.duration_s = 5;
+  VideoAsset video(vp);
+  ViewportTrace::Params tp;
+  tp.device = DeviceProfile::nexus6();
+  ViewportTrace trace(tp);
+  MfHttpTileScheduler sched;
+  auto session = run_streaming_session(video, trace,
+                                       BandwidthTrace::constant(kb_per_sec(500)),
+                                       sched, StreamingSessionParams{});
+  std::string json = session.to_json();
+  EXPECT_NE(json.find("\"scheduler\":\"mf-http\""), std::string::npos);
+  EXPECT_NE(json.find("\"segments\":["), std::string::npos);
+  // One segment object per playback second.
+  std::size_t count = 0, pos = 0;
+  while ((pos = json.find("\"segment\":", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(ScrollPathSampler, CoversWholeAnimation) {
+  ScrollTracker::Params tp;
+  tp.scroll = ScrollConfig(DeviceProfile::nexus6());
+  ScrollTracker tracker(tp);
+  Gesture g;
+  g.kind = GestureKind::kFling;
+  g.down_time_ms = 0;
+  g.up_time_ms = 150;
+  g.release_velocity = {0, -6000};
+  ScrollPrediction pred = tracker.predict(g, {0, 0, 1440, 2560});
+  auto path = pred.sample_path(50);
+  ASSERT_GE(path.size(), 3u);
+  EXPECT_DOUBLE_EQ(path.front().t_ms, 0);
+  EXPECT_EQ(path.front().viewport, pred.viewport0);
+  EXPECT_DOUBLE_EQ(path.back().t_ms, pred.duration_ms);
+  EXPECT_EQ(path.back().viewport, pred.final_viewport());
+  EXPECT_DOUBLE_EQ(path.back().speed_px_s, 0);
+  // Monotone time and y; speed decreasing.
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    EXPECT_GT(path[i].t_ms, path[i - 1].t_ms);
+    EXPECT_GE(path[i].viewport.y, path[i - 1].viewport.y);
+    EXPECT_LE(path[i].speed_px_s, path[i - 1].speed_px_s + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mfhttp

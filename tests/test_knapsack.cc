@@ -1,0 +1,365 @@
+// Tests for the prefix-capacity knapsack (Eq. 13/14): exactness of the DP
+// against exhaustive search on randomized instances, constraint handling,
+// and the greedy heuristic's bounds.
+#include <gtest/gtest.h>
+
+#include "core/knapsack.h"
+#include "util/rng.h"
+
+namespace mfhttp {
+namespace {
+
+KnapsackItem item(std::vector<double> values, std::vector<Bytes> weights,
+                  Bytes capacity) {
+  return KnapsackItem{std::move(values), std::move(weights), capacity};
+}
+
+// ---------- evaluate_selection ----------
+
+TEST(EvaluateSelection, AcceptsFeasible) {
+  std::vector<KnapsackItem> items = {item({1.0}, {100}, 100),
+                                     item({2.0}, {50}, 200)};
+  KnapsackSolution sol;
+  EXPECT_TRUE(evaluate_selection(items, {0, 0}, &sol));
+  EXPECT_DOUBLE_EQ(sol.total_value, 3.0);
+  EXPECT_EQ(sol.total_weight, 150);
+}
+
+TEST(EvaluateSelection, RejectsPrefixViolation) {
+  // Item 1 fits overall capacity but not its own prefix capacity.
+  std::vector<KnapsackItem> items = {item({1.0}, {150}, 100),
+                                     item({2.0}, {10}, 1000)};
+  EXPECT_FALSE(evaluate_selection(items, {0, 0}, nullptr));
+  EXPECT_TRUE(evaluate_selection(items, {-1, 0}, nullptr));
+}
+
+TEST(EvaluateSelection, LaterItemBoundByEarlierSelections) {
+  std::vector<KnapsackItem> items = {item({1.0}, {100}, 100),
+                                     item({2.0}, {50}, 120)};
+  // Prefix at item 2: 100 + 50 = 150 > 120.
+  EXPECT_FALSE(evaluate_selection(items, {0, 0}, nullptr));
+  EXPECT_TRUE(evaluate_selection(items, {0, -1}, nullptr));
+}
+
+// ---------- DP basics ----------
+
+TEST(PrefixKnapsack, EmptyInstance) {
+  KnapsackSolution sol = solve_prefix_knapsack({}, 1);
+  EXPECT_TRUE(sol.chosen.empty());
+  EXPECT_DOUBLE_EQ(sol.total_value, 0);
+}
+
+TEST(PrefixKnapsack, SingleItemPicksBestVersion) {
+  std::vector<KnapsackItem> items = {
+      item({0.2, 0.5, 0.9}, {100, 300, 700}, 1000)};
+  KnapsackSolution sol = solve_prefix_knapsack(items, 1);
+  EXPECT_EQ(sol.chosen[0], 2);
+  EXPECT_DOUBLE_EQ(sol.total_value, 0.9);
+}
+
+TEST(PrefixKnapsack, CapacityForcesLowerVersion) {
+  std::vector<KnapsackItem> items = {
+      item({0.2, 0.5, 0.9}, {100, 300, 700}, 400)};
+  KnapsackSolution sol = solve_prefix_knapsack(items, 1);
+  EXPECT_EQ(sol.chosen[0], 1);
+}
+
+TEST(PrefixKnapsack, NegativeValueSkipped) {
+  std::vector<KnapsackItem> items = {item({-0.5, -0.1}, {10, 20}, 1000)};
+  KnapsackSolution sol = solve_prefix_knapsack(items, 1);
+  EXPECT_EQ(sol.chosen[0], -1);
+  EXPECT_DOUBLE_EQ(sol.total_value, 0);
+}
+
+TEST(PrefixKnapsack, AtMostOneVersionPerObject) {
+  std::vector<KnapsackItem> items = {
+      item({0.5, 0.6}, {10, 20}, 1000), item({0.7, 0.8}, {10, 20}, 1000)};
+  KnapsackSolution sol = solve_prefix_knapsack(items, 1);
+  // The solution vector has one entry per item by construction; verify both
+  // picked their top versions independently.
+  EXPECT_EQ(sol.chosen[0], 1);
+  EXPECT_EQ(sol.chosen[1], 1);
+  EXPECT_NEAR(sol.total_value, 1.4, 1e-12);
+}
+
+TEST(PrefixKnapsack, EarlyTightCapacityShapesSolution) {
+  // Item 1 enters the viewport almost immediately (tiny capacity); item 2
+  // much later (large capacity). The DP must not spend early capacity on
+  // item 1's big version if that blocks a more valuable item 2... here item
+  // 1 simply cannot fit at all.
+  std::vector<KnapsackItem> items = {item({0.9}, {500}, 100),
+                                     item({0.5}, {500}, 2000)};
+  KnapsackSolution sol = solve_prefix_knapsack(items, 1);
+  EXPECT_EQ(sol.chosen[0], -1);
+  EXPECT_EQ(sol.chosen[1], 0);
+}
+
+TEST(PrefixKnapsack, SkipEarlyItemForBetterLateItem) {
+  // Capacity at item 2 admits only one of the two; item 2 is worth more.
+  std::vector<KnapsackItem> items = {item({0.5}, {100}, 100),
+                                     item({0.9}, {100}, 100)};
+  KnapsackSolution sol = solve_prefix_knapsack(items, 1);
+  EXPECT_EQ(sol.chosen[0], -1);
+  EXPECT_EQ(sol.chosen[1], 0);
+  EXPECT_DOUBLE_EQ(sol.total_value, 0.9);
+}
+
+TEST(PrefixKnapsack, ZeroWeightItemsAlwaysFit) {
+  std::vector<KnapsackItem> items = {item({0.5}, {0}, 0), item({0.3}, {0}, 0)};
+  KnapsackSolution sol = solve_prefix_knapsack(items, 1);
+  EXPECT_EQ(sol.chosen[0], 0);
+  EXPECT_EQ(sol.chosen[1], 0);
+}
+
+TEST(PrefixKnapsack, DiscretizationIsConservative) {
+  // Weight 1001 with unit 1000 rounds up to 2 units; capacity 1999 rounds
+  // down to 1 unit: must NOT be selected even though raw bytes would fit.
+  std::vector<KnapsackItem> items = {item({1.0}, {1001}, 1999)};
+  KnapsackSolution coarse = solve_prefix_knapsack(items, 1000);
+  EXPECT_EQ(coarse.chosen[0], -1);
+  KnapsackSolution fine = solve_prefix_knapsack(items, 1);
+  EXPECT_EQ(fine.chosen[0], 0);
+}
+
+// ---------- bruteforce reference ----------
+
+TEST(Bruteforce, MatchesHandComputedOptimum) {
+  std::vector<KnapsackItem> items = {
+      item({0.3, 0.7}, {100, 250}, 300),
+      item({0.4, 0.9}, {100, 250}, 400),
+  };
+  // Best: item1 v0 (100) + item2 v1 (250) = 350 > 400? prefix2 = 350 <= 400 OK.
+  // Value 0.3 + 0.9 = 1.2.
+  KnapsackSolution sol = solve_prefix_knapsack_bruteforce(items);
+  EXPECT_DOUBLE_EQ(sol.total_value, 1.2);
+  EXPECT_EQ(sol.chosen[0], 0);
+  EXPECT_EQ(sol.chosen[1], 1);
+}
+
+class KnapsackRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KnapsackRandomized, DpMatchesBruteforce) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 40; ++iter) {
+    int n = static_cast<int>(rng.uniform_int(1, 7));
+    int m = static_cast<int>(rng.uniform_int(1, 3));
+    std::vector<KnapsackItem> items;
+    Bytes cap = 0;
+    for (int i = 0; i < n; ++i) {
+      cap += rng.uniform_int(0, 40);  // nondecreasing capacities
+      KnapsackItem it;
+      it.capacity = cap;
+      Bytes w = rng.uniform_int(1, 30);
+      double v = rng.uniform(-0.3, 1.0);
+      for (int j = 0; j < m; ++j) {
+        it.weights.push_back(w);
+        it.values.push_back(v);
+        w += rng.uniform_int(1, 25);   // heavier versions...
+        v += rng.uniform(-0.2, 0.5);   // ...usually more valuable
+      }
+      items.push_back(std::move(it));
+    }
+    KnapsackSolution dp = solve_prefix_knapsack(items, 1);  // exact units
+    KnapsackSolution bf = solve_prefix_knapsack_bruteforce(items);
+    EXPECT_NEAR(dp.total_value, bf.total_value, 1e-9)
+        << "seed=" << GetParam() << " iter=" << iter;
+    // DP's own selection must evaluate to its claimed value.
+    KnapsackSolution check;
+    ASSERT_TRUE(evaluate_selection(items, dp.chosen, &check));
+    EXPECT_NEAR(check.total_value, dp.total_value, 1e-9);
+  }
+}
+
+TEST_P(KnapsackRandomized, CoarseUnitsNeverInfeasibleAndNearOptimal) {
+  Rng rng(GetParam() + 99);
+  for (int iter = 0; iter < 20; ++iter) {
+    int n = static_cast<int>(rng.uniform_int(2, 8));
+    std::vector<KnapsackItem> items;
+    Bytes cap = 0;
+    for (int i = 0; i < n; ++i) {
+      cap += rng.uniform_int(5'000, 200'000);
+      KnapsackItem it;
+      it.capacity = cap;
+      it.weights = {rng.uniform_int(1'000, 150'000)};
+      it.values = {rng.uniform(0.0, 1.0)};
+      items.push_back(std::move(it));
+    }
+    KnapsackSolution exact = solve_prefix_knapsack(items, 1);
+    KnapsackSolution coarse = solve_prefix_knapsack(items, 4096);
+    KnapsackSolution check;
+    ASSERT_TRUE(evaluate_selection(items, coarse.chosen, &check));
+    EXPECT_LE(coarse.total_value, exact.total_value + 1e-9);
+  }
+}
+
+TEST_P(KnapsackRandomized, GreedyFeasibleAndBoundedByDp) {
+  Rng rng(GetParam() + 7);
+  for (int iter = 0; iter < 30; ++iter) {
+    int n = static_cast<int>(rng.uniform_int(1, 10));
+    std::vector<KnapsackItem> items;
+    Bytes cap = 0;
+    for (int i = 0; i < n; ++i) {
+      cap += rng.uniform_int(0, 60);
+      items.push_back(item({rng.uniform(-0.2, 1.0)}, {rng.uniform_int(1, 50)}, cap));
+    }
+    KnapsackSolution greedy = solve_prefix_knapsack_greedy(items);
+    KnapsackSolution dp = solve_prefix_knapsack(items, 1);
+    EXPECT_TRUE(evaluate_selection(items, greedy.chosen, nullptr));
+    EXPECT_LE(greedy.total_value, dp.total_value + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnapsackRandomized,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+// ---------- branch and bound ----------
+
+TEST(BranchAndBound, MatchesHandComputedOptimum) {
+  std::vector<KnapsackItem> items = {
+      item({0.3, 0.7}, {100, 250}, 300),
+      item({0.4, 0.9}, {100, 250}, 400),
+  };
+  BranchAndBoundResult r = solve_prefix_knapsack_bnb(items);
+  EXPECT_TRUE(r.exact);
+  EXPECT_DOUBLE_EQ(r.solution.total_value, 1.2);
+  EXPECT_EQ(r.solution.chosen[0], 0);
+  EXPECT_EQ(r.solution.chosen[1], 1);
+}
+
+TEST(BranchAndBound, EmptyInstance) {
+  BranchAndBoundResult r = solve_prefix_knapsack_bnb({});
+  EXPECT_TRUE(r.exact);
+  EXPECT_DOUBLE_EQ(r.solution.total_value, 0);
+}
+
+TEST(BranchAndBound, AllNegativeValuesSelectsNothing) {
+  std::vector<KnapsackItem> items = {item({-0.5, -0.1}, {10, 20}, 1000)};
+  BranchAndBoundResult r = solve_prefix_knapsack_bnb(items);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.solution.chosen[0], -1);
+}
+
+TEST(BranchAndBound, NodeBudgetOverrunReturnsInexact) {
+  // A wide instance with a tiny node budget: must come back feasible (and
+  // flagged inexact), never crash or hang.
+  Rng rng(3);
+  std::vector<KnapsackItem> items;
+  Bytes cap = 0;
+  for (int i = 0; i < 30; ++i) {
+    cap += rng.uniform_int(10, 100);
+    items.push_back(item({rng.uniform(0.1, 1.0), rng.uniform(0.1, 1.0)},
+                         {rng.uniform_int(1, 40), rng.uniform_int(1, 40)}, cap));
+  }
+  BranchAndBoundResult r = solve_prefix_knapsack_bnb(items, 50);
+  EXPECT_FALSE(r.exact);
+  EXPECT_TRUE(evaluate_selection(items, r.solution.chosen, nullptr));
+}
+
+TEST(BranchAndBound, ByteScaleCapacitiesNoDiscretizationLoss) {
+  // The DP must discretize megabyte capacities; B&B is exact in bytes. On
+  // the boundary instance from the DP conservatism test, B&B selects.
+  std::vector<KnapsackItem> items = {item({1.0}, {1001}, 1999)};
+  BranchAndBoundResult r = solve_prefix_knapsack_bnb(items);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.solution.chosen[0], 0);
+}
+
+class BnbRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BnbRandomized, MatchesBruteforce) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 30; ++iter) {
+    int n = static_cast<int>(rng.uniform_int(1, 7));
+    int m = static_cast<int>(rng.uniform_int(1, 3));
+    std::vector<KnapsackItem> items;
+    Bytes cap = 0;
+    for (int i = 0; i < n; ++i) {
+      cap += rng.uniform_int(0, 40);
+      KnapsackItem it;
+      it.capacity = cap;
+      for (int j = 0; j < m; ++j) {
+        it.weights.push_back(rng.uniform_int(1, 30));
+        it.values.push_back(rng.uniform(-0.3, 1.0));
+      }
+      items.push_back(std::move(it));
+    }
+    BranchAndBoundResult bnb = solve_prefix_knapsack_bnb(items);
+    KnapsackSolution bf = solve_prefix_knapsack_bruteforce(items);
+    ASSERT_TRUE(bnb.exact);
+    EXPECT_NEAR(bnb.solution.total_value, bf.total_value, 1e-9)
+        << "seed=" << GetParam() << " iter=" << iter;
+  }
+}
+
+TEST_P(BnbRandomized, MatchesDpOnByteScaleInstances) {
+  Rng rng(GetParam() + 500);
+  for (int iter = 0; iter < 10; ++iter) {
+    int n = static_cast<int>(rng.uniform_int(2, 14));
+    std::vector<KnapsackItem> items;
+    Bytes cap = 0;
+    for (int i = 0; i < n; ++i) {
+      cap += rng.uniform_int(10'000, 300'000);
+      KnapsackItem it;
+      it.capacity = cap;
+      Bytes w = rng.uniform_int(2'000, 200'000);
+      double v = rng.uniform(0.05, 0.6);
+      for (int j = 0; j < 3; ++j) {
+        it.weights.push_back(w * (j + 1));
+        it.values.push_back(v * (j + 1) * rng.uniform(0.8, 1.2));
+      }
+      items.push_back(std::move(it));
+    }
+    BranchAndBoundResult bnb = solve_prefix_knapsack_bnb(items);
+    ASSERT_TRUE(bnb.exact);
+    // Fine-grained DP (1-byte units would be too slow; 16 B is near-exact).
+    KnapsackSolution dp = solve_prefix_knapsack(items, 16);
+    EXPECT_GE(bnb.solution.total_value + 1e-9, dp.total_value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BnbRandomized, ::testing::Values(7u, 8u, 9u));
+
+TEST(Greedy, PrefersHighDensity) {
+  std::vector<KnapsackItem> items = {
+      item({0.5}, {100}, 100),   // density 0.005
+      item({0.4}, {10}, 110),    // density 0.04
+  };
+  KnapsackSolution sol = solve_prefix_knapsack_greedy(items);
+  // Greedy takes item 2 first (higher density); item 1 then still fits its
+  // own prefix (100 <= 100).
+  EXPECT_EQ(sol.chosen[1], 0);
+  EXPECT_EQ(sol.chosen[0], 0);
+}
+
+TEST(Greedy, SkipsNegativeValues) {
+  std::vector<KnapsackItem> items = {item({-0.5}, {10}, 100)};
+  KnapsackSolution sol = solve_prefix_knapsack_greedy(items);
+  EXPECT_EQ(sol.chosen[0], -1);
+}
+
+TEST(PrefixKnapsack, LargeInstanceRunsQuickly) {
+  // 60 objects x 4 versions, megabyte-scale capacities with 1 KB units.
+  Rng rng(5);
+  std::vector<KnapsackItem> items;
+  Bytes cap = 0;
+  for (int i = 0; i < 60; ++i) {
+    cap += rng.uniform_int(20'000, 80'000);
+    KnapsackItem it;
+    it.capacity = cap;
+    Bytes w = rng.uniform_int(5'000, 30'000);
+    double v = rng.uniform(0.1, 0.4);
+    for (int j = 0; j < 4; ++j) {
+      it.weights.push_back(w);
+      it.values.push_back(v);
+      w *= 2;
+      v *= 1.6;
+    }
+    items.push_back(std::move(it));
+  }
+  KnapsackSolution sol = solve_prefix_knapsack(items, 1024);
+  EXPECT_TRUE(evaluate_selection(items, sol.chosen, nullptr));
+  EXPECT_GT(sol.total_value, 0);
+}
+
+}  // namespace
+}  // namespace mfhttp

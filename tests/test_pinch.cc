@@ -1,0 +1,127 @@
+// Tests for two-finger pinch recognition and the end-to-end zoom path
+// (pinch trace -> PinchRecognizer -> Middleware viewport scale).
+#include <gtest/gtest.h>
+
+#include "core/middleware.h"
+#include "gesture/pinch.h"
+#include "gesture/synthetic.h"
+
+namespace mfhttp {
+namespace {
+
+const DeviceProfile kDevice = DeviceProfile::nexus6();
+
+std::optional<PinchGesture> run_trace(const TouchTrace& trace) {
+  PinchRecognizer rec;
+  std::optional<PinchGesture> out;
+  for (const TouchEvent& ev : trace)
+    if (auto g = rec.on_touch_event(ev)) out = g;
+  return out;
+}
+
+TEST(PinchRecognizer, SpreadRecognizedAsZoomIn) {
+  auto pinch = run_trace(synthesize_pinch({700, 1200}, 200, 600, 1000));
+  ASSERT_TRUE(pinch.has_value());
+  EXPECT_NEAR(pinch->scale_factor(), 3.0, 0.05);
+  EXPECT_EQ(pinch->start_time_ms, 1000);
+  EXPECT_EQ(pinch->end_time_ms, 1300);
+  // Focus is computed when the first finger lifts; the partner's position is
+  // one 16 ms sample stale, so allow a few px of skew.
+  EXPECT_NEAR(pinch->focus.x, 700, 5);
+  EXPECT_NEAR(pinch->focus.y, 1200, 5);
+}
+
+TEST(PinchRecognizer, SqueezeRecognizedAsZoomOut) {
+  auto pinch = run_trace(synthesize_pinch({700, 1200}, 600, 200, 0));
+  ASSERT_TRUE(pinch.has_value());
+  EXPECT_NEAR(pinch->scale_factor(), 1.0 / 3.0, 0.02);
+}
+
+TEST(PinchRecognizer, TwoFingerTapIsNotAPinch) {
+  // Spans barely change: below the slop, no pinch.
+  auto pinch = run_trace(synthesize_pinch({700, 1200}, 300, 310, 0, 120));
+  EXPECT_FALSE(pinch.has_value());
+}
+
+TEST(PinchRecognizer, SingleFingerNeverPinches) {
+  PinchRecognizer rec;
+  SwipeSpec spec;
+  spec.start = {700, 1800};
+  for (const TouchEvent& ev : synthesize_swipe(spec)) {
+    EXPECT_FALSE(rec.on_touch_event(ev).has_value());
+    EXPECT_FALSE(rec.is_pinch_active());
+  }
+}
+
+TEST(PinchRecognizer, ActiveFlagDuringTwoFingerContact) {
+  PinchRecognizer rec;
+  TouchTrace trace = synthesize_pinch({700, 1200}, 200, 500, 0);
+  bool was_active = false;
+  for (const TouchEvent& ev : trace) {
+    rec.on_touch_event(ev);
+    if (rec.is_pinch_active()) was_active = true;
+  }
+  EXPECT_TRUE(was_active);
+  EXPECT_FALSE(rec.is_pinch_active());  // both lifted
+}
+
+TEST(PinchRecognizer, ThirdPointerIgnored) {
+  PinchRecognizer rec;
+  EXPECT_FALSE(rec.on_touch_event({0, {1, 1}, TouchAction::kDown, 2}).has_value());
+  EXPECT_FALSE(rec.is_pinch_active());
+}
+
+// ---------- middleware zoom path ----------
+
+std::vector<MediaObject> column_objects(int count) {
+  std::vector<MediaObject> objects;
+  for (int i = 0; i < count; ++i)
+    objects.push_back(make_single_version_object(
+        "o" + std::to_string(i), Rect{100, i * 600.0, 800, 400}, 50'000,
+        "http://s.example/i" + std::to_string(i)));
+  return objects;
+}
+
+Middleware::Params middleware_params() {
+  Middleware::Params p;
+  p.tracker.scroll = ScrollConfig(kDevice);
+  p.tracker.coverage_step_ms = 4.0;
+  p.tracker.content_bounds = Rect{0, 0, 1440, 40'000};
+  p.flow.weights = {1.0, 0.0};
+  p.initial_viewport = {0, 0, 1440, 2560};
+  return p;
+}
+
+TEST(PinchToMiddleware, ZoomInShrinksViewport) {
+  Middleware mw(middleware_params(), column_objects(30),
+                BandwidthTrace::constant(1e6), nullptr);
+  PinchRecognizer rec;
+  for (const TouchEvent& ev : synthesize_pinch({700, 1200}, 200, 400, 500))
+    if (auto pinch = rec.on_touch_event(ev)) mw.on_pinch(*pinch);
+  EXPECT_NEAR(mw.viewport_scale(), 2.0, 0.05);
+  EXPECT_NEAR(mw.viewport_at(1000).w, 1440 / mw.viewport_scale(), 1e-6);
+}
+
+TEST(PinchToMiddleware, ZoomOutClampsAtMinScale) {
+  Middleware mw(middleware_params(), column_objects(30),
+                BandwidthTrace::constant(1e6), nullptr);
+  PinchRecognizer rec;
+  // Squeeze at scale 1: clamped to the 1.0 floor (no zoom-out past fit).
+  for (const TouchEvent& ev : synthesize_pinch({700, 1200}, 600, 200, 500))
+    if (auto pinch = rec.on_touch_event(ev)) mw.on_pinch(*pinch);
+  EXPECT_DOUBLE_EQ(mw.viewport_scale(), 1.0);
+}
+
+TEST(PinchToMiddleware, SuccessivePinchesCompound) {
+  Middleware mw(middleware_params(), column_objects(30),
+                BandwidthTrace::constant(1e6), nullptr);
+  PinchRecognizer rec;
+  for (const TouchEvent& ev : synthesize_pinch({700, 1200}, 200, 400, 500))
+    if (auto pinch = rec.on_touch_event(ev)) mw.on_pinch(*pinch);
+  for (const TouchEvent& ev : synthesize_pinch({700, 1200}, 200, 400, 2000))
+    if (auto pinch = rec.on_touch_event(ev)) mw.on_pinch(*pinch);
+  EXPECT_NEAR(mw.viewport_scale(), 4.0, 0.2);
+}
+
+}  // namespace
+}  // namespace mfhttp

@@ -1,0 +1,235 @@
+// Tests for the MPD manifest round-trip and the event-driven buffered player.
+#include <gtest/gtest.h>
+
+#include "gesture/recognizer.h"
+#include "gesture/synthetic.h"
+#include "video/mpd.h"
+#include "video/player.h"
+
+namespace mfhttp {
+namespace {
+
+const DeviceProfile kDevice = DeviceProfile::nexus6();
+
+// ---------- MPD ----------
+
+VideoAsset small_asset() {
+  VideoAsset::Params p;
+  p.name = "clip";
+  p.duration_s = 12;
+  return VideoAsset(p);
+}
+
+TEST(Mpd, WriteContainsStructure) {
+  VideoAsset video = small_asset();
+  std::string xml = write_mpd(video, "http://cdn.example");
+  EXPECT_NE(xml.find("<MPD"), std::string::npos);
+  EXPECT_NE(xml.find("mediaPresentationDuration=\"PT12S\""), std::string::npos);
+  EXPECT_NE(xml.find("urn:mpeg:dash:srd:2014"), std::string::npos);
+  EXPECT_NE(xml.find("tile_0_0_360s"), std::string::npos);
+  EXPECT_NE(xml.find("tile_3_3_1080s"), std::string::npos);
+  EXPECT_NE(xml.find("seg_$Number$.m4s"), std::string::npos);
+}
+
+TEST(Mpd, RoundTripStructure) {
+  VideoAsset video = small_asset();
+  auto doc = parse_mpd(write_mpd(video, "http://cdn.example"));
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->duration_s, 12);
+  EXPECT_EQ(doc->segment_duration_ms, 1000);
+  ASSERT_EQ(doc->adaptation_sets.size(), 16u);
+  for (const MpdAdaptationSet& set : doc->adaptation_sets) {
+    EXPECT_EQ(set.srd_frame_w, 3840);
+    EXPECT_EQ(set.srd_frame_h, 1920);
+    EXPECT_EQ(set.srd_w, 960);
+    EXPECT_EQ(set.srd_h, 480);
+    ASSERT_EQ(set.representations.size(), 4u);
+    EXPECT_EQ(set.representations[0].quality, "360s");
+    EXPECT_EQ(set.representations[3].quality, "1080s");
+    // Bandwidth ascends with quality.
+    for (std::size_t q = 1; q < 4; ++q)
+      EXPECT_GT(set.representations[q].bandwidth,
+                set.representations[q - 1].bandwidth);
+  }
+  // SRD boxes tile the frame exactly once each.
+  double area = 0;
+  for (const MpdAdaptationSet& set : doc->adaptation_sets)
+    area += static_cast<double>(set.srd_w) * set.srd_h;
+  EXPECT_DOUBLE_EQ(area, 3840.0 * 1920.0);
+}
+
+TEST(Mpd, TemplateExpansion) {
+  EXPECT_EQ(MpdDocument::expand_template("clip/tile_0_0/360s/seg_$Number$.m4s", 7),
+            "clip/tile_0_0/360s/seg_007.m4s");
+  EXPECT_EQ(MpdDocument::expand_template("no-placeholder.m4s", 7),
+            "no-placeholder.m4s");
+}
+
+TEST(Mpd, TemplateMatchesAssetUrls) {
+  VideoAsset video = small_asset();
+  auto doc = parse_mpd(write_mpd(video, "http://cdn.example"));
+  ASSERT_TRUE(doc.has_value());
+  // AdaptationSet k corresponds to tile k (row-major): its expanded template
+  // must equal the asset's segment_url modulo the BaseURL prefix.
+  const MpdRepresentation& rep = doc->adaptation_sets[5].representations[2];
+  std::string expanded = MpdDocument::expand_template(rep.media_template, 3);
+  EXPECT_EQ("http://cdn.example/" + expanded, video.segment_url("http://cdn.example", 5, 3, 2));
+}
+
+TEST(Mpd, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_mpd("").has_value());
+  EXPECT_FALSE(parse_mpd("<MPD></MPD>").has_value());
+  EXPECT_FALSE(parse_mpd("<MPD mediaPresentationDuration=\"PT5S\">"
+                         "<Period></Period></MPD>")
+                   .has_value());
+  // SRD with wrong field count.
+  EXPECT_FALSE(
+      parse_mpd("<MPD mediaPresentationDuration=\"PT5S\"><Period>"
+                "<AdaptationSet id=\"0\">"
+                "<SupplementalProperty schemeIdUri=\"urn:mpeg:dash:srd:2014\""
+                " value=\"0,0,0\"/>"
+                "<Representation id=\"r_360s\" bandwidth=\"1\">"
+                "<SegmentTemplate media=\"x/seg_$Number$.m4s\"/>"
+                "</Representation></AdaptationSet></Period></MPD>")
+          .has_value());
+}
+
+// ---------- buffered player ----------
+
+ViewportTrace drag_trace(std::uint64_t seed, TimeMs duration_ms) {
+  ViewportTrace::Params p;
+  p.device = kDevice;
+  ViewportTrace vt(p);
+  VideoDragSource src(kDevice, {}, Rng(seed));
+  GestureRecognizer rec(kDevice);
+  TimeMs now = 0;
+  while (now < duration_ms) {
+    TouchTrace t = src.next_gesture(now);
+    now = t.back().time_ms;
+    for (const TouchEvent& ev : t)
+      if (auto g = rec.on_touch_event(ev)) vt.add_gesture(*g);
+  }
+  return vt;
+}
+
+TEST(BufferedPlayer, PlaysEverySegmentInOrder) {
+  VideoAsset video = small_asset();
+  ViewportTrace vt = drag_trace(3, 12'000);
+  MfHttpTileScheduler sched;
+  auto result = run_buffered_session(video, vt, BandwidthTrace::constant(kb_per_sec(800)),
+                                     sched, BufferedPlayerParams{});
+  ASSERT_EQ(result.segments.size(), 12u);
+  TimeMs prev = -1;
+  for (const PlayedSegment& s : result.segments) {
+    EXPECT_GT(s.playback_ms, prev);
+    prev = s.playback_ms;
+    EXPECT_GE(s.fetch_done_ms, s.fetch_start_ms);
+  }
+  EXPECT_GT(result.total_bytes, 0);
+}
+
+TEST(BufferedPlayer, AmpleBandwidthNoStalls) {
+  VideoAsset video = small_asset();
+  ViewportTrace vt = drag_trace(3, 12'000);
+  MfHttpTileScheduler sched;
+  auto result = run_buffered_session(video, vt, BandwidthTrace::constant(kb_per_sec(2000)),
+                                     sched, BufferedPlayerParams{});
+  EXPECT_EQ(result.stall_count, 0);
+  EXPECT_EQ(result.stall_ms, 0);
+  // Startup ≈ one buffered segment's fetch, far below the 12 s session.
+  EXPECT_LT(result.startup_delay_ms, 3000);
+  // Quality converges to the top rung once the estimator warms up.
+  EXPECT_EQ(result.segments.back().scheduled_quality, video.quality_count() - 1);
+}
+
+TEST(BufferedPlayer, ThroughputEstimatorAdaptsQualityToBandwidth) {
+  VideoAsset video = small_asset();
+  ViewportTrace vt = drag_trace(5, 12'000);
+  MfHttpTileScheduler sched;
+  auto rich = run_buffered_session(video, vt, BandwidthTrace::constant(kb_per_sec(1500)),
+                                   sched, BufferedPlayerParams{});
+  auto poor = run_buffered_session(video, vt, BandwidthTrace::constant(kb_per_sec(220)),
+                                   sched, BufferedPlayerParams{});
+  EXPECT_GT(rich.mean_scheduled_resolution(video),
+            poor.mean_scheduled_resolution(video));
+}
+
+TEST(BufferedPlayer, BandwidthDropCausesStallOrDowngrade) {
+  VideoAsset::Params p;
+  p.name = "longer";
+  p.duration_s = 30;
+  VideoAsset video(p);
+  ViewportTrace vt = drag_trace(7, 30'000);
+  MfHttpTileScheduler sched;
+  // Healthy for 10 s, then starved to a trickle for 10 s, then healthy.
+  std::vector<BytesPerSec> slots;
+  for (int i = 0; i < 10; ++i) slots.push_back(kb_per_sec(800));
+  for (int i = 0; i < 10; ++i) slots.push_back(kb_per_sec(20));
+  for (int i = 0; i < 20; ++i) slots.push_back(kb_per_sec(800));
+  auto bw = BandwidthTrace::from_slots(slots, 1000);
+  auto result = run_buffered_session(video, vt, bw, sched, BufferedPlayerParams{});
+  // 20 KB/s cannot carry even viewport-floor tiles: the player must visibly
+  // suffer — stalls, and/or degraded quality around the outage.
+  bool degraded = false;
+  for (const PlayedSegment& s : result.segments)
+    if (s.scheduled_quality <= 0) degraded = true;
+  EXPECT_TRUE(result.stall_count > 0 || degraded);
+}
+
+TEST(BufferedPlayer, BufferCapLimitsFetchAhead) {
+  VideoAsset video = small_asset();
+  ViewportTrace vt = drag_trace(3, 12'000);
+  MfHttpTileScheduler sched;
+  BufferedPlayerParams params;
+  params.max_buffer_s = 2.0;
+  auto result = run_buffered_session(
+      video, vt, BandwidthTrace::constant(kb_per_sec(5000)), sched, params);
+  // Even with absurd bandwidth, fetches pace playback: segment k cannot
+  // finish fetching more than ~max_buffer seconds before it plays.
+  for (const PlayedSegment& s : result.segments) {
+    EXPECT_GE(s.playback_ms - s.fetch_done_ms, -100);
+    EXPECT_LE(s.playback_ms - s.fetch_done_ms, 3000);
+  }
+}
+
+TEST(BufferedPlayer, HitFractionHighForSlowDrags) {
+  VideoAsset video = small_asset();
+  // A viewer who barely moves: fetched tiles are still visible at playback.
+  ViewportTrace::Params p;
+  p.device = kDevice;
+  ViewportTrace vt(p);  // static orientation
+  MfHttpTileScheduler sched;
+  auto result = run_buffered_session(video, vt, BandwidthTrace::constant(kb_per_sec(800)),
+                                     sched, BufferedPlayerParams{});
+  EXPECT_GT(result.mean_hit_fraction(), 0.95);
+}
+
+TEST(BufferedPlayer, MfHttpSchedulesHigherQualityThanGreedy) {
+  VideoAsset video = small_asset();
+  ViewportTrace vt = drag_trace(9, 12'000);
+  MfHttpTileScheduler mf;
+  GreedyDashScheduler greedy;
+  BufferedPlayerParams params;
+  auto bw = BandwidthTrace::constant(kb_per_sec(300));
+  auto rm = run_buffered_session(video, vt, bw, mf, params);
+  auto rg = run_buffered_session(video, vt, bw, greedy, params);
+  EXPECT_GE(rm.mean_scheduled_resolution(video),
+            rg.mean_scheduled_resolution(video));
+}
+
+TEST(BufferedPlayer, DeterministicForSameInputs) {
+  VideoAsset video = small_asset();
+  ViewportTrace vt = drag_trace(11, 12'000);
+  MfHttpTileScheduler sched;
+  auto bw = BandwidthTrace::constant(kb_per_sec(500));
+  auto a = run_buffered_session(video, vt, bw, sched, BufferedPlayerParams{});
+  auto b = run_buffered_session(video, vt, bw, sched, BufferedPlayerParams{});
+  ASSERT_EQ(a.segments.size(), b.segments.size());
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+  EXPECT_EQ(a.stall_count, b.stall_count);
+  for (std::size_t i = 0; i < a.segments.size(); ++i)
+    EXPECT_EQ(a.segments[i].playback_ms, b.segments[i].playback_ms);
+}
+
+}  // namespace
+}  // namespace mfhttp

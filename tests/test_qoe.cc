@@ -1,0 +1,164 @@
+// Tests for the QoE and cost models of §3.4.1 (Eqs. 7-10).
+#include <gtest/gtest.h>
+
+#include "core/qoe.h"
+
+namespace mfhttp {
+namespace {
+
+ObjectCoverage coverage(double integral, double final_cov, bool involved = true) {
+  ObjectCoverage c;
+  c.involved = involved;
+  c.coverage_integral = integral;
+  c.final_coverage = final_cov;
+  return c;
+}
+
+// ---------- Q1 (Eq. 7) ----------
+
+TEST(Q1, FullViewportFullDurationTopResolutionIsOne) {
+  // Object covers the whole viewport for the whole scroll at r_m.
+  double S = 1000 * 2000, T = 500;
+  EXPECT_DOUBLE_EQ(q1_coverage(coverage(S * T, S), S, T, 1080, 1080), 1.0);
+}
+
+TEST(Q1, ScalesLinearlyWithResolution) {
+  double S = 100, T = 10;
+  double full = q1_coverage(coverage(S * T, S), S, T, 1080, 1080);
+  double half = q1_coverage(coverage(S * T, S), S, T, 540, 1080);
+  EXPECT_NEAR(half, full / 2, 1e-12);
+}
+
+TEST(Q1, ScalesLinearlyWithCoverage) {
+  double S = 100, T = 10;
+  EXPECT_NEAR(q1_coverage(coverage(S * T / 4, S), S, T, 1080, 1080), 0.25, 1e-12);
+}
+
+TEST(Q1, ZeroDurationIsZero) {
+  EXPECT_DOUBLE_EQ(q1_coverage(coverage(100, 1), 100, 0, 1080, 1080), 0.0);
+  EXPECT_DOUBLE_EQ(q1_coverage(coverage(100, 1), 100, -5, 1080, 1080), 0.0);
+}
+
+TEST(Q1, ClampedToUnitInterval) {
+  // Numerical overshoot in the integral must not push Q1 above 1.
+  double S = 100, T = 10;
+  EXPECT_DOUBLE_EQ(q1_coverage(coverage(S * T * 1.01, S), S, T, 1080, 1080), 1.0);
+}
+
+// ---------- Q2 (Eq. 8) ----------
+
+TEST(Q2, IndicatorOnFinalCoverage) {
+  EXPECT_DOUBLE_EQ(q2_final_viewport(coverage(0, 10)), 1.0);
+  EXPECT_DOUBLE_EQ(q2_final_viewport(coverage(500, 0)), 0.0);
+  EXPECT_DOUBLE_EQ(q2_final_viewport(coverage(0, 0.001)), 1.0);
+}
+
+// ---------- Q (Eq. 9) ----------
+
+TEST(QoeScore, EqualWeightsAverageQ1Q2) {
+  QoEParams params;  // a = b = 1/2
+  double S = 100, T = 10;
+  // Q1 = 0.5 (half coverage), Q2 = 1 -> Q = 0.75.
+  double q = qoe_score(params, coverage(S * T / 2, S), S, T, 1080, 1080);
+  EXPECT_NEAR(q, 0.75, 1e-12);
+}
+
+TEST(QoeScore, BoundedByUnit) {
+  QoEParams params;
+  double S = 100, T = 10;
+  double q = qoe_score(params, coverage(S * T, S), S, T, 1080, 1080);
+  EXPECT_LE(q, 1.0);
+  EXPECT_GE(qoe_score(params, coverage(0, 0), S, T, 1080, 1080), 0.0);
+}
+
+TEST(QoeScore, FinalViewportNeverScoresBelowTransient) {
+  // The paper's design goal for a=b=1/2: any object in the final viewport
+  // scores >= any object not in it.
+  QoEParams params;
+  double S = 100, T = 10;
+  double in_final_worst = qoe_score(params, coverage(0, 1), S, T, 1, 1080);
+  double transient_best = qoe_score(params, coverage(S * T, 0), S, T, 1080, 1080);
+  EXPECT_GE(in_final_worst + 1e-12, transient_best);
+}
+
+TEST(QoeScore, CustomWeights) {
+  QoEParams params;
+  params.a = 1.0;
+  params.b = 0.0;
+  double S = 100, T = 10;
+  EXPECT_NEAR(qoe_score(params, coverage(S * T / 2, S), S, T, 1080, 1080), 0.5,
+              1e-12);
+}
+
+// ---------- cost functions ----------
+
+TEST(CostFunction, LinearIsIdentityOnBytes) {
+  CostFunction c = linear_cost();
+  EXPECT_DOUBLE_EQ(c(0), 0.0);
+  EXPECT_DOUBLE_EQ(c(12345), 12345.0);
+}
+
+TEST(CostFunction, CappedChargesOverageMultiplier) {
+  CostFunction c = capped_cost(1000, 3.0);
+  EXPECT_DOUBLE_EQ(c(500), 500.0);
+  EXPECT_DOUBLE_EQ(c(1000), 1000.0);
+  EXPECT_DOUBLE_EQ(c(1500), 1000.0 + 3.0 * 500);
+}
+
+TEST(CostFunction, CappedIsMonotone) {
+  CostFunction c = capped_cost(5000, 2.0);
+  double prev = -1;
+  for (Bytes f = 0; f <= 20'000; f += 500) {
+    double v = c(f);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+// ---------- c_M (Eq. 10 normalizer) ----------
+
+std::vector<MediaObject> two_objects() {
+  MediaObject a;
+  a.id = "a";
+  a.rect = {0, 0, 10, 10};
+  a.versions = {{480, 1000, "u1"}, {1080, 4000, "u2"}};
+  MediaObject b;
+  b.id = "b";
+  b.rect = {0, 0, 10, 10};
+  b.versions = {{1080, 6000, "u3"}};
+  return {a, b};
+}
+
+TEST(MaxCost, AllTopVersionsWhenBandwidthAbundant) {
+  auto objects = two_objects();
+  auto bw = BandwidthTrace::constant(1e9);
+  double cm = max_cost(linear_cost(), objects, {0, 1}, bw, 0, 1000);
+  EXPECT_DOUBLE_EQ(cm, 4000 + 6000);
+}
+
+TEST(MaxCost, BandwidthLimitedWhenScarce) {
+  auto objects = two_objects();
+  auto bw = BandwidthTrace::constant(1000);  // 1000 bytes over the 1 s scroll
+  double cm = max_cost(linear_cost(), objects, {0, 1}, bw, 0, 1000);
+  EXPECT_DOUBLE_EQ(cm, 1000);
+}
+
+TEST(MaxCost, OnlyInvolvedObjectsCount) {
+  auto objects = two_objects();
+  auto bw = BandwidthTrace::constant(1e9);
+  EXPECT_DOUBLE_EQ(max_cost(linear_cost(), objects, {0}, bw, 0, 1000), 4000);
+  EXPECT_DOUBLE_EQ(max_cost(linear_cost(), objects, {}, bw, 0, 1000), 0);
+}
+
+TEST(MaxCost, UsesBandwidthFromScrollStart) {
+  auto objects = two_objects();
+  // 0 B/s for the first second, then plenty.
+  auto bw = BandwidthTrace::from_slots({0, 1e9}, 1000);
+  double starved = max_cost(linear_cost(), objects, {0, 1}, bw, 0, 500);
+  EXPECT_DOUBLE_EQ(starved, 0);
+  double fed = max_cost(linear_cost(), objects, {0, 1}, bw, 1000, 500);
+  EXPECT_DOUBLE_EQ(fed, 10'000);
+}
+
+}  // namespace
+}  // namespace mfhttp

@@ -1,0 +1,362 @@
+// Tests for the screen scrolling tracker (§3.3): prediction sign convention,
+// content-bounds clamping, involvement, entry times and coverage integrals.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/scroll_tracker.h"
+
+namespace mfhttp {
+namespace {
+
+const DeviceProfile kDevice = DeviceProfile::nexus6();
+
+Gesture fling_gesture(Vec2 release_velocity, TimeMs up_time = 1000) {
+  Gesture g;
+  g.kind = GestureKind::kFling;
+  g.down_time_ms = up_time - 150;
+  g.up_time_ms = up_time;
+  g.down_pos = {700, 1800};
+  g.up_pos = g.down_pos + release_velocity * 0.15;
+  g.release_velocity = release_velocity;
+  return g;
+}
+
+ScrollTracker::Params tracker_params(std::optional<Rect> bounds = std::nullopt) {
+  ScrollTracker::Params p;
+  p.scroll = ScrollConfig(kDevice);
+  p.coverage_step_ms = 1.0;
+  p.content_bounds = bounds;
+  return p;
+}
+
+const Rect kViewport{0, 0, 1440, 2560};
+
+// ---------- prediction ----------
+
+TEST(ScrollTracker, ViewportMovesOppositeFinger) {
+  ScrollTracker tracker(tracker_params());
+  // Finger flicks up (negative y velocity) => page scrolls down => viewport
+  // displaces downward (+y) through content coordinates.
+  ScrollPrediction pred = tracker.predict(fling_gesture({0, -4000}), kViewport);
+  EXPECT_GT(pred.displacement.y, 0);
+  EXPECT_NEAR(pred.displacement.x, 0, 1e-9);
+  EXPECT_GT(pred.duration_ms, 0);
+  EXPECT_EQ(pred.start_time_ms, 1000);
+}
+
+TEST(ScrollTracker, PredictionMatchesFlingEquations) {
+  ScrollTracker tracker(tracker_params());
+  ScrollPrediction pred = tracker.predict(fling_gesture({0, -4000}), kViewport);
+  FlingParams fp;
+  fp.ppi = kDevice.ppi;
+  FlingModel reference(4000, fp);
+  EXPECT_NEAR(pred.displacement.norm(), reference.total_distance_px(), 1e-6);
+  EXPECT_NEAR(pred.duration_ms, reference.duration_ms(), 1e-6);
+}
+
+TEST(ScrollTracker, ViewportAtInterpolatesMonotonically) {
+  ScrollTracker tracker(tracker_params());
+  ScrollPrediction pred = tracker.predict(fling_gesture({0, -3000}), kViewport);
+  double prev_y = pred.viewport0.y - 1;
+  for (double t = 0; t <= pred.duration_ms; t += pred.duration_ms / 50) {
+    double y = pred.viewport_at(t).y;
+    EXPECT_GE(y, prev_y);
+    prev_y = y;
+  }
+  EXPECT_NEAR(pred.viewport_at(pred.duration_ms).y, pred.final_viewport().y, 1e-9);
+  EXPECT_NEAR(pred.viewport_at(1e9).y, pred.final_viewport().y, 1e-9);
+}
+
+TEST(ScrollTracker, DragPredictionShort) {
+  ScrollTracker tracker(tracker_params());
+  Gesture g = fling_gesture({0, -100});  // below fling threshold
+  g.kind = GestureKind::kDrag;
+  ScrollPrediction pred = tracker.predict(g, kViewport);
+  EXPECT_EQ(pred.animation.kind(), ScrollKind::kDrag);
+  EXPECT_LT(pred.displacement.norm(), 50);  // §3.3.1: very limited impact
+}
+
+TEST(ScrollTracker, ClampAtContentBottom) {
+  Rect bounds{0, 0, 1440, 5000};  // short page: only 2440 px of scroll room
+  ScrollTracker tracker(tracker_params(bounds));
+  // A huge fling that would overshoot the page end.
+  ScrollPrediction pred = tracker.predict(fling_gesture({0, -20000}), kViewport);
+  EXPECT_NEAR(pred.final_viewport().bottom(), 5000, 1e-6);
+  EXPECT_NEAR(pred.displacement.y, 2440, 1e-6);
+  // Duration shortened accordingly.
+  EXPECT_LT(pred.duration_ms, pred.animation.duration_ms());
+  EXPECT_GT(pred.duration_ms, 0);
+}
+
+TEST(ScrollTracker, ClampAtTopWhenScrollingUp) {
+  Rect bounds{0, 0, 1440, 50'000};
+  ScrollTracker tracker(tracker_params(bounds));
+  Rect viewport{0, 1000, 1440, 2560};  // only 1000 px above
+  ScrollPrediction pred = tracker.predict(fling_gesture({0, 20000}), viewport);
+  EXPECT_NEAR(pred.final_viewport().y, 0, 1e-6);
+}
+
+TEST(ScrollTracker, AlreadyAtEdgeNoMovement) {
+  Rect bounds{0, 0, 1440, 2560};  // page == viewport
+  ScrollTracker tracker(tracker_params(bounds));
+  ScrollPrediction pred = tracker.predict(fling_gesture({0, -8000}), kViewport);
+  EXPECT_NEAR(pred.displacement.norm(), 0, 1e-9);
+  EXPECT_DOUBLE_EQ(pred.duration_ms, 0);
+}
+
+TEST(ScrollTracker, UnclampedWithoutBounds) {
+  ScrollTracker tracker(tracker_params());
+  ScrollPrediction pred = tracker.predict(fling_gesture({0, -20000}), kViewport);
+  EXPECT_NEAR(pred.displacement.norm(), pred.animation.total_distance(), 1e-9);
+}
+
+TEST(ScrollTracker, DiagonalClampStopsOnlyBlockedAxis) {
+  // Axes clamp independently (Android semantics): the x motion stops at the
+  // content edge while y continues to the full fling distance.
+  Rect bounds{0, 0, 2000, 10'000};
+  ScrollTracker tracker(tracker_params(bounds));
+  Rect viewport{0, 0, 1440, 2560};
+  ScrollPrediction pred = tracker.predict(fling_gesture({-3000, -3000}), viewport);
+  // Viewport moves (+x, +y); x clamps at 2000-1440 = 560 px of room.
+  EXPECT_NEAR(pred.final_viewport().right(), 2000, 1e-6);
+  EXPECT_NEAR(pred.displacement.x, 560, 1e-6);
+  // y keeps the full share of the fling distance.
+  double expected_y = pred.animation.total_displacement().y;
+  EXPECT_NEAR(pred.displacement.y, expected_y, 1e-6);
+  EXPECT_GT(pred.displacement.y, pred.displacement.x);
+  // Duration is governed by the still-moving axis: the full animation.
+  EXPECT_DOUBLE_EQ(pred.duration_ms, pred.animation.duration_ms());
+}
+
+TEST(ScrollTracker, HorizontalJitterOnVerticalFeedStillScrolls) {
+  // Regression: a vertical fling with a small real x component on a page
+  // with zero horizontal room must not clamp the whole scroll to nothing.
+  Rect bounds{0, 0, 1440, 50'000};  // page exactly as wide as the viewport
+  ScrollTracker tracker(tracker_params(bounds));
+  ScrollPrediction pred =
+      tracker.predict(fling_gesture({800, -20000}), kViewport);
+  EXPECT_DOUBLE_EQ(pred.displacement.x, 0);  // x motion absorbed by the edge
+  EXPECT_GT(pred.displacement.y, 2000);      // y scroll survives intact
+  EXPECT_GT(pred.duration_ms, 500);
+}
+
+// ---------- analysis ----------
+
+std::vector<MediaObject> column_of_objects(int count, double height = 400,
+                                           double gap = 200) {
+  std::vector<MediaObject> objects;
+  for (int i = 0; i < count; ++i) {
+    objects.push_back(make_single_version_object(
+        "obj" + std::to_string(i), Rect{100, i * (height + gap), 800, height},
+        50'000, "http://s.example/img/" + std::to_string(i) + ".jpg"));
+  }
+  return objects;
+}
+
+TEST(ScrollTracker, AnalyzeFlagsViewportMembership) {
+  ScrollTracker tracker(tracker_params());
+  std::vector<MediaObject> objects = column_of_objects(40);
+  ScrollPrediction pred = tracker.predict(fling_gesture({0, -4000}), kViewport);
+  ScrollAnalysis analysis = tracker.analyze(pred, objects);
+  ASSERT_EQ(analysis.coverages.size(), objects.size());
+
+  const Rect final_vp = pred.final_viewport();
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    const ObjectCoverage& cov = analysis.coverages[i];
+    EXPECT_EQ(cov.in_initial_viewport, kViewport.overlaps(objects[i].rect)) << i;
+    EXPECT_EQ(cov.in_final_viewport, final_vp.overlaps(objects[i].rect)) << i;
+    if (cov.in_initial_viewport || cov.in_final_viewport) {
+      EXPECT_TRUE(cov.involved) << i;
+    }
+    if (cov.in_final_viewport) {
+      EXPECT_GT(cov.final_coverage, 0) << i;
+    }
+  }
+}
+
+TEST(ScrollTracker, EntryTimesOrderedDownThePage) {
+  ScrollTracker tracker(tracker_params());
+  std::vector<MediaObject> objects = column_of_objects(40);
+  ScrollPrediction pred = tracker.predict(fling_gesture({0, -5000}), kViewport);
+  ScrollAnalysis analysis = tracker.analyze(pred, objects);
+
+  double prev_entry = -1;
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    const ObjectCoverage& cov = analysis.coverages[i];
+    if (!cov.involved) continue;
+    EXPECT_GE(cov.entry_time_ms, prev_entry) << "object " << i;
+    prev_entry = cov.entry_time_ms;
+  }
+  // Initial-viewport objects enter at 0.
+  EXPECT_DOUBLE_EQ(analysis.coverages[0].entry_time_ms, 0);
+}
+
+TEST(ScrollTracker, EntryTimeMatchesKinematics) {
+  ScrollTracker tracker(tracker_params());
+  std::vector<MediaObject> objects = column_of_objects(40);
+  ScrollPrediction pred = tracker.predict(fling_gesture({0, -5000}), kViewport);
+  ScrollAnalysis analysis = tracker.analyze(pred, objects);
+
+  for (const ObjectCoverage& cov : analysis.coverages) {
+    if (!cov.involved || cov.entry_time_ms <= 0) continue;
+    // Just before entry: no overlap; just after: overlap.
+    Rect before = pred.viewport_at(cov.entry_time_ms - 5);
+    Rect after = pred.viewport_at(std::min(cov.entry_time_ms + 5, pred.duration_ms));
+    const Rect& obj = objects[cov.object_index].rect;
+    EXPECT_LE(before.overlap_area(obj), 1.0) << cov.object_index;
+    if (cov.entry_time_ms + 5 < pred.duration_ms) {
+      EXPECT_GT(after.overlap_area(obj), 0) << cov.object_index;
+    }
+  }
+}
+
+TEST(ScrollTracker, CoverageIntegralBounds) {
+  ScrollTracker tracker(tracker_params());
+  std::vector<MediaObject> objects = column_of_objects(40);
+  ScrollPrediction pred = tracker.predict(fling_gesture({0, -4000}), kViewport);
+  ScrollAnalysis analysis = tracker.analyze(pred, objects);
+  const double S = kViewport.area();
+  for (const ObjectCoverage& cov : analysis.coverages) {
+    EXPECT_GE(cov.coverage_integral, 0);
+    // ∫ s dt <= S * T always.
+    EXPECT_LE(cov.coverage_integral, S * pred.duration_ms * (1 + 1e-9));
+    if (!cov.involved) {
+      EXPECT_DOUBLE_EQ(cov.coverage_integral, 0);
+    }
+  }
+}
+
+TEST(ScrollTracker, StationaryObjectUnderViewportFullCoverage) {
+  // An object fully covering the viewport the whole time integrates to S*T.
+  ScrollTracker tracker(tracker_params());
+  std::vector<MediaObject> objects;
+  objects.push_back(make_single_version_object(
+      "bg", Rect{-10'000, -10'000, 40'000, 40'000}, 1000, "http://s.example/bg"));
+  ScrollPrediction pred = tracker.predict(fling_gesture({0, -3000}), kViewport);
+  ScrollAnalysis analysis = tracker.analyze(pred, objects);
+  double expected = kViewport.area() * pred.duration_ms;
+  EXPECT_NEAR(analysis.coverages[0].coverage_integral, expected, expected * 0.01);
+}
+
+TEST(ScrollTracker, CoarseStepApproximatesFineStep) {
+  std::vector<MediaObject> objects = column_of_objects(20);
+  Gesture g = fling_gesture({0, -4000});
+
+  ScrollTracker fine(tracker_params());
+  ScrollTracker::Params coarse_params = tracker_params();
+  coarse_params.coverage_step_ms = 16.0;
+  ScrollTracker coarse(coarse_params);
+
+  ScrollPrediction pred = fine.predict(g, kViewport);
+  ScrollAnalysis fa = fine.analyze(pred, objects);
+  ScrollAnalysis ca = coarse.analyze(pred, objects);
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    if (!fa.coverages[i].involved) continue;
+    double f = fa.coverages[i].coverage_integral;
+    double c = ca.coverages[i].coverage_integral;
+    if (f > 1000) {
+      EXPECT_NEAR(c / f, 1.0, 0.05) << i;
+    }
+  }
+}
+
+TEST(ScrollTracker, InvolvedByEntryTimeSorted) {
+  ScrollTracker tracker(tracker_params());
+  std::vector<MediaObject> objects = column_of_objects(40);
+  ScrollPrediction pred = tracker.predict(fling_gesture({0, -5000}), kViewport);
+  ScrollAnalysis analysis = tracker.analyze(pred, objects);
+  std::vector<std::size_t> order = analysis.involved_by_entry_time();
+  for (std::size_t k = 1; k < order.size(); ++k) {
+    EXPECT_LE(analysis.coverages[order[k - 1]].entry_time_ms,
+              analysis.coverages[order[k]].entry_time_ms);
+  }
+  for (std::size_t idx : order) EXPECT_TRUE(analysis.coverages[idx].involved);
+}
+
+TEST(ScrollTracker, ObjectsBeyondSweepNotInvolved) {
+  ScrollTracker tracker(tracker_params());
+  std::vector<MediaObject> objects = column_of_objects(200);  // very long page
+  ScrollPrediction pred = tracker.predict(fling_gesture({0, -2000}), kViewport);
+  ScrollAnalysis analysis = tracker.analyze(pred, objects);
+  double sweep_bottom = pred.final_viewport().bottom();
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    if (objects[i].rect.y > sweep_bottom + 1) {
+      EXPECT_FALSE(analysis.coverages[i].involved) << i;
+    }
+  }
+}
+
+TEST(ScrollTracker, HorizontalScrollInvolvesSideObjects) {
+  ScrollTracker tracker(tracker_params());
+  std::vector<MediaObject> objects;
+  objects.push_back(make_single_version_object("right", Rect{3000, 500, 400, 400},
+                                               1000, "http://s/r"));
+  objects.push_back(make_single_version_object("below", Rect{100, 5000, 400, 400},
+                                               1000, "http://s/b"));
+  // Finger swipes left => viewport moves right.
+  ScrollPrediction pred = tracker.predict(fling_gesture({-6000, 0}), kViewport);
+  ScrollAnalysis analysis = tracker.analyze(pred, objects);
+  EXPECT_GT(pred.displacement.x, 0);
+  EXPECT_TRUE(analysis.coverages[0].involved);
+  EXPECT_FALSE(analysis.coverages[1].involved);
+}
+
+// ---------- cross-device property sweep ----------
+
+class TrackerDeviceSweep : public ::testing::TestWithParam<DeviceProfile> {};
+
+TEST_P(TrackerDeviceSweep, PredictionInvariantsHoldOnEveryDevice) {
+  const DeviceProfile device = GetParam();
+  ScrollTracker::Params p;
+  p.scroll = ScrollConfig(device);
+  p.coverage_step_ms = 4.0;
+  p.content_bounds = Rect{0, 0, device.screen_w_px, 60'000};
+  ScrollTracker tracker(p);
+  Rect viewport{0, 0, device.screen_w_px, device.screen_h_px};
+
+  for (double speed : {device.min_fling_velocity_px_s() * 1.5, 3000.0, 9000.0}) {
+    Gesture g = fling_gesture({0, -speed});
+    ScrollPrediction pred = tracker.predict(g, viewport);
+    // Viewport always stays within the content.
+    EXPECT_GE(pred.final_viewport().top(), -1e-6);
+    EXPECT_LE(pred.final_viewport().bottom(), 60'000 + 1e-6);
+    // Duration and displacement are consistent with the fling equations.
+    EXPECT_GT(pred.duration_ms, 0);
+    EXPECT_GT(pred.displacement.y, 0);
+    EXPECT_LE(pred.displacement.norm(),
+              pred.animation.total_distance() + 1e-6);
+    // The sampled path starts and ends where the prediction says.
+    auto path = pred.sample_path(25);
+    EXPECT_EQ(path.front().viewport, viewport);
+    EXPECT_EQ(path.back().viewport, pred.final_viewport());
+  }
+}
+
+TEST_P(TrackerDeviceSweep, HigherPpiScrollsFewerPixels) {
+  // Same finger speed covers fewer *pixels* on denser screens (the Eqs. 1-3
+  // coefficient scales with ppi) — the reason the middleware needs the
+  // device profile at all (§3.2).
+  const DeviceProfile device = GetParam();
+  if (device.ppi <= DeviceProfile::lowend().ppi) return;
+  ScrollTracker::Params dense;
+  dense.scroll = ScrollConfig(device);
+  ScrollTracker::Params sparse;
+  sparse.scroll = ScrollConfig(DeviceProfile::lowend());
+  Gesture g = fling_gesture({0, -5000});
+  Rect viewport{0, 0, 1000, 2000};
+  double dense_d =
+      ScrollTracker(dense).predict(g, viewport).displacement.norm();
+  double sparse_d =
+      ScrollTracker(sparse).predict(g, viewport).displacement.norm();
+  EXPECT_LT(dense_d, sparse_d);
+}
+
+INSTANTIATE_TEST_SUITE_P(Devices, TrackerDeviceSweep,
+                         ::testing::Values(DeviceProfile::nexus6(),
+                                           DeviceProfile::nexus5(),
+                                           DeviceProfile::tablet10(),
+                                           DeviceProfile::lowend()));
+
+}  // namespace
+}  // namespace mfhttp

@@ -1,0 +1,254 @@
+// Unit tests for util: rng, stats, strings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/strings.h"
+
+namespace mfhttp {
+namespace {
+
+// ---------- Rng ----------
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform_int(0, 1'000'000) == b.uniform_int(0, 1'000'000)) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformRespectRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.uniform(-2.5, 9.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 9.5);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(0, 5));
+  EXPECT_EQ(seen.size(), 6u);  // all of 0..5 hit
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 5);
+}
+
+TEST(Rng, TruncatedNormalStaysInBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.truncated_normal(5.0, 10.0, 0.0, 6.0);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 6.0);
+  }
+}
+
+TEST(Rng, TruncatedNormalDegenerateRangeClamps) {
+  Rng rng(11);
+  // Mean far outside a tiny range: resampling fails, clamp should kick in.
+  double v = rng.truncated_normal(100.0, 0.001, 0.0, 1.0);
+  EXPECT_GE(v, 0.0);
+  EXPECT_LE(v, 1.0);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, WeightedIndexZeroWeightNeverPicked) {
+  Rng rng(5);
+  std::vector<double> w = {0.0, 1.0, 0.0, 2.0};
+  for (int i = 0; i < 500; ++i) {
+    std::size_t idx = rng.weighted_index(w);
+    EXPECT_TRUE(idx == 1 || idx == 3);
+  }
+}
+
+TEST(Rng, WeightedIndexProportions) {
+  Rng rng(5);
+  std::vector<double> w = {1.0, 3.0};
+  int count1 = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i)
+    if (rng.weighted_index(w) == 1) ++count1;
+  EXPECT_NEAR(static_cast<double>(count1) / kDraws, 0.75, 0.03);
+}
+
+TEST(Rng, ForkIndependentButDeterministic) {
+  Rng a(42), b(42);
+  Rng fa = a.fork(), fb = b.fork();
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(fa.uniform_int(0, 1 << 30), fb.uniform_int(0, 1 << 30));
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(9);
+  double sum = 0;
+  const int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / kDraws, 4.0, 0.15);
+}
+
+// ---------- RunningStats ----------
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.0, 1e-12);  // classic population-variance example
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, NegativeValues) {
+  RunningStats s;
+  s.add(-10);
+  s.add(10);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -10.0);
+  EXPECT_NEAR(s.stddev(), 10.0, 1e-12);
+}
+
+// ---------- Samples ----------
+
+TEST(Samples, PercentileInterpolation) {
+  Samples s;
+  for (double v : {10.0, 20.0, 30.0, 40.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.min(), 10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 40.0);
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 17.5);
+}
+
+TEST(Samples, SingleSampleAllPercentilesEqual) {
+  Samples s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 7.0);
+}
+
+TEST(Samples, UnsortedInputHandled) {
+  Samples s;
+  for (double v : {9.0, 1.0, 5.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+}
+
+// ---------- Histogram ----------
+
+TEST(Histogram, BinAssignment) {
+  Histogram h(0, 10, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.5);   // bin 4
+  h.add(5.0);   // bin 2
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClamps) {
+  Histogram h(0, 10, 5);
+  h.add(-100);
+  h.add(100);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0, 10, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+// ---------- strings ----------
+
+TEST(Strings, SplitBasic) {
+  auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  auto parts = split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitNoDelimiter) {
+  auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\r\nx\n"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(Strings, IEquals) {
+  EXPECT_TRUE(iequals("Content-Length", "content-length"));
+  EXPECT_TRUE(iequals("", ""));
+  EXPECT_FALSE(iequals("abc", "abcd"));
+  EXPECT_FALSE(iequals("abc", "abd"));
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("AbC-123"), "abc-123");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("http://x", "http://"));
+  EXPECT_FALSE(starts_with("ftp://x", "http://"));
+  EXPECT_TRUE(ends_with("image.jpg", ".jpg"));
+  EXPECT_FALSE(ends_with("jpg", "image.jpg"));
+}
+
+TEST(Strings, Strformat) {
+  EXPECT_EQ(strformat("%02d-%s", 7, "x"), "07-x");
+  EXPECT_EQ(strformat("%.2f", 1.5), "1.50");
+  EXPECT_EQ(strformat("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace mfhttp
