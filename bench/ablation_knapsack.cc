@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/knapsack.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -46,7 +47,8 @@ double time_ms(const std::function<void()>& fn) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  mfhttp::obs::MetricsDumpGuard metrics_guard(argc, argv);
   std::printf("=== Ablation: prefix-capacity knapsack solvers ===\n\n");
 
   // (a) Quality vs the exhaustive optimum on small instances.

@@ -5,8 +5,10 @@
 #include <cstdio>
 
 #include "feed/feed_experiment.h"
+#include "obs/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
+  mfhttp::obs::MetricsDumpGuard metrics_guard(argc, argv);
   using namespace mfhttp;
   const DeviceProfile device = DeviceProfile::nexus6();
   FeedSpec spec;

@@ -8,9 +8,11 @@
 
 #include "gesture/recognizer.h"
 #include "gesture/synthetic.h"
+#include "obs/metrics.h"
 #include "video/session.h"
 
-int main() {
+int main(int argc, char** argv) {
+  mfhttp::obs::MetricsDumpGuard metrics_guard(argc, argv);
   using namespace mfhttp;
   const DeviceProfile device = DeviceProfile::nexus6();
 

@@ -1,0 +1,21 @@
+// Drop-in replacement for BENCHMARK_MAIN() adding a --metrics-json <path>
+// flag: after the benchmarks run, the process-wide metrics snapshot
+// (obs/metrics.h) is dumped as one JSON document, so bench trajectories can
+// track internal counters, not just end-to-end figures. The flag is removed
+// from argv before benchmark::Initialize sees it.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "obs/metrics.h"
+
+#define MFHTTP_BENCHMARK_MAIN()                                         \
+  int main(int argc, char** argv) {                                     \
+    mfhttp::obs::MetricsDumpGuard metrics_guard(argc, argv);            \
+    ::benchmark::Initialize(&argc, argv);                               \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                              \
+    ::benchmark::Shutdown();                                            \
+    return 0;                                                           \
+  }                                                                     \
+  int main(int, char**)

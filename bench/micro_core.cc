@@ -9,10 +9,17 @@
 #include "core/scroll_tracker.h"
 #include "geom/swept_region.h"
 #include "gesture/velocity_tracker.h"
+#include "http/proxy.h"
+#include "http/sim_http.h"
+#include "metrics_main.h"
 #include "net/link.h"
 #include "scroll/fling.h"
 #include "util/rng.h"
+#include "video/dash.h"
+#include "video/scheduler.h"
 #include "video/tiling.h"
+#include "web/blocklist_controller.h"
+#include "web/corpus.h"
 
 namespace {
 
@@ -164,6 +171,84 @@ void BM_VisibleTiles(benchmark::State& state) {
 }
 BENCHMARK(BM_VisibleTiles);
 
+void BM_TilePlan(benchmark::State& state) {
+  // Per-segment tile/rate selection — the video-path per-second budget.
+  VideoAsset::Params vp;
+  vp.ladder = default_ladder();
+  VideoAsset video(vp);
+  MfHttpTileScheduler scheduler;
+  FieldOfView fov;
+  double yaw = 0;
+  int seg = 0;
+  for (auto _ : state) {
+    std::vector<bool> visible = video.grid().visible_tiles({yaw, 0.1}, fov);
+    benchmark::DoNotOptimize(
+        scheduler.plan_segment(video, seg, visible, Bytes{400'000}));
+    yaw += 0.05;
+    seg = (seg + 1) % video.segment_count();
+  }
+}
+BENCHMARK(BM_TilePlan);
+
+void BM_ProxyBlocklistSession(benchmark::State& state) {
+  // The §5.1 request path end to end: intercept -> defer -> policy release,
+  // streaming through the MITM proxy over the bottleneck link.
+  const DeviceProfile device = DeviceProfile::nexus6();
+  Rng corpus_rng(11);
+  // First strongly limited-viewport site: most images start on the block list.
+  const SiteSpec* spec = &alexa25_specs().front();
+  for (const SiteSpec& s : alexa25_specs())
+    if (s.viewport_ratio < 0.2) {
+      spec = &s;
+      break;
+    }
+  const WebPage page = generate_page(*spec, device, corpus_rng);
+  const Rect viewport{0, 0, static_cast<double>(device.screen_w_px),
+                      static_cast<double>(device.screen_h_px)};
+  ScrollTracker::Params tp;
+  tp.scroll = ScrollConfig(device);
+  tp.coverage_step_ms = 4.0;
+  tp.content_bounds = page.bounds();
+  ScrollTracker tracker(tp);
+  Gesture g;
+  g.kind = GestureKind::kFling;
+  g.down_time_ms = 0;
+  g.up_time_ms = 150;
+  g.release_velocity = {0, -9'000};
+  ScrollAnalysis analysis =
+      tracker.analyze(tracker.predict(g, viewport), page.images);
+  FlowController flow(FlowController::Params{});
+  DownloadPolicy policy =
+      flow.optimize(analysis, page.images, BandwidthTrace::constant(2e6));
+
+  for (auto _ : state) {
+    Simulator sim;
+    Link::Params cp;
+    cp.bandwidth = BandwidthTrace::constant(2e6);
+    cp.sharing = Link::Sharing::kFairShare;
+    Link client_link(sim, cp);
+    Link server_link(sim, Link::Params{});
+    ObjectStore store;
+    for (const MediaObject& img : page.images)
+      store.put(parse_url(img.top_version().url)->path, img.top_version().size);
+    SimHttpOrigin origin(sim, &store, &server_link);
+    MitmProxy proxy(sim, &origin, &client_link);
+    BlockListController controller(page, viewport, &proxy);
+    proxy.set_interceptor(&controller);
+    int done = 0;
+    for (const MediaObject& img : page.images) {
+      FetchCallbacks cb;
+      cb.on_complete = [&done](const FetchResult&) { ++done; };
+      proxy.fetch(HttpRequest::get(*parse_url(img.top_version().url)),
+                  std::move(cb));
+    }
+    controller.on_policy(analysis, policy);
+    sim.run();
+    benchmark::DoNotOptimize(done);
+  }
+}
+BENCHMARK(BM_ProxyBlocklistSession);
+
 void BM_LinkThroughput(benchmark::State& state) {
   // Simulated-seconds per wall-second of the rate-limited link.
   for (auto _ : state) {
@@ -185,4 +270,4 @@ BENCHMARK(BM_LinkThroughput);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MFHTTP_BENCHMARK_MAIN();

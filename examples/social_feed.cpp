@@ -8,10 +8,12 @@
 #include <cstdio>
 
 #include "feed/feed_experiment.h"
+#include "obs/metrics.h"
 
 using namespace mfhttp;
 
-int main() {
+int main(int argc, char** argv) {
+  mfhttp::obs::MetricsDumpGuard metrics_guard(argc, argv);
   const DeviceProfile device = DeviceProfile::nexus6();
   FeedSpec spec;
   spec.post_count = 120;

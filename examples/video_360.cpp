@@ -8,11 +8,13 @@
 
 #include "gesture/recognizer.h"
 #include "gesture/synthetic.h"
+#include "obs/metrics.h"
 #include "video/session.h"
 
 using namespace mfhttp;
 
-int main() {
+int main(int argc, char** argv) {
+  mfhttp::obs::MetricsDumpGuard metrics_guard(argc, argv);
   const DeviceProfile device = DeviceProfile::nexus6();
 
   VideoAsset::Params params;

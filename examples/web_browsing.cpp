@@ -7,12 +7,14 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "web/corpus.h"
 #include "web/experiment.h"
 
 using namespace mfhttp;
 
 int main(int argc, char** argv) {
+  mfhttp::obs::MetricsDumpGuard metrics_guard(argc, argv);
   const char* site = argc > 1 ? argv[1] : "sohu";
   const DeviceProfile device = DeviceProfile::nexus6();
 

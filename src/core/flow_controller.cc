@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -25,6 +26,9 @@ DownloadPolicy FlowController::optimize(const ScrollAnalysis& analysis,
                                         const std::vector<MediaObject>& objects,
                                         const BandwidthTrace& bandwidth) const {
   MFHTTP_CHECK(analysis.coverages.size() == objects.size());
+  static obs::Counter& policies_total =
+      obs::metrics().counter("core.flow.policies_total");
+  policies_total.inc();
   DownloadPolicy policy;
 
   const std::vector<std::size_t> involved = analysis.involved_by_entry_time();
@@ -79,16 +83,21 @@ DownloadPolicy FlowController::optimize(const ScrollAnalysis& analysis,
   Params::Solver solver =
       params_.use_greedy ? Params::Solver::kGreedy : params_.solver;
   KnapsackSolution sol;
-  switch (solver) {
-    case Params::Solver::kGreedy:
-      sol = solve_prefix_knapsack_greedy(items);
-      break;
-    case Params::Solver::kBranchAndBound:
-      sol = solve_prefix_knapsack_bnb(items).solution;
-      break;
-    case Params::Solver::kDp:
-      sol = solve_prefix_knapsack(items, params_.capacity_unit_bytes);
-      break;
+  {
+    static obs::Histogram& solve_ms = obs::metrics().histogram(
+        "core.flow.solve_ms", obs::latency_ms_bounds());
+    obs::ScopedTimer timer(solve_ms);
+    switch (solver) {
+      case Params::Solver::kGreedy:
+        sol = solve_prefix_knapsack_greedy(items);
+        break;
+      case Params::Solver::kBranchAndBound:
+        sol = solve_prefix_knapsack_bnb(items).solution;
+        break;
+      case Params::Solver::kDp:
+        sol = solve_prefix_knapsack(items, params_.capacity_unit_bytes);
+        break;
+    }
   }
 
   std::size_t cache_pos = 0;
@@ -110,6 +119,18 @@ DownloadPolicy FlowController::optimize(const ScrollAnalysis& analysis,
     policy.decisions.push_back(d);
   }
   policy.objective = sol.total_value;
+  static obs::Counter& allowed_total =
+      obs::metrics().counter("core.flow.objects_allowed_total");
+  static obs::Counter& skipped_total =
+      obs::metrics().counter("core.flow.objects_skipped_total");
+  static obs::Counter& bytes_total =
+      obs::metrics().counter("core.flow.policy_bytes_total");
+  std::size_t downloads = 0;
+  for (const DownloadDecision& d : policy.decisions)
+    if (d.download()) ++downloads;
+  allowed_total.inc(downloads);
+  skipped_total.inc(policy.decisions.size() - downloads);
+  bytes_total.inc(static_cast<std::uint64_t>(policy.total_bytes));
   MFHTTP_DEBUG << "flow policy: " << policy.decisions.size() << " involved, "
                << policy.total_bytes << " bytes, objective " << policy.objective;
   return policy;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace mfhttp {
@@ -51,6 +52,9 @@ void Middleware::set_viewport_scale(double scale, TimeMs at_time_ms) {
 void Middleware::on_pinch(const PinchGesture& pinch, double min_scale,
                           double max_scale) {
   MFHTTP_CHECK(min_scale > 0 && max_scale >= min_scale);
+  static obs::Counter& pinches_total =
+      obs::metrics().counter("core.middleware.pinches_total");
+  pinches_total.inc();
   double next = std::clamp(viewport_scale_ * pinch.scale_factor(), min_scale,
                            max_scale);
   set_viewport_scale(next, pinch.end_time_ms);
@@ -66,6 +70,28 @@ void Middleware::on_gesture(const Gesture& gesture) {
 }
 
 void Middleware::process_gesture(const Gesture& gesture) {
+  static obs::Counter& gestures_total =
+      obs::metrics().counter("core.middleware.gestures_total");
+  gestures_total.inc();
+
+  // Prediction accuracy: a new touch that lands mid-animation cuts the
+  // predicted scroll short; the undelivered distance is the error the
+  // flow controller planned against.
+  if (viewport_.active_animation().has_value()) {
+    const ScrollPrediction& active = *viewport_.active_animation();
+    double t = static_cast<double>(gesture.down_time_ms - active.start_time_ms);
+    if (t >= 0 && t < active.duration_ms) {
+      static obs::Histogram& error_px = obs::metrics().histogram(
+          "core.tracker.prediction_error_px",
+          obs::exponential_bounds(1.0, 4.0, 10));
+      Rect at_interrupt = active.viewport_at(t);
+      double realized = Vec2{at_interrupt.x - active.viewport0.x,
+                             at_interrupt.y - active.viewport0.y}
+                            .norm();
+      error_px.observe(active.displacement.norm() - realized);
+    }
+  }
+
   // OverScroller flywheel: speed remaining in an interrupted fling carries
   // into the next one when the finger flicks the same way.
   Vec2 carried_velocity{};
@@ -79,8 +105,12 @@ void Middleware::process_gesture(const Gesture& gesture) {
       // finger-space velocity is its opposite.
       Vec2 viewport_dir = active.displacement.normalized();
       Vec2 finger_dir = Vec2{} - viewport_dir;
-      if (finger_dir.dot(gesture.release_velocity.normalized()) > 0.5)
+      if (finger_dir.dot(gesture.release_velocity.normalized()) > 0.5) {
         carried_velocity = finger_dir * remaining_speed;
+        static obs::Counter& flywheel_total =
+            obs::metrics().counter("core.middleware.flywheel_inherits_total");
+        flywheel_total.inc();
+      }
     }
   }
 
@@ -104,6 +134,10 @@ void Middleware::process_gesture(const Gesture& gesture) {
   Rect vp_at_release = viewport_.at(gesture.up_time_ms);
   ScrollPrediction pred = tracker_.predict(boosted, vp_at_release);
   viewport_.begin_animation(pred);
+
+  static obs::Counter& scrolls_total =
+      obs::metrics().counter("core.middleware.scrolls_total");
+  scrolls_total.inc();
 
   ScrollAnalysis analysis = tracker_.analyze(pred, objects_);
   DownloadPolicy policy = flow_.optimize(analysis, objects_, bandwidth_);

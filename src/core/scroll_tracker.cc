@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace mfhttp {
@@ -35,6 +36,9 @@ std::vector<ScrollPrediction::PathSample> ScrollPrediction::sample_path(
 
 ScrollPrediction ScrollTracker::predict(const Gesture& gesture,
                                         const Rect& viewport) const {
+  static obs::Counter& predictions_total =
+      obs::metrics().counter("core.tracker.predictions_total");
+  predictions_total.inc();
   ScrollPrediction pred;
   pred.gesture = gesture;
   pred.viewport0 = viewport;
@@ -94,6 +98,9 @@ ScrollPrediction ScrollTracker::predict(const Gesture& gesture,
 
 ScrollAnalysis ScrollTracker::analyze(const ScrollPrediction& prediction,
                                       const std::vector<MediaObject>& objects) const {
+  static obs::Counter& analyses_total =
+      obs::metrics().counter("core.tracker.analyses_total");
+  analyses_total.inc();
   ScrollAnalysis analysis;
   analysis.prediction = prediction;
   analysis.coverages.resize(objects.size());

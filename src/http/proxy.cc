@@ -3,16 +3,33 @@
 #include <memory>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/logging.h"
 
 namespace mfhttp {
+
+namespace {
+
+// Parked requests across every proxy instance (queue-depth gauge).
+obs::Gauge& deferred_depth_gauge() {
+  static obs::Gauge& g = obs::metrics().gauge("http.proxy.deferred_depth");
+  return g;
+}
+
+}  // namespace
 
 MitmProxy::MitmProxy(Simulator& sim, HttpFetcher* upstream, Link* client_link,
                      Params params)
     : sim_(sim), upstream_(upstream), client_link_(client_link), params_(params) {
   MFHTTP_CHECK(upstream_ != nullptr);
   MFHTTP_CHECK(client_link_ != nullptr);
+}
+
+MitmProxy::~MitmProxy() {
+  // Requests still parked when the proxy dies leave the depth gauge otherwise.
+  for (const auto& [id, p] : pending_)
+    if (p.deferred) deferred_depth_gauge().sub(1);
 }
 
 std::string MitmProxy::url_of(const HttpRequest& request) {
@@ -30,32 +47,50 @@ HttpFetcher::FetchId MitmProxy::fetch(const HttpRequest& request,
   p.url = url_of(request);
   p.request_ms = sim_.now();
 
+  static obs::Counter& requests_total =
+      obs::metrics().counter("http.proxy.requests_total");
+  requests_total.inc();
+
   InterceptDecision decision =
       interceptor_ ? interceptor_->on_request(request) : InterceptDecision::allow();
   p.priority = decision.priority;
   switch (decision.action) {
-    case InterceptDecision::Action::kAllow:
+    case InterceptDecision::Action::kAllow: {
       ++stats_.allowed;
+      static obs::Counter& allowed = obs::metrics().counter("http.proxy.allowed_total");
+      allowed.inc();
       start_upstream(id);
       break;
+    }
     case InterceptDecision::Action::kRewrite: {
       ++stats_.rewritten;
+      static obs::Counter& rewritten =
+          obs::metrics().counter("http.proxy.rewritten_total");
+      rewritten.inc();
       auto url = parse_url(decision.rewrite_url);
       MFHTTP_CHECK_MSG(url.has_value(), "rewrite target must be an absolute URL");
       p.request = HttpRequest::get(*url);
       start_upstream(id);
       break;
     }
-    case InterceptDecision::Action::kBlock:
+    case InterceptDecision::Action::kBlock: {
       ++stats_.blocked;
+      static obs::Counter& blocked = obs::metrics().counter("http.proxy.blocked_total");
+      blocked.inc();
       p.reject_event = sim_.schedule_after(params_.reject_delay_ms,
                                            [this, id] { finish_blocked(id, 403); });
       break;
-    case InterceptDecision::Action::kDefer:
+    }
+    case InterceptDecision::Action::kDefer: {
       ++stats_.deferred;
+      static obs::Counter& deferred =
+          obs::metrics().counter("http.proxy.deferred_total");
+      deferred.inc();
+      deferred_depth_gauge().add(1);
       p.deferred = true;
       MFHTTP_TRACE << "proxy defer " << p.url;
       break;
+    }
   }
   return id;
 }
@@ -64,6 +99,7 @@ void MitmProxy::start_upstream(FetchId id) {
   auto it = pending_.find(id);
   MFHTTP_CHECK(it != pending_.end());
   Pending& p = it->second;
+  if (p.deferred) deferred_depth_gauge().sub(1);
   p.deferred = false;
 
   // Middleware-server cache: a hit skips the upstream hop entirely. Keyed by
@@ -102,6 +138,11 @@ void MitmProxy::serve_from_cache(FetchId id, const CachedObject& object) {
   MFHTTP_CHECK(it != pending_.end());
   ++stats_.cache_hits;
   stats_.bytes_from_upstream_saved += object.size;
+  static obs::Counter& cache_hits = obs::metrics().counter("http.proxy.cache_hits_total");
+  cache_hits.inc();
+  static obs::Counter& saved =
+      obs::metrics().counter("http.proxy.upstream_bytes_saved_total");
+  saved.inc(static_cast<std::uint64_t>(object.size));
   SimResponseMeta meta;
   meta.status = object.status;
   meta.body_size = object.size;
@@ -127,6 +168,9 @@ void MitmProxy::start_client_transfer(FetchId id, const SimResponseMeta& meta,
         if (cit == pending_.end()) return;
         *received += chunk;
         stats_.bytes_to_client += chunk;
+        static obs::Counter& to_client =
+            obs::metrics().counter("http.proxy.bytes_to_client_total");
+        to_client.inc(static_cast<std::uint64_t>(chunk));
         if (cit->second.callbacks.on_progress)
           cit->second.callbacks.on_progress(chunk, *received, total);
         if (complete) {
@@ -152,6 +196,7 @@ void MitmProxy::start_client_transfer(FetchId id, const SimResponseMeta& meta,
 void MitmProxy::finish_blocked(FetchId id, int status) {
   auto it = pending_.find(id);
   if (it == pending_.end()) return;
+  if (it->second.deferred) deferred_depth_gauge().sub(1);
   Pending done = std::move(it->second);
   pending_.erase(it);
   FetchResult result;
@@ -169,6 +214,7 @@ bool MitmProxy::cancel(FetchId id) {
   auto it = pending_.find(id);
   if (it == pending_.end()) return false;
   Pending& p = it->second;
+  if (p.deferred) deferred_depth_gauge().sub(1);
   if (p.reject_event != Simulator::kInvalidEvent) sim_.cancel(p.reject_event);
   if (p.upstream_id != HttpFetcher::kInvalidFetch) upstream_->cancel(p.upstream_id);
   if (p.client_transfer != Link::kInvalidTransfer)
@@ -183,6 +229,8 @@ std::size_t MitmProxy::release(const std::string& url, int priority) {
     if (p.deferred && p.url == url) ids.push_back(id);
   for (FetchId id : ids) {
     ++stats_.released;
+    static obs::Counter& released = obs::metrics().counter("http.proxy.released_total");
+    released.inc();
     MFHTTP_TRACE << "proxy release " << url;
     pending_[id].priority = priority;
     start_upstream(id);
@@ -201,6 +249,11 @@ std::size_t MitmProxy::release_rewritten(const std::string& url,
   for (FetchId id : ids) {
     ++stats_.released;
     ++stats_.rewritten;
+    static obs::Counter& released = obs::metrics().counter("http.proxy.released_total");
+    released.inc();
+    static obs::Counter& rewritten =
+        obs::metrics().counter("http.proxy.rewritten_total");
+    rewritten.inc();
     MFHTTP_TRACE << "proxy release " << url << " as " << substitute_url;
     pending_[id].request = HttpRequest::get(*substitute);
     pending_[id].priority = priority;
@@ -215,6 +268,8 @@ std::size_t MitmProxy::abort_deferred(const std::string& url) {
     if (p.deferred && p.url == url) ids.push_back(id);
   for (FetchId id : ids) {
     ++stats_.aborted;
+    static obs::Counter& aborted = obs::metrics().counter("http.proxy.aborted_total");
+    aborted.inc();
     finish_blocked(id, 403);
   }
   return ids.size();

@@ -75,6 +75,7 @@ class MitmProxy : public HttpFetcher {
   // over it.
   MitmProxy(Simulator& sim, HttpFetcher* upstream, Link* client_link,
             Params params = {});
+  ~MitmProxy() override;
 
   // No interceptor (nullptr) means allow everything — the baseline path.
   void set_interceptor(Interceptor* interceptor) { interceptor_ = interceptor; }

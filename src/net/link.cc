@@ -2,20 +2,39 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/logging.h"
 
 namespace mfhttp {
+
+namespace {
+
+// In-flight transfers across every link (queue-depth gauge).
+obs::Gauge& active_transfers_gauge() {
+  static obs::Gauge& g = obs::metrics().gauge("net.link.active_transfers");
+  return g;
+}
+
+}  // namespace
 
 Link::Link(Simulator& sim, Params params) : sim_(sim), params_(std::move(params)) {
   MFHTTP_CHECK(params_.quantum_ms > 0);
   MFHTTP_CHECK(params_.latency_ms >= 0);
 }
 
+Link::~Link() {
+  // Transfers abandoned with the link leave the in-flight gauge otherwise.
+  active_transfers_gauge().sub(static_cast<std::int64_t>(transfers_.size()));
+}
+
 Link::TransferId Link::submit(Bytes size, ProgressFn on_progress, int priority) {
   MFHTTP_CHECK(size >= 0);
   MFHTTP_CHECK(on_progress != nullptr);
   TransferId id = next_id_++;
+  static obs::Counter& submitted = obs::metrics().counter("net.link.transfers_total");
+  submitted.inc();
+  active_transfers_gauge().add(1);
   transfers_[id] =
       Transfer{size, std::move(on_progress), next_order_++, priority, false};
   sim_.schedule_after(params_.latency_ms, [this, id] {
@@ -24,6 +43,7 @@ Link::TransferId Link::submit(Bytes size, ProgressFn on_progress, int priority) 
     if (it->second.remaining == 0) {
       ProgressFn cb = std::move(it->second.on_progress);
       transfers_.erase(it);
+      note_transfer_completed();
       cb(0, true);
       return;
     }
@@ -33,7 +53,21 @@ Link::TransferId Link::submit(Bytes size, ProgressFn on_progress, int priority) 
   return id;
 }
 
-bool Link::cancel(TransferId id) { return transfers_.erase(id) > 0; }
+bool Link::cancel(TransferId id) {
+  if (transfers_.erase(id) == 0) return false;
+  static obs::Counter& cancelled =
+      obs::metrics().counter("net.link.transfers_cancelled_total");
+  cancelled.inc();
+  active_transfers_gauge().sub(1);
+  return true;
+}
+
+void Link::note_transfer_completed() {
+  static obs::Counter& completed =
+      obs::metrics().counter("net.link.transfers_completed_total");
+  completed.inc();
+  active_transfers_gauge().sub(1);
+}
 
 void Link::arm_tick() {
   if (tick_event_ != Simulator::kInvalidEvent && sim_.pending(tick_event_)) return;
@@ -113,8 +147,16 @@ void Link::tick() {
   // genuinely idled for part of the quantum, and idle capacity is not banked.
   carry_bytes_ = budget - static_cast<double>(static_cast<Bytes>(budget));
 
-  for (TransferId id : completed) transfers_.erase(id);
+  for (TransferId id : completed) {
+    transfers_.erase(id);
+    note_transfer_completed();
+  }
 
+  if (quantum_delivered > 0) {
+    static obs::Counter& delivered =
+        obs::metrics().counter("net.link.bytes_delivered_total");
+    delivered.inc(static_cast<std::uint64_t>(quantum_delivered));
+  }
   if (params_.record_consumption && quantum_delivered > 0)
     consumption_log_.emplace_back(quantum_start, quantum_delivered);
 

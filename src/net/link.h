@@ -45,6 +45,7 @@ class Link {
   using ProgressFn = std::function<void(Bytes delivered_now, bool complete)>;
 
   Link(Simulator& sim, Params params);
+  ~Link();
 
   // Begin transferring `size` bytes. Progress callbacks start after the
   // link's latency. A zero-size transfer completes after latency alone.
@@ -77,6 +78,7 @@ class Link {
 
   void arm_tick();
   void tick();
+  static void note_transfer_completed();
 
   Simulator& sim_;
   Params params_;

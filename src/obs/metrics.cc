@@ -1,0 +1,237 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "util/check.h"
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace mfhttp::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  MFHTTP_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bucket bound");
+  MFHTTP_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end(),
+                                  [](double a, double b) { return a <= b; }),
+                   "histogram bounds must be strictly ascending");
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::observe(double v) {
+  // First bound >= v; everything beyond the last bound lands in the
+  // overflow bucket at index bounds_.size().
+  std::size_t i = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> needs C++20 library support; a CAS loop is
+  // portable and the histogram path is not contended in practice.
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::mean() const {
+  std::uint64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  MFHTTP_CHECK(i <= bounds_.size());
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<double> exponential_bounds(double start, double factor, int count) {
+  MFHTTP_CHECK(start > 0 && factor > 1 && count >= 1);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(count));
+  double b = start;
+  for (int i = 0; i < count; ++i, b *= factor) bounds.push_back(b);
+  return bounds;
+}
+
+std::vector<double> linear_bounds(double start, double width, int count) {
+  MFHTTP_CHECK(width > 0 && count >= 1);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(count));
+  double b = start;
+  for (int i = 0; i < count; ++i, b += width) bounds.push_back(b);
+  return bounds;
+}
+
+const std::vector<double>& latency_ms_bounds() {
+  static const std::vector<double> bounds = exponential_bounds(0.001, 4.0, 11);
+  return bounds;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MFHTTP_CHECK_MSG(!gauges_.count(std::string(name)) &&
+                       !histograms_.count(std::string(name)),
+                   "metric name already registered with a different kind");
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MFHTTP_CHECK_MSG(!counters_.count(std::string(name)) &&
+                       !histograms_.count(std::string(name)),
+                   "metric name already registered with a different kind");
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MFHTTP_CHECK_MSG(!counters_.count(std::string(name)) &&
+                       !gauges_.count(std::string(name)),
+                   "metric name already registered with a different kind");
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    MFHTTP_CHECK_MSG(!bounds.empty(),
+                     "first registration of a histogram must supply bounds");
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::uint64_t Registry::counter_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it != counters_.end() ? it->second->value() : 0;
+}
+
+std::int64_t Registry::gauge_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second->value() : 0;
+}
+
+const Histogram* Registry::find_histogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it != histograms_.end() ? it->second.get() : nullptr;
+}
+
+void Registry::write_snapshot(JsonWriter& w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) w.key(name).value(c->value());
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_)
+    w.key(name).value(static_cast<long long>(g->value()));
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).begin_object();
+    w.key("count").value(h->count());
+    w.key("sum").value(h->sum());
+    w.key("buckets").begin_array();
+    for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
+      w.begin_object();
+      w.key("le");
+      if (i < h->bounds().size())
+        w.value(h->bounds()[i]);
+      else
+        w.null();  // overflow bucket
+      w.key("count").value(h->bucket_count(i));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string Registry::snapshot_json() const {
+  JsonWriter w;
+  write_snapshot(w);
+  return w.str();
+}
+
+Registry& metrics() {
+  static Registry* registry = new Registry();  // never destroyed: references
+  return *registry;                            // stay valid through exit paths
+}
+
+ScopedTimer::ScopedTimer(Histogram& histogram)
+    : histogram_(&histogram),
+      start_ns_(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count())) {}
+
+void ScopedTimer::stop() {
+  if (histogram_ == nullptr) return;
+  auto now_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  histogram_->observe(static_cast<double>(now_ns - start_ns_) / 1e6);
+  histogram_ = nullptr;
+}
+
+bool write_snapshot_file(const std::string& path) {
+  std::string doc = metrics().snapshot_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    MFHTTP_ERROR << "metrics: cannot open " << path << " for writing";
+    return false;
+  }
+  bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  ok = std::fputc('\n', f) != EOF && ok;
+  ok = std::fclose(f) == 0 && ok;
+  if (ok)
+    MFHTTP_INFO << "metrics: snapshot written to " << path;
+  else
+    MFHTTP_ERROR << "metrics: short write to " << path;
+  return ok;
+}
+
+std::string extract_metrics_json_flag(int& argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--metrics-json" && i + 1 < argc) {
+      path = argv[++i];
+    } else if (arg.rfind("--metrics-json=", 0) == 0) {
+      path = std::string(arg.substr(std::string_view("--metrics-json=").size()));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  return path;
+}
+
+}  // namespace mfhttp::obs

@@ -1,0 +1,174 @@
+// Process-wide metrics registry: counters, gauges, and fixed-bucket
+// histograms, cheap enough for the simulator's inner loops.
+//
+// Hot-path updates are single relaxed atomic operations; the registry mutex
+// guards only name->metric registration (cold). Instrumentation sites look a
+// metric up once and cache the reference in a function-local static:
+//
+//   static obs::Counter& c = obs::metrics().counter("core.flow.policies_total");
+//   c.inc();
+//
+// References returned by the registry are stable for the process lifetime;
+// Registry::reset() zeroes values but never invalidates them. Snapshots
+// export every registered metric as one JSON document (util/json), the
+// format behind the benches' --metrics-json flag.
+//
+// Naming convention: "<subsystem>.<component>.<metric>", monotonic counters
+// suffixed _total, durations suffixed _ms. DESIGN.md "Observability" lists
+// every metric the library exports.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mfhttp {
+class JsonWriter;
+}
+
+namespace mfhttp::obs {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Instantaneous level (queue depth, buffer occupancy). May go negative only
+// through unmatched add/sub pairs — that is a bug at the instrumentation site.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void sub(std::int64_t delta) { value_.fetch_sub(delta, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+// Fixed-bucket histogram. Bucket i counts observations v <= bounds[i]
+// (cumulative "le" semantics, first matching bucket only); one implicit
+// overflow bucket at index bounds().size() catches everything larger.
+class Histogram {
+ public:
+  // `bounds` are strictly ascending finite upper bounds; at least one.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  // i in [0, bounds().size()]; the last index is the overflow bucket.
+  std::uint64_t bucket_count(std::size_t i) const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+// Bucket-bound generators: {start, start*factor, ...} / {start, start+width, ...}.
+std::vector<double> exponential_bounds(double start, double factor, int count);
+std::vector<double> linear_bounds(double start, double width, int count);
+// Default bounds for wall-clock latencies: 1 µs .. ~4 s, 4x steps.
+const std::vector<double>& latency_ms_bounds();
+
+class Registry {
+ public:
+  // First call registers the metric; later calls with the same name return
+  // the same instance. A histogram's bounds are fixed by the first call
+  // (later callers may omit them); registering an existing name as a
+  // different metric kind aborts.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, std::vector<double> bounds = {});
+
+  // Zero every value. Registrations — and references already handed out —
+  // survive; tests and repeated bench runs use this between iterations.
+  void reset();
+
+  // Point-in-time values; 0 if the metric was never registered.
+  std::uint64_t counter_value(std::string_view name) const;
+  std::int64_t gauge_value(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
+
+  // {"counters": {name: n, ...}, "gauges": {...}, "histograms": {name:
+  // {"count": n, "sum": s, "buckets": [{"le": bound|null, "count": n}...]}}}
+  // Keys are sorted; the overflow bucket's "le" is null.
+  void write_snapshot(JsonWriter& w) const;
+  std::string snapshot_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// The process-wide registry every built-in instrumentation site uses.
+Registry& metrics();
+
+// Observes the wall-clock (steady_clock) milliseconds between construction
+// and stop()/destruction into a histogram. Simulated time never touches
+// this: scoped timers measure the cost of running the middleware itself.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram);
+  ~ScopedTimer() { stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  // Record once; further calls (and destruction) are no-ops.
+  void stop();
+
+ private:
+  Histogram* histogram_;
+  std::uint64_t start_ns_;
+};
+
+// Writes metrics().snapshot_json() to `path`; false (with a log line) on
+// I/O failure.
+bool write_snapshot_file(const std::string& path);
+
+// Removes "--metrics-json <path>" / "--metrics-json=<path>" from argv and
+// returns the path ("" if absent). Leaves all other arguments in place, so
+// it composes with benchmark::Initialize and ad-hoc argv parsing alike.
+std::string extract_metrics_json_flag(int& argc, char** argv);
+
+// One-liner for main(): extracts the flag on construction, dumps the
+// snapshot on destruction (end of main) when the flag was present.
+class MetricsDumpGuard {
+ public:
+  MetricsDumpGuard(int& argc, char** argv)
+      : path_(extract_metrics_json_flag(argc, argv)) {}
+  ~MetricsDumpGuard() {
+    if (!path_.empty()) write_snapshot_file(path_);
+  }
+  MetricsDumpGuard(const MetricsDumpGuard&) = delete;
+  MetricsDumpGuard& operator=(const MetricsDumpGuard&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace mfhttp::obs

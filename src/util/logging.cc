@@ -1,11 +1,20 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace mfhttp {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// One process-wide sink mutex: lines from concurrent callers (simulator
+// thread vs. a metrics snapshot) emit whole, never interleaved.
+std::mutex& sink_mutex() {
+  static std::mutex* mu = new std::mutex();  // never destroyed: loggable
+  return *mu;                                // code may run during exit
+}
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -20,11 +29,14 @@ const char* level_tag(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 namespace detail {
 void log_write(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
   std::fprintf(stderr, "[%s] %s\n", level_tag(level), msg.c_str());
 }
 }  // namespace detail

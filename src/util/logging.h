@@ -1,8 +1,10 @@
 // Minimal leveled logger.
 //
 // The library is silent by default (Level::kWarn); experiment harnesses and
-// examples raise the level to trace middleware decisions. Not thread-safe by
-// design: the simulator is single-threaded and the proxy runs one event loop.
+// examples raise the level to trace middleware decisions. Thread-safe: the
+// level is atomic and log_write serializes emission through one mutex-guarded
+// sink, so callers off the simulator thread (e.g. the metrics snapshot path)
+// never interleave partial lines.
 #pragma once
 
 #include <sstream>

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -105,6 +106,10 @@ struct PlayerRun {
     ++fetched_count_;
     result_.total_bytes += rec.bytes;
 
+    static obs::Counter& bytes_fetched =
+        obs::metrics().counter("video.player.bytes_fetched_total");
+    bytes_fetched.inc(static_cast<std::uint64_t>(rec.bytes));
+
     // Throughput sample (EWMA); zero-byte plans carry no signal.
     TimeMs elapsed = rec.fetch_done_ms - rec.fetch_start_ms;
     if (rec.bytes > 0 && elapsed > 0) {
@@ -117,10 +122,16 @@ struct PlayerRun {
         fetched_count_ >= static_cast<int>(params_.startup_buffer_s)) {
       playback_started_ = true;
       result_.startup_delay_ms = sim_.now();
+      static obs::Histogram& startup_ms = obs::metrics().histogram(
+          "video.player.startup_delay_ms", obs::exponential_bounds(10, 4.0, 8));
+      startup_ms.observe(static_cast<double>(result_.startup_delay_ms));
       play_tick();
     } else if (stalled_waiting_for_ == seg) {
       // Rebuffering ends the moment the late segment lands.
       result_.stall_ms += sim_.now() - stall_start_ms_;
+      static obs::Counter& rebuffer_ms =
+          obs::metrics().counter("video.player.rebuffer_ms_total");
+      rebuffer_ms.inc(static_cast<std::uint64_t>(sim_.now() - stall_start_ms_));
       stalled_waiting_for_ = -1;
       play_tick();
     }
@@ -133,12 +144,18 @@ struct PlayerRun {
     if (!downloaded_[static_cast<std::size_t>(seg)]) {
       // Stall: resume from on_segment_fetched.
       ++result_.stall_count;
+      static obs::Counter& rebuffers =
+          obs::metrics().counter("video.player.rebuffers_total");
+      rebuffers.inc();
       stall_start_ms_ = sim_.now();
       stalled_waiting_for_ = seg;
       return;
     }
     PlayedSegment& rec = result_.segments[static_cast<std::size_t>(seg)];
     rec.playback_ms = sim_.now();
+    static obs::Counter& played =
+        obs::metrics().counter("video.player.segments_played_total");
+    played.inc();
 
     // What the user actually looks at mid-second vs what was fetched.
     std::vector<bool> visible_now =
@@ -188,6 +205,9 @@ BufferedSessionResult run_buffered_session(const VideoAsset& video,
                                            const BufferedPlayerParams& params) {
   MFHTTP_CHECK(params.startup_buffer_s >= 1.0);
   MFHTTP_CHECK(params.max_buffer_s >= params.startup_buffer_s);
+  static obs::Counter& sessions =
+      obs::metrics().counter("video.player.sessions_total");
+  sessions.inc();
   PlayerRun run(video, viewport, bandwidth, scheduler, params);
   return run.run();
 }

@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace mfhttp {
@@ -16,6 +17,34 @@ Bytes plan_cost(const VideoAsset& video, int segment,
     if (q >= 0) total += video.segment_size(t, segment, q);
   }
   return total;
+}
+
+// Shared accounting for every scheduler's plan: totals, stalls, and tile
+// fetches by chosen quality (the Fig. 10 quality-constitution signal).
+TilePlan record_plan(TilePlan plan) {
+  static obs::Counter& plans_total =
+      obs::metrics().counter("video.scheduler.plans_total");
+  plans_total.inc();
+  if (plan.stalled()) {
+    static obs::Counter& stalled =
+        obs::metrics().counter("video.scheduler.plans_stalled_total");
+    stalled.inc();
+  }
+  static obs::Counter& fetched =
+      obs::metrics().counter("video.scheduler.tiles_fetched_total");
+  static obs::Counter& skipped =
+      obs::metrics().counter("video.scheduler.tiles_skipped_total");
+  static obs::Histogram& by_quality = obs::metrics().histogram(
+      "video.scheduler.tile_quality", obs::linear_bounds(0, 1, 8));
+  for (int q : plan.tile_quality) {
+    if (q < 0) {
+      skipped.inc();
+    } else {
+      fetched.inc();
+      by_quality.observe(q);
+    }
+  }
+  return plan;
 }
 
 }  // namespace
@@ -41,7 +70,7 @@ TilePlan MfHttpTileScheduler::plan_segment(const VideoAsset& video, int segment,
       plan.tile_quality = std::move(trial);
       plan.viewport_quality = q;
       plan.bytes = cost;
-      return plan;
+      return record_plan(std::move(plan));
     }
   }
   // Even the lowest uniform quality does not fit: shed the invisible tiles
@@ -54,10 +83,10 @@ TilePlan MfHttpTileScheduler::plan_segment(const VideoAsset& video, int segment,
     plan.tile_quality = std::move(viewport_only);
     plan.viewport_quality = 0;
     plan.bytes = cost;
-    return plan;
+    return record_plan(std::move(plan));
   }
   // NA — bandwidth insufficient for any resolution.
-  return plan;
+  return record_plan(std::move(plan));
 }
 
 TilePlan GreedyDashScheduler::plan_segment(const VideoAsset& video, int segment,
@@ -76,10 +105,10 @@ TilePlan GreedyDashScheduler::plan_segment(const VideoAsset& video, int segment,
       plan.tile_quality.assign(static_cast<std::size_t>(tiles), q);
       plan.viewport_quality = q;
       plan.bytes = cost;
-      return plan;
+      return record_plan(std::move(plan));
     }
   }
-  return plan;  // NA
+  return record_plan(std::move(plan));  // NA
 }
 
 std::string FixedRateScheduler::name() const {
@@ -97,7 +126,7 @@ TilePlan FixedRateScheduler::plan_segment(const VideoAsset& video, int segment,
   plan.tile_quality.assign(static_cast<std::size_t>(tiles), quality_);
   plan.viewport_quality = quality_;
   plan.bytes = video.whole_frame_segment_size(segment, quality_);
-  return plan;
+  return record_plan(std::move(plan));
 }
 
 }  // namespace mfhttp

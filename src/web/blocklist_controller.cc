@@ -1,5 +1,6 @@
 #include "web/blocklist_controller.h"
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -17,6 +18,9 @@ BlockListController::BlockListController(const WebPage& page, Rect initial_viewp
   }
   MFHTTP_INFO << "block list: " << block_list_.size() << "/" << page_.images.size()
               << " images start blocked";
+  static obs::Counter& blocked_initial =
+      obs::metrics().counter("web.blocklist.blocked_initial_total");
+  blocked_initial.inc(block_list_.size());
 }
 
 InterceptDecision BlockListController::on_request(const HttpRequest& request) {
@@ -33,7 +37,18 @@ void BlockListController::release_image(std::size_t index, int priority) {
   const std::string& url = page_.images[index].top_version().url;
   if (block_list_.erase(url) > 0) {
     ++releases_;
-    proxy_->release(url, priority);
+    static obs::Counter& releases =
+        obs::metrics().counter("web.blocklist.releases_total");
+    releases.inc();
+    std::size_t released = proxy_->release(url, priority);
+    // Wasted block: the browser already wanted this object — it sat parked
+    // at the proxy until the tracker proved it relevant. Each such release
+    // is delay the block list inflicted on a byte that was needed anyway.
+    if (released > 0) {
+      static obs::Counter& blocked_then_needed =
+          obs::metrics().counter("web.blocklist.blocked_then_needed_total");
+      blocked_then_needed.inc(released);
+    }
   }
 }
 
