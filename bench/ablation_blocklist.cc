@@ -15,6 +15,7 @@
 #include "gesture/synthetic.h"
 #include "http/proxy.h"
 #include "http/sim_http.h"
+#include "fault/flags.h"
 #include "obs/metrics.h"
 #include "web/blocklist_controller.h"
 #include "web/browser.h"
@@ -154,7 +155,7 @@ RunResult run_arm(const WebPage& page, double swipe_speed, Arm arm,
 }  // namespace
 
 int main(int argc, char** argv) {
-  mfhttp::obs::MetricsDumpGuard metrics_guard(argc, argv);
+  mfhttp::fault::StandardFlagsGuard flags_guard(argc, argv);
   const DeviceProfile device = DeviceProfile::nexus6();
   Rng rng(42);
   WebPage page;

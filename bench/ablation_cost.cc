@@ -13,6 +13,7 @@
 #include "core/energy.h"
 #include "core/flow_controller.h"
 #include "core/middleware.h"
+#include "fault/flags.h"
 #include "obs/metrics.h"
 #include "web/corpus.h"
 #include "web/experiment.h"
@@ -39,7 +40,7 @@ PolicySummary summarize(const DownloadPolicy& policy) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  mfhttp::obs::MetricsDumpGuard metrics_guard(argc, argv);
+  mfhttp::fault::StandardFlagsGuard flags_guard(argc, argv);
   Rng rng(42);
   WebPage page;
   for (const SiteSpec& spec : alexa25_specs()) {

@@ -4,13 +4,14 @@
 // finger release and the last object entering the viewport).
 #include <cstdio>
 
+#include "fault/flags.h"
 #include "obs/metrics.h"
 #include "scroll/animation.h"
 #include "scroll/device_profile.h"
 #include "scroll/fling.h"
 
 int main(int argc, char** argv) {
-  mfhttp::obs::MetricsDumpGuard metrics_guard(argc, argv);
+  mfhttp::fault::StandardFlagsGuard flags_guard(argc, argv);
   using namespace mfhttp;
 
   std::printf("=== Ablation: Android fling model, Eqs. (1)-(5) ===\n");

@@ -12,6 +12,7 @@
 #include "gesture/synthetic.h"
 #include "http/proxy.h"
 #include "http/sim_http.h"
+#include "fault/flags.h"
 #include "obs/metrics.h"
 #include "util/stats.h"
 #include "web/blocklist_controller.h"
@@ -127,7 +128,7 @@ SessionStats run(const WebPage& page, bool enable_mfhttp, std::uint64_t seed,
 }  // namespace
 
 int main(int argc, char** argv) {
-  mfhttp::obs::MetricsDumpGuard metrics_guard(argc, argv);
+  mfhttp::fault::StandardFlagsGuard flags_guard(argc, argv);
   const DeviceProfile device = DeviceProfile::nexus6();
   Rng rng(42);
   WebPage page;

@@ -5,10 +5,11 @@
 #include <cstdio>
 
 #include "feed/feed_experiment.h"
+#include "fault/flags.h"
 #include "obs/metrics.h"
 
 int main(int argc, char** argv) {
-  mfhttp::obs::MetricsDumpGuard metrics_guard(argc, argv);
+  mfhttp::fault::StandardFlagsGuard flags_guard(argc, argv);
   using namespace mfhttp;
   const DeviceProfile device = DeviceProfile::nexus6();
   FeedSpec spec;

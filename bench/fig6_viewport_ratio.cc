@@ -6,13 +6,14 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "fault/flags.h"
 #include "obs/metrics.h"
 #include "scroll/device_profile.h"
 #include "util/rng.h"
 #include "web/corpus.h"
 
 int main(int argc, char** argv) {
-  mfhttp::obs::MetricsDumpGuard metrics_guard(argc, argv);
+  mfhttp::fault::StandardFlagsGuard flags_guard(argc, argv);
   using namespace mfhttp;
   const DeviceProfile device = DeviceProfile::nexus6();
   Rng rng(42);

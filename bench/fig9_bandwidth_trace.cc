@@ -8,11 +8,12 @@
 
 #include "gesture/recognizer.h"
 #include "gesture/synthetic.h"
+#include "fault/flags.h"
 #include "obs/metrics.h"
 #include "video/session.h"
 
 int main(int argc, char** argv) {
-  mfhttp::obs::MetricsDumpGuard metrics_guard(argc, argv);
+  mfhttp::fault::StandardFlagsGuard flags_guard(argc, argv);
   using namespace mfhttp;
   const DeviceProfile device = DeviceProfile::nexus6();
 

@@ -1,17 +1,19 @@
-// Drop-in replacement for BENCHMARK_MAIN() adding a --metrics-json <path>
-// flag: after the benchmarks run, the process-wide metrics snapshot
-// (obs/metrics.h) is dumped as one JSON document, so bench trajectories can
-// track internal counters, not just end-to-end figures. The flag is removed
-// from argv before benchmark::Initialize sees it.
+// Drop-in replacement for BENCHMARK_MAIN() adding the standard mfhttp flags
+// (fault/flags.h): --metrics-json <path> dumps the process-wide metrics
+// snapshot (obs/metrics.h) after the benchmarks run, so bench trajectories
+// can track internal counters, not just end-to-end figures; --fault-plan
+// <path> installs an ambient fault plan every session in the binary runs
+// under. Both flags are removed from argv before benchmark::Initialize
+// sees them.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
-#include "obs/metrics.h"
+#include "fault/flags.h"
 
 #define MFHTTP_BENCHMARK_MAIN()                                         \
   int main(int argc, char** argv) {                                     \
-    mfhttp::obs::MetricsDumpGuard metrics_guard(argc, argv);            \
+    mfhttp::fault::StandardFlagsGuard flags_guard(argc, argv);          \
     ::benchmark::Initialize(&argc, argv);                               \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
     ::benchmark::RunSpecifiedBenchmarks();                              \

@@ -13,6 +13,7 @@
 #include "http/parser.h"
 #include "http/proxy.h"
 #include "http/sim_http.h"
+#include "fault/flags.h"
 #include "obs/metrics.h"
 
 using namespace mfhttp;
@@ -38,7 +39,7 @@ class DemoInterceptor : public Interceptor {
 }  // namespace
 
 int main(int argc, char** argv) {
-  mfhttp::obs::MetricsDumpGuard metrics_guard(argc, argv);
+  mfhttp::fault::StandardFlagsGuard flags_guard(argc, argv);
   // --- Part 1: the wire codec -----------------------------------------------
   std::printf("--- HTTP/1.1 codec ---\n");
   HttpRequest req = HttpRequest::get("http://site.example/img/hero_4k.jpg");

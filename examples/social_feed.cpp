@@ -8,12 +8,13 @@
 #include <cstdio>
 
 #include "feed/feed_experiment.h"
+#include "fault/flags.h"
 #include "obs/metrics.h"
 
 using namespace mfhttp;
 
 int main(int argc, char** argv) {
-  mfhttp::obs::MetricsDumpGuard metrics_guard(argc, argv);
+  mfhttp::fault::StandardFlagsGuard flags_guard(argc, argv);
   const DeviceProfile device = DeviceProfile::nexus6();
   FeedSpec spec;
   spec.post_count = 120;

@@ -8,13 +8,14 @@
 
 #include "gesture/recognizer.h"
 #include "gesture/synthetic.h"
+#include "fault/flags.h"
 #include "obs/metrics.h"
 #include "video/session.h"
 
 using namespace mfhttp;
 
 int main(int argc, char** argv) {
-  mfhttp::obs::MetricsDumpGuard metrics_guard(argc, argv);
+  mfhttp::fault::StandardFlagsGuard flags_guard(argc, argv);
   const DeviceProfile device = DeviceProfile::nexus6();
 
   VideoAsset::Params params;

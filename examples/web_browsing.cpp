@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "fault/flags.h"
 #include "obs/metrics.h"
 #include "web/corpus.h"
 #include "web/experiment.h"
@@ -14,7 +15,7 @@
 using namespace mfhttp;
 
 int main(int argc, char** argv) {
-  mfhttp::obs::MetricsDumpGuard metrics_guard(argc, argv);
+  mfhttp::fault::StandardFlagsGuard flags_guard(argc, argv);
   const char* site = argc > 1 ? argv[1] : "sohu";
   const DeviceProfile device = DeviceProfile::nexus6();
 

@@ -34,6 +34,8 @@ DownloadPolicy FlowController::optimize(const ScrollAnalysis& analysis,
   const std::vector<std::size_t> involved = analysis.involved_by_entry_time();
   if (involved.empty()) return policy;
 
+  if (degraded_) return degraded_policy(analysis, objects, involved);
+
   const ScrollPrediction& pred = analysis.prediction;
   const double S = pred.viewport0.area();
   const double T = pred.duration_ms;
@@ -133,6 +135,27 @@ DownloadPolicy FlowController::optimize(const ScrollAnalysis& analysis,
   bytes_total.inc(static_cast<std::uint64_t>(policy.total_bytes));
   MFHTTP_DEBUG << "flow policy: " << policy.decisions.size() << " involved, "
                << policy.total_bytes << " bytes, objective " << policy.objective;
+  return policy;
+}
+
+DownloadPolicy FlowController::degraded_policy(
+    const ScrollAnalysis& analysis, const std::vector<MediaObject>& objects,
+    const std::vector<std::size_t>& involved) const {
+  static obs::Counter& degraded_total =
+      obs::metrics().counter("core.flow.degraded_policies_total");
+  degraded_total.inc();
+  DownloadPolicy policy;
+  for (std::size_t idx : involved) {
+    const MediaObject& obj = objects[idx];
+    DownloadDecision d;
+    d.object_index = idx;
+    d.entry_time_ms = analysis.coverages[idx].entry_time_ms;
+    d.version = 0;  // lowest version: cheap and certain to arrive
+    policy.total_bytes += obj.versions.front().size;
+    policy.decisions.push_back(d);
+  }
+  MFHTTP_DEBUG << "flow policy (degraded): " << policy.decisions.size()
+               << " involved, " << policy.total_bytes << " bytes";
   return policy;
 }
 

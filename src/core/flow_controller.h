@@ -62,13 +62,24 @@ class FlowController {
 
   const Params& params() const { return params_; }
 
+  // Graceful degradation (DESIGN.md §9): while degraded, optimize() skips
+  // the solver and conservatively picks the lowest version of every
+  // involved object — cheap, always-delivered, never optimal.
+  void set_degraded(bool degraded) { degraded_ = degraded; }
+  bool degraded() const { return degraded_; }
+
   // Compute the optimal download policy for one analyzed scroll.
   DownloadPolicy optimize(const ScrollAnalysis& analysis,
                           const std::vector<MediaObject>& objects,
                           const BandwidthTrace& bandwidth) const;
 
  private:
+  DownloadPolicy degraded_policy(const ScrollAnalysis& analysis,
+                                 const std::vector<MediaObject>& objects,
+                                 const std::vector<std::size_t>& involved) const;
+
   Params params_;
+  bool degraded_ = false;
 };
 
 }  // namespace mfhttp

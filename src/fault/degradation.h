@@ -1,0 +1,61 @@
+// Hysteresis state machine for graceful-degradation modes.
+//
+// Policy layers (flow controller, block-list controller, tile scheduler)
+// observe a stream of good/bad outcomes — delivery slip, failed fetches,
+// playback stalls — and flip into a degraded mode after `enter_after`
+// consecutive bad observations, back to normal after `exit_after`
+// consecutive good ones. The asymmetry means one lucky fetch during an
+// outage does not bounce the policy out of its safe mode.
+//
+// Each instance registers its own metrics under fault.degraded.<name>.*.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mfhttp::obs {
+class Counter;
+class Gauge;
+}  // namespace mfhttp::obs
+
+namespace mfhttp::fault {
+
+struct DegradationParams {
+  int enter_after = 3;  // consecutive bad observations to degrade
+  int exit_after = 5;   // consecutive good observations to recover
+};
+
+class DegradationState {
+ public:
+  using Params = DegradationParams;
+
+  explicit DegradationState(std::string name, Params params = {});
+
+  bool degraded() const { return degraded_; }
+
+  // Feed one observation. Returns true when the mode flipped.
+  bool observe_bad();
+  bool observe_good();
+
+  // Unconditional override (breaker-open wiring). Returns true on change.
+  bool force(bool degraded);
+
+  std::uint64_t entries() const { return entries_; }
+  std::uint64_t exits() const { return exits_; }
+
+ private:
+  void flip(bool degraded);
+
+  std::string name_;
+  Params params_;
+  bool degraded_ = false;
+  int bad_streak_ = 0;
+  int good_streak_ = 0;
+  std::uint64_t entries_ = 0;
+  std::uint64_t exits_ = 0;
+  obs::Counter* entries_counter_;
+  obs::Counter* exits_counter_;
+  obs::Gauge* active_gauge_;
+};
+
+}  // namespace mfhttp::fault

@@ -1,0 +1,274 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace mfhttp::fault {
+
+namespace {
+
+std::optional<FaultPlan>& global_plan_slot() {
+  static std::optional<FaultPlan> plan;
+  return plan;
+}
+
+const char* kind_name(LinkFaultWindow::Kind kind) {
+  switch (kind) {
+    case LinkFaultWindow::Kind::kOutage: return "outage";
+    case LinkFaultWindow::Kind::kCollapse: return "collapse";
+    case LinkFaultWindow::Kind::kLatencySpike: return "latency_spike";
+  }
+  return "?";
+}
+
+std::optional<LinkFaultWindow::Kind> kind_from_name(std::string_view name) {
+  if (name == "outage") return LinkFaultWindow::Kind::kOutage;
+  if (name == "collapse") return LinkFaultWindow::Kind::kCollapse;
+  if (name == "latency_spike") return LinkFaultWindow::Kind::kLatencySpike;
+  return std::nullopt;
+}
+
+TimeMs time_field(const JsonValue& obj, std::string_view key, TimeMs fallback) {
+  const JsonValue* v = obj.find(key);
+  return v ? static_cast<TimeMs>(v->number_or(static_cast<double>(fallback)))
+           : fallback;
+}
+
+double rate_field(const JsonValue& obj, std::string_view key, double fallback) {
+  const JsonValue* v = obj.find(key);
+  return v ? v->number_or(fallback) : fallback;
+}
+
+bool valid_rate(double r) { return r >= 0.0 && r <= 1.0; }
+bool valid_fraction(double f) { return f > 0.0 && f < 1.0; }
+
+}  // namespace
+
+bool LinkFaultWindow::active_at(TimeMs t_ms) const {
+  if (duration_ms <= 0) return false;
+  for (int i = 0; i < std::max(repeat, 1); ++i) {
+    TimeMs start = at_ms + static_cast<TimeMs>(i) * period_ms;
+    if (t_ms >= start && t_ms < start + duration_ms) return true;
+    if (period_ms <= 0) break;  // repeats without spacing coincide
+  }
+  return false;
+}
+
+TimeMs LinkFaultWindow::end_ms() const {
+  int n = std::max(repeat, 1);
+  TimeMs last_start = at_ms + static_cast<TimeMs>(n - 1) * std::max<TimeMs>(period_ms, 0);
+  return last_start + duration_ms;
+}
+
+TimeMs FaultPlan::horizon_ms() const {
+  TimeMs h = 0;
+  for (const LinkFaultWindow& w : link) h = std::max(h, w.end_ms());
+  return h;
+}
+
+TimeMs FaultPlan::extra_latency_at(TimeMs t_ms) const {
+  TimeMs extra = 0;
+  for (const LinkFaultWindow& w : link)
+    if (w.kind == LinkFaultWindow::Kind::kLatencySpike && w.active_at(t_ms))
+      extra += w.extra_latency_ms;
+  return extra;
+}
+
+bool FaultPlan::in_outage(TimeMs t_ms) const {
+  for (const LinkFaultWindow& w : link)
+    if (w.kind == LinkFaultWindow::Kind::kOutage && w.active_at(t_ms)) return true;
+  return false;
+}
+
+BandwidthTrace FaultPlan::shape(const BandwidthTrace& base) const {
+  const TimeMs horizon = horizon_ms();
+  if (horizon <= 0) return base;  // no windows touch the rate
+  const TimeMs slot = std::min<TimeMs>(base.slot_ms(), 100);
+  std::vector<BytesPerSec> rates;
+  rates.reserve(static_cast<std::size_t>(horizon / slot) + 2);
+  for (TimeMs t = 0; t < horizon; t += slot) {
+    double rate = base.rate_at(t);
+    for (const LinkFaultWindow& w : link) {
+      if (!w.active_at(t)) continue;
+      if (w.kind == LinkFaultWindow::Kind::kOutage)
+        rate = 0;
+      else if (w.kind == LinkFaultWindow::Kind::kCollapse)
+        rate *= w.factor;
+    }
+    rates.push_back(rate);
+  }
+  // The final slot extends to infinity: the base trace, unfaulted. This is
+  // exact only for bases that are constant past the horizon (every plan the
+  // benches use); piecewise bases flatten to their rate at the horizon.
+  rates.push_back(base.rate_at(horizon));
+  return BandwidthTrace::from_slots(std::move(rates), slot);
+}
+
+std::optional<FaultPlan> FaultPlan::from_json(std::string_view json) {
+  std::optional<JsonValue> doc = parse_json(json);
+  if (!doc || !doc->is_object()) return std::nullopt;
+  FaultPlan plan;
+  if (const JsonValue* seed = doc->find("seed")) {
+    if (!seed->is_number() || seed->number_value < 0) return std::nullopt;
+    plan.seed = static_cast<std::uint64_t>(seed->number_value);
+  }
+  if (const JsonValue* name = doc->find("name")) plan.name = name->string_or("");
+
+  if (const JsonValue* link = doc->find("link")) {
+    if (!link->is_array()) return std::nullopt;
+    for (const JsonValue& entry : link->array_value) {
+      if (!entry.is_object()) return std::nullopt;
+      const JsonValue* kind = entry.find("kind");
+      if (kind == nullptr || !kind->is_string()) return std::nullopt;
+      auto parsed_kind = kind_from_name(kind->string_value);
+      if (!parsed_kind) return std::nullopt;
+      LinkFaultWindow w;
+      w.kind = *parsed_kind;
+      w.at_ms = time_field(entry, "at_ms", 0);
+      w.duration_ms = time_field(entry, "duration_ms", 0);
+      w.repeat = static_cast<int>(rate_field(entry, "repeat", 1));
+      w.period_ms = time_field(entry, "period_ms", 0);
+      w.factor = rate_field(entry, "factor", 0.0);
+      w.extra_latency_ms = time_field(entry, "extra_latency_ms", 0);
+      if (w.at_ms < 0 || w.duration_ms < 0 || w.repeat < 1 || w.period_ms < 0)
+        return std::nullopt;
+      if (w.repeat > 1 && w.period_ms < w.duration_ms) return std::nullopt;
+      if (w.kind == LinkFaultWindow::Kind::kCollapse &&
+          (w.factor < 0 || w.factor >= 1))
+        return std::nullopt;
+      if (w.kind == LinkFaultWindow::Kind::kLatencySpike && w.extra_latency_ms < 0)
+        return std::nullopt;
+      plan.link.push_back(w);
+    }
+  }
+
+  if (const JsonValue* transfer = doc->find("transfer")) {
+    if (!transfer->is_object()) return std::nullopt;
+    TransferFaults& t = plan.transfer;
+    t.stall_rate = rate_field(*transfer, "stall_rate", 0.0);
+    t.stall_ms = time_field(*transfer, "stall_ms", 0);
+    t.stall_fraction = rate_field(*transfer, "stall_fraction", 0.5);
+    t.truncate_rate = rate_field(*transfer, "truncate_rate", 0.0);
+    t.truncate_fraction = rate_field(*transfer, "truncate_fraction", 0.5);
+    if (!valid_rate(t.stall_rate) || !valid_rate(t.truncate_rate) ||
+        !valid_fraction(t.stall_fraction) || !valid_fraction(t.truncate_fraction) ||
+        t.stall_ms < 0)
+      return std::nullopt;
+  }
+
+  if (const JsonValue* origin = doc->find("origin")) {
+    if (!origin->is_object()) return std::nullopt;
+    OriginFaults& o = plan.origin;
+    o.error_rate = rate_field(*origin, "error_rate", 0.0);
+    o.error_delay_ms = time_field(*origin, "error_delay_ms", 10);
+    o.error_body_size = static_cast<Bytes>(rate_field(*origin, "error_body_size", 256));
+    o.abrupt_close_rate = rate_field(*origin, "abrupt_close_rate", 0.0);
+    o.abrupt_close_fraction = rate_field(*origin, "abrupt_close_fraction", 0.5);
+    if (const JsonValue* statuses = origin->find("error_statuses")) {
+      if (!statuses->is_array() || statuses->array_value.empty())
+        return std::nullopt;
+      o.error_statuses.clear();
+      for (const JsonValue& s : statuses->array_value) {
+        if (!s.is_number()) return std::nullopt;
+        int status = static_cast<int>(s.number_value);
+        if (status < 400 || status > 599) return std::nullopt;
+        o.error_statuses.push_back(status);
+      }
+    }
+    if (!valid_rate(o.error_rate) || !valid_rate(o.abrupt_close_rate) ||
+        !valid_fraction(o.abrupt_close_fraction) || o.error_delay_ms < 0 ||
+        o.error_body_size < 0)
+      return std::nullopt;
+  }
+  return plan;
+}
+
+std::optional<FaultPlan> FaultPlan::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    MFHTTP_ERROR << "fault plan: cannot open " << path;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto plan = from_json(buffer.str());
+  if (!plan) {
+    MFHTTP_ERROR << "fault plan: malformed document in " << path;
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("seed").value(static_cast<unsigned long long>(seed));
+  if (!name.empty()) w.key("name").value(name);
+  w.key("link").begin_array();
+  for (const LinkFaultWindow& win : link) {
+    w.begin_object();
+    w.key("kind").value(kind_name(win.kind));
+    w.key("at_ms").value(static_cast<long long>(win.at_ms));
+    w.key("duration_ms").value(static_cast<long long>(win.duration_ms));
+    w.key("repeat").value(win.repeat);
+    w.key("period_ms").value(static_cast<long long>(win.period_ms));
+    if (win.kind == LinkFaultWindow::Kind::kCollapse)
+      w.key("factor").value(win.factor);
+    if (win.kind == LinkFaultWindow::Kind::kLatencySpike)
+      w.key("extra_latency_ms").value(static_cast<long long>(win.extra_latency_ms));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("transfer").begin_object();
+  w.key("stall_rate").value(transfer.stall_rate);
+  w.key("stall_ms").value(static_cast<long long>(transfer.stall_ms));
+  w.key("stall_fraction").value(transfer.stall_fraction);
+  w.key("truncate_rate").value(transfer.truncate_rate);
+  w.key("truncate_fraction").value(transfer.truncate_fraction);
+  w.end_object();
+  w.key("origin").begin_object();
+  w.key("error_rate").value(origin.error_rate);
+  w.key("error_statuses").begin_array();
+  for (int s : origin.error_statuses) w.value(s);
+  w.end_array();
+  w.key("error_delay_ms").value(static_cast<long long>(origin.error_delay_ms));
+  w.key("error_body_size").value(static_cast<long long>(origin.error_body_size));
+  w.key("abrupt_close_rate").value(origin.abrupt_close_rate);
+  w.key("abrupt_close_fraction").value(origin.abrupt_close_fraction);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+FaultPlan FaultPlan::lossy_cellular(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.name = "lossy-cellular";
+  LinkFaultWindow outage;
+  outage.kind = LinkFaultWindow::Kind::kOutage;
+  outage.at_ms = 2000;
+  outage.duration_ms = 3000;  // repeated 3-s dead air
+  outage.repeat = 6;
+  outage.period_ms = 9000;
+  plan.link.push_back(outage);
+  plan.transfer.stall_rate = 0.05;
+  plan.transfer.stall_ms = 800;
+  plan.origin.error_rate = 0.10;  // 10% 5xx/429
+  plan.origin.error_statuses = {503, 502, 429};
+  plan.origin.abrupt_close_rate = 0.03;
+  return plan;
+}
+
+const FaultPlan* global_plan() {
+  const std::optional<FaultPlan>& plan = global_plan_slot();
+  return plan ? &*plan : nullptr;
+}
+
+void set_global_plan(std::optional<FaultPlan> plan) {
+  global_plan_slot() = std::move(plan);
+}
+
+}  // namespace mfhttp::fault

@@ -1,0 +1,111 @@
+// Deterministic, seeded fault-plan engine (ISSUE 2 / DESIGN.md §9).
+//
+// A FaultPlan is a JSON-loadable schedule of network and origin misbehaviour
+// — link outages, bandwidth collapses, latency spikes, transfer stalls and
+// truncations, origin 5xx/429 and abrupt connection closes — that the fault
+// decorators (FaultyLink, FaultyFetcher) execute against the simulated
+// stack. All randomness derives from the plan's seed and is consumed in
+// simulation-event order, so the same plan + seed reproduces the exact same
+// failure trace byte for byte.
+//
+// The engine never touches the decorated components' happy paths: an empty
+// plan leaves every byte and timestamp identical to an undecorated run.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/bandwidth_trace.h"
+#include "util/types.h"
+
+namespace mfhttp::fault {
+
+// One scheduled link-level fault window, optionally repeating.
+struct LinkFaultWindow {
+  enum class Kind { kOutage, kCollapse, kLatencySpike };
+
+  Kind kind = Kind::kOutage;
+  TimeMs at_ms = 0;        // first occurrence start
+  TimeMs duration_ms = 0;  // length of each occurrence
+  int repeat = 1;          // number of occurrences
+  TimeMs period_ms = 0;    // start-to-start spacing when repeat > 1
+  double factor = 0.0;     // kCollapse: bandwidth multiplier in-window
+  TimeMs extra_latency_ms = 0;  // kLatencySpike: added before first byte
+
+  // Is some occurrence of this window covering simulated time t?
+  bool active_at(TimeMs t_ms) const;
+  // End of the last occurrence.
+  TimeMs end_ms() const;
+};
+
+// Per-transfer faults drawn (seeded) at submit/progress time. A stall models
+// a TCP timeout + slow-start reset: delivery pauses mid-flight and resumes
+// from zero window after stall_ms. A truncation models a connection dying:
+// the transfer "completes" early having delivered only a prefix.
+struct TransferFaults {
+  double stall_rate = 0;        // probability a transfer stalls once
+  TimeMs stall_ms = 0;          // pause length
+  double stall_fraction = 0.5;  // progress point where the stall hits
+  double truncate_rate = 0;     // probability a transfer is cut short
+  double truncate_fraction = 0.5;  // fraction delivered before the cut
+
+  bool any() const { return stall_rate > 0 || truncate_rate > 0; }
+};
+
+// Origin-side faults: synthesized error responses and abrupt closes.
+struct OriginFaults {
+  double error_rate = 0;  // probability a request draws an error response
+  std::vector<int> error_statuses = {503};  // drawn uniformly per error
+  TimeMs error_delay_ms = 10;               // server think time for errors
+  Bytes error_body_size = 256;
+  double abrupt_close_rate = 0;  // probability the response dies mid-body
+  double abrupt_close_fraction = 0.5;  // body fraction delivered before close
+
+  bool any() const { return error_rate > 0 || abrupt_close_rate > 0; }
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::string name;  // optional label, echoed in logs/benches
+  std::vector<LinkFaultWindow> link;
+  TransferFaults transfer;
+  OriginFaults origin;
+
+  bool empty() const { return link.empty() && !transfer.any() && !origin.any(); }
+
+  // End of the last scheduled window (0 if none).
+  TimeMs horizon_ms() const;
+
+  // Sum of active latency-spike penalties at t.
+  TimeMs extra_latency_at(TimeMs t_ms) const;
+
+  // True while any outage window covers t.
+  bool in_outage(TimeMs t_ms) const;
+
+  // Bandwidth trace with outages zeroed and collapses scaled in, resampled
+  // at <= 100 ms granularity up to the fault horizon; beyond the horizon the
+  // base trace continues untouched.
+  BandwidthTrace shape(const BandwidthTrace& base) const;
+
+  // JSON schema (DESIGN.md §9): top-level {"seed", "name", "link": [...],
+  // "transfer": {...}, "origin": {...}}. Returns nullopt on malformed JSON
+  // or schema violations (unknown kind, negative rate, ...).
+  static std::optional<FaultPlan> from_json(std::string_view json);
+  static std::optional<FaultPlan> load(const std::string& path);
+  std::string to_json() const;
+
+  // The acceptance scenario from ISSUE 2: repeated 3-second link outages
+  // plus 10% origin 5xx — the canonical lossy-cellular stress plan.
+  static FaultPlan lossy_cellular(std::uint64_t seed = 7);
+};
+
+// Ambient process-wide plan installed by the --fault-plan flag (flags.h) and
+// consumed by the session runners when a config does not name its own plan.
+// nullptr when no plan is installed.
+const FaultPlan* global_plan();
+void set_global_plan(std::optional<FaultPlan> plan);
+
+}  // namespace mfhttp::fault

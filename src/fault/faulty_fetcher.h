@@ -1,0 +1,59 @@
+// HttpFetcher decorator executing a FaultPlan's origin-side faults.
+//
+// Two misbehaviours, drawn per request from the plan's seeded Rng:
+//   * synthesized errors  — the request never reaches the inner fetcher; an
+//                           error status (drawn from origin.error_statuses)
+//                           comes back after error_delay_ms with a small
+//                           error body, mimicking a 5xx/429 from the origin,
+//   * abrupt closes       — the inner response dies mid-body: delivery stops
+//                           at a fraction of the advertised size and
+//                           on_complete fires once with status 0 (the
+//                           connection-reset sentinel) and the bytes that
+//                           actually arrived.
+//
+// Everything else passes through untouched. Fetch ids are the decorator's
+// own; cancel() translates to the inner fetcher where one is in flight.
+#pragma once
+
+#include <unordered_map>
+
+#include "fault/fault_plan.h"
+#include "http/sim_http.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace mfhttp::fault {
+
+class FaultyFetcher : public HttpFetcher {
+ public:
+  FaultyFetcher(Simulator& sim, HttpFetcher* inner, const FaultPlan& plan);
+  ~FaultyFetcher() override;
+
+  FetchId fetch(const HttpRequest& request, FetchCallbacks callbacks) override;
+  bool cancel(FetchId id) override;
+
+  std::size_t inflight() const { return shadows_.size(); }
+
+ private:
+  // One decorated fetch. Exactly one of `event` (synthesized error pending)
+  // and `inner` (live inner fetch) is armed.
+  struct Shadow {
+    FetchId inner = kInvalidFetch;
+    Simulator::EventId event = Simulator::kInvalidEvent;
+    FetchCallbacks callbacks;
+    std::string url;
+    TimeMs request_ms = 0;
+    Bytes received = 0;
+    Bytes close_at = 0;  // 0 = no abrupt close armed
+    double close_fraction = 0;
+  };
+
+  Simulator& sim_;
+  HttpFetcher* inner_;
+  FaultPlan plan_;
+  Rng rng_;
+  FetchId next_id_ = 1;
+  std::unordered_map<FetchId, Shadow> shadows_;
+};
+
+}  // namespace mfhttp::fault

@@ -1,0 +1,25 @@
+#include "fault/flags.h"
+
+#include "fault/fault_plan.h"
+#include "util/check.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+namespace mfhttp::fault {
+
+StandardFlagsGuard::StandardFlagsGuard(int& argc, char** argv)
+    : metrics_guard_(argc, argv),
+      fault_plan_path_(extract_string_flag(argc, argv, "--fault-plan")) {
+  if (fault_plan_path_.empty()) return;
+  auto plan = FaultPlan::load(fault_plan_path_);
+  MFHTTP_CHECK_MSG(plan.has_value(), "--fault-plan: cannot load plan");
+  MFHTTP_INFO << "fault plan '" << (plan->name.empty() ? fault_plan_path_ : plan->name)
+              << "' installed (seed " << plan->seed << ")";
+  set_global_plan(std::move(plan));
+}
+
+StandardFlagsGuard::~StandardFlagsGuard() {
+  if (!fault_plan_path_.empty()) set_global_plan(std::nullopt);
+}
+
+}  // namespace mfhttp::fault

@@ -1,0 +1,33 @@
+// Shared CLI flag handling for benches and examples.
+//
+// StandardFlagsGuard deduplicates the per-binary boilerplate: it extracts
+//   --metrics-json <path>   (dump the obs registry snapshot at exit), and
+//   --fault-plan <path>     (load a FaultPlan and install it as the ambient
+//                            fault::global_plan() for every session run),
+// leaving all other arguments in place for benchmark::Initialize or ad-hoc
+// parsing. The plan is uninstalled when the guard dies so consecutive test
+// binaries never leak faults into each other.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace mfhttp::fault {
+
+class StandardFlagsGuard {
+ public:
+  StandardFlagsGuard(int& argc, char** argv);
+  ~StandardFlagsGuard();
+  StandardFlagsGuard(const StandardFlagsGuard&) = delete;
+  StandardFlagsGuard& operator=(const StandardFlagsGuard&) = delete;
+
+  const std::string& metrics_path() const { return metrics_guard_.path(); }
+  const std::string& fault_plan_path() const { return fault_plan_path_; }
+
+ private:
+  obs::MetricsDumpGuard metrics_guard_;
+  std::string fault_plan_path_;
+};
+
+}  // namespace mfhttp::fault

@@ -1,0 +1,103 @@
+#include "http/circuit_breaker.h"
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace mfhttp {
+
+CircuitBreaker::CircuitBreaker(Params params) : params_(params) {
+  MFHTTP_CHECK(params_.failure_threshold > 0);
+  MFHTTP_CHECK(params_.open_ms >= 0);
+  MFHTTP_CHECK(params_.success_to_close > 0);
+}
+
+bool CircuitBreaker::allow(const std::string& key, TimeMs now) {
+  Entry& e = entries_[key];
+  switch (e.state) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now - e.opened_at < params_.open_ms) return false;
+      transition(key, e, State::kHalfOpen);
+      [[fallthrough]];
+    case State::kHalfOpen:
+      if (e.probe_inflight) return false;  // one probe at a time
+      e.probe_inflight = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success(const std::string& key, TimeMs now) {
+  (void)now;
+  Entry& e = entries_[key];
+  e.consecutive_failures = 0;
+  if (e.state == State::kHalfOpen) {
+    e.probe_inflight = false;
+    if (++e.half_open_successes >= params_.success_to_close)
+      transition(key, e, State::kClosed);
+  }
+}
+
+void CircuitBreaker::record_failure(const std::string& key, TimeMs now) {
+  Entry& e = entries_[key];
+  switch (e.state) {
+    case State::kClosed:
+      if (++e.consecutive_failures >= params_.failure_threshold) {
+        e.opened_at = now;
+        transition(key, e, State::kOpen);
+      }
+      break;
+    case State::kHalfOpen:
+      // The probe failed: back to a fresh cool-down.
+      e.probe_inflight = false;
+      e.opened_at = now;
+      transition(key, e, State::kOpen);
+      break;
+    case State::kOpen:
+      break;  // stragglers from before the trip
+  }
+}
+
+void CircuitBreaker::abandon(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it != entries_.end() && it->second.state == State::kHalfOpen)
+    it->second.probe_inflight = false;
+}
+
+CircuitBreaker::State CircuitBreaker::state(const std::string& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? State::kClosed : it->second.state;
+}
+
+const char* CircuitBreaker::state_name(State s) {
+  switch (s) {
+    case State::kClosed: return "closed";
+    case State::kOpen: return "open";
+    case State::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+void CircuitBreaker::transition(const std::string& key, Entry& e, State to) {
+  const State from = e.state;
+  if (from == to) return;
+  e.state = to;
+  if (to == State::kOpen) {
+    e.half_open_successes = 0;
+    static obs::Counter& opened = obs::metrics().counter("http.breaker.opened_total");
+    opened.inc();
+  } else if (to == State::kHalfOpen) {
+    e.half_open_successes = 0;
+    static obs::Counter& half =
+        obs::metrics().counter("http.breaker.half_open_total");
+    half.inc();
+  } else {
+    e.consecutive_failures = 0;
+    static obs::Counter& closed = obs::metrics().counter("http.breaker.closed_total");
+    closed.inc();
+  }
+  if (on_transition_) on_transition_(key, from, to);
+}
+
+}  // namespace mfhttp

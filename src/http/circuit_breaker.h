@@ -1,0 +1,73 @@
+// Per-key circuit breaker for the resilient fetch layer.
+//
+// Classic three-state machine, keyed by origin host:
+//
+//   kClosed ──(failure_threshold consecutive failures)──▶ kOpen
+//   kOpen   ──(open_ms elapsed, one probe admitted)─────▶ kHalfOpen
+//   kHalfOpen ──(success_to_close probe successes)──────▶ kClosed
+//   kHalfOpen ──(any probe failure)─────────────────────▶ kOpen
+//
+// While open, allow() returns false (callers fast-fail without touching the
+// origin). Time comes from the caller — the breaker never reads a clock — so
+// it is exactly as deterministic as the simulation driving it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "util/types.h"
+
+namespace mfhttp {
+
+struct CircuitBreakerParams {
+  int failure_threshold = 5;  // consecutive failures to trip open
+  TimeMs open_ms = 3000;      // cool-down before the first probe
+  int success_to_close = 1;   // probe successes to fully close
+};
+
+class CircuitBreaker {
+ public:
+  using Params = CircuitBreakerParams;
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(Params params = {});
+
+  // May a request for `key` proceed at `now`? An open breaker past its
+  // cool-down admits exactly one probe (half-open) at a time.
+  bool allow(const std::string& key, TimeMs now);
+
+  void record_success(const std::string& key, TimeMs now);
+  void record_failure(const std::string& key, TimeMs now);
+  // The admitted request went away without an outcome (caller cancelled);
+  // frees the half-open probe slot so the breaker cannot wedge.
+  void abandon(const std::string& key);
+
+  State state(const std::string& key) const;
+
+  // Observer for state transitions (degradation wiring). Fires after the
+  // breaker's own bookkeeping, so state(key) reflects `to`.
+  using TransitionFn =
+      std::function<void(const std::string& key, State from, State to)>;
+  void set_on_transition(TransitionFn fn) { on_transition_ = std::move(fn); }
+
+  static const char* state_name(State s);
+
+ private:
+  struct Entry {
+    State state = State::kClosed;
+    int consecutive_failures = 0;
+    int half_open_successes = 0;
+    TimeMs opened_at = 0;
+    bool probe_inflight = false;
+  };
+
+  void transition(const std::string& key, Entry& e, State to);
+
+  Params params_;
+  std::unordered_map<std::string, Entry> entries_;
+  TransitionFn on_transition_;
+};
+
+}  // namespace mfhttp

@@ -89,6 +89,21 @@ HttpFetcher::FetchId MitmProxy::fetch(const HttpRequest& request,
       deferred_depth_gauge().add(1);
       p.deferred = true;
       MFHTTP_TRACE << "proxy defer " << p.url;
+      if (params_.defer_timeout_ms > 0) {
+        p.watchdog_event = sim_.schedule_after(params_.defer_timeout_ms, [this, id] {
+          auto wit = pending_.find(id);
+          if (wit == pending_.end() || !wit->second.deferred) return;
+          wit->second.watchdog_event = Simulator::kInvalidEvent;
+          static obs::Counter& timeouts =
+              obs::metrics().counter("http.proxy.defer_timeouts_total");
+          timeouts.inc();
+          MFHTTP_TRACE << "proxy defer timeout " << wit->second.url;
+          if (params_.defer_timeout_action == Params::DeferTimeoutAction::kRelease)
+            start_upstream(id);
+          else
+            finish_failed(id, params_.defer_timeout_status);
+        });
+      }
       break;
     }
   }
@@ -101,6 +116,7 @@ void MitmProxy::start_upstream(FetchId id) {
   Pending& p = it->second;
   if (p.deferred) deferred_depth_gauge().sub(1);
   p.deferred = false;
+  disarm_watchdog(p);
 
   // Middleware-server cache: a hit skips the upstream hop entirely. Keyed by
   // the URL actually fetched upstream (which differs from p.url after a
@@ -118,6 +134,9 @@ void MitmProxy::start_upstream(FetchId id) {
     auto pit = pending_.find(id);
     if (pit == pending_.end()) return;
     Pending& pd = pit->second;
+    // A resilient upstream re-sends headers on every retry attempt; the
+    // client transfer from the first headers keeps streaming.
+    if (pd.client_transfer != Link::kInvalidTransfer) return;
     if (pd.callbacks.on_headers) pd.callbacks.on_headers(meta);
     if (!pending_.contains(id)) return;  // callback may cancel
 
@@ -125,10 +144,28 @@ void MitmProxy::start_upstream(FetchId id) {
     // (cut-through forwarding; the client hop is the bottleneck).
     start_client_transfer(id, meta, fetch_url);
   };
-  up.on_complete = [this, id](const FetchResult&) {
-    // Proxy-side copy finished; the client-side transfer finishes the fetch.
+  up.on_complete = [this, id](const FetchResult& r) {
+    // Proxy-side copy finished; normally the client-side transfer finishes
+    // the fetch. But a dead upstream (reset, timeout, fast-fail, truncated
+    // body) must not leave the client waiting on bytes that will never
+    // exist: propagate the failure instead.
     auto pit = pending_.find(id);
-    if (pit != pending_.end()) pit->second.upstream_id = HttpFetcher::kInvalidFetch;
+    if (pit == pending_.end()) return;
+    Pending& pd = pit->second;
+    pd.upstream_id = HttpFetcher::kInvalidFetch;
+    if (pd.client_transfer == Link::kInvalidTransfer) {
+      // Upstream finished without ever producing headers: nothing will ever
+      // complete the client fetch. Forward the failure status.
+      finish_failed(id, r.status != 0 ? r.status : 502);
+      return;
+    }
+    if (r.status == 0 || r.body_size < pd.client_total) {
+      // Upstream died mid-body; the cut-through stream can never deliver
+      // what the headers promised.
+      client_link_->cancel(pd.client_transfer);
+      pd.client_transfer = Link::kInvalidTransfer;
+      finish_failed(id, 502);
+    }
   };
   p.upstream_id = upstream_->fetch(p.request, std::move(up));
 }
@@ -156,30 +193,32 @@ void MitmProxy::start_client_transfer(FetchId id, const SimResponseMeta& meta,
                                       std::string cache_key) {
   auto it = pending_.find(id);
   MFHTTP_CHECK(it != pending_.end());
-  auto received = std::make_shared<Bytes>(0);
   const Bytes total = meta.body_size;
   const int status = meta.status;
   const std::string content_type = meta.content_type;
+  it->second.client_total = total;
+  it->second.client_received = 0;
   it->second.client_transfer = client_link_->submit(
       total,
-      [this, id, total, status, content_type, cache_key = std::move(cache_key),
-       received](Bytes chunk, bool complete) {
+      [this, id, total, status, content_type,
+       cache_key = std::move(cache_key)](Bytes chunk, bool complete) {
         auto cit = pending_.find(id);
         if (cit == pending_.end()) return;
-        *received += chunk;
+        cit->second.client_received += chunk;
         stats_.bytes_to_client += chunk;
         static obs::Counter& to_client =
             obs::metrics().counter("http.proxy.bytes_to_client_total");
         to_client.inc(static_cast<std::uint64_t>(chunk));
         if (cit->second.callbacks.on_progress)
-          cit->second.callbacks.on_progress(chunk, *received, total);
+          cit->second.callbacks.on_progress(chunk, cit->second.client_received,
+                                            total);
         if (complete) {
           Pending done = std::move(cit->second);
           pending_.erase(cit);
           FetchResult result;
           result.url = done.url;
           result.status = status;
-          result.body_size = *received;
+          result.body_size = done.client_received;
           result.request_ms = done.request_ms;
           result.complete_ms = sim_.now();
           if (done.upstream_id != HttpFetcher::kInvalidFetch)
@@ -193,10 +232,43 @@ void MitmProxy::start_client_transfer(FetchId id, const SimResponseMeta& meta,
       it->second.priority);
 }
 
+void MitmProxy::finish_failed(FetchId id, int status) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  if (p.deferred) deferred_depth_gauge().sub(1);
+  disarm_watchdog(p);
+  if (p.reject_event != Simulator::kInvalidEvent) sim_.cancel(p.reject_event);
+  if (p.upstream_id != HttpFetcher::kInvalidFetch) upstream_->cancel(p.upstream_id);
+  if (p.client_transfer != Link::kInvalidTransfer)
+    client_link_->cancel(p.client_transfer);
+  static obs::Counter& failed = obs::metrics().counter("http.proxy.failed_total");
+  failed.inc();
+  Pending done = std::move(p);
+  pending_.erase(it);
+  FetchResult result;
+  result.url = done.url;
+  result.status = status;
+  result.body_size = done.client_received;
+  result.request_ms = done.request_ms;
+  result.complete_ms = sim_.now();
+  done.callbacks.on_complete(result);
+  if (interceptor_) interceptor_->on_fetch_complete(result);
+}
+
+void MitmProxy::disarm_watchdog(Pending& p) {
+  if (p.watchdog_event == Simulator::kInvalidEvent) return;
+  sim_.cancel(p.watchdog_event);
+  p.watchdog_event = Simulator::kInvalidEvent;
+}
+
+TimeMs MitmProxy::now() const { return sim_.now(); }
+
 void MitmProxy::finish_blocked(FetchId id, int status) {
   auto it = pending_.find(id);
   if (it == pending_.end()) return;
   if (it->second.deferred) deferred_depth_gauge().sub(1);
+  disarm_watchdog(it->second);
   Pending done = std::move(it->second);
   pending_.erase(it);
   FetchResult result;
@@ -215,6 +287,7 @@ bool MitmProxy::cancel(FetchId id) {
   if (it == pending_.end()) return false;
   Pending& p = it->second;
   if (p.deferred) deferred_depth_gauge().sub(1);
+  disarm_watchdog(p);
   if (p.reject_event != Simulator::kInvalidEvent) sim_.cancel(p.reject_event);
   if (p.upstream_id != HttpFetcher::kInvalidFetch) upstream_->cancel(p.upstream_id);
   if (p.client_transfer != Link::kInvalidTransfer)

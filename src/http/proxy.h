@@ -51,6 +51,15 @@ class Interceptor {
 struct MitmProxyParams {
   // Delay for the proxy to reject a blocked request back to the client.
   TimeMs reject_delay_ms = 5;
+
+  // Deferred-queue watchdog (resilience layer). A request parked longer than
+  // defer_timeout_ms is either force-released upstream (kRelease — graceful
+  // degradation: stale policy beats a stranded client) or failed back to the
+  // client with defer_timeout_status (kFail). 0 disables the watchdog.
+  enum class DeferTimeoutAction { kRelease, kFail };
+  TimeMs defer_timeout_ms = 0;
+  DeferTimeoutAction defer_timeout_action = DeferTimeoutAction::kRelease;
+  int defer_timeout_status = 504;
 };
 
 class MitmProxy : public HttpFetcher {
@@ -108,6 +117,9 @@ class MitmProxy : public HttpFetcher {
 
   const Stats& stats() const { return stats_; }
 
+  // Simulated time, for policy layers that track release-to-delivery slip.
+  TimeMs now() const;
+
  private:
   struct Pending {
     HttpRequest request;
@@ -117,8 +129,11 @@ class MitmProxy : public HttpFetcher {
     int priority = 0;
     bool deferred = false;
     Simulator::EventId reject_event = Simulator::kInvalidEvent;
+    Simulator::EventId watchdog_event = Simulator::kInvalidEvent;
     HttpFetcher::FetchId upstream_id = HttpFetcher::kInvalidFetch;
     Link::TransferId client_transfer = Link::kInvalidTransfer;
+    Bytes client_total = 0;     // advertised by the headers that started it
+    Bytes client_received = 0;  // delivered to the client so far
   };
 
   void start_upstream(FetchId id);
@@ -129,6 +144,12 @@ class MitmProxy : public HttpFetcher {
   void start_client_transfer(FetchId id, const SimResponseMeta& meta,
                              std::string cache_key);
   void finish_blocked(FetchId id, int status);
+  // Fail a fetch the proxy cannot serve (upstream died, watchdog kFail):
+  // tears down whatever is in flight and completes the client with `status`
+  // and the bytes that actually arrived. Unlike finish_blocked this is a
+  // fault, not policy — blocked stays false.
+  void finish_failed(FetchId id, int status);
+  void disarm_watchdog(Pending& p);
   static std::string url_of(const HttpRequest& request);
 
   Simulator& sim_;

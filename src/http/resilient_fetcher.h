@@ -1,0 +1,94 @@
+// Resilient fetch layer: retries, per-attempt deadlines, and a per-origin
+// circuit breaker over any HttpFetcher.
+//
+// Failure classification (what gets retried):
+//   * status 0            — connection reset / abrupt close,
+//   * status 429 or 5xx   — origin overload and server errors,
+//   * per-attempt timeout — synthesized as status 504,
+//   * truncated 200       — fewer body bytes than the headers advertised
+//                           (when retry_truncated, the default).
+// Everything else — 2xx, 404, middleware blocks — is terminal.
+//
+// Retries back off exponentially (base * 2^(attempt-1), capped) with seeded
+// jitter so herds of retries never synchronize yet every run is exactly
+// reproducible. Consecutive failures trip the origin's circuit breaker;
+// while it is open, fetches fast-fail with a synthesized 503 without
+// touching the origin, and a degradation callback lets policy layers shed
+// work until the origin recovers.
+//
+// Forwarded results carry the ORIGINAL request time, so latency spans all
+// attempts. on_progress is forwarded transparently, which means a retried
+// fetch can report more cumulative progress bytes than the body size —
+// exactly like real re-downloads over a flaky network.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "http/circuit_breaker.h"
+#include "http/sim_http.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace mfhttp {
+
+struct ResilientFetcherParams {
+  int max_attempts = 3;
+  TimeMs attempt_timeout_ms = 0;  // per-attempt deadline; 0 disables
+  TimeMs backoff_base_ms = 100;
+  TimeMs backoff_cap_ms = 2000;
+  double backoff_jitter = 0.5;  // +/- fraction of the computed delay
+  std::uint64_t seed = 1;
+  bool retry_truncated = true;
+  CircuitBreaker::Params breaker;
+};
+
+class ResilientFetcher : public HttpFetcher {
+ public:
+  using Params = ResilientFetcherParams;
+
+  ResilientFetcher(Simulator& sim, HttpFetcher* inner, Params params = {});
+  ~ResilientFetcher() override;
+
+  FetchId fetch(const HttpRequest& request, FetchCallbacks callbacks) override;
+  bool cancel(FetchId id) override;
+
+  CircuitBreaker& breaker() { return breaker_; }
+  std::size_t inflight() const { return attempts_.size(); }
+
+  // Fired when an origin's breaker opens (open=true) or fully closes again
+  // (open=false). Policy layers hook this to enter/leave degraded modes.
+  using DegradedFn = std::function<void(const std::string& host, bool open)>;
+  void set_degraded_callback(DegradedFn fn) { degraded_fn_ = std::move(fn); }
+
+ private:
+  struct Attempt {
+    HttpRequest request;
+    FetchCallbacks callbacks;
+    std::string key;   // breaker key: origin host
+    std::string url;
+    TimeMs request_ms = 0;  // first attempt's issue time
+    int attempt = 1;
+    Bytes expected = 0;     // body size advertised by the latest headers
+    FetchId inner = kInvalidFetch;
+    Simulator::EventId timeout_event = Simulator::kInvalidEvent;
+    Simulator::EventId backoff_event = Simulator::kInvalidEvent;
+  };
+
+  void start_attempt(FetchId id);
+  void on_attempt_complete(FetchId id, const FetchResult& result);
+  bool retryable(int status, Bytes body_size, Bytes expected, bool blocked) const;
+  void finish(FetchId id, FetchResult result);
+
+  Simulator& sim_;
+  HttpFetcher* inner_;
+  Params params_;
+  CircuitBreaker breaker_;
+  Rng rng_;
+  DegradedFn degraded_fn_;
+  FetchId next_id_ = 1;
+  std::unordered_map<FetchId, Attempt> attempts_;
+};
+
+}  // namespace mfhttp

@@ -1,6 +1,7 @@
 #include "net/link.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "obs/metrics.h"
 #include "util/check.h"
@@ -92,6 +93,7 @@ void Link::tick() {
   });
 
   struct Delivery {
+    TransferId id;
     ProgressFn fn;  // owned copy: callbacks may mutate the transfer table
     Bytes bytes;
     bool complete;
@@ -106,10 +108,10 @@ void Link::tick() {
     t.remaining -= grant;
     delivered_total_ += grant;
     if (t.remaining == 0) {
-      deliveries.push_back({std::move(t.on_progress), grant, true});
+      deliveries.push_back({id, std::move(t.on_progress), grant, true});
       completed.push_back(id);
     } else {
-      deliveries.push_back({t.on_progress, grant, false});
+      deliveries.push_back({id, t.on_progress, grant, false});
     }
     return static_cast<double>(grant);
   };
@@ -161,8 +163,18 @@ void Link::tick() {
     consumption_log_.emplace_back(quantum_start, quantum_delivered);
 
   // Fire callbacks after internal state is consistent (callbacks may submit
-  // or cancel transfers on this link).
-  for (Delivery& d : deliveries) d.fn(d.bytes, d.complete);
+  // or cancel transfers on this link). A callback cancelling a *sibling*
+  // transfer must silence the sibling's deliveries queued in this same
+  // quantum: a transfer that is in neither transfers_ nor this quantum's
+  // completed set was erased by cancel() mid-dispatch. Transfers that
+  // completed above keep all their deliveries (cancel() on them is a no-op
+  // reporting false), including non-final chunks from fair-share rounds.
+  const std::unordered_set<TransferId> completed_set(completed.begin(),
+                                                     completed.end());
+  for (Delivery& d : deliveries) {
+    if (!transfers_.contains(d.id) && !completed_set.contains(d.id)) continue;
+    d.fn(d.bytes, d.complete);
+  }
 
   bool any_started = std::any_of(transfers_.begin(), transfers_.end(),
                                  [](auto& kv) { return kv.second.started; });

@@ -45,16 +45,22 @@ class Link {
   using ProgressFn = std::function<void(Bytes delivered_now, bool complete)>;
 
   Link(Simulator& sim, Params params);
-  ~Link();
+  virtual ~Link();
 
   // Begin transferring `size` bytes. Progress callbacks start after the
   // link's latency. A zero-size transfer completes after latency alone.
   // Higher `priority` preempts lower in kFifo mode (bytes in flight are not
   // clawed back; preemption applies from the next quantum).
-  TransferId submit(Bytes size, ProgressFn on_progress, int priority = 0);
+  //
+  // Virtual so fault decorators (fault/faulty_link.h) can interpose without
+  // touching this happy path. Progress callbacks may re-enter the link:
+  // submitting new transfers or cancelling siblings from inside a ProgressFn
+  // is safe, and a transfer cancelled that way receives no further callbacks
+  // (including deliveries already earned in the same quantum).
+  virtual TransferId submit(Bytes size, ProgressFn on_progress, int priority = 0);
 
   // Abort a transfer; no further callbacks. False if unknown/finished.
-  bool cancel(TransferId id);
+  virtual bool cancel(TransferId id);
 
   std::size_t active_transfers() const { return transfers_.size(); }
   Bytes bytes_delivered_total() const { return delivered_total_; }

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "util/check.h"
+#include "util/flags.h"
 #include "util/json.h"
 #include "util/logging.h"
 
@@ -217,21 +218,7 @@ bool write_snapshot_file(const std::string& path) {
 }
 
 std::string extract_metrics_json_flag(int& argc, char** argv) {
-  std::string path;
-  int out = 1;
-  for (int i = 1; i < argc; ++i) {
-    std::string_view arg = argv[i];
-    if (arg == "--metrics-json" && i + 1 < argc) {
-      path = argv[++i];
-    } else if (arg.rfind("--metrics-json=", 0) == 0) {
-      path = std::string(arg.substr(std::string_view("--metrics-json=").size()));
-    } else {
-      argv[out++] = argv[i];
-    }
-  }
-  argc = out;
-  argv[argc] = nullptr;
-  return path;
+  return extract_string_flag(argc, argv, "--metrics-json");
 }
 
 }  // namespace mfhttp::obs

@@ -1,0 +1,24 @@
+#include "util/flags.h"
+
+namespace mfhttp {
+
+std::string extract_string_flag(int& argc, char** argv, std::string_view flag) {
+  const std::string eq_form = std::string(flag) + "=";
+  std::string value;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == flag && i + 1 < argc) {
+      value = argv[++i];
+    } else if (arg.rfind(eq_form, 0) == 0) {
+      value = std::string(arg.substr(eq_form.size()));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  return value;
+}
+
+}  // namespace mfhttp

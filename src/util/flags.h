@@ -1,0 +1,20 @@
+// Tiny argv flag extraction shared by every bench/example binary.
+//
+// Each tool historically hand-rolled its "--metrics-json <path>" scan; the
+// fault-injection work adds a second shared flag (--fault-plan), so the scan
+// lives here once. Extraction *removes* the flag from argv, which is what
+// lets these flags compose with benchmark::Initialize and ad-hoc positional
+// parsing alike.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace mfhttp {
+
+// Removes "--<flag> <value>" / "--<flag>=<value>" from argv and returns the
+// value ("" if the flag is absent or has no value). `flag` includes the
+// leading dashes, e.g. "--metrics-json".
+std::string extract_string_flag(int& argc, char** argv, std::string_view flag);
+
+}  // namespace mfhttp

@@ -1,6 +1,6 @@
-// Minimal streaming JSON writer (objects, arrays, scalars, escaping) for
-// exporting experiment results to analysis tooling. Writer only — the
-// library never consumes JSON.
+// Minimal JSON support: a streaming writer (objects, arrays, scalars,
+// escaping) for exporting experiment results, and a small DOM reader
+// (JsonValue / parse_json) for configuration documents such as fault plans.
 //
 // Usage:
 //   JsonWriter w;
@@ -13,8 +13,10 @@
 //   std::string out = w.str();
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace mfhttp {
@@ -54,5 +56,42 @@ class JsonWriter {
   std::vector<bool> has_items_;  // parallel to stack_
   bool pending_key_ = false;
 };
+
+// Parsed JSON document node. Numbers are kept as double (adequate for
+// configuration files); object member order is preserved.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0;
+  std::string string_value;
+  std::vector<JsonValue> array_value;
+  std::vector<std::pair<std::string, JsonValue>> object_value;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  // Typed accessors with defaults (configuration-file ergonomics).
+  double number_or(double fallback) const {
+    return is_number() ? number_value : fallback;
+  }
+  bool bool_or(bool fallback) const { return is_bool() ? bool_value : fallback; }
+  const std::string& string_or(const std::string& fallback) const {
+    return is_string() ? string_value : fallback;
+  }
+};
+
+// Parses one JSON document (trailing whitespace allowed, trailing garbage is
+// an error). Returns nullopt on malformed input; never throws or aborts, so
+// it is safe on untrusted bytes. Nesting is capped at 64 levels.
+std::optional<JsonValue> parse_json(std::string_view text);
 
 }  // namespace mfhttp

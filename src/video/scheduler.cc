@@ -59,6 +59,25 @@ TilePlan MfHttpTileScheduler::plan_segment(const VideoAsset& video, int segment,
   plan.tile_quality.assign(static_cast<std::size_t>(tiles), -1);
   plan.visible_count = TileGrid::count_visible(visible);
 
+  // Degraded: survival mode. Only the viewport, only the lowest tier — keep
+  // playback alive through the outage rather than chase quality.
+  if (context.degraded) {
+    static obs::Counter& degraded_plans =
+        obs::metrics().counter("video.scheduler.degraded_plans_total");
+    degraded_plans.inc();
+    std::vector<int> survival(static_cast<std::size_t>(tiles), -1);
+    for (int t = 0; t < tiles; ++t)
+      if (visible[static_cast<std::size_t>(t)])
+        survival[static_cast<std::size_t>(t)] = 0;
+    Bytes cost = plan_cost(video, segment, survival);
+    if (cost <= budget) {
+      plan.tile_quality = std::move(survival);
+      plan.viewport_quality = 0;
+      plan.bytes = cost;
+    }
+    return record_plan(std::move(plan));  // NA if even survival does not fit
+  }
+
   // Invisible tiles always at the lowest quality (they may become visible
   // mid-segment after a drag); visible tiles at the best quality that fits.
   for (int q = video.quality_count() - 1; q >= 0; --q) {

@@ -38,6 +38,10 @@ struct SchedulerContext {
   Bytes budget = 0;       // byte allowance for this segment
   double buffer_s = 0;    // seconds of content buffered ahead of playback
   double est_rate = 0;    // throughput estimate, bytes/s (0 = unknown)
+  // Graceful degradation (DESIGN.md §9): the session flips this after
+  // repeated stalls. Degraded schedulers shed everything optional — lowest
+  // tier for visible tiles, nothing prefetched for invisible ones.
+  bool degraded = false;
 
   static SchedulerContext from_budget(Bytes budget) {
     SchedulerContext ctx;

@@ -48,6 +48,7 @@ std::string StreamingSessionResult::to_json() const {
     w.key("visible_tiles").value(s.visible_tiles);
     w.key("viewport_quality").value(s.viewport_quality);
     w.key("bytes").value(static_cast<long long>(s.bytes));
+    w.key("degraded").value(s.degraded);
     w.end_object();
   }
   w.end_array();
@@ -68,6 +69,14 @@ StreamingSessionResult run_streaming_session(const VideoAsset& video,
                            (static_cast<double>(session_ms) / 1000.0);
   const Bytes carry_cap = static_cast<Bytes>(params.carry_cap_s * mean_rate);
 
+  // Stall-driven degradation, hysteretic: degrade_after_na consecutive NA
+  // segments flip survival mode on; recover_after non-NA segments flip it
+  // back (fault::DegradationState semantics, inlined to keep this loop free
+  // of metrics side effects per scheduler comparison run).
+  bool degraded = false;
+  int na_streak = 0;
+  int ok_streak = 0;
+
   Bytes carry = 0;
   for (int seg = 0; seg < video.segment_count(); ++seg) {
     const TimeMs t0 = static_cast<TimeMs>(seg) * 1000;
@@ -79,9 +88,27 @@ StreamingSessionResult run_streaming_session(const VideoAsset& video,
     ViewOrientation view = viewport.at(t0 + 500);
     std::vector<bool> visible = video.grid().visible_tiles(view, params.fov);
 
-    TilePlan plan = scheduler.plan_segment(video, seg, visible, budget);
+    SchedulerContext ctx = SchedulerContext::from_budget(budget);
+    ctx.degraded = degraded;
+    TilePlan plan = scheduler.plan_segment(video, seg, visible, ctx);
     MFHTTP_DCHECK(plan.bytes <= budget || plan.viewport_quality < 0 ||
                   dynamic_cast<const FixedRateScheduler*>(&scheduler) != nullptr);
+
+    if (params.degrade_after_na > 0) {
+      if (plan.stalled()) {
+        ok_streak = 0;
+        if (!degraded && ++na_streak >= params.degrade_after_na) {
+          degraded = true;
+          na_streak = 0;
+        }
+      } else {
+        na_streak = 0;
+        if (degraded && ++ok_streak >= params.recover_after) {
+          degraded = false;
+          ok_streak = 0;
+        }
+      }
+    }
 
     carry = std::min<Bytes>(std::max<Bytes>(budget - plan.bytes, 0), carry_cap);
 
@@ -91,6 +118,7 @@ StreamingSessionResult run_streaming_session(const VideoAsset& video,
     record.viewport_quality = plan.viewport_quality;
     record.bytes = plan.bytes;
     record.budget = budget;
+    record.degraded = ctx.degraded;
     result.segments.push_back(record);
     result.total_bytes += plan.bytes;
     result.plans.push_back(std::move(plan));

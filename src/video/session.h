@@ -24,6 +24,7 @@ struct SegmentRecord {
   int viewport_quality = -1;  // ladder index; -1 = NA
   Bytes bytes = 0;            // plan wire size
   Bytes budget = 0;           // allowance the scheduler saw
+  bool degraded = false;      // planned in survival mode
 };
 
 struct StreamingSessionResult {
@@ -50,6 +51,11 @@ struct StreamingSessionParams {
   // Unused allowance carried between segments, capped at this many seconds
   // of the mean bandwidth (a small player buffer). 0 disables carrying.
   double carry_cap_s = 1.0;
+  // Graceful degradation: after this many consecutive NA (stalled) segments
+  // the session plans in survival mode (SchedulerContext::degraded) until
+  // `recover_after` consecutive non-NA segments. 0 disables.
+  int degrade_after_na = 0;
+  int recover_after = 2;
 };
 
 StreamingSessionResult run_streaming_session(const VideoAsset& video,

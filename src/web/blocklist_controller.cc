@@ -8,7 +8,14 @@ namespace mfhttp {
 
 BlockListController::BlockListController(const WebPage& page, Rect initial_viewport,
                                          MitmProxy* proxy)
-    : page_(page), proxy_(proxy) {
+    : BlockListController(page, initial_viewport, proxy, Resilience{}) {}
+
+BlockListController::BlockListController(const WebPage& page, Rect initial_viewport,
+                                         MitmProxy* proxy, Resilience resilience)
+    : page_(page),
+      proxy_(proxy),
+      resilience_(resilience),
+      degradation_("web.blocklist", resilience.degradation) {
   MFHTTP_CHECK(proxy_ != nullptr);
   for (std::size_t i = 0; i < page_.images.size(); ++i) {
     const MediaObject& img = page_.images[i];
@@ -26,17 +33,62 @@ BlockListController::BlockListController(const WebPage& page, Rect initial_viewp
 InterceptDecision BlockListController::on_request(const HttpRequest& request) {
   auto url = request.url();
   std::string url_str = url ? url->to_string() : request.target;
-  if (block_list_.contains(url_str)) return InterceptDecision::defer();  // step (2)
-  // Unblocked images are viewport-critical; anything else is structure.
+  // Degraded: stop gating entirely — everything flows.
   bool is_image = url_to_image_.contains(url_str);
+  if (!degradation_.degraded() && block_list_.contains(url_str))
+    return InterceptDecision::defer();  // step (2)
+  // Unblocked images are viewport-critical; anything else is structure.
   return InterceptDecision::allow(is_image ? kPriorityViewport
                                            : kPriorityStructure);
+}
+
+void BlockListController::on_fetch_complete(const FetchResult& result) {
+  // Only the images this controller gates inform its health; blocked results
+  // are policy, not faults.
+  if (!url_to_image_.contains(result.url) || result.blocked) return;
+  const bool failed =
+      result.status == 0 || result.status == 429 || result.status >= 500;
+  bool entered = false;
+  if (failed) {
+    entered = degradation_.observe_bad();
+  } else {
+    // Slip: how long the image took from the moment the policy let it go
+    // (or from request, if it was never parked) to the last byte.
+    TimeMs start = result.request_ms;
+    if (auto it = release_at_.find(result.url); it != release_at_.end())
+      start = std::max(start, it->second);
+    const TimeMs slip = result.complete_ms - start;
+    if (slip > resilience_.slip_threshold_ms)
+      entered = degradation_.observe_bad();
+    else
+      degradation_.observe_good();
+  }
+  if (entered) release_all();
+}
+
+void BlockListController::set_degraded(bool degraded) {
+  if (degradation_.force(degraded) && degraded) release_all();
+}
+
+void BlockListController::release_all() {
+  MFHTTP_INFO << "block list degraded: releasing " << block_list_.size()
+              << " parked urls";
+  static obs::Counter& degraded_releases =
+      obs::metrics().counter("web.blocklist.degraded_releases_total");
+  std::unordered_set<std::string> urls;
+  urls.swap(block_list_);
+  for (const std::string& url : urls) {
+    degraded_releases.inc();
+    release_at_[url] = proxy_->now();
+    proxy_->release(url, kPriorityTransient);
+  }
 }
 
 void BlockListController::release_image(std::size_t index, int priority) {
   const std::string& url = page_.images[index].top_version().url;
   if (block_list_.erase(url) > 0) {
     ++releases_;
+    release_at_[url] = proxy_->now();
     static obs::Counter& releases =
         obs::metrics().counter("web.blocklist.releases_total");
     releases.inc();

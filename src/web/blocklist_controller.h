@@ -9,6 +9,13 @@
 //      images that appear only transiently are released iff their optimizer
 //      value p·Q − q·C is positive; everything else stays blocked.
 //  (4) Each new gesture repeats (3) with fresh analysis.
+//
+// Graceful degradation (DESIGN.md §9): the controller watches its own
+// outcomes — release-to-delivery slip and failed image fetches — and when
+// they stay bad (or the origin's circuit breaker opens) it stops gating:
+// every parked image is released, the block list empties, and new requests
+// pass straight through until outcomes recover. A stale policy must never
+// strand the client.
 #pragma once
 
 #include <string>
@@ -17,6 +24,7 @@
 
 #include "core/flow_controller.h"
 #include "core/scroll_tracker.h"
+#include "fault/degradation.h"
 #include "http/proxy.h"
 #include "web/page.h"
 
@@ -24,13 +32,28 @@ namespace mfhttp {
 
 class BlockListController : public Interceptor {
  public:
+  struct Resilience {
+    TimeMs slip_threshold_ms = 4000;  // release-to-delivery slip that counts bad
+    fault::DegradationParams degradation;
+  };
+
   BlockListController(const WebPage& page, Rect initial_viewport, MitmProxy* proxy);
+  BlockListController(const WebPage& page, Rect initial_viewport, MitmProxy* proxy,
+                      Resilience resilience);
 
   // Interceptor: structural resources pass through; blocked images defer.
   InterceptDecision on_request(const HttpRequest& request) override;
 
+  // Interceptor: feed delivery outcomes into the degradation tracker.
+  void on_fetch_complete(const FetchResult& result) override;
+
   // Wire this to Middleware::set_policy_callback.
   void on_policy(const ScrollAnalysis& analysis, const DownloadPolicy& policy);
+
+  // External degradation override (circuit-breaker wiring). Entering
+  // degraded mode releases every parked request.
+  void set_degraded(bool degraded);
+  bool degraded() const { return degradation_.degraded(); }
 
   // Transfer priorities on the client link (meaningful on kFifo links):
   // structural resources above everything, then viewport-critical images,
@@ -45,11 +68,15 @@ class BlockListController : public Interceptor {
 
  private:
   void release_image(std::size_t index, int priority);
+  void release_all();
 
   const WebPage& page_;
   MitmProxy* proxy_;
+  Resilience resilience_;
+  fault::DegradationState degradation_;
   std::unordered_set<std::string> block_list_;
   std::unordered_map<std::string, std::size_t> url_to_image_;
+  std::unordered_map<std::string, TimeMs> release_at_;
   std::size_t releases_ = 0;
 };
 

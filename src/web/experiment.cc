@@ -1,8 +1,11 @@
 #include "web/experiment.h"
 
+#include <memory>
 #include <optional>
 
 #include "core/middleware.h"
+#include "fault/faulty_fetcher.h"
+#include "fault/faulty_link.h"
 #include "gesture/recognizer.h"
 #include "http/proxy.h"
 #include "http/sim_http.h"
@@ -44,6 +47,7 @@ std::string BrowsingSessionResult::to_json() const {
   w.key("images_total").value(images_total);
   w.key("images_completed").value(images_completed);
   w.key("images_avoided").value(images_avoided);
+  w.key("stranded_deferred").value(stranded_deferred);
   w.key("final_viewport_y").value(final_viewport.y);
   w.key("fill_timeline").begin_array();
   for (const auto& [t, fill] : fill_timeline) {
@@ -62,11 +66,22 @@ BrowsingSessionResult run_browsing_session(const WebPage& page,
   Simulator sim;
   Rng rng(config.seed);
 
+  // Fault plan: explicit config wins, then the ambient --fault-plan. An
+  // empty plan is no plan — the stack stays pristine (no decorators, no
+  // watchdog, no retries), preserving byte-identical seed behavior.
+  const fault::FaultPlan* plan =
+      config.fault_plan != nullptr ? config.fault_plan : fault::global_plan();
+  if (plan != nullptr && plan->empty()) plan = nullptr;
+
   Link::Params client_params;
   client_params.bandwidth = BandwidthTrace::constant(config.client_bandwidth);
   client_params.latency_ms = config.client_latency_ms;
   client_params.sharing = config.client_sharing;
-  Link client_link(sim, client_params);
+  std::unique_ptr<Link> client_link_ptr =
+      plan != nullptr
+          ? std::make_unique<fault::FaultyLink>(sim, client_params, *plan)
+          : std::make_unique<Link>(sim, client_params);
+  Link& client_link = *client_link_ptr;
 
   Link::Params server_params;
   server_params.bandwidth = BandwidthTrace::constant(config.server_bandwidth);
@@ -76,7 +91,22 @@ BrowsingSessionResult run_browsing_session(const WebPage& page,
 
   ObjectStore store = build_store(page);
   SimHttpOrigin origin(sim, &store, &server_link);
-  MitmProxy proxy(sim, &origin, &client_link);
+
+  // Upstream chain, innermost out: origin → origin faults → resilience.
+  HttpFetcher* upstream = &origin;
+  std::optional<fault::FaultyFetcher> faulty_origin;
+  if (plan != nullptr) {
+    faulty_origin.emplace(sim, upstream, *plan);
+    upstream = &*faulty_origin;
+  }
+  std::optional<ResilientFetcher> resilient;
+  MitmProxy::Params proxy_params;
+  if (plan != nullptr && config.enable_resilience) {
+    resilient.emplace(sim, upstream, config.resilience);
+    upstream = &*resilient;
+    proxy_params.defer_timeout_ms = config.defer_timeout_ms;
+  }
+  MitmProxy proxy(sim, upstream, &client_link, proxy_params);
 
   const Rect vp0{0, 0, config.device.screen_w_px, config.device.screen_h_px};
 
@@ -112,6 +142,12 @@ BrowsingSessionResult run_browsing_session(const WebPage& page,
         });
     monitor.emplace(config.device,
                     [&](const Gesture& g) { middleware->on_gesture(g); });
+    // Breaker-open → stop gating: a policy that cannot reach the origin must
+    // not keep requests parked.
+    if (resilient)
+      resilient->set_degraded_callback([&controller](const std::string&, bool open) {
+        if (controller) controller->set_degraded(open);
+      });
   }
 
   Browser browser(sim, &proxy, page);
@@ -162,6 +198,7 @@ BrowsingSessionResult run_browsing_session(const WebPage& page,
   result.images_total = page.images.size();
   result.images_completed = browser.images_completed();
   result.images_avoided = result.images_total - result.images_completed;
+  result.stranded_deferred = proxy.deferred_urls().size();
   return result;
 }
 

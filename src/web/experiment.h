@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "core/flow_controller.h"
+#include "fault/fault_plan.h"
 #include "gesture/synthetic.h"
+#include "http/resilient_fetcher.h"
 #include "net/link.h"
 #include "scroll/device_profile.h"
 #include "web/page.h"
@@ -42,6 +44,24 @@ struct BrowsingSessionConfig {
   TimeMs fill_sample_ms = 50;
 
   std::uint64_t seed = 1;
+
+  // Fault injection & resilience (DESIGN.md §9). nullptr falls back to the
+  // ambient fault::global_plan() installed by --fault-plan; no plan (or an
+  // empty one) leaves the whole stack — links, origin, proxy — byte-for-byte
+  // identical to the pristine configuration, resilience layer included.
+  const fault::FaultPlan* fault_plan = nullptr;
+  // With a plan active: retry/breaker layer between proxy and origin, plus
+  // the proxy's deferred-queue watchdog. Disable to measure what the faults
+  // do to an unprotected stack (the negative arm of the resilience bench).
+  bool enable_resilience = true;
+  ResilientFetcherParams resilience = default_resilience();
+  TimeMs defer_timeout_ms = 15'000;  // watchdog: force-release parked requests
+
+  static ResilientFetcherParams default_resilience() {
+    ResilientFetcherParams p;
+    p.attempt_timeout_ms = 8000;  // per-attempt deadline inside the session
+    return p;
+  }
 };
 
 struct BrowsingSessionResult {
@@ -56,6 +76,13 @@ struct BrowsingSessionResult {
   std::size_t images_total = 0;
   std::size_t images_completed = 0;
   std::size_t images_avoided = 0;   // never transferred (parked or refused)
+
+  // Requests still parked at the proxy when the session ended. In a pristine
+  // run this is ordinary parked speculation (the mf-http savings). With a
+  // fault plan active it is always 0 when the resilience layer is on (the
+  // watchdog releases them); the unprotected stack under faults strands
+  // whatever the stale policy never released.
+  std::size_t stranded_deferred = 0;
 
   // (time_ms, fraction of current-viewport image bytes present) — Fig. 8.
   std::vector<std::pair<TimeMs, double>> fill_timeline;

@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include "http/parser.h"
+#include "http/url.h"
 #include "http/wire.h"
 #include "net/byte_pipe.h"
+#include "util/json.h"
 #include "util/rng.h"
 
 namespace mfhttp {
@@ -194,6 +196,165 @@ TEST(WireFuzz, ServerSurvivesSlowlyTrickledRequests) {
   EXPECT_EQ(done, 3);
   EXPECT_EQ(server.requests_served(), 3u);
 }
+
+// ---------- malformed-URL corpus ----------
+
+TEST(UrlFuzz, MalformedCorpusNeverCrashesAndReturnsNullopt) {
+  // Hand-picked pathological inputs: every one must come back nullopt (or a
+  // well-formed Url for the borderline cases) without crashing under ASan.
+  const char* corpus[] = {
+      "",
+      ":",
+      "://",
+      "http://",
+      "http:///path-no-host",
+      "://missing.scheme/x",
+      "http//missing.colon/x",
+      "http://host:notaport/x",
+      "http://host:999999999999999999/x",
+      "http://host:-80/x",
+      "ht!tp://bad.scheme/x",
+      "http://exa mple.com/space",
+      "http://host/%zz",
+      "http://[::1",
+      "http://host?query-no-path",
+      "http://host:80:80/x",
+      "\x01\x02\x03garbage",
+      "http://\xff\xfe/x",
+  };
+  for (const char* input : corpus) {
+    auto url = parse_url(input);
+    if (url) {
+      // Borderline inputs that do parse must at least have a host.
+      EXPECT_FALSE(url->host.empty()) << "input: " << input;
+    }
+  }
+  // Known-bad shapes that must definitely be rejected.
+  EXPECT_FALSE(parse_url("").has_value());
+  EXPECT_FALSE(parse_url("http://").has_value());
+  EXPECT_FALSE(parse_url("http://host:notaport/x").has_value());
+}
+
+class UrlFuzzSeeded : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UrlFuzzSeeded, RandomBytesNeverCrash) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 300; ++round) {
+    std::size_t len = static_cast<std::size_t>(rng.uniform_int(0, 120));
+    std::string input;
+    for (std::size_t i = 0; i < len; ++i)
+      input += static_cast<char>(rng.uniform_int(1, 255));
+    auto url = parse_url(input);  // must not crash or hang
+    if (url) {
+      EXPECT_FALSE(url->scheme.empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UrlFuzzSeeded, ::testing::Values(7u, 8u, 9u));
+
+// ---------- truncated-HTTP corpus ----------
+
+TEST_P(ParserFuzz, TruncatedMessagesFailCleanlyAndFabricateNothing) {
+  Rng rng(GetParam() ^ 0xdead);
+  for (int round = 0; round < 60; ++round) {
+    HttpRequest req = random_request(rng);
+    std::string wire = req.serialize();
+    // Cut strictly inside the message.
+    std::size_t cut = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(wire.size() - 1)));
+    HttpParser parser(HttpParser::Mode::kRequest);
+    parser.feed(std::string_view(wire).substr(0, cut));
+    // A prefix alone may legitimately complete a message only if the cut
+    // landed after a full body; otherwise nothing may surface yet.
+    std::size_t before_finish = parser.message_count();
+    parser.finish();
+    if (before_finish == 0) {
+      // The truncated remainder must become an error, never a message.
+      EXPECT_TRUE(parser.has_error()) << "cut at " << cut << " of " << wire.size();
+      EXPECT_EQ(parser.message_count(), 0u);
+    }
+    // Post-error input is ignored, not resurrected.
+    if (parser.has_error()) {
+      EXPECT_FALSE(parser.feed(wire));
+      EXPECT_EQ(parser.message_count(), before_finish);
+    }
+  }
+}
+
+TEST(ParserFuzz2, TruncatedChunkedResponseErrorsOnFinish) {
+  // Chunked body cut inside a chunk: finish() must flag the truncation.
+  std::string wire =
+      "HTTP/1.1 200 OK\r\n"
+      "Transfer-Encoding: chunked\r\n"
+      "\r\n"
+      "10\r\n"
+      "0123";  // chunk promises 16 bytes, stream dies after 4
+  HttpParser parser(HttpParser::Mode::kResponse);
+  EXPECT_TRUE(parser.feed(wire));
+  EXPECT_FALSE(parser.has_message());
+  parser.finish();
+  EXPECT_TRUE(parser.has_error());
+  EXPECT_EQ(parser.message_count(), 0u);
+}
+
+// ---------- malformed-JSON corpus ----------
+
+TEST(JsonFuzz, MalformedCorpusReturnsNulloptWithoutCrashing) {
+  const char* corpus[] = {
+      "",
+      "{",
+      "}",
+      "[",
+      "]",
+      "{]",
+      "[}",
+      "{\"a\"}",
+      "{\"a\":}",
+      "{\"a\":1,}",
+      "[1,2,]",
+      "{\"a\" 1}",
+      "\"unterminated",
+      "\"bad escape \\x\"",
+      "\"bad unicode \\u12g4\"",
+      "1.2.3",
+      "+1",
+      "-",
+      "1e",
+      "tru",
+      "truee",
+      "nul",
+      "{\"a\":1}garbage",
+      "[1] [2]",
+      "\xef\xbb\xbf{}",  // BOM is not whitespace
+  };
+  for (const char* input : corpus)
+    EXPECT_FALSE(parse_json(input).has_value()) << "input: " << input;
+}
+
+TEST(JsonFuzz, NestingDepthIsCapped) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(parse_json(deep).has_value());  // over the 64-level cap
+  std::string ok(32, '[');
+  ok += std::string(32, ']');
+  EXPECT_TRUE(parse_json(ok).has_value());
+}
+
+class JsonFuzzSeeded : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JsonFuzzSeeded, RandomBytesNeverCrashTheParser) {
+  Rng rng(GetParam() ^ 0xbeef);
+  for (int round = 0; round < 200; ++round) {
+    std::size_t len = static_cast<std::size_t>(rng.uniform_int(0, 200));
+    std::string input;
+    for (std::size_t i = 0; i < len; ++i)
+      input += static_cast<char>(rng.uniform_int(1, 255));
+    parse_json(input);  // must not crash, hang, or trip sanitizers
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzzSeeded, ::testing::Values(4u, 5u, 6u));
 
 }  // namespace
 }  // namespace mfhttp

@@ -146,5 +146,91 @@ TEST(ScrollPathSampler, CoversWholeAnimation) {
   }
 }
 
+// ---------- JsonValue reader ----------
+
+TEST(JsonReader, ScalarsAndTypes) {
+  auto doc = parse_json(R"({"s": "hi", "n": -2.5, "i": 42, "t": true,
+                            "f": false, "z": null})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  ASSERT_NE(doc->find("s"), nullptr);
+  EXPECT_EQ(doc->find("s")->string_value, "hi");
+  EXPECT_DOUBLE_EQ(doc->find("n")->number_value, -2.5);
+  EXPECT_DOUBLE_EQ(doc->find("i")->number_value, 42);
+  EXPECT_TRUE(doc->find("t")->bool_value);
+  EXPECT_FALSE(doc->find("f")->bool_value);
+  EXPECT_TRUE(doc->find("z")->is_null());
+  EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(JsonReader, NestedContainersPreserveOrder) {
+  auto doc = parse_json(R"({"a": [1, [2, 3], {"b": 4}], "c": {"d": [5]}})");
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* a = doc->find("a");
+  ASSERT_TRUE(a != nullptr && a->is_array());
+  ASSERT_EQ(a->array_value.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array_value[0].number_value, 1);
+  EXPECT_DOUBLE_EQ(a->array_value[1].array_value[1].number_value, 3);
+  EXPECT_DOUBLE_EQ(a->array_value[2].find("b")->number_value, 4);
+  // Member order is preserved, not sorted.
+  EXPECT_EQ(doc->object_value[0].first, "a");
+  EXPECT_EQ(doc->object_value[1].first, "c");
+}
+
+TEST(JsonReader, StringEscapesAndUnicode) {
+  auto doc = parse_json(R"(["\"\\\/\b\f\n\r\t", "Aé中"])");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->array_value[0].string_value, "\"\\/\b\f\n\r\t");
+  EXPECT_EQ(doc->array_value[1].string_value, "A\xc3\xa9\xe4\xb8\xad");
+}
+
+TEST(JsonReader, NumberFormats) {
+  auto doc = parse_json("[0, -0, 3.25, 1e3, 1.5E-2, -4e+2]");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_DOUBLE_EQ(doc->array_value[0].number_value, 0);
+  EXPECT_DOUBLE_EQ(doc->array_value[2].number_value, 3.25);
+  EXPECT_DOUBLE_EQ(doc->array_value[3].number_value, 1000);
+  EXPECT_DOUBLE_EQ(doc->array_value[4].number_value, 0.015);
+  EXPECT_DOUBLE_EQ(doc->array_value[5].number_value, -400);
+}
+
+TEST(JsonReader, TypedAccessorsFallBack) {
+  auto doc = parse_json(R"({"n": 7, "s": "x"})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_DOUBLE_EQ(doc->find("n")->number_or(-1), 7);
+  EXPECT_DOUBLE_EQ(doc->find("s")->number_or(-1), -1);  // wrong type
+  EXPECT_EQ(doc->find("s")->string_or("d"), "x");
+  EXPECT_EQ(doc->find("n")->string_or("d"), "d");
+  EXPECT_TRUE(doc->find("n")->bool_or(true));
+  // find() on a non-object is nullptr, never a crash.
+  EXPECT_EQ(doc->find("n")->find("nested"), nullptr);
+}
+
+TEST(JsonReader, WriterOutputRoundTrips) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("q\"uote\n");
+  w.key("xs").begin_array().value(1).value(2.5).value(false).null().end_array();
+  w.key("inner").begin_object().key("k").value(std::size_t{7}).end_object();
+  w.end_object();
+  auto doc = parse_json(w.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("name")->string_value, "q\"uote\n");
+  ASSERT_EQ(doc->find("xs")->array_value.size(), 4u);
+  EXPECT_DOUBLE_EQ(doc->find("xs")->array_value[1].number_value, 2.5);
+  EXPECT_FALSE(doc->find("xs")->array_value[2].bool_value);
+  EXPECT_TRUE(doc->find("xs")->array_value[3].is_null());
+  EXPECT_DOUBLE_EQ(doc->find("inner")->find("k")->number_value, 7);
+}
+
+TEST(JsonReader, WhitespaceAndEmptyContainers) {
+  auto doc = parse_json(" \t\r\n { \"a\" : [ ] , \"b\" : { } } \n");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_TRUE(doc->find("a")->is_array());
+  EXPECT_TRUE(doc->find("a")->array_value.empty());
+  EXPECT_TRUE(doc->find("b")->is_object());
+  EXPECT_TRUE(doc->find("b")->object_value.empty());
+}
+
 }  // namespace
 }  // namespace mfhttp

@@ -299,5 +299,59 @@ TEST(Link, ManySmallTransfersAllComplete) {
   EXPECT_EQ(completed, 200);
 }
 
+TEST(Link, CancelSiblingFromProgressCallbackSilencesIt) {
+  // Re-entrancy regression: a ProgressFn cancelling a *different* in-flight
+  // transfer mid-quantum must not leave the cancelled sibling with a stale
+  // delivery — it gets no callbacks from that quantum on.
+  Simulator sim;
+  Link::Params p;
+  p.bandwidth = BandwidthTrace::constant(100'000);
+  p.sharing = Link::Sharing::kFairShare;
+  Link link(sim, p);
+
+  Link::TransferId victim = Link::kInvalidTransfer;
+  int victim_calls_after_cancel = 0;
+  bool cancelled = false;
+  // Submission order matters: the canceller's callback must run while the
+  // victim still has deliveries queued in the same quantum.
+  link.submit(50'000, [&](Bytes, bool) {
+    if (!cancelled && sim.now() > 100) {
+      cancelled = true;
+      EXPECT_TRUE(link.cancel(victim));
+    }
+  });
+  victim = link.submit(50'000, [&](Bytes, bool) {
+    if (cancelled) ++victim_calls_after_cancel;
+  });
+  sim.run();
+  EXPECT_EQ(victim_calls_after_cancel, 0);
+}
+
+TEST(Link, CancelSiblingFromCompletionCallbackSilencesIt) {
+  Simulator sim;
+  Link::Params p;
+  p.bandwidth = BandwidthTrace::constant(100'000);
+  p.sharing = Link::Sharing::kFairShare;
+  Link link(sim, p);
+
+  Link::TransferId victim = Link::kInvalidTransfer;
+  int victim_calls_after_cancel = 0;
+  bool cancelled = false;
+  // The small transfer completes while the big one is mid-flight; its
+  // completion callback kills the big one from inside the delivery loop.
+  link.submit(5'000, [&](Bytes, bool c) {
+    if (c) {
+      cancelled = true;
+      EXPECT_TRUE(link.cancel(victim));
+    }
+  });
+  victim = link.submit(200'000, [&](Bytes, bool) {
+    if (cancelled) ++victim_calls_after_cancel;
+  });
+  sim.run();
+  EXPECT_EQ(victim_calls_after_cancel, 0);
+  EXPECT_EQ(link.active_transfers(), 0u);
+}
+
 }  // namespace
 }  // namespace mfhttp

@@ -4,6 +4,8 @@
 
 #include <optional>
 
+#include "fault/fault_plan.h"
+#include "fault/faulty_fetcher.h"
 #include "http/proxy.h"
 #include "http/sim_http.h"
 
@@ -266,6 +268,42 @@ TEST_F(ProxyFixture, ReleasePriorityReordersFifoLink) {
 TEST_F(ProxyFixture, StatsCountBytesToClient) {
   fetch_and_wait("http://s.example/img/b.jpg");
   EXPECT_EQ(proxy->stats().bytes_to_client, 20'000);
+}
+
+TEST_F(ProxyFixture, DeferredThenUpstreamDiesMidBodyCompletesOnceNon200) {
+  // A request is deferred, released, and the origin connection then dies
+  // mid-body: the client must see on_complete exactly once with a non-200
+  // status, and nothing may leak in the proxy or upstream.
+  fault::FaultPlan plan;
+  plan.origin.abrupt_close_rate = 1.0;
+  fault::FaultyFetcher flaky(sim, &*origin, plan);
+  MitmProxy flaky_proxy(sim, &flaky, &*client_link);
+  ScriptedInterceptor deferrer(InterceptDecision::defer());
+  flaky_proxy.set_interceptor(&deferrer);
+
+  int completes = 0;
+  std::optional<FetchResult> out;
+  FetchCallbacks cbs;
+  cbs.on_complete = [&](const FetchResult& r) {
+    ++completes;
+    out = r;
+  };
+  flaky_proxy.fetch(HttpRequest::get("http://s.example/img/a.jpg"), std::move(cbs));
+  sim.run_until(500);
+  EXPECT_EQ(completes, 0);  // parked
+  EXPECT_EQ(flaky_proxy.release("http://s.example/img/a.jpg"), 1u);
+  sim.run();
+  EXPECT_EQ(completes, 1);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_NE(out->status, 200);
+  EXPECT_FALSE(out->blocked);
+  EXPECT_LT(out->body_size, 50'000);
+  EXPECT_TRUE(flaky_proxy.deferred_urls().empty());
+  EXPECT_EQ(flaky.inflight(), 0u);
+  EXPECT_EQ(origin->inflight(), 0u);
+  // The interceptor still learned the outcome (policy bookkeeping).
+  ASSERT_EQ(deferrer.completed.size(), 1u);
+  EXPECT_NE(deferrer.completed[0].status, 200);
 }
 
 TEST_F(ProxyFixture, ConcurrentFetchesShareClientLink) {
