@@ -31,7 +31,20 @@ DownloadPolicy FlowController::optimize(const ScrollAnalysis& analysis,
   policies_total.inc();
   DownloadPolicy policy;
 
-  const std::vector<std::size_t> involved = analysis.involved_by_entry_time();
+  std::vector<std::size_t> involved = analysis.involved_by_entry_time();
+  if (!speculation_enabled_) {
+    static obs::Counter& speculation_dropped = obs::metrics().counter(
+        "core.flow.speculation_dropped_total");
+    std::vector<std::size_t> kept;
+    for (std::size_t idx : involved) {
+      const ObjectCoverage& cov = analysis.coverages[idx];
+      if (cov.in_initial_viewport || cov.in_final_viewport)
+        kept.push_back(idx);
+      else
+        speculation_dropped.inc();
+    }
+    involved = std::move(kept);
+  }
   if (involved.empty()) return policy;
 
   if (degraded_) return degraded_policy(analysis, objects, involved);

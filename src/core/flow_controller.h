@@ -68,6 +68,13 @@ class FlowController {
   void set_degraded(bool degraded) { degraded_ = degraded; }
   bool degraded() const { return degraded_; }
 
+  // Brownout hook (overload/brownout.h): with speculation off, optimize()
+  // only considers objects the scroll actually lands on (initial or final
+  // viewport) — transient corridor-only objects are dropped from the
+  // knapsack before it is built, so no speculative byte is ever planned.
+  void set_speculation_enabled(bool enabled) { speculation_enabled_ = enabled; }
+  bool speculation_enabled() const { return speculation_enabled_; }
+
   // Compute the optimal download policy for one analyzed scroll.
   DownloadPolicy optimize(const ScrollAnalysis& analysis,
                           const std::vector<MediaObject>& objects,
@@ -80,6 +87,7 @@ class FlowController {
 
   Params params_;
   bool degraded_ = false;
+  bool speculation_enabled_ = true;
 };
 
 }  // namespace mfhttp

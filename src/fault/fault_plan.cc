@@ -108,24 +108,37 @@ BandwidthTrace FaultPlan::shape(const BandwidthTrace& base) const {
   return BandwidthTrace::from_slots(std::move(rates), slot);
 }
 
-std::optional<FaultPlan> FaultPlan::from_json(std::string_view json) {
-  std::optional<JsonValue> doc = parse_json(json);
-  if (!doc || !doc->is_object()) return std::nullopt;
+std::optional<FaultPlan> FaultPlan::from_json(std::string_view json,
+                                              std::string* error) {
+  auto fail = [error](const char* why) -> std::optional<FaultPlan> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  JsonParseError parse_error;
+  std::optional<JsonValue> doc = parse_json(json, &parse_error);
+  if (!doc) {
+    if (error != nullptr) *error = parse_error.to_string();
+    return std::nullopt;
+  }
+  if (!doc->is_object()) return fail("top level must be an object");
   FaultPlan plan;
   if (const JsonValue* seed = doc->find("seed")) {
-    if (!seed->is_number() || seed->number_value < 0) return std::nullopt;
+    if (!seed->is_number() || seed->number_value < 0)
+      return fail("'seed' must be a non-negative number");
     plan.seed = static_cast<std::uint64_t>(seed->number_value);
   }
   if (const JsonValue* name = doc->find("name")) plan.name = name->string_or("");
 
   if (const JsonValue* link = doc->find("link")) {
-    if (!link->is_array()) return std::nullopt;
+    if (!link->is_array()) return fail("'link' must be an array");
     for (const JsonValue& entry : link->array_value) {
-      if (!entry.is_object()) return std::nullopt;
+      if (!entry.is_object()) return fail("'link' entries must be objects");
       const JsonValue* kind = entry.find("kind");
-      if (kind == nullptr || !kind->is_string()) return std::nullopt;
+      if (kind == nullptr || !kind->is_string())
+        return fail("link window needs a string 'kind'");
       auto parsed_kind = kind_from_name(kind->string_value);
-      if (!parsed_kind) return std::nullopt;
+      if (!parsed_kind)
+        return fail("unknown link 'kind' (outage|collapse|latency_spike)");
       LinkFaultWindow w;
       w.kind = *parsed_kind;
       w.at_ms = time_field(entry, "at_ms", 0);
@@ -135,19 +148,20 @@ std::optional<FaultPlan> FaultPlan::from_json(std::string_view json) {
       w.factor = rate_field(entry, "factor", 0.0);
       w.extra_latency_ms = time_field(entry, "extra_latency_ms", 0);
       if (w.at_ms < 0 || w.duration_ms < 0 || w.repeat < 1 || w.period_ms < 0)
-        return std::nullopt;
-      if (w.repeat > 1 && w.period_ms < w.duration_ms) return std::nullopt;
+        return fail("link window times must be non-negative, repeat >= 1");
+      if (w.repeat > 1 && w.period_ms < w.duration_ms)
+        return fail("repeating link window needs period_ms >= duration_ms");
       if (w.kind == LinkFaultWindow::Kind::kCollapse &&
           (w.factor < 0 || w.factor >= 1))
-        return std::nullopt;
+        return fail("collapse 'factor' must be in [0, 1)");
       if (w.kind == LinkFaultWindow::Kind::kLatencySpike && w.extra_latency_ms < 0)
-        return std::nullopt;
+        return fail("latency_spike 'extra_latency_ms' must be >= 0");
       plan.link.push_back(w);
     }
   }
 
   if (const JsonValue* transfer = doc->find("transfer")) {
-    if (!transfer->is_object()) return std::nullopt;
+    if (!transfer->is_object()) return fail("'transfer' must be an object");
     TransferFaults& t = plan.transfer;
     t.stall_rate = rate_field(*transfer, "stall_rate", 0.0);
     t.stall_ms = time_field(*transfer, "stall_ms", 0);
@@ -157,11 +171,11 @@ std::optional<FaultPlan> FaultPlan::from_json(std::string_view json) {
     if (!valid_rate(t.stall_rate) || !valid_rate(t.truncate_rate) ||
         !valid_fraction(t.stall_fraction) || !valid_fraction(t.truncate_fraction) ||
         t.stall_ms < 0)
-      return std::nullopt;
+      return fail("transfer rates must be in [0,1], fractions in (0,1), stall_ms >= 0");
   }
 
   if (const JsonValue* origin = doc->find("origin")) {
-    if (!origin->is_object()) return std::nullopt;
+    if (!origin->is_object()) return fail("'origin' must be an object");
     OriginFaults& o = plan.origin;
     o.error_rate = rate_field(*origin, "error_rate", 0.0);
     o.error_delay_ms = time_field(*origin, "error_delay_ms", 10);
@@ -170,34 +184,39 @@ std::optional<FaultPlan> FaultPlan::from_json(std::string_view json) {
     o.abrupt_close_fraction = rate_field(*origin, "abrupt_close_fraction", 0.5);
     if (const JsonValue* statuses = origin->find("error_statuses")) {
       if (!statuses->is_array() || statuses->array_value.empty())
-        return std::nullopt;
+        return fail("'error_statuses' must be a non-empty array");
       o.error_statuses.clear();
       for (const JsonValue& s : statuses->array_value) {
-        if (!s.is_number()) return std::nullopt;
+        if (!s.is_number()) return fail("'error_statuses' entries must be numbers");
         int status = static_cast<int>(s.number_value);
-        if (status < 400 || status > 599) return std::nullopt;
+        if (status < 400 || status > 599)
+          return fail("'error_statuses' entries must be 4xx/5xx");
         o.error_statuses.push_back(status);
       }
     }
     if (!valid_rate(o.error_rate) || !valid_rate(o.abrupt_close_rate) ||
         !valid_fraction(o.abrupt_close_fraction) || o.error_delay_ms < 0 ||
         o.error_body_size < 0)
-      return std::nullopt;
+      return fail("origin rates must be in [0,1], fraction in (0,1), sizes >= 0");
   }
   return plan;
 }
 
-std::optional<FaultPlan> FaultPlan::load(const std::string& path) {
+std::optional<FaultPlan> FaultPlan::load(const std::string& path,
+                                         std::string* error) {
   std::ifstream in(path);
   if (!in) {
+    if (error != nullptr) *error = "cannot open file";
     MFHTTP_ERROR << "fault plan: cannot open " << path;
     return std::nullopt;
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  auto plan = from_json(buffer.str());
+  std::string why;
+  auto plan = from_json(buffer.str(), &why);
   if (!plan) {
-    MFHTTP_ERROR << "fault plan: malformed document in " << path;
+    if (error != nullptr) *error = why;
+    MFHTTP_ERROR << "fault plan: " << path << ": " << why;
   }
   return plan;
 }

@@ -92,9 +92,13 @@ struct FaultPlan {
 
   // JSON schema (DESIGN.md §9): top-level {"seed", "name", "link": [...],
   // "transfer": {...}, "origin": {...}}. Returns nullopt on malformed JSON
-  // or schema violations (unknown kind, negative rate, ...).
-  static std::optional<FaultPlan> from_json(std::string_view json);
-  static std::optional<FaultPlan> load(const std::string& path);
+  // or schema violations (unknown kind, negative rate, ...). The `error`
+  // out-param (may be nullptr) receives a human-readable cause — malformed
+  // JSON reports "line L, column C: why"; schema violations name the field.
+  static std::optional<FaultPlan> from_json(std::string_view json,
+                                            std::string* error = nullptr);
+  static std::optional<FaultPlan> load(const std::string& path,
+                                       std::string* error = nullptr);
   std::string to_json() const;
 
   // The acceptance scenario from ISSUE 2: repeated 3-second link outages

@@ -1,7 +1,9 @@
 #include "fault/flags.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "fault/fault_plan.h"
-#include "util/check.h"
 #include "util/flags.h"
 #include "util/logging.h"
 
@@ -11,8 +13,15 @@ StandardFlagsGuard::StandardFlagsGuard(int& argc, char** argv)
     : metrics_guard_(argc, argv),
       fault_plan_path_(extract_string_flag(argc, argv, "--fault-plan")) {
   if (fault_plan_path_.empty()) return;
-  auto plan = FaultPlan::load(fault_plan_path_);
-  MFHTTP_CHECK_MSG(plan.has_value(), "--fault-plan: cannot load plan");
+  // A plan the caller named but we cannot use must never degrade to a silent
+  // fault-free run — a bench that "passed" without its faults is a lie.
+  std::string why;
+  auto plan = FaultPlan::load(fault_plan_path_, &why);
+  if (!plan.has_value()) {
+    std::fprintf(stderr, "error: --fault-plan %s: %s\n", fault_plan_path_.c_str(),
+                 why.c_str());
+    std::exit(2);
+  }
   MFHTTP_INFO << "fault plan '" << (plan->name.empty() ? fault_plan_path_ : plan->name)
               << "' installed (seed " << plan->seed << ")";
   set_global_plan(std::move(plan));

@@ -12,6 +12,31 @@ std::optional<Url> HttpRequest::url() const {
   return parse_url("http://" + *host + target);
 }
 
+std::string HttpRequest::session() const {
+  auto v = headers.get("x-mfhttp-session");
+  return v ? *v : std::string();
+}
+
+void HttpRequest::set_session(std::string_view session) {
+  headers.set("x-mfhttp-session", session);
+}
+
+int HttpRequest::priority_hint(int fallback) const {
+  auto v = headers.get("x-mfhttp-priority");
+  if (!v || v->empty()) return fallback;
+  int out = 0;
+  for (char c : *v) {
+    if (c < '0' || c > '9') return fallback;
+    out = out * 10 + (c - '0');
+    if (out > 1000) return fallback;
+  }
+  return out;
+}
+
+void HttpRequest::set_priority_hint(int priority) {
+  headers.set("x-mfhttp-priority", std::to_string(priority));
+}
+
 namespace {
 std::string serialize_common(std::string start_line, const HeaderMap& headers,
                              const std::string& body) {

@@ -20,6 +20,19 @@ struct HttpRequest {
   // reconstructed from the Host header (http scheme assumed).
   std::optional<Url> url() const;
 
+  // Multi-session serving identity (overload/admission.h). Carried as an
+  // x-mfhttp-session header so it survives serialization and every proxy
+  // hop without a side channel. Empty when unset — single-session callers
+  // never need to think about it.
+  std::string session() const;
+  void set_session(std::string_view session);
+
+  // Priority-class hint for admission control and link scheduling, carried
+  // as x-mfhttp-priority (see overload::kPriority* constants). Returns
+  // `fallback` when absent or unparsable.
+  int priority_hint(int fallback) const;
+  void set_priority_hint(int priority);
+
   // Serialize to wire format (adds Content-Length for non-empty bodies if
   // absent).
   std::string serialize() const;

@@ -1,9 +1,11 @@
 #include "http/proxy.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
 #include "obs/metrics.h"
+#include "overload/admission.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -17,6 +19,22 @@ obs::Gauge& deferred_depth_gauge() {
   return g;
 }
 
+// Admitted requests waiting for an upstream concurrency slot.
+obs::Gauge& dispatch_depth_gauge() {
+  static obs::Gauge& g = obs::metrics().gauge("http.proxy.dispatch_depth");
+  return g;
+}
+
+obs::Counter& rejected_counter() {
+  static obs::Counter& c = obs::metrics().counter("http.proxy.rejected_total");
+  return c;
+}
+
+obs::Counter& shed_counter() {
+  static obs::Counter& c = obs::metrics().counter("http.proxy.shed_total");
+  return c;
+}
+
 }  // namespace
 
 MitmProxy::MitmProxy(Simulator& sim, HttpFetcher* upstream, Link* client_link,
@@ -27,9 +45,11 @@ MitmProxy::MitmProxy(Simulator& sim, HttpFetcher* upstream, Link* client_link,
 }
 
 MitmProxy::~MitmProxy() {
-  // Requests still parked when the proxy dies leave the depth gauge otherwise.
-  for (const auto& [id, p] : pending_)
+  // Requests still parked when the proxy dies leave the depth gauges otherwise.
+  for (const auto& [id, p] : pending_) {
     if (p.deferred) deferred_depth_gauge().sub(1);
+    if (p.queued) dispatch_depth_gauge().sub(1);
+  }
 }
 
 std::string MitmProxy::url_of(const HttpRequest& request) {
@@ -45,11 +65,38 @@ HttpFetcher::FetchId MitmProxy::fetch(const HttpRequest& request,
   p.request = request;
   p.callbacks = std::move(callbacks);
   p.url = url_of(request);
+  p.session = request.session();
   p.request_ms = sim_.now();
 
   static obs::Counter& requests_total =
       obs::metrics().counter("http.proxy.requests_total");
   requests_total.inc();
+
+  // Overload front door: rate limiting and brownout shedding run before the
+  // interceptor so a condemned request costs the proxy nothing but the
+  // bounce. The priority hint travels on the request (x-mfhttp-priority);
+  // unhinted requests count as viewport-critical, so single-session callers
+  // are never shed ahead of work they did not label.
+  if (admission_ != nullptr) {
+    const int priority = request.priority_hint(overload::kPriorityViewport);
+    overload::Decision door = admission_->on_request(p.session, priority, sim_.now());
+    if (!door.admitted()) {
+      const bool shed = door.verdict == overload::Verdict::kShed;
+      if (shed) {
+        ++stats_.shed;
+        shed_counter().inc();
+      } else {
+        ++stats_.rejected;
+        rejected_counter().inc();
+      }
+      MFHTTP_TRACE << "proxy " << (shed ? "shed" : "reject") << " (" << door.reason
+                   << ") " << p.url;
+      const int status = shed ? 503 : 429;
+      p.reject_event = sim_.schedule_after(
+          params_.reject_delay_ms, [this, id, status] { finish_rejected(id, status); });
+      return id;
+    }
+  }
 
   InterceptDecision decision =
       interceptor_ ? interceptor_->on_request(request) : InterceptDecision::allow();
@@ -82,6 +129,17 @@ HttpFetcher::FetchId MitmProxy::fetch(const HttpRequest& request,
       break;
     }
     case InterceptDecision::Action::kDefer: {
+      // Bounded deferred queue: a park the admission controller has no room
+      // for becomes a fast 503 instead of an unbounded pile of parked state.
+      if (admission_ != nullptr && !admission_->try_defer(p.session)) {
+        ++stats_.rejected;
+        rejected_counter().inc();
+        MFHTTP_TRACE << "proxy reject (deferred_full) " << p.url;
+        p.reject_event = sim_.schedule_after(
+            params_.reject_delay_ms, [this, id] { finish_rejected(id, 503); });
+        break;
+      }
+      p.defer_accounted = admission_ != nullptr;
       ++stats_.deferred;
       static obs::Counter& deferred =
           obs::metrics().counter("http.proxy.deferred_total");
@@ -116,6 +174,7 @@ void MitmProxy::start_upstream(FetchId id) {
   Pending& p = it->second;
   if (p.deferred) deferred_depth_gauge().sub(1);
   p.deferred = false;
+  undefer_accounting(p);
   disarm_watchdog(p);
 
   // Middleware-server cache: a hit skips the upstream hop entirely. Keyed by
@@ -127,6 +186,27 @@ void MitmProxy::start_upstream(FetchId id) {
       serve_from_cache(id, *hit);
       return;
     }
+  }
+
+  // Upstream concurrency cap: when all slots are busy the request parks in
+  // the priority dispatch queue; when that too is full it bounces. Cache
+  // hits above never consume a slot — they touch no upstream.
+  if (admission_ != nullptr && !p.holds_slot) {
+    if (!admission_->try_acquire_upstream()) {
+      if (!admission_->has_dispatch_room(static_cast<int>(dispatch_queue_.size()))) {
+        ++stats_.rejected;
+        rejected_counter().inc();
+        MFHTTP_TRACE << "proxy reject (dispatch_full) " << p.url;
+        p.reject_event = sim_.schedule_after(
+            params_.reject_delay_ms, [this, id] { finish_rejected(id, 503); });
+        return;
+      }
+      p.queued = true;
+      dispatch_queue_.emplace(p.priority, id);
+      dispatch_depth_gauge().add(1);
+      return;
+    }
+    p.holds_slot = true;
   }
 
   FetchCallbacks up;
@@ -153,6 +233,10 @@ void MitmProxy::start_upstream(FetchId id) {
     if (pit == pending_.end()) return;
     Pending& pd = pit->second;
     pd.upstream_id = HttpFetcher::kInvalidFetch;
+    // NOTE: the concurrency slot is NOT freed here. With cut-through
+    // forwarding the upstream copy finishes long before the client stream
+    // on the bottleneck hop; the slot caps requests *in service* end to
+    // end, which is what actually protects the client link.
     if (pd.client_transfer == Link::kInvalidTransfer) {
       // Upstream finished without ever producing headers: nothing will ever
       // complete the client fetch. Forward the failure status.
@@ -223,6 +307,7 @@ void MitmProxy::start_client_transfer(FetchId id, const SimResponseMeta& meta,
           result.complete_ms = sim_.now();
           if (done.upstream_id != HttpFetcher::kInvalidFetch)
             upstream_->cancel(done.upstream_id);  // upstream may lag the client
+          release_upstream_slot(done);
           if (!cache_key.empty() && cache_ != nullptr && status == 200)
             cache_->put(cache_key, CachedObject{total, status, content_type});
           done.callbacks.on_complete(result);
@@ -237,6 +322,9 @@ void MitmProxy::finish_failed(FetchId id, int status) {
   if (it == pending_.end()) return;
   Pending& p = it->second;
   if (p.deferred) deferred_depth_gauge().sub(1);
+  undefer_accounting(p);
+  unqueue(id, p);
+  release_upstream_slot(p);
   disarm_watchdog(p);
   if (p.reject_event != Simulator::kInvalidEvent) sim_.cancel(p.reject_event);
   if (p.upstream_id != HttpFetcher::kInvalidFetch) upstream_->cancel(p.upstream_id);
@@ -256,6 +344,70 @@ void MitmProxy::finish_failed(FetchId id, int status) {
   if (interceptor_) interceptor_->on_fetch_complete(result);
 }
 
+void MitmProxy::finish_rejected(FetchId id, int status) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  if (p.deferred) deferred_depth_gauge().sub(1);
+  undefer_accounting(p);
+  unqueue(id, p);
+  release_upstream_slot(p);
+  disarm_watchdog(p);
+  Pending done = std::move(p);
+  pending_.erase(it);
+  FetchResult result;
+  result.url = done.url;
+  result.status = status;
+  result.body_size = 0;
+  result.request_ms = done.request_ms;
+  result.complete_ms = sim_.now();
+  result.rejected = true;
+  done.callbacks.on_complete(result);
+  if (interceptor_) interceptor_->on_fetch_complete(result);
+}
+
+void MitmProxy::undefer_accounting(Pending& p) {
+  if (!p.defer_accounted) return;
+  p.defer_accounted = false;
+  admission_->on_undefer(p.session);
+}
+
+void MitmProxy::unqueue(FetchId id, Pending& p) {
+  if (!p.queued) return;
+  p.queued = false;
+  dispatch_depth_gauge().sub(1);
+  for (auto it = dispatch_queue_.begin(); it != dispatch_queue_.end(); ++it) {
+    if (it->second == id) {
+      dispatch_queue_.erase(it);
+      return;
+    }
+  }
+}
+
+void MitmProxy::release_upstream_slot(Pending& p) {
+  if (!p.holds_slot) return;
+  p.holds_slot = false;
+  admission_->release_upstream();
+  // Dispatch from a fresh event, not from the middle of whatever teardown or
+  // completion callback freed the slot — same simulated instant, no
+  // reentrancy into a map we may be iterating.
+  sim_.schedule_after(0, [this] { dispatch_next(); });
+}
+
+void MitmProxy::dispatch_next() {
+  while (!dispatch_queue_.empty()) {
+    auto it = dispatch_queue_.begin();  // highest priority, FIFO within class
+    const FetchId id = it->second;
+    dispatch_queue_.erase(it);
+    auto pit = pending_.find(id);
+    if (pit == pending_.end()) continue;  // torn down while queued
+    pit->second.queued = false;
+    dispatch_depth_gauge().sub(1);
+    start_upstream(id);  // re-acquires the freed slot (or re-parks if raced)
+    return;
+  }
+}
+
 void MitmProxy::disarm_watchdog(Pending& p) {
   if (p.watchdog_event == Simulator::kInvalidEvent) return;
   sim_.cancel(p.watchdog_event);
@@ -268,6 +420,9 @@ void MitmProxy::finish_blocked(FetchId id, int status) {
   auto it = pending_.find(id);
   if (it == pending_.end()) return;
   if (it->second.deferred) deferred_depth_gauge().sub(1);
+  undefer_accounting(it->second);
+  unqueue(id, it->second);
+  release_upstream_slot(it->second);
   disarm_watchdog(it->second);
   Pending done = std::move(it->second);
   pending_.erase(it);
@@ -287,6 +442,9 @@ bool MitmProxy::cancel(FetchId id) {
   if (it == pending_.end()) return false;
   Pending& p = it->second;
   if (p.deferred) deferred_depth_gauge().sub(1);
+  undefer_accounting(p);
+  unqueue(id, p);
+  release_upstream_slot(p);
   disarm_watchdog(p);
   if (p.reject_event != Simulator::kInvalidEvent) sim_.cancel(p.reject_event);
   if (p.upstream_id != HttpFetcher::kInvalidFetch) upstream_->cancel(p.upstream_id);
@@ -353,6 +511,20 @@ std::vector<std::string> MitmProxy::deferred_urls() const {
   for (const auto& [id, p] : pending_)
     if (p.deferred) out.push_back(p.url);
   return out;
+}
+
+std::size_t MitmProxy::deferred_depth() const {
+  std::size_t n = 0;
+  for (const auto& [id, p] : pending_)
+    if (p.deferred) ++n;
+  return n;
+}
+
+TimeMs MitmProxy::oldest_waiting_age_ms() const {
+  TimeMs oldest = 0;
+  for (const auto& [id, p] : pending_)
+    if (p.deferred || p.queued) oldest = std::max(oldest, sim_.now() - p.request_ms);
+  return oldest;
 }
 
 }  // namespace mfhttp

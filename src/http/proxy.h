@@ -21,6 +21,10 @@
 
 namespace mfhttp {
 
+namespace overload {
+class AdmissionController;
+}  // namespace overload
+
 struct InterceptDecision {
   enum class Action { kAllow, kBlock, kDefer, kRewrite };
   Action action = Action::kAllow;
@@ -73,6 +77,8 @@ class MitmProxy : public HttpFetcher {
     std::size_t released = 0;
     std::size_t aborted = 0;
     std::size_t rewritten = 0;
+    std::size_t rejected = 0;  // bounced by admission (429, or 503 on full queues)
+    std::size_t shed = 0;      // dropped by brownout load shedding (503)
     std::size_t cache_hits = 0;
     Bytes bytes_to_client = 0;
     Bytes bytes_from_upstream_saved = 0;  // upstream bytes avoided via cache
@@ -93,6 +99,16 @@ class MitmProxy : public HttpFetcher {
   // admitted; later fetches of the same URL skip the upstream hop entirely
   // and stream to the client straight from the proxy.
   void set_cache(LruCache* cache) { cache_ = cache; }
+
+  // Optional overload protection (overload/admission.h). When installed,
+  // every fetch passes the controller's front door first — rate-limited or
+  // shed requests complete fast with 429/503 and `FetchResult::rejected`
+  // set — the deferred queue becomes bounded, and upstream fetches obey the
+  // concurrency cap: admitted overflow parks in a priority dispatch queue
+  // (highest InterceptDecision::priority first) until a slot frees.
+  void set_admission(overload::AdmissionController* admission) {
+    admission_ = admission;
+  }
 
   FetchId fetch(const HttpRequest& request, FetchCallbacks callbacks) override;
   bool cancel(FetchId id) override;
@@ -115,6 +131,12 @@ class MitmProxy : public HttpFetcher {
   // URLs currently parked in the deferred queue (in arrival order).
   std::vector<std::string> deferred_urls() const;
 
+  // Admission-control introspection (brownout supervisor sampling).
+  std::size_t dispatch_queue_depth() const { return dispatch_queue_.size(); }
+  std::size_t deferred_depth() const;
+  // Age of the oldest parked (deferred or dispatch-queued) request; 0 if none.
+  TimeMs oldest_waiting_age_ms() const;
+
   const Stats& stats() const { return stats_; }
 
   // Simulated time, for policy layers that track release-to-delivery slip.
@@ -125,9 +147,13 @@ class MitmProxy : public HttpFetcher {
     HttpRequest request;
     FetchCallbacks callbacks;
     std::string url;
+    std::string session;  // x-mfhttp-session identity (admission control)
     TimeMs request_ms;
     int priority = 0;
     bool deferred = false;
+    bool defer_accounted = false;  // counted in AdmissionController defer bounds
+    bool queued = false;           // parked in the dispatch queue
+    bool holds_slot = false;       // owns an upstream concurrency slot
     Simulator::EventId reject_event = Simulator::kInvalidEvent;
     Simulator::EventId watchdog_event = Simulator::kInvalidEvent;
     HttpFetcher::FetchId upstream_id = HttpFetcher::kInvalidFetch;
@@ -144,6 +170,15 @@ class MitmProxy : public HttpFetcher {
   void start_client_transfer(FetchId id, const SimResponseMeta& meta,
                              std::string cache_key);
   void finish_blocked(FetchId id, int status);
+  // Complete a request bounced by admission control: 429 (rate) or 503
+  // (shed / full queue), FetchResult::rejected set, no bytes moved.
+  void finish_rejected(FetchId id, int status);
+  // Admission bookkeeping helpers; every teardown path funnels through
+  // these so queue bounds and the concurrency cap can never leak.
+  void undefer_accounting(Pending& p);
+  void unqueue(FetchId id, Pending& p);
+  void release_upstream_slot(Pending& p);
+  void dispatch_next();
   // Fail a fetch the proxy cannot serve (upstream died, watchdog kFail):
   // tears down whatever is in flight and completes the client with `status`
   // and the bytes that actually arrived. Unlike finish_blocked this is a
@@ -158,8 +193,13 @@ class MitmProxy : public HttpFetcher {
   Params params_;
   Interceptor* interceptor_ = nullptr;
   LruCache* cache_ = nullptr;
+  overload::AdmissionController* admission_ = nullptr;
   FetchId next_id_ = 1;
   std::map<FetchId, Pending> pending_;  // ordered: deferred_urls in arrival order
+  // Admitted requests waiting for an upstream slot: highest priority first,
+  // FIFO within a priority class (multimap keeps insertion order for equal
+  // keys).
+  std::multimap<int, FetchId, std::greater<int>> dispatch_queue_;
   Stats stats_;
 };
 

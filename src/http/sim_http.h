@@ -35,6 +35,7 @@ struct FetchResult {
   TimeMs request_ms = 0;    // when the request was issued
   TimeMs complete_ms = 0;   // when the last byte arrived
   bool blocked = false;     // terminated by middleware policy, not served
+  bool rejected = false;    // bounced by admission control (429/503 fast-fail)
 
   TimeMs latency_ms() const { return complete_ms - request_ms; }
 };

@@ -40,6 +40,30 @@ double Histogram::mean() const {
   return n > 0 ? sum() / static_cast<double>(n) : 0.0;
 }
 
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation (1-based); walk buckets until the running
+  // count reaches it, then interpolate linearly inside that bucket.
+  const double rank = q * static_cast<double>(n);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    const std::uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      if (i == bounds_.size()) return bounds_.back();  // overflow: clamp
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double within =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, within));
+    }
+    cumulative += in_bucket;
+  }
+  return bounds_.back();
+}
+
 std::uint64_t Histogram::bucket_count(std::size_t i) const {
   MFHTTP_CHECK(i <= bounds_.size());
   return buckets_[i].load(std::memory_order_relaxed);

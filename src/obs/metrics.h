@@ -73,6 +73,12 @@ class Histogram {
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   double mean() const;
+  // Quantile estimate (q in [0, 1]) by linear interpolation within the
+  // containing bucket — the estimator dashboards apply to "le" buckets.
+  // Observations in the overflow bucket clamp to the largest bound; 0 when
+  // empty. Exact only up to bucket resolution; use util::Samples when an
+  // experiment needs exact percentiles.
+  double quantile(double q) const;
   const std::vector<double>& bounds() const { return bounds_; }
   // i in [0, bounds().size()]; the last index is the overflow bucket.
   std::uint64_t bucket_count(std::size_t i) const;

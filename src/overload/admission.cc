@@ -1,0 +1,135 @@
+#include "overload/admission.h"
+
+#include "obs/metrics.h"
+
+namespace mfhttp::overload {
+
+namespace {
+
+obs::Counter& admitted_counter() {
+  static obs::Counter& c = obs::metrics().counter("overload.admission.admitted_total");
+  return c;
+}
+
+obs::Counter& rejected_counter() {
+  static obs::Counter& c = obs::metrics().counter("overload.admission.rejected_total");
+  return c;
+}
+
+obs::Counter& shed_counter() {
+  static obs::Counter& c = obs::metrics().counter("overload.admission.shed_total");
+  return c;
+}
+
+}  // namespace
+
+const char* to_string(BrownoutLevel level) {
+  switch (level) {
+    case BrownoutLevel::kNormal: return "normal";
+    case BrownoutLevel::kNoSpeculation: return "no-speculation";
+    case BrownoutLevel::kLowResOnly: return "low-res-only";
+    case BrownoutLevel::kShed: return "shed";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(AdmissionParams params)
+    : params_(params),
+      rng_(params.seed),
+      global_bucket_(params.global_rate_per_s, params.global_burst) {}
+
+TokenBucket& AdmissionController::session_bucket(const std::string& session) {
+  auto it = session_buckets_.find(session);
+  if (it == session_buckets_.end()) {
+    it = session_buckets_
+             .emplace(session,
+                      TokenBucket(params_.session_rate_per_s, params_.session_burst))
+             .first;
+  }
+  return it->second;
+}
+
+Decision AdmissionController::on_request(const std::string& session, int priority,
+                                         TimeMs now_ms) {
+  // Brownout shedding first: under pressure the cheapest thing to do with a
+  // condemned request is to never touch a bucket or a queue on its behalf.
+  // Level 1 sheds speculative work, level 2 also transient, level 3 also
+  // viewport; structural requests always pass this gate.
+  const int shed_below = static_cast<int>(brownout_);
+  if (priority < shed_below && priority < kPriorityStructure) {
+    shed_counter().inc();
+    return {Verdict::kShed, "brownout"};
+  }
+
+  // Priority guard: low-priority work may not drain the global bucket's
+  // reserve. The threshold gets a small seeded jitter so the cutoff dithers
+  // instead of synchronising every session at one hard level.
+  if (global_bucket_.enabled() && priority < kPriorityViewport) {
+    const double guard =
+        priority <= kPrioritySpeculative ? params_.speculative_guard
+                                         : params_.transient_guard;
+    if (guard > 0) {
+      const double jitter =
+          params_.guard_jitter > 0
+              ? rng_.uniform(-params_.guard_jitter, params_.guard_jitter)
+              : 0.0;
+      const double floor = (guard + jitter) * global_bucket_.burst();
+      if (global_bucket_.level(now_ms) < floor) {
+        rejected_counter().inc();
+        return {Verdict::kReject, "priority_guard"};
+      }
+    }
+  }
+
+  if (!session_bucket(session).try_take(now_ms)) {
+    rejected_counter().inc();
+    return {Verdict::kReject, "session_rate"};
+  }
+  if (!global_bucket_.try_take(now_ms)) {
+    rejected_counter().inc();
+    return {Verdict::kReject, "global_rate"};
+  }
+
+  admitted_counter().inc();
+  return {Verdict::kAdmit, ""};
+}
+
+bool AdmissionController::try_defer(const std::string& session) {
+  if (params_.max_deferred_global > 0 && deferred_total_ >= params_.max_deferred_global) {
+    return false;
+  }
+  int& per_session = deferred_by_session_[session];
+  if (params_.max_deferred_per_session > 0 &&
+      per_session >= params_.max_deferred_per_session) {
+    return false;
+  }
+  ++per_session;
+  ++deferred_total_;
+  return true;
+}
+
+void AdmissionController::on_undefer(const std::string& session) {
+  auto it = deferred_by_session_.find(session);
+  if (it == deferred_by_session_.end() || it->second <= 0) return;
+  --it->second;
+  --deferred_total_;
+}
+
+bool AdmissionController::try_acquire_upstream() {
+  if (params_.max_inflight_upstream > 0 &&
+      inflight_upstream_ >= params_.max_inflight_upstream) {
+    return false;
+  }
+  ++inflight_upstream_;
+  return true;
+}
+
+void AdmissionController::release_upstream() {
+  if (inflight_upstream_ > 0) --inflight_upstream_;
+}
+
+bool AdmissionController::has_dispatch_room(int depth) const {
+  return params_.max_dispatch_queue <= 0 || depth < params_.max_dispatch_queue;
+}
+
+}  // namespace mfhttp::overload

@@ -1,0 +1,141 @@
+// Admission control for the multi-session serving path (ISSUE 3, tentpole).
+//
+// The AdmissionController sits at the front of MitmProxy::fetch and decides,
+// per request, one of three verdicts:
+//
+//   kAdmit  — process normally (subject to the upstream concurrency cap,
+//             which parks overflow in a bounded priority dispatch queue);
+//   kReject — bounced by a rate limiter or a full queue (HTTP 429): the
+//             client may retry later;
+//   kShed   — deliberately dropped by priority-aware load shedding under
+//             brownout (HTTP 503): the system is protecting higher-priority
+//             work and retrying now will not help.
+//
+// Rate limiting combines a global token bucket with per-session buckets
+// (lazily created, same parameters, seed-derived jitterless refill) so a
+// single hot session cannot starve its neighbours. Shedding is ordered by
+// the request's InterceptDecision-style priority: speculative work dies
+// first, then transient, then viewport-critical; structural requests are
+// never shed — a page that loads nothing is worse than a slow page.
+//
+// All decisions are functions of (simulated time, seeded RNG state, request
+// stream), so the same seed and arrival trace produce the same admit trace.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "overload/token_bucket.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace mfhttp::overload {
+
+// Request priority classes, aligned with BlockListController's intercept
+// priorities (web/blocklist_controller.h) and extended downward with the
+// speculative class for prefetch/readahead work.
+inline constexpr int kPrioritySpeculative = 0;  // prefetch; first to shed
+inline constexpr int kPriorityTransient = 1;    // below-fold media
+inline constexpr int kPriorityViewport = 2;     // visible content
+inline constexpr int kPriorityStructure = 3;    // HTML/CSS; never shed
+
+// Brownout severity ladder driven by the BrownoutSupervisor (brownout.h).
+// Each level subsumes the previous one's restrictions.
+enum class BrownoutLevel {
+  kNormal = 0,        // full service
+  kNoSpeculation = 1, // shed speculative requests, stop prefetch
+  kLowResOnly = 2,    // additionally shed transient work, rewrite to low-res
+  kShed = 3,          // additionally shed viewport work; structure only
+};
+
+const char* to_string(BrownoutLevel level);
+
+struct AdmissionParams {
+  // Global token bucket; <= 0 disables (bounded-only arm).
+  double global_rate_per_s = 0;
+  double global_burst = 0;
+  // Per-session buckets, lazily created per session id; <= 0 disables.
+  double session_rate_per_s = 0;
+  double session_burst = 0;
+
+  // Concurrent requests the proxy may have in service — from upstream
+  // dispatch until the client-side stream finishes; overflow parks in the
+  // dispatch queue. <= 0 means unlimited.
+  int max_inflight_upstream = 0;
+  // Bound on the dispatch queue of admitted-but-waiting requests; overflow
+  // is rejected. <= 0 means unbounded.
+  int max_dispatch_queue = 0;
+
+  // Bounds on the proxy's deferred (scroll-gated) queue; overflow rejected.
+  // <= 0 means unbounded.
+  int max_deferred_per_session = 0;
+  int max_deferred_global = 0;
+
+  // When the global bucket drops below guard * burst, requests below the
+  // guarded priority are rejected even though tokens remain — reserving the
+  // tail of the bucket for critical work. Jitter widens each threshold by a
+  // seeded ±band so the cutoff is not a hard cliff across sessions.
+  double speculative_guard = 0.5;  // speculative needs > 50% bucket left
+  double transient_guard = 0.25;   // transient needs > 25% bucket left
+  double guard_jitter = 0.05;
+
+  std::uint64_t seed = 1;
+};
+
+enum class Verdict { kAdmit, kReject, kShed };
+
+struct Decision {
+  Verdict verdict = Verdict::kAdmit;
+  // Which mechanism produced a non-admit verdict (for logs/metrics):
+  // "global_rate", "session_rate", "priority_guard", "brownout",
+  // "deferred_full", "dispatch_full".
+  const char* reason = "";
+
+  bool admitted() const { return verdict == Verdict::kAdmit; }
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionParams params = {});
+
+  // Front-door decision for a request from `session` at priority `priority`.
+  Decision on_request(const std::string& session, int priority, TimeMs now_ms);
+
+  // Deferred-queue accounting (MitmProxy defer path). try_defer returns
+  // false when either the per-session or the global bound is full; the
+  // proxy then rejects instead of parking. on_undefer is called when a
+  // deferred request is released, failed, or aborted.
+  bool try_defer(const std::string& session);
+  void on_undefer(const std::string& session);
+
+  // Upstream concurrency slots. try_acquire_upstream returns false when all
+  // slots are busy (caller queues in its dispatch queue). has_dispatch_room
+  // checks the dispatch-queue bound for a queue currently `depth` deep.
+  bool try_acquire_upstream();
+  void release_upstream();
+  bool has_dispatch_room(int depth) const;
+
+  // Brownout coupling: the supervisor pushes its level here; on_request
+  // sheds every priority the level condemns.
+  void set_brownout_level(BrownoutLevel level) { brownout_ = level; }
+  BrownoutLevel brownout_level() const { return brownout_; }
+
+  int inflight_upstream() const { return inflight_upstream_; }
+  int deferred_total() const { return deferred_total_; }
+  const AdmissionParams& params() const { return params_; }
+
+ private:
+  TokenBucket& session_bucket(const std::string& session);
+
+  AdmissionParams params_;
+  Rng rng_;
+  TokenBucket global_bucket_;
+  std::map<std::string, TokenBucket> session_buckets_;
+  std::map<std::string, int> deferred_by_session_;
+  int deferred_total_ = 0;
+  int inflight_upstream_ = 0;
+  BrownoutLevel brownout_ = BrownoutLevel::kNormal;
+};
+
+}  // namespace mfhttp::overload

@@ -1,0 +1,118 @@
+#include "overload/brownout.h"
+
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace mfhttp::overload {
+
+namespace {
+
+obs::Gauge& level_gauge() {
+  static obs::Gauge& g = obs::metrics().gauge("overload.brownout.level");
+  return g;
+}
+
+obs::Counter& transition_counter() {
+  static obs::Counter& c =
+      obs::metrics().counter("overload.brownout.transitions_total");
+  return c;
+}
+
+}  // namespace
+
+BrownoutSupervisor::BrownoutSupervisor(Simulator& sim, BrownoutParams params,
+                                       Sampler sampler)
+    : sim_(sim), params_(params), sampler_(std::move(sampler)) {
+  MFHTTP_CHECK(params_.tick_ms > 0);
+  MFHTTP_CHECK(sampler_ != nullptr);
+  for (int i = 0; i < 3; ++i) {
+    boundaries_.push_back(std::make_unique<fault::DegradationState>(
+        strformat("brownout_l%d", i + 1), params_.hysteresis));
+  }
+}
+
+BrownoutSupervisor::~BrownoutSupervisor() { stop(); }
+
+void BrownoutSupervisor::start(ChangeFn on_change) {
+  on_change_ = std::move(on_change);
+  running_ = true;
+  level_gauge().set(static_cast<double>(level_));
+  if (on_change_) on_change_(level_);
+  arm();
+}
+
+void BrownoutSupervisor::stop() {
+  running_ = false;
+  if (tick_event_ != Simulator::kInvalidEvent) {
+    sim_.cancel(tick_event_);
+    tick_event_ = Simulator::kInvalidEvent;
+  }
+}
+
+void BrownoutSupervisor::arm() {
+  tick_event_ = sim_.schedule_after(params_.tick_ms, [this] {
+    tick_event_ = Simulator::kInvalidEvent;
+    tick();
+    if (running_) arm();
+  });
+}
+
+int BrownoutSupervisor::score(const BrownoutSignals& s) const {
+  int pressure = 0;
+  if (params_.queue_depth_high > 0 && s.queue_depth >= params_.queue_depth_high) {
+    ++pressure;
+  }
+  if (params_.deferred_age_high_ms > 0 &&
+      s.max_deferred_age_ms >= params_.deferred_age_high_ms) {
+    ++pressure;
+  }
+  // Low goodput only counts as pressure while there is work the link ought
+  // to be moving; an idle system legitimately moves zero bytes.
+  if (params_.goodput_floor > 0 && (s.queue_depth > 0 || s.inflight > 0) &&
+      s.goodput < params_.goodput_floor) {
+    ++pressure;
+  }
+  return pressure;
+}
+
+void BrownoutSupervisor::tick() {
+  const BrownoutSignals signals = sampler_();
+  last_pressure_ = score(signals);
+
+  // Boundary i separates level i from level i+1; pressure above the boundary
+  // pushes it toward degraded, pressure at or below pulls it back. Feeding
+  // every boundary every tick (rather than only the active one) lets deep
+  // overload escalate one level per `enter_after` ticks without waiting for
+  // lower boundaries to trip first in sequence.
+  for (int i = 0; i < 3; ++i) {
+    if (last_pressure_ > i) {
+      boundaries_[static_cast<std::size_t>(i)]->observe_bad();
+    } else {
+      boundaries_[static_cast<std::size_t>(i)]->observe_good();
+    }
+  }
+
+  int level = 0;
+  for (int i = 0; i < 3; ++i) {
+    if (boundaries_[static_cast<std::size_t>(i)]->degraded()) level = i + 1;
+  }
+  // A higher boundary cannot be degraded while a lower one is not: the level
+  // is the highest *contiguous* degraded prefix.
+  for (int i = 0; i < level; ++i) {
+    if (!boundaries_[static_cast<std::size_t>(i)]->degraded()) {
+      level = i;
+      break;
+    }
+  }
+
+  const auto next = static_cast<BrownoutLevel>(level);
+  if (next != level_) {
+    level_ = next;
+    level_gauge().set(static_cast<double>(level_));
+    transition_counter().inc();
+    if (on_change_) on_change_(level_);
+  }
+}
+
+}  // namespace mfhttp::overload

@@ -1,0 +1,93 @@
+// Brownout supervisor: a periodic sampler that turns raw pressure signals
+// into a graded degradation level (ISSUE 3, tentpole part 3).
+//
+// Each tick the supervisor reads a snapshot of the serving path — dispatch +
+// deferred queue depth, oldest deferred-request age, recent link goodput —
+// and scores the system's pressure 0..3 by counting breached thresholds.
+// Three fault::DegradationState instances guard the boundaries between
+// adjacent BrownoutLevels, so every transition inherits the fault layer's
+// asymmetric hysteresis: the supervisor needs `enter_after` consecutive bad
+// ticks to escalate past a boundary and `exit_after` consecutive good ticks
+// to relax back, preventing oscillation around a threshold.
+//
+// The supervisor only *decides*; enforcement lives with the listeners it
+// notifies — the AdmissionController sheds condemned priorities, the flow
+// controller stops speculating, the block-list controller switches to
+// low-res rewrites, the tile scheduler tightens to the viewport.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fault/degradation.h"
+#include "overload/admission.h"
+#include "sim/simulator.h"
+#include "util/types.h"
+
+namespace mfhttp::overload {
+
+// One tick's view of serving-path pressure, produced by the sampler the
+// embedder installs (the multi-session driver aggregates proxy + link state).
+struct BrownoutSignals {
+  int queue_depth = 0;             // dispatch + deferred requests parked
+  TimeMs max_deferred_age_ms = 0;  // oldest parked request's wait so far
+  BytesPerSec goodput = 0;         // client-side delivered bytes/s, recent
+  int inflight = 0;                // upstream fetches currently running
+};
+
+struct BrownoutParams {
+  TimeMs tick_ms = 250;
+
+  // A signal past its threshold contributes one pressure point; <= 0
+  // disables that signal. `goodput_floor` only scores while work is queued
+  // or in flight — an idle link is not a browning-out link.
+  int queue_depth_high = 32;
+  TimeMs deferred_age_high_ms = 2000;
+  BytesPerSec goodput_floor = 0;
+
+  // Hysteresis applied at each level boundary (see fault/degradation.h).
+  fault::DegradationParams hysteresis{/*enter_after=*/2, /*exit_after=*/4};
+};
+
+class BrownoutSupervisor {
+ public:
+  using Sampler = std::function<BrownoutSignals()>;
+  using ChangeFn = std::function<void(BrownoutLevel)>;
+
+  BrownoutSupervisor(Simulator& sim, BrownoutParams params, Sampler sampler);
+  ~BrownoutSupervisor();
+
+  // Begin ticking. `on_change` fires on every level transition (and is also
+  // invoked immediately with the current level so listeners start aligned).
+  void start(ChangeFn on_change);
+
+  // Cancel the pending tick. The driver calls this at the experiment horizon
+  // so the simulator's queue can drain to empty.
+  void stop();
+
+  // Run one sampling step immediately (ticking does this on schedule).
+  void tick();
+
+  BrownoutLevel level() const { return level_; }
+
+  // Pressure score of the most recent tick (0..3), for logs and tests.
+  int last_pressure() const { return last_pressure_; }
+
+ private:
+  int score(const BrownoutSignals& s) const;
+  void arm();
+
+  Simulator& sim_;
+  BrownoutParams params_;
+  Sampler sampler_;
+  ChangeFn on_change_;
+  // boundaries_[i] degraded  <=>  level > i  (i in 0..2).
+  std::vector<std::unique_ptr<fault::DegradationState>> boundaries_;
+  BrownoutLevel level_ = BrownoutLevel::kNormal;
+  int last_pressure_ = 0;
+  Simulator::EventId tick_event_ = Simulator::kInvalidEvent;
+  bool running_ = false;
+};
+
+}  // namespace mfhttp::overload

@@ -1,0 +1,166 @@
+#include "overload/config.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace mfhttp::overload {
+
+namespace {
+
+// Reads a finite number field into `out`; returns false (and reports) when
+// the member exists but is not a number or violates `min`.
+bool read_number(const JsonValue& obj, const char* key, double min, double* out,
+                 std::string* error) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return true;
+  if (!v->is_number() || v->number_value < min) {
+    if (error != nullptr) {
+      *error = std::string("'") + key + "' must be a number >= " +
+               std::to_string(min);
+    }
+    return false;
+  }
+  *out = v->number_value;
+  return true;
+}
+
+bool read_int(const JsonValue& obj, const char* key, double min, int* out,
+              std::string* error) {
+  double d = *out;
+  if (!read_number(obj, key, min, &d, error)) return false;
+  *out = static_cast<int>(d);
+  return true;
+}
+
+bool read_time(const JsonValue& obj, const char* key, double min, TimeMs* out,
+               std::string* error) {
+  double d = static_cast<double>(*out);
+  if (!read_number(obj, key, min, &d, error)) return false;
+  *out = static_cast<TimeMs>(d);
+  return true;
+}
+
+}  // namespace
+
+std::optional<OverloadConfig> OverloadConfig::from_json(std::string_view json,
+                                                        std::string* error) {
+  JsonParseError parse_error;
+  auto doc = parse_json(json, &parse_error);
+  if (!doc.has_value()) {
+    if (error != nullptr) *error = parse_error.to_string();
+    return std::nullopt;
+  }
+  if (!doc->is_object()) {
+    if (error != nullptr) *error = "top-level value must be an object";
+    return std::nullopt;
+  }
+
+  OverloadConfig config;
+  if (const JsonValue* a = doc->find("admission"); a != nullptr) {
+    if (!a->is_object()) {
+      if (error != nullptr) *error = "'admission' must be an object";
+      return std::nullopt;
+    }
+    AdmissionParams& p = config.admission;
+    double seed = static_cast<double>(p.seed);
+    if (!read_number(*a, "global_rate_per_s", 0, &p.global_rate_per_s, error) ||
+        !read_number(*a, "global_burst", 0, &p.global_burst, error) ||
+        !read_number(*a, "session_rate_per_s", 0, &p.session_rate_per_s, error) ||
+        !read_number(*a, "session_burst", 0, &p.session_burst, error) ||
+        !read_int(*a, "max_inflight_upstream", 0, &p.max_inflight_upstream, error) ||
+        !read_int(*a, "max_dispatch_queue", 0, &p.max_dispatch_queue, error) ||
+        !read_int(*a, "max_deferred_per_session", 0, &p.max_deferred_per_session,
+                  error) ||
+        !read_int(*a, "max_deferred_global", 0, &p.max_deferred_global, error) ||
+        !read_number(*a, "speculative_guard", 0, &p.speculative_guard, error) ||
+        !read_number(*a, "transient_guard", 0, &p.transient_guard, error) ||
+        !read_number(*a, "guard_jitter", 0, &p.guard_jitter, error) ||
+        !read_number(*a, "seed", 0, &seed, error)) {
+      if (error != nullptr) *error = "'admission': " + *error;
+      return std::nullopt;
+    }
+    p.seed = static_cast<std::uint64_t>(seed);
+    if (p.speculative_guard > 1 || p.transient_guard > 1) {
+      if (error != nullptr) {
+        *error = "'admission': guard fractions must be in [0, 1]";
+      }
+      return std::nullopt;
+    }
+  }
+
+  if (const JsonValue* b = doc->find("brownout"); b != nullptr) {
+    if (!b->is_object()) {
+      if (error != nullptr) *error = "'brownout' must be an object";
+      return std::nullopt;
+    }
+    BrownoutParams& p = config.brownout;
+    int enter = p.hysteresis.enter_after;
+    int exit = p.hysteresis.exit_after;
+    if (!read_time(*b, "tick_ms", 1, &p.tick_ms, error) ||
+        !read_int(*b, "queue_depth_high", 0, &p.queue_depth_high, error) ||
+        !read_time(*b, "deferred_age_high_ms", 0, &p.deferred_age_high_ms, error) ||
+        !read_number(*b, "goodput_floor", 0, &p.goodput_floor, error) ||
+        !read_int(*b, "enter_after", 1, &enter, error) ||
+        !read_int(*b, "exit_after", 1, &exit, error)) {
+      if (error != nullptr) *error = "'brownout': " + *error;
+      return std::nullopt;
+    }
+    p.hysteresis.enter_after = enter;
+    p.hysteresis.exit_after = exit;
+  }
+
+  return config;
+}
+
+std::optional<OverloadConfig> OverloadConfig::load(const std::string& path,
+                                                  std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "'" + path + "': cannot open file";
+    MFHTTP_WARN << "overload config '" << path << "': cannot open file";
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string why;
+  auto config = from_json(buffer.str(), &why);
+  if (!config.has_value()) {
+    if (error != nullptr) *error = "'" + path + "': " + why;
+    MFHTTP_WARN << "overload config '" << path << "': " << why;
+  }
+  return config;
+}
+
+std::string OverloadConfig::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("admission").begin_object();
+  w.key("global_rate_per_s").value(admission.global_rate_per_s);
+  w.key("global_burst").value(admission.global_burst);
+  w.key("session_rate_per_s").value(admission.session_rate_per_s);
+  w.key("session_burst").value(admission.session_burst);
+  w.key("max_inflight_upstream").value(admission.max_inflight_upstream);
+  w.key("max_dispatch_queue").value(admission.max_dispatch_queue);
+  w.key("max_deferred_per_session").value(admission.max_deferred_per_session);
+  w.key("max_deferred_global").value(admission.max_deferred_global);
+  w.key("speculative_guard").value(admission.speculative_guard);
+  w.key("transient_guard").value(admission.transient_guard);
+  w.key("guard_jitter").value(admission.guard_jitter);
+  w.key("seed").value(static_cast<unsigned long long>(admission.seed));
+  w.end_object();
+  w.key("brownout").begin_object();
+  w.key("tick_ms").value(static_cast<long long>(brownout.tick_ms));
+  w.key("queue_depth_high").value(brownout.queue_depth_high);
+  w.key("deferred_age_high_ms").value(static_cast<long long>(brownout.deferred_age_high_ms));
+  w.key("goodput_floor").value(brownout.goodput_floor);
+  w.key("enter_after").value(brownout.hysteresis.enter_after);
+  w.key("exit_after").value(brownout.hysteresis.exit_after);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace mfhttp::overload

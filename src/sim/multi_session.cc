@@ -1,0 +1,257 @@
+#include "sim/multi_session.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "http/proxy.h"
+#include "http/sim_http.h"
+#include "net/link.h"
+#include "overload/brownout.h"
+#include "sim/arrivals.h"
+#include "sim/simulator.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace mfhttp::overload {
+
+namespace {
+
+struct ClassSpec {
+  int priority;
+  const char* path;
+  Bytes bytes;
+  TimeMs deadline_ms;
+};
+
+// Forwards the request's own priority hint into the intercept decision so
+// the proxy's dispatch queue and a kFifo link would order by it.
+class HintInterceptor : public Interceptor {
+ public:
+  InterceptDecision on_request(const HttpRequest& request) override {
+    return InterceptDecision::allow(request.priority_hint(kPriorityViewport));
+  }
+};
+
+struct Outcome {
+  int priority = kPriorityViewport;
+  TimeMs deadline_ms = 0;
+  bool done = false;
+  FetchResult result;
+};
+
+}  // namespace
+
+const char* to_string(Protection protection) {
+  switch (protection) {
+    case Protection::kNone: return "none";
+    case Protection::kBoundedOnly: return "bounded";
+    case Protection::kFull: return "full";
+  }
+  return "?";
+}
+
+MultiSessionConfig::MultiSessionConfig() {
+  // Driver-scaled defaults: admit roughly twice the downlink's worth of
+  // bytes (the dispatch queue and brownout absorb the excess) and keep the
+  // in-service population small enough that fair-sharing does not dilute
+  // any single transfer below usefulness.
+  AdmissionParams& a = overload.admission;
+  a.global_rate_per_s = 30;
+  a.global_burst = 15;
+  a.session_rate_per_s = 4;
+  a.session_burst = 3;
+  a.max_inflight_upstream = 6;
+  a.max_dispatch_queue = 12;
+  a.max_deferred_per_session = 8;
+  a.max_deferred_global = 64;
+  a.seed = seed;
+
+  BrownoutParams& b = overload.brownout;
+  b.tick_ms = 200;
+  b.queue_depth_high = 12;
+  b.deferred_age_high_ms = 1200;
+  b.goodput_floor = 10'000;
+}
+
+std::string MultiSessionResult::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("protection").value(protection);
+  w.key("sessions").value(sessions);
+  w.key("rate_per_session_per_s").value(rate_per_session_per_s);
+  w.key("requests").value(requests);
+  w.key("completed").value(completed);
+  w.key("rejected").value(rejected);
+  w.key("shed").value(shed);
+  w.key("failed").value(failed);
+  w.key("stranded").value(stranded);
+  w.key("on_time").value(on_time);
+  w.key("on_time_bytes").value(static_cast<long long>(on_time_bytes));
+  w.key("goodput_bytes_per_s").value(goodput_bytes_per_s);
+  w.key("p50_viewport_ms").value(p50_viewport_ms);
+  w.key("p99_viewport_ms").value(p99_viewport_ms);
+  w.key("makespan_ms").value(static_cast<long long>(makespan_ms));
+  w.key("shed_ratio").value(shed_ratio);
+  w.key("max_brownout_level").value(max_brownout_level);
+  w.end_object();
+  return w.str();
+}
+
+MultiSessionResult run_multi_session(const MultiSessionConfig& config) {
+  Simulator sim;
+
+  const ClassSpec classes[4] = {
+      {kPrioritySpeculative, "/spec.bin", config.speculative_bytes,
+       config.speculative_deadline_ms},
+      {kPriorityTransient, "/media.bin", config.transient_bytes,
+       config.transient_deadline_ms},
+      {kPriorityViewport, "/hero.jpg", config.viewport_bytes,
+       config.viewport_deadline_ms},
+      {kPriorityStructure, "/page.html", config.structure_bytes,
+       config.structure_deadline_ms},
+  };
+
+  ObjectStore store;
+  for (const ClassSpec& c : classes) store.put(c.path, c.bytes);
+
+  Link server_link(sim, {BandwidthTrace::constant(config.server_bytes_per_s),
+                         config.server_latency_ms, 5, Link::Sharing::kFifo});
+  Link client_link(sim, {BandwidthTrace::constant(config.client_bytes_per_s),
+                         config.client_latency_ms, 5, Link::Sharing::kFairShare});
+  SimHttpOrigin origin(sim, &store, &server_link, {config.origin_delay_ms});
+  MitmProxy proxy(sim, &origin, &client_link);
+  HintInterceptor interceptor;
+  proxy.set_interceptor(&interceptor);
+
+  AdmissionParams admission_params = config.overload.admission;
+  if (config.protection == Protection::kBoundedOnly) {
+    admission_params.global_rate_per_s = 0;
+    admission_params.session_rate_per_s = 0;
+  }
+  AdmissionController admission(admission_params);
+  if (config.protection != Protection::kNone) proxy.set_admission(&admission);
+
+  // Brownout supervisor (full arm only): pressure comes from the proxy's
+  // waiting queues and the downlink's recent goodput.
+  struct GoodputWindow {
+    Bytes last_bytes = 0;
+    TimeMs last_ms = 0;
+  } window;
+  int max_level = 0;
+  BrownoutSupervisor supervisor(
+      sim, config.overload.brownout,
+      [&sim, &proxy, &client_link, &admission, &window] {
+        BrownoutSignals s;
+        s.queue_depth = static_cast<int>(proxy.dispatch_queue_depth() +
+                                         proxy.deferred_depth());
+        s.max_deferred_age_ms = proxy.oldest_waiting_age_ms();
+        s.inflight = admission.inflight_upstream();
+        const TimeMs dt = sim.now() - window.last_ms;
+        const Bytes moved = client_link.bytes_delivered_total() - window.last_bytes;
+        s.goodput = dt > 0 ? static_cast<double>(moved) * 1000.0 /
+                                 static_cast<double>(dt)
+                           : 0;
+        window.last_ms = sim.now();
+        window.last_bytes = client_link.bytes_delivered_total();
+        return s;
+      });
+  if (config.protection == Protection::kFull) {
+    supervisor.start([&admission, &max_level](BrownoutLevel level) {
+      admission.set_brownout_level(level);
+      max_level = std::max(max_level, static_cast<int>(level));
+    });
+    // The supervisor re-arms itself forever; silence it at the horizon so
+    // the drain phase can run the event queue dry.
+    sim.schedule_at(config.horizon_ms, [&supervisor] { supervisor.stop(); });
+  }
+
+  // Pre-draw every session's arrival schedule and class sequence so the
+  // trace is a pure function of the seed, independent of service order.
+  Rng master(config.seed);
+  std::vector<Outcome> outcomes;
+  for (int s = 0; s < config.sessions; ++s) {
+    Rng arrivals_rng = master.fork();
+    Rng class_rng = master.fork();
+    const std::string session = "s" + std::to_string(s);
+    for (TimeMs at :
+         poisson_arrivals({config.rate_per_session_per_s, 0, config.horizon_ms},
+                          arrivals_rng)) {
+      const double draw = class_rng.uniform(0, 1);
+      std::size_t cls = 3;  // structure
+      if (draw < config.speculative_fraction) {
+        cls = 0;
+      } else if (draw < config.speculative_fraction + config.transient_fraction) {
+        cls = 1;
+      } else if (draw < config.speculative_fraction + config.transient_fraction +
+                            config.viewport_fraction) {
+        cls = 2;
+      }
+      const ClassSpec& spec = classes[cls];
+      const std::size_t index = outcomes.size();
+      outcomes.push_back({spec.priority, spec.deadline_ms, false, {}});
+      sim.schedule_at(at, [&proxy, &outcomes, index, session, &spec] {
+        HttpRequest request =
+            HttpRequest::get(std::string("http://origin.test") + spec.path);
+        request.set_session(session);
+        request.set_priority_hint(spec.priority);
+        FetchCallbacks cb;
+        cb.on_complete = [&outcomes, index](const FetchResult& r) {
+          outcomes[index].done = true;
+          outcomes[index].result = r;
+        };
+        proxy.fetch(request, std::move(cb));
+      });
+    }
+  }
+
+  sim.run();  // arrivals, service, and full drain — nothing may be left over
+
+  MultiSessionResult out;
+  out.protection = to_string(config.protection);
+  out.sessions = config.sessions;
+  out.rate_per_session_per_s = config.rate_per_session_per_s;
+  out.requests = outcomes.size();
+  out.max_brownout_level = max_level;
+
+  Samples viewport_ms;
+  for (const Outcome& o : outcomes) {
+    if (!o.done) {
+      ++out.stranded;
+      continue;
+    }
+    if (o.result.rejected) {
+      ++out.rejected;
+      continue;
+    }
+    if (o.result.status != 200) {
+      ++out.failed;
+      continue;
+    }
+    ++out.completed;
+    out.makespan_ms = std::max(out.makespan_ms, o.result.complete_ms);
+    if (o.result.latency_ms() <= o.deadline_ms) {
+      ++out.on_time;
+      out.on_time_bytes += o.result.body_size;
+    }
+    if (o.priority == kPriorityViewport) {
+      viewport_ms.add(static_cast<double>(o.result.latency_ms()));
+    }
+  }
+  out.shed = proxy.stats().shed;
+  out.rejected = out.rejected >= out.shed ? out.rejected - out.shed : 0;
+  if (out.makespan_ms == 0) out.makespan_ms = config.horizon_ms;
+  out.goodput_bytes_per_s = static_cast<double>(out.on_time_bytes) * 1000.0 /
+                            static_cast<double>(out.makespan_ms);
+  if (viewport_ms.count() > 0) {
+    out.p50_viewport_ms = viewport_ms.percentile(50);
+    out.p99_viewport_ms = viewport_ms.percentile(99);
+  }
+  if (!outcomes.empty()) {
+    out.shed_ratio = static_cast<double>(out.rejected + out.shed) /
+                     static_cast<double>(outcomes.size());
+  }
+  return out;
+}
+
+}  // namespace mfhttp::overload

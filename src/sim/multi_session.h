@@ -1,0 +1,101 @@
+// Multi-session overload driver (ISSUE 3 tentpole, part 4).
+//
+// Simulates N independent client sessions hammering one MitmProxy over a
+// shared fair-share downlink (the proxy's bottleneck hop — what N parallel
+// TCP connections through one middleware box approximate). Arrivals are
+// open-loop Poisson per session: load keeps coming whether or not earlier
+// requests finished, which is what actually pushes a server over the cliff.
+//
+// Each request carries a session id and a priority-class hint
+// (speculative / transient / viewport / structure); the driver runs one of
+// three protection arms over the identical seeded arrival trace:
+//
+//   kNone        — no admission control at all; every request is served and
+//                  the downlink degrades collectively,
+//   kBoundedOnly — bounded queues + the in-service concurrency cap, but no
+//                  rate limiting and no brownout,
+//   kFull        — rate limiting, priority guards, concurrency caps, and
+//                  the brownout supervisor shedding low classes first.
+//
+// The result reports the overload-literature triple: on-time goodput (bytes
+// of responses that completed within their class deadline, per second of
+// makespan), exact P99 viewport-class load time, and the shed ratio —
+// plus a stranded count that must be zero (every request either completes
+// or is explicitly rejected; nothing may hang forever).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "overload/config.h"
+#include "util/types.h"
+
+namespace mfhttp::overload {
+
+enum class Protection { kNone, kBoundedOnly, kFull };
+
+const char* to_string(Protection protection);
+
+struct MultiSessionConfig {
+  int sessions = 8;
+  double rate_per_session_per_s = 1.5;  // open-loop arrivals per session
+  TimeMs horizon_ms = 6000;             // arrivals stop here; drain continues
+  std::uint64_t seed = 1;
+
+  // Workload mix (remainder is structure-class).
+  double speculative_fraction = 0.25;
+  double transient_fraction = 0.25;
+  double viewport_fraction = 0.40;
+
+  // Response body per class and the on-time deadline its bytes count under.
+  Bytes speculative_bytes = 16'000;
+  Bytes transient_bytes = 20'000;
+  Bytes viewport_bytes = 24'000;
+  Bytes structure_bytes = 8'000;
+  TimeMs speculative_deadline_ms = 4000;
+  TimeMs transient_deadline_ms = 3000;
+  TimeMs viewport_deadline_ms = 2000;
+  TimeMs structure_deadline_ms = 1500;
+
+  // Shared bottleneck downlink (fair-share) and the fast origin hop.
+  BytesPerSec client_bytes_per_s = 250'000;
+  TimeMs client_latency_ms = 5;
+  BytesPerSec server_bytes_per_s = 2'000'000;
+  TimeMs server_latency_ms = 2;
+  TimeMs origin_delay_ms = 10;
+
+  Protection protection = Protection::kFull;
+  // Tuning for the protected arms. kBoundedOnly zeroes the rate limiters
+  // and skips the brownout supervisor; kNone ignores this entirely.
+  OverloadConfig overload;
+
+  MultiSessionConfig();  // fills `overload` with driver-scaled defaults
+};
+
+struct MultiSessionResult {
+  std::string protection;
+  int sessions = 0;
+  double rate_per_session_per_s = 0;
+
+  std::size_t requests = 0;
+  std::size_t completed = 0;   // 200, bytes fully delivered
+  std::size_t rejected = 0;    // admission bounce (429/503)
+  std::size_t shed = 0;        // brownout shed (subset of rejected semantics)
+  std::size_t failed = 0;      // non-200, non-rejected
+  std::size_t stranded = 0;    // never completed, never rejected — must be 0
+  std::size_t on_time = 0;     // completed within the class deadline
+
+  Bytes on_time_bytes = 0;
+  double goodput_bytes_per_s = 0;  // on_time_bytes / makespan
+  double p50_viewport_ms = 0;      // over completed viewport requests
+  double p99_viewport_ms = 0;
+  TimeMs makespan_ms = 0;          // last completion (or horizon if none)
+  double shed_ratio = 0;           // (rejected + shed) / requests
+  int max_brownout_level = 0;
+
+  std::string to_json() const;
+};
+
+MultiSessionResult run_multi_session(const MultiSessionConfig& config);
+
+}  // namespace mfhttp::overload

@@ -140,19 +140,48 @@ namespace {
 
 // Recursive-descent parser over a string_view; positions advance in place.
 // Every path returns false on malformed input — no exceptions, no aborts.
+// The first (innermost) failure records its position and cause, which the
+// error-reporting parse_json overload converts to line/column.
 class JsonParser {
  public:
   explicit JsonParser(std::string_view text) : text_(text) {}
 
   bool parse_document(JsonValue* out) {
     skip_ws();
+    if (pos_ >= text_.size()) return fail("empty document");
     if (!parse_value(out, 0)) return false;
     skip_ws();
-    return pos_ == text_.size();  // trailing garbage is an error
+    if (pos_ != text_.size()) return fail("trailing garbage after document");
+    return true;
+  }
+
+  JsonParseError error() const {
+    JsonParseError e;
+    e.offset = fail_pos_;
+    e.message = fail_msg_ != nullptr ? fail_msg_ : "malformed document";
+    for (std::size_t i = 0; i < fail_pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++e.line;
+        e.column = 1;
+      } else {
+        ++e.column;
+      }
+    }
+    return e;
   }
 
  private:
   static constexpr int kMaxDepth = 64;
+
+  // Record the first failure only: primitives fail before the containers
+  // unwinding above them, so the earliest call is the most precise.
+  bool fail(const char* msg) {
+    if (fail_msg_ == nullptr) {
+      fail_msg_ = msg;
+      fail_pos_ = pos_;
+    }
+    return false;
+  }
 
   void skip_ws() {
     while (pos_ < text_.size()) {
@@ -175,7 +204,8 @@ class JsonParser {
   }
 
   bool parse_value(JsonValue* out, int depth) {
-    if (depth > kMaxDepth || pos_ >= text_.size()) return false;
+    if (depth > kMaxDepth) return fail("nesting deeper than 64 levels");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
     switch (text_[pos_]) {
       case '{': return parse_object(out, depth);
       case '[': return parse_array(out, depth);
@@ -185,14 +215,14 @@ class JsonParser {
       case 't':
         out->kind = JsonValue::Kind::kBool;
         out->bool_value = true;
-        return eat_literal("true");
+        return eat_literal("true") || fail("invalid literal (expected 'true')");
       case 'f':
         out->kind = JsonValue::Kind::kBool;
         out->bool_value = false;
-        return eat_literal("false");
+        return eat_literal("false") || fail("invalid literal (expected 'false')");
       case 'n':
         out->kind = JsonValue::Kind::kNull;
-        return eat_literal("null");
+        return eat_literal("null") || fail("invalid literal (expected 'null')");
       default: return parse_number(out);
     }
   }
@@ -207,14 +237,14 @@ class JsonParser {
       std::string key;
       if (!parse_string(&key)) return false;
       skip_ws();
-      if (!eat(':')) return false;
+      if (!eat(':')) return fail("expected ':' after object key");
       skip_ws();
       JsonValue value;
       if (!parse_value(&value, depth + 1)) return false;
       out->object_value.emplace_back(std::move(key), std::move(value));
       skip_ws();
       if (eat(',')) continue;
-      return eat('}');
+      return eat('}') || fail("expected ',' or '}' in object");
     }
   }
 
@@ -230,21 +260,24 @@ class JsonParser {
       out->array_value.push_back(std::move(value));
       skip_ws();
       if (eat(',')) continue;
-      return eat(']');
+      return eat(']') || fail("expected ',' or ']' in array");
     }
   }
 
   bool parse_string(std::string* out) {
-    if (!eat('"')) return false;
+    if (!eat('"')) return fail("expected string");
     while (pos_ < text_.size()) {
       char c = text_[pos_++];
       if (c == '"') return true;
-      if (static_cast<unsigned char>(c) < 0x20) return false;  // bare control
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        return fail("unescaped control character in string");
+      }
       if (c != '\\') {
         *out += c;
         continue;
       }
-      if (pos_ >= text_.size()) return false;
+      if (pos_ >= text_.size()) return fail("unterminated escape in string");
       char esc = text_[pos_++];
       switch (esc) {
         case '"': *out += '"'; break;
@@ -257,14 +290,16 @@ class JsonParser {
         case 't': *out += '\t'; break;
         case 'u': {
           unsigned code = 0;
-          if (!parse_hex4(&code)) return false;
+          if (!parse_hex4(&code)) return fail("invalid \\u escape (need 4 hex digits)");
           append_utf8(code, out);
           break;
         }
-        default: return false;
+        default:
+          --pos_;
+          return fail("invalid escape sequence in string");
       }
     }
-    return false;  // unterminated
+    return fail("unterminated string");
   }
 
   bool parse_hex4(unsigned* out) {
@@ -305,19 +340,19 @@ class JsonParser {
     if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
     std::size_t digits = pos_;
     while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
-    if (pos_ == digits) return false;  // no integer part
+    if (pos_ == digits) return fail("expected a value");  // no integer part
     if (pos_ < text_.size() && text_[pos_] == '.') {
       ++pos_;
       std::size_t frac = pos_;
       while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
-      if (pos_ == frac) return false;
+      if (pos_ == frac) return fail("expected digits after decimal point");
     }
     if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
       ++pos_;
       if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
       std::size_t exp = pos_;
       while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
-      if (pos_ == exp) return false;
+      if (pos_ == exp) return fail("expected digits in exponent");
     }
     out->kind = JsonValue::Kind::kNumber;
     out->number_value = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
@@ -327,14 +362,27 @@ class JsonParser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t fail_pos_ = 0;
+  const char* fail_msg_ = nullptr;
 };
 
 }  // namespace
 
+std::string JsonParseError::to_string() const {
+  return strformat("line %zu, column %zu: %s", line, column, message.c_str());
+}
+
 std::optional<JsonValue> parse_json(std::string_view text) {
+  return parse_json(text, nullptr);
+}
+
+std::optional<JsonValue> parse_json(std::string_view text, JsonParseError* error) {
   JsonValue root;
   JsonParser parser(text);
-  if (!parser.parse_document(&root)) return std::nullopt;
+  if (!parser.parse_document(&root)) {
+    if (error != nullptr) *error = parser.error();
+    return std::nullopt;
+  }
   return root;
 }
 

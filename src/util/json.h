@@ -89,9 +89,26 @@ struct JsonValue {
   }
 };
 
+// Where and why a parse failed. `line`/`column` are 1-based and point at the
+// first byte the parser could not make sense of; `offset` is the same
+// position as a byte index into the input.
+struct JsonParseError {
+  std::size_t offset = 0;
+  std::size_t line = 1;
+  std::size_t column = 1;
+  std::string message;
+
+  // "line 3, column 17: unterminated string" — the form config-file loaders
+  // prepend their path to.
+  std::string to_string() const;
+};
+
 // Parses one JSON document (trailing whitespace allowed, trailing garbage is
 // an error). Returns nullopt on malformed input; never throws or aborts, so
-// it is safe on untrusted bytes. Nesting is capped at 64 levels.
+// it is safe on untrusted bytes. Nesting is capped at 64 levels. The
+// two-argument overload fills *error with the position and cause of the
+// first failure (untouched on success).
 std::optional<JsonValue> parse_json(std::string_view text);
+std::optional<JsonValue> parse_json(std::string_view text, JsonParseError* error);
 
 }  // namespace mfhttp

@@ -60,8 +60,9 @@ TilePlan MfHttpTileScheduler::plan_segment(const VideoAsset& video, int segment,
   plan.visible_count = TileGrid::count_visible(visible);
 
   // Degraded: survival mode. Only the viewport, only the lowest tier — keep
-  // playback alive through the outage rather than chase quality.
-  if (context.degraded) {
+  // playback alive through the outage rather than chase quality. Brownout
+  // level >= 2 (low-res only) demands exactly the same posture.
+  if (context.degraded || context.brownout >= 2) {
     static obs::Counter& degraded_plans =
         obs::metrics().counter("video.scheduler.degraded_plans_total");
     degraded_plans.inc();

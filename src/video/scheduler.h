@@ -42,6 +42,10 @@ struct SchedulerContext {
   // repeated stalls. Degraded schedulers shed everything optional — lowest
   // tier for visible tiles, nothing prefetched for invisible ones.
   bool degraded = false;
+  // Brownout level (overload/brownout.h). Level >= 2 ("low-res only") makes
+  // MfHttpTileScheduler behave exactly as degraded: viewport tiles at the
+  // lowest tier, out-of-view tiles skipped.
+  int brownout = 0;
 
   static SchedulerContext from_budget(Bytes budget) {
     SchedulerContext ctx;

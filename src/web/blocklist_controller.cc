@@ -35,8 +35,12 @@ InterceptDecision BlockListController::on_request(const HttpRequest& request) {
   std::string url_str = url ? url->to_string() : request.target;
   // Degraded: stop gating entirely — everything flows.
   bool is_image = url_to_image_.contains(url_str);
-  if (!degradation_.degraded() && block_list_.contains(url_str))
+  if (!degradation_.degraded() && block_list_.contains(url_str)) {
+    // Deep brownout: a proxy that is shedding load must not grow its
+    // deferred queue — condemned images fail fast instead of parking.
+    if (brownout_level_ >= 3) return InterceptDecision::block();
     return InterceptDecision::defer();  // step (2)
+  }
   // Unblocked images are viewport-critical; anything else is structure.
   return InterceptDecision::allow(is_image ? kPriorityViewport
                                            : kPriorityStructure);
@@ -70,6 +74,15 @@ void BlockListController::set_degraded(bool degraded) {
   if (degradation_.force(degraded) && degraded) release_all();
 }
 
+void BlockListController::set_brownout_level(int level) {
+  if (level == brownout_level_) return;
+  MFHTTP_INFO << "block list brownout level " << brownout_level_ << " -> " << level;
+  static obs::Counter& changes =
+      obs::metrics().counter("web.blocklist.brownout_changes_total");
+  changes.inc();
+  brownout_level_ = level;
+}
+
 void BlockListController::release_all() {
   MFHTTP_INFO << "block list degraded: releasing " << block_list_.size()
               << " parked urls";
@@ -85,14 +98,27 @@ void BlockListController::release_all() {
 }
 
 void BlockListController::release_image(std::size_t index, int priority) {
-  const std::string& url = page_.images[index].top_version().url;
+  const MediaObject& image = page_.images[index];
+  const std::string& url = image.top_version().url;
   if (block_list_.erase(url) > 0) {
     ++releases_;
     release_at_[url] = proxy_->now();
     static obs::Counter& releases =
         obs::metrics().counter("web.blocklist.releases_total");
     releases.inc();
-    std::size_t released = proxy_->release(url, priority);
+    // Brownout level >= 2: the link only gets the cheapest representation —
+    // the parked request completes with the lowest-resolution version's
+    // bytes instead of the one the page asked for.
+    const MediaVersion& lowest = image.versions.front();
+    std::size_t released;
+    if (brownout_level_ >= 2 && image.versions.size() > 1 && lowest.url != url) {
+      static obs::Counter& lowres =
+          obs::metrics().counter("web.blocklist.brownout_lowres_total");
+      released = proxy_->release_rewritten(url, lowest.url, priority);
+      lowres.inc(released);
+    } else {
+      released = proxy_->release(url, priority);
+    }
     // Wasted block: the browser already wanted this object — it sat parked
     // at the proxy until the tracker proved it relevant. Each such release
     // is delay the block list inflicted on a byte that was needed anyway.
@@ -116,7 +142,10 @@ void BlockListController::on_policy(const ScrollAnalysis& analysis,
       continue;
     }
     // Transient images: released only with a positive optimizer value, and
-    // at a lower link priority than viewport-critical images.
+    // at a lower link priority than viewport-critical images. Any brownout
+    // level suppresses them entirely — corridor speculation is the first
+    // spend an overloaded middleware stops.
+    if (brownout_level_ >= 1) continue;
     if (cov.involved) {
       const DownloadDecision* d = policy.find(i);
       if (d != nullptr && d->download() && d->value > 0)

@@ -55,6 +55,14 @@ class BlockListController : public Interceptor {
   void set_degraded(bool degraded);
   bool degraded() const { return degradation_.degraded(); }
 
+  // Brownout hook (overload/brownout.h levels). Level >= 1 suppresses
+  // transient releases (viewport-critical only); level >= 2 additionally
+  // rewrites every release to the object's lowest-resolution version;
+  // level >= 3 blocks new block-listed requests outright instead of
+  // parking them — a shedding proxy must not accumulate deferred state.
+  void set_brownout_level(int level);
+  int brownout_level() const { return brownout_level_; }
+
   // Transfer priorities on the client link (meaningful on kFifo links):
   // structural resources above everything, then viewport-critical images,
   // then transient-corridor images.
@@ -78,6 +86,7 @@ class BlockListController : public Interceptor {
   std::unordered_map<std::string, std::size_t> url_to_image_;
   std::unordered_map<std::string, TimeMs> release_at_;
   std::size_t releases_ = 0;
+  int brownout_level_ = 0;
 };
 
 }  // namespace mfhttp

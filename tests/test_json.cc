@@ -232,5 +232,50 @@ TEST(JsonReader, WhitespaceAndEmptyContainers) {
   EXPECT_TRUE(doc->find("b")->object_value.empty());
 }
 
+// ---------- Parse-error positions (line/column diagnostics) ----------
+
+TEST(JsonParseErrors, UnterminatedStringPointsAtItsLine) {
+  JsonParseError error;
+  auto doc = parse_json("{\n  \"name\": \"oops\n}", &error);
+  EXPECT_FALSE(doc.has_value());
+  EXPECT_EQ(error.line, 2u);
+  EXPECT_FALSE(error.message.empty());
+  // to_string is the loader-facing form: "line L, column C: why".
+  EXPECT_NE(error.to_string().find("line 2"), std::string::npos);
+}
+
+TEST(JsonParseErrors, TrailingGarbageReportsPositionPastTheDocument) {
+  JsonParseError error;
+  auto doc = parse_json("{\"a\": 1}\njunk", &error);
+  EXPECT_FALSE(doc.has_value());
+  EXPECT_EQ(error.line, 2u);
+  EXPECT_EQ(error.column, 1u);
+}
+
+TEST(JsonParseErrors, BadEscapeNamesColumnOfTheEscape) {
+  JsonParseError error;
+  auto doc = parse_json(R"({"s": "a\qb"})", &error);
+  EXPECT_FALSE(doc.has_value());
+  EXPECT_EQ(error.line, 1u);
+  EXPECT_GT(error.column, 7u);  // inside the string, past the opening quote
+}
+
+TEST(JsonParseErrors, ColumnsResetAcrossNewlines) {
+  JsonParseError error;
+  auto doc = parse_json("{\n  \"a\": 1,\n  \"b\": ?\n}", &error);
+  EXPECT_FALSE(doc.has_value());
+  EXPECT_EQ(error.line, 3u);
+  EXPECT_EQ(error.column, 8u);  // the '?' under "b"
+  EXPECT_EQ(error.offset, 19u);
+}
+
+TEST(JsonParseErrors, SuccessLeavesErrorUntouched) {
+  JsonParseError error;
+  error.message = "sentinel";
+  auto doc = parse_json("[1, 2]", &error);
+  EXPECT_TRUE(doc.has_value());
+  EXPECT_EQ(error.message, "sentinel");
+}
+
 }  // namespace
 }  // namespace mfhttp

@@ -14,6 +14,7 @@
 #include "fault/fault_plan.h"
 #include "fault/faulty_fetcher.h"
 #include "http/circuit_breaker.h"
+#include "obs/metrics.h"
 #include "http/proxy.h"
 #include "http/resilient_fetcher.h"
 #include "http/sim_http.h"
@@ -350,6 +351,41 @@ TEST_F(ResilienceFixture, BackoffDelaysGrowBetweenAttempts) {
   EXPECT_GE(r.complete_ms, 400 + 800 + 3 * 20);
 }
 
+// A probe whose fetch never answers must not wedge the breaker half-open
+// forever: the per-attempt deadline synthesizes a 504, records the failure,
+// and the breaker reopens — freeing the probe slot for the next cool-down.
+TEST_F(ResilienceFixture, HungHalfOpenProbeFreedByAttemptDeadline) {
+  ScriptedFetcher inner(sim, {err(503), hang(), ok()});
+  ResilientFetcher::Params p;
+  p.max_attempts = 1;
+  p.attempt_timeout_ms = 200;
+  p.breaker.failure_threshold = 1;
+  p.breaker.open_ms = 300;
+  ResilientFetcher fetcher(sim, &inner, p);
+
+  std::vector<int> statuses;
+  auto fetch_at = [&](TimeMs at) {
+    sim.schedule_at(at, [&] {
+      FetchCallbacks cbs;
+      cbs.on_complete = [&](const FetchResult& r) { statuses.push_back(r.status); };
+      fetcher.fetch(HttpRequest::get("http://o.example/x"), std::move(cbs));
+    });
+  };
+  fetch_at(0);     // fails fast: breaker opens at ~20 ms
+  fetch_at(500);   // past cool-down: the probe — and it hangs
+  fetch_at(1200);  // past the reopened breaker's cool-down (~700 + 300)
+  sim.run();
+
+  ASSERT_EQ(statuses.size(), 3u);
+  EXPECT_EQ(statuses[0], 503);
+  EXPECT_EQ(statuses[1], 504);  // deadline killed the hung probe
+  EXPECT_EQ(statuses[2], 200);  // slot was free: the next probe got through
+  EXPECT_EQ(inner.fetches, 3);  // the third fetch reached the origin
+  EXPECT_EQ(inner.cancels, 1);  // the hung attempt was torn down
+  EXPECT_EQ(fetcher.breaker().state("o.example"), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(fetcher.inflight(), 0u);
+}
+
 // ---------- MitmProxy: watchdog & upstream-death propagation ----------
 
 struct WatchdogFixture : public ::testing::Test {
@@ -417,6 +453,78 @@ TEST_F(WatchdogFixture, FailActionCompletesWithConfiguredStatus) {
   EXPECT_FALSE(out->blocked);  // a fault, not middleware policy
   EXPECT_EQ(out->body_size, 0);
   EXPECT_TRUE(proxy->deferred_urls().empty());
+}
+
+TEST_F(WatchdogFixture, FailActionCountsDeferTimeouts) {
+  const std::uint64_t before =
+      obs::metrics().counter_value("http.proxy.defer_timeouts_total");
+  MitmProxy::Params params;
+  params.defer_timeout_ms = 1000;
+  params.defer_timeout_action = MitmProxy::Params::DeferTimeoutAction::kFail;
+  build(params);
+  DeferAll deferrer;
+  proxy->set_interceptor(&deferrer);
+  FetchCallbacks cbs;
+  cbs.on_complete = [](const FetchResult&) {};
+  proxy->fetch(HttpRequest::get("http://s.example/img/a.jpg"), std::move(cbs));
+  sim.run();
+  EXPECT_EQ(obs::metrics().counter_value("http.proxy.defer_timeouts_total"),
+            before + 1);
+}
+
+TEST_F(WatchdogFixture, ReleaseAfterFailWatchdogFiredIsANoOp) {
+  MitmProxy::Params params;
+  params.defer_timeout_ms = 1000;
+  params.defer_timeout_action = MitmProxy::Params::DeferTimeoutAction::kFail;
+  build(params);
+  DeferAll deferrer;
+  proxy->set_interceptor(&deferrer);
+  int completes = 0;
+  std::optional<FetchResult> out;
+  FetchCallbacks cbs;
+  cbs.on_complete = [&](const FetchResult& r) {
+    ++completes;
+    out = r;
+  };
+  proxy->fetch(HttpRequest::get("http://s.example/img/a.jpg"), std::move(cbs));
+  // The watchdog fails the request at 1000; this release loses the race.
+  sim.schedule_at(1500, [&] {
+    EXPECT_EQ(proxy->release("http://s.example/img/a.jpg"), 0u);
+  });
+  sim.run();
+  EXPECT_EQ(completes, 1);  // exactly one completion, from the watchdog
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->status, 504);
+}
+
+TEST_F(WatchdogFixture, ReleaseRacingFiredReleaseWatchdogDoesNotDoubleStart) {
+  MitmProxy::Params params;
+  params.defer_timeout_ms = 1000;  // kRelease: force-released upstream at 1000
+  build(params);
+  DeferAll deferrer;
+  proxy->set_interceptor(&deferrer);
+  int completes = 0;
+  std::optional<FetchResult> out;
+  FetchCallbacks cbs;
+  cbs.on_complete = [&](const FetchResult& r) {
+    ++completes;
+    out = r;
+  };
+  proxy->fetch(HttpRequest::get("http://s.example/img/a.jpg"), std::move(cbs));
+  // While the watchdog's forced release is mid-flight upstream, an explicit
+  // release arrives: the request is no longer deferred, so it matches
+  // nothing — no second upstream fetch, no second completion.
+  sim.schedule_at(1200, [&] {
+    EXPECT_EQ(proxy->release("http://s.example/img/a.jpg"), 0u);
+  });
+  sim.run();
+  EXPECT_EQ(completes, 1);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->status, 200);  // the forced release served it normally
+  EXPECT_EQ(out->body_size, 30'000);
+  // The losing release matched nothing, so the released stat stays 0 — the
+  // forced release is counted under defer_timeouts_total instead.
+  EXPECT_EQ(proxy->stats().released, 0u);
 }
 
 TEST_F(WatchdogFixture, ExplicitReleaseDisarmsWatchdog) {
