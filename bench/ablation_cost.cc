@@ -13,7 +13,7 @@
 #include "core/energy.h"
 #include "core/flow_controller.h"
 #include "core/middleware.h"
-#include "fault/flags.h"
+#include "cli/standard_options.h"
 #include "obs/metrics.h"
 #include "web/corpus.h"
 #include "web/experiment.h"
@@ -40,7 +40,7 @@ PolicySummary summarize(const DownloadPolicy& policy) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  mfhttp::fault::StandardFlagsGuard flags_guard(argc, argv);
+  mfhttp::cli::StandardOptions standard_options(argc, argv);
   Rng rng(42);
   WebPage page;
   for (const SiteSpec& spec : alexa25_specs()) {

@@ -4,14 +4,14 @@
 // finger release and the last object entering the viewport).
 #include <cstdio>
 
-#include "fault/flags.h"
+#include "cli/standard_options.h"
 #include "obs/metrics.h"
 #include "scroll/animation.h"
 #include "scroll/device_profile.h"
 #include "scroll/fling.h"
 
 int main(int argc, char** argv) {
-  mfhttp::fault::StandardFlagsGuard flags_guard(argc, argv);
+  mfhttp::cli::StandardOptions standard_options(argc, argv);
   using namespace mfhttp;
 
   std::printf("=== Ablation: Android fling model, Eqs. (1)-(5) ===\n");

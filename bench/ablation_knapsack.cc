@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "core/knapsack.h"
-#include "fault/flags.h"
+#include "cli/standard_options.h"
 #include "obs/metrics.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -49,7 +49,7 @@ double time_ms(const std::function<void()>& fn) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  mfhttp::fault::StandardFlagsGuard flags_guard(argc, argv);
+  mfhttp::cli::StandardOptions standard_options(argc, argv);
   std::printf("=== Ablation: prefix-capacity knapsack solvers ===\n\n");
 
   // (a) Quality vs the exhaustive optimum on small instances.

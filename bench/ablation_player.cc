@@ -6,7 +6,7 @@
 
 #include "gesture/recognizer.h"
 #include "gesture/synthetic.h"
-#include "fault/flags.h"
+#include "cli/standard_options.h"
 #include "obs/metrics.h"
 #include "video/abr.h"
 #include "video/player.h"
@@ -36,7 +36,7 @@ ViewportTrace viewer_trace(const DeviceProfile& device, std::uint64_t seed,
 }  // namespace
 
 int main(int argc, char** argv) {
-  mfhttp::fault::StandardFlagsGuard flags_guard(argc, argv);
+  mfhttp::cli::StandardOptions standard_options(argc, argv);
   const DeviceProfile device = DeviceProfile::nexus6();
   VideoAsset::Params vp;
   vp.duration_s = 60;

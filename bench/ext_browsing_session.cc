@@ -10,9 +10,10 @@
 #include "core/middleware.h"
 #include "gesture/recognizer.h"
 #include "gesture/synthetic.h"
+#include "http/fetch_pipeline.h"
 #include "http/proxy.h"
 #include "http/sim_http.h"
-#include "fault/flags.h"
+#include "cli/standard_options.h"
 #include "obs/metrics.h"
 #include "util/stats.h"
 #include "web/blocklist_controller.h"
@@ -38,14 +39,15 @@ SessionStats run(const WebPage& page, bool enable_mfhttp, std::uint64_t seed,
   cp.bandwidth = BandwidthTrace::constant(1e6);
   cp.latency_ms = 8;
   cp.sharing = Link::Sharing::kFairShare;
-  Link client_link(sim, cp);
   Link server_link(sim, Link::Params{});
   ObjectStore store;
   for (const PageResource& r : page.structure) store.put(parse_url(r.url)->path, r.size);
   for (const MediaObject& img : page.images)
     store.put(parse_url(img.top_version().url)->path, img.top_version().size);
   SimHttpOrigin origin(sim, &store, &server_link);
-  MitmProxy proxy(sim, &origin, &client_link);
+  auto pipeline = FetchPipelineBuilder(sim, &origin).client_link(cp).build();
+  MitmProxy& proxy = pipeline->proxy();
+  Link& client_link = pipeline->client_link();
 
   Rect vp0{0, 0, device.screen_w_px, device.screen_h_px};
   ScrollTracker::Params tp;
@@ -128,7 +130,7 @@ SessionStats run(const WebPage& page, bool enable_mfhttp, std::uint64_t seed,
 }  // namespace
 
 int main(int argc, char** argv) {
-  mfhttp::fault::StandardFlagsGuard flags_guard(argc, argv);
+  mfhttp::cli::StandardOptions standard_options(argc, argv);
   const DeviceProfile device = DeviceProfile::nexus6();
   Rng rng(42);
   WebPage page;

@@ -5,11 +5,11 @@
 #include <cstdio>
 
 #include "feed/feed_experiment.h"
-#include "fault/flags.h"
+#include "cli/standard_options.h"
 #include "obs/metrics.h"
 
 int main(int argc, char** argv) {
-  mfhttp::fault::StandardFlagsGuard flags_guard(argc, argv);
+  mfhttp::cli::StandardOptions standard_options(argc, argv);
   using namespace mfhttp;
   const DeviceProfile device = DeviceProfile::nexus6();
   FeedSpec spec;

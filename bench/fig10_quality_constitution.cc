@@ -12,7 +12,7 @@
 
 #include "gesture/recognizer.h"
 #include "gesture/synthetic.h"
-#include "fault/flags.h"
+#include "cli/standard_options.h"
 #include "obs/metrics.h"
 #include "video/session.h"
 
@@ -40,7 +40,7 @@ ViewportTrace make_viewer_trace(const DeviceProfile& device, std::uint64_t seed,
 }  // namespace
 
 int main(int argc, char** argv) {
-  mfhttp::fault::StandardFlagsGuard flags_guard(argc, argv);
+  mfhttp::cli::StandardOptions standard_options(argc, argv);
   const DeviceProfile device = DeviceProfile::nexus6();
   const int kViewers = 10;  // the paper's 10 volunteers
   const std::vector<double> kBandwidthsKB = {250, 500, 750, 1000};

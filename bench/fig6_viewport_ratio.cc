@@ -6,14 +6,14 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "fault/flags.h"
+#include "cli/standard_options.h"
 #include "obs/metrics.h"
 #include "scroll/device_profile.h"
 #include "util/rng.h"
 #include "web/corpus.h"
 
 int main(int argc, char** argv) {
-  mfhttp::fault::StandardFlagsGuard flags_guard(argc, argv);
+  mfhttp::cli::StandardOptions standard_options(argc, argv);
   using namespace mfhttp;
   const DeviceProfile device = DeviceProfile::nexus6();
   Rng rng(42);

@@ -1,19 +1,19 @@
 // Drop-in replacement for BENCHMARK_MAIN() adding the standard mfhttp flags
-// (fault/flags.h): --metrics-json <path> dumps the process-wide metrics
-// snapshot (obs/metrics.h) after the benchmarks run, so bench trajectories
-// can track internal counters, not just end-to-end figures; --fault-plan
-// <path> installs an ambient fault plan every session in the binary runs
-// under. Both flags are removed from argv before benchmark::Initialize
-// sees them.
+// (cli/standard_options.h): --metrics-json <path> dumps the process-wide
+// metrics snapshot (obs/metrics.h) after the benchmarks run, so bench
+// trajectories can track internal counters, not just end-to-end figures;
+// --fault-plan <path> installs an ambient fault plan every session in the
+// binary runs under; --cache-config <path> tunes cache-aware benches. All
+// three are removed from argv before benchmark::Initialize sees them.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
-#include "fault/flags.h"
+#include "cli/standard_options.h"
 
 #define MFHTTP_BENCHMARK_MAIN()                                         \
   int main(int argc, char** argv) {                                     \
-    mfhttp::fault::StandardFlagsGuard flags_guard(argc, argv);          \
+    mfhttp::cli::StandardOptions standard_options(argc, argv);          \
     ::benchmark::Initialize(&argc, argv);                               \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
     ::benchmark::RunSpecifiedBenchmarks();                              \

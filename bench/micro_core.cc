@@ -9,6 +9,7 @@
 #include "core/scroll_tracker.h"
 #include "geom/swept_region.h"
 #include "gesture/velocity_tracker.h"
+#include "http/fetch_pipeline.h"
 #include "http/proxy.h"
 #include "http/sim_http.h"
 #include "metrics_main.h"
@@ -226,13 +227,13 @@ void BM_ProxyBlocklistSession(benchmark::State& state) {
     Link::Params cp;
     cp.bandwidth = BandwidthTrace::constant(2e6);
     cp.sharing = Link::Sharing::kFairShare;
-    Link client_link(sim, cp);
     Link server_link(sim, Link::Params{});
     ObjectStore store;
     for (const MediaObject& img : page.images)
       store.put(parse_url(img.top_version().url)->path, img.top_version().size);
     SimHttpOrigin origin(sim, &store, &server_link);
-    MitmProxy proxy(sim, &origin, &client_link);
+    auto pipeline = FetchPipelineBuilder(sim, &origin).client_link(cp).build();
+    MitmProxy& proxy = pipeline->proxy();
     BlockListController controller(page, viewport, &proxy);
     proxy.set_interceptor(&controller);
     int done = 0;

@@ -19,7 +19,7 @@
 // rejected, but never hang forever.
 #include <cstdio>
 
-#include "fault/flags.h"
+#include "cli/standard_options.h"
 #include "sim/multi_session.h"
 
 namespace {
@@ -40,7 +40,7 @@ void row(const MultiSessionResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  mfhttp::fault::StandardFlagsGuard flags_guard(argc, argv);
+  mfhttp::cli::StandardOptions standard_options(argc, argv);
 
   std::printf("=== Overload matrix: N sessions, one proxy, shared downlink ===\n");
   std::printf("(open-loop Poisson arrivals; goodput counts on-deadline bytes only;\n"

@@ -18,7 +18,7 @@
 #include <string>
 
 #include "fault/fault_plan.h"
-#include "fault/flags.h"
+#include "cli/standard_options.h"
 #include "gesture/recognizer.h"
 #include "gesture/synthetic.h"
 #include "obs/metrics.h"
@@ -169,7 +169,7 @@ void video_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  mfhttp::fault::StandardFlagsGuard flags_guard(argc, argv);
+  mfhttp::cli::StandardOptions standard_options(argc, argv);
   const DeviceProfile device = DeviceProfile::nexus6();
   Rng rng(42);
   WebPage page;

@@ -10,10 +10,11 @@
 #include <cstdio>
 #include <vector>
 
+#include "http/fetch_pipeline.h"
 #include "http/parser.h"
 #include "http/proxy.h"
 #include "http/sim_http.h"
-#include "fault/flags.h"
+#include "cli/standard_options.h"
 #include "obs/metrics.h"
 
 using namespace mfhttp;
@@ -39,7 +40,7 @@ class DemoInterceptor : public Interceptor {
 }  // namespace
 
 int main(int argc, char** argv) {
-  mfhttp::fault::StandardFlagsGuard flags_guard(argc, argv);
+  mfhttp::cli::StandardOptions standard_options(argc, argv);
   // --- Part 1: the wire codec -----------------------------------------------
   std::printf("--- HTTP/1.1 codec ---\n");
   HttpRequest req = HttpRequest::get("http://site.example/img/hero_4k.jpg");
@@ -71,7 +72,6 @@ int main(int argc, char** argv) {
   Link::Params client_params;
   client_params.bandwidth = BandwidthTrace::constant(500e3);
   client_params.latency_ms = 8;
-  Link client_link(sim, client_params);
   Link server_link(sim, Link::Params{});
 
   ObjectStore store;
@@ -81,9 +81,15 @@ int main(int argc, char** argv) {
   store.put("/banner.gif", 40'000, "image/gif");
 
   SimHttpOrigin origin(sim, &store, &server_link);
-  MitmProxy proxy(sim, &origin, &client_link);
+  // The canonical stack assembly: one builder call replaces the hand-wired
+  // decorator chain (and picks up any ambient --fault-plan automatically).
   DemoInterceptor interceptor;
-  proxy.set_interceptor(&interceptor);
+  auto pipeline = FetchPipelineBuilder(sim, &origin)
+                      .client_link(client_params)
+                      .with_faults()
+                      .interceptor(&interceptor)
+                      .build();
+  MitmProxy& proxy = pipeline->proxy();
 
   auto fetch = [&](const char* url) {
     FetchCallbacks cbs;

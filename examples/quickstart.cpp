@@ -13,13 +13,13 @@
 #include "core/flow_controller.h"
 #include "core/middleware.h"
 #include "gesture/synthetic.h"
-#include "fault/flags.h"
+#include "cli/standard_options.h"
 #include "obs/metrics.h"
 
 using namespace mfhttp;
 
 int main(int argc, char** argv) {
-  mfhttp::fault::StandardFlagsGuard flags_guard(argc, argv);
+  mfhttp::cli::StandardOptions standard_options(argc, argv);
   // The simulated device: a Nexus 6, the paper's test phone.
   const DeviceProfile device = DeviceProfile::nexus6();
   const Rect viewport{0, 0, device.screen_w_px, device.screen_h_px};

@@ -8,13 +8,13 @@
 #include <cstdio>
 
 #include "feed/feed_experiment.h"
-#include "fault/flags.h"
+#include "cli/standard_options.h"
 #include "obs/metrics.h"
 
 using namespace mfhttp;
 
 int main(int argc, char** argv) {
-  mfhttp::fault::StandardFlagsGuard flags_guard(argc, argv);
+  mfhttp::cli::StandardOptions standard_options(argc, argv);
   const DeviceProfile device = DeviceProfile::nexus6();
   FeedSpec spec;
   spec.post_count = 120;

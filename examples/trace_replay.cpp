@@ -10,7 +10,7 @@
 
 #include "core/middleware.h"
 #include "gesture/synthetic.h"
-#include "fault/flags.h"
+#include "cli/standard_options.h"
 #include "obs/metrics.h"
 #include "trace/trace_io.h"
 #include "web/corpus.h"
@@ -18,7 +18,7 @@
 using namespace mfhttp;
 
 int main(int argc, char** argv) {
-  mfhttp::fault::StandardFlagsGuard flags_guard(argc, argv);
+  mfhttp::cli::StandardOptions standard_options(argc, argv);
   const DeviceProfile device = DeviceProfile::nexus6();
   const std::string path = argc > 1 ? argv[1] : "/tmp/mfhttp_session_trace.csv";
 

@@ -8,14 +8,14 @@
 
 #include "gesture/recognizer.h"
 #include "gesture/synthetic.h"
-#include "fault/flags.h"
+#include "cli/standard_options.h"
 #include "obs/metrics.h"
 #include "video/session.h"
 
 using namespace mfhttp;
 
 int main(int argc, char** argv) {
-  mfhttp::fault::StandardFlagsGuard flags_guard(argc, argv);
+  mfhttp::cli::StandardOptions standard_options(argc, argv);
   const DeviceProfile device = DeviceProfile::nexus6();
 
   VideoAsset::Params params;

@@ -7,7 +7,7 @@
 #include <cstdio>
 #include <cstring>
 
-#include "fault/flags.h"
+#include "cli/standard_options.h"
 #include "obs/metrics.h"
 #include "web/corpus.h"
 #include "web/experiment.h"
@@ -15,7 +15,7 @@
 using namespace mfhttp;
 
 int main(int argc, char** argv) {
-  mfhttp::fault::StandardFlagsGuard flags_guard(argc, argv);
+  mfhttp::cli::StandardOptions standard_options(argc, argv);
   const char* site = argc > 1 ? argv[1] : "sohu";
   const DeviceProfile device = DeviceProfile::nexus6();
 

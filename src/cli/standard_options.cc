@@ -1,0 +1,52 @@
+#include "cli/standard_options.h"
+
+#include <optional>
+#include <utility>
+
+#include "fault/fault_plan.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace mfhttp::cli {
+
+StandardOptions::StandardOptions(int& argc, char** argv,
+                                 const ExtendFn& extend) {
+  CliOptions options(argc > 0 ? argv[0] : "mfhttp");
+  options
+      .add_string("--metrics-json", "path",
+                  "write the metrics registry snapshot here at exit",
+                  &metrics_path_)
+      .add_string("--fault-plan", "path",
+                  "install this fault plan for every session in the binary",
+                  &fault_plan_path_)
+      .add_string("--cache-config", "path",
+                  "cache sizing + prefetch budget (prefetch/cache_config.h)",
+                  &cache_config_path_);
+  if (extend) extend(options);
+  options.parse_or_exit(argc, argv);
+
+  if (!fault_plan_path_.empty()) {
+    std::string why;
+    auto plan = fault::FaultPlan::load(fault_plan_path_, &why);
+    if (!plan.has_value()) CliOptions::fail("--fault-plan", fault_plan_path_, why);
+    MFHTTP_INFO << "fault plan '"
+                << (plan->name.empty() ? fault_plan_path_ : plan->name)
+                << "' installed (seed " << plan->seed << ")";
+    fault::set_global_plan(std::move(plan));
+  }
+
+  if (!cache_config_path_.empty()) {
+    std::string why;
+    auto config = prefetch::CacheConfig::load(cache_config_path_, &why);
+    if (!config.has_value())
+      CliOptions::fail("--cache-config", cache_config_path_, why);
+    cache_config_ = *std::move(config);
+  }
+}
+
+StandardOptions::~StandardOptions() {
+  if (!fault_plan_path_.empty()) fault::set_global_plan(std::nullopt);
+  if (!metrics_path_.empty()) obs::write_snapshot_file(metrics_path_);
+}
+
+}  // namespace mfhttp::cli

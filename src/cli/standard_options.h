@@ -1,0 +1,54 @@
+// The standard flag set every mfhttp bench and example speaks — one RAII
+// object built on util/cli_options.h (ISSUE 4 satellite; supersedes the
+// fault layer's StandardFlagsGuard):
+//
+//   --metrics-json <path>    dump the obs registry snapshot at exit,
+//   --fault-plan <path>      install an ambient fault::global_plan() for
+//                            every session the binary runs,
+//   --cache-config <path>    load a prefetch::CacheConfig (cache sizing +
+//                            prefetch budget) for tools that take one.
+//
+// Construction registers the flags (plus any binary-specific ones via the
+// `extend` hook), parses argv in place, and *loads* the named files —
+// exiting 2 with the shared error format when a named payload cannot be
+// used, because a bench that silently ran fault-free or cache-free did not
+// measure what its command line claims. Destruction writes the metrics
+// snapshot and uninstalls the fault plan, so consecutive binaries in one
+// test run never leak state into each other.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "prefetch/cache_config.h"
+#include "util/cli_options.h"
+
+namespace mfhttp::cli {
+
+class StandardOptions {
+ public:
+  // `extend` registers extra binary-specific flags on the same parser (and
+  // shares its error formatting); unrecognized argv entries survive for
+  // downstream parsers such as benchmark::Initialize.
+  using ExtendFn = std::function<void(CliOptions&)>;
+  StandardOptions(int& argc, char** argv, const ExtendFn& extend = {});
+  ~StandardOptions();
+  StandardOptions(const StandardOptions&) = delete;
+  StandardOptions& operator=(const StandardOptions&) = delete;
+
+  const std::string& metrics_path() const { return metrics_path_; }
+  const std::string& fault_plan_path() const { return fault_plan_path_; }
+  const std::string& cache_config_path() const { return cache_config_path_; }
+
+  // The loaded --cache-config, or default-constructed when absent.
+  const prefetch::CacheConfig& cache_config() const { return cache_config_; }
+  bool has_cache_config() const { return !cache_config_path_.empty(); }
+
+ private:
+  std::string metrics_path_;
+  std::string fault_plan_path_;
+  std::string cache_config_path_;
+  prefetch::CacheConfig cache_config_;
+};
+
+}  // namespace mfhttp::cli

@@ -151,6 +151,32 @@ DownloadPolicy FlowController::optimize(const ScrollAnalysis& analysis,
   return policy;
 }
 
+std::vector<PrefetchCandidate> FlowController::prefetch_candidates(
+    const ScrollAnalysis& analysis, const std::vector<MediaObject>& objects,
+    const DownloadPolicy& policy) const {
+  std::vector<PrefetchCandidate> candidates;
+  if (degraded_ || !speculation_enabled_) return candidates;
+  for (const DownloadDecision& d : policy.decisions) {
+    if (!d.download()) continue;
+    const ObjectCoverage& cov = analysis.coverages[d.object_index];
+    if (cov.in_initial_viewport) continue;  // already on screen: fetch, don't warm
+    const MediaObject& obj = objects[d.object_index];
+    const MediaVersion& ver = obj.versions[static_cast<std::size_t>(d.version)];
+    PrefetchCandidate c;
+    c.object_index = d.object_index;
+    c.version = d.version;
+    c.url = ver.url;
+    c.bytes = ver.size;
+    c.entry_time_ms = std::max(0.0, d.entry_time_ms);
+    c.value = d.value;
+    candidates.push_back(std::move(c));
+  }
+  static obs::Counter& candidates_total =
+      obs::metrics().counter("core.flow.prefetch_candidates_total");
+  candidates_total.inc(candidates.size());
+  return candidates;
+}
+
 DownloadPolicy FlowController::degraded_policy(
     const ScrollAnalysis& analysis, const std::vector<MediaObject>& objects,
     const std::vector<std::size_t>& involved) const {

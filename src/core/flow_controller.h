@@ -39,6 +39,19 @@ struct DownloadPolicy {
   const DownloadDecision* find(std::size_t object_index) const;
 };
 
+// An object the policy wants that is not on screen yet — the raw material
+// for the prefetch planner (prefetch/planner.h): warm the middleware cache
+// before the predicted viewport-entry time so the eventual request streams
+// from the proxy with no upstream hop.
+struct PrefetchCandidate {
+  std::size_t object_index = 0;
+  int version = 0;            // version the policy chose
+  std::string url;            // URL of that version
+  Bytes bytes = 0;            // its wire size
+  double entry_time_ms = 0;   // predicted viewport entry, relative to scroll start
+  double value = 0;           // the decision's p*qoe - q*cost
+};
+
 class FlowController {
  public:
   struct Params {
@@ -79,6 +92,15 @@ class FlowController {
   DownloadPolicy optimize(const ScrollAnalysis& analysis,
                           const std::vector<MediaObject>& objects,
                           const BandwidthTrace& bandwidth) const;
+
+  // Objects a computed policy wants that are not already visible — ordered
+  // by entry time, each carrying the decision's value so the prefetch
+  // planner can budget in the same QoE-minus-cost currency the knapsack
+  // optimized. Empty while degraded or with speculation disabled: prefetch
+  // is speculation by definition.
+  std::vector<PrefetchCandidate> prefetch_candidates(
+      const ScrollAnalysis& analysis, const std::vector<MediaObject>& objects,
+      const DownloadPolicy& policy) const;
 
  private:
   DownloadPolicy degraded_policy(const ScrollAnalysis& analysis,

@@ -61,7 +61,7 @@ HttpFetcher::FetchId FaultyFetcher::fetch(const HttpRequest& request,
       shadows_.erase(it);
       if (shadow.callbacks.on_headers)
         shadow.callbacks.on_headers(
-            {status, plan_.origin.error_body_size, "text/plain"});
+            {status, plan_.origin.error_body_size, "text/plain", ""});
       if (shadow.callbacks.on_progress)
         shadow.callbacks.on_progress(plan_.origin.error_body_size,
                                      plan_.origin.error_body_size,

@@ -1,5 +1,6 @@
 #include "feed/feed_experiment.h"
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -7,6 +8,7 @@
 #include "feed/feed_controller.h"
 #include "gesture/recognizer.h"
 #include "gesture/synthetic.h"
+#include "http/fetch_pipeline.h"
 #include "http/proxy.h"
 #include "http/sim_http.h"
 #include "sim/simulator.h"
@@ -36,7 +38,6 @@ FeedSessionResult run_feed_session(const Feed& feed, const FeedSessionConfig& co
   cp.bandwidth = BandwidthTrace::constant(config.client_bandwidth);
   cp.latency_ms = config.client_latency_ms;
   cp.sharing = Link::Sharing::kFairShare;
-  Link client_link(sim, cp);
   Link::Params sp;
   sp.bandwidth = BandwidthTrace::constant(config.server_bandwidth);
   sp.latency_ms = config.server_latency_ms;
@@ -48,7 +49,10 @@ FeedSessionResult run_feed_session(const Feed& feed, const FeedSessionConfig& co
     for (const MediaVersion& v : m.versions)
       store.put(parse_url(v.url)->path, v.size);
   SimHttpOrigin origin(sim, &store, &server_link);
-  MitmProxy proxy(sim, &origin, &client_link);
+  std::unique_ptr<FetchPipeline> pipeline =
+      FetchPipelineBuilder(sim, &origin).client_link(cp).build();
+  MitmProxy& proxy = pipeline->proxy();
+  Link& client_link = pipeline->client_link();
 
   const Rect vp0{0, 0, config.device.screen_w_px, config.device.screen_h_px};
 

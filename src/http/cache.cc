@@ -1,58 +1,276 @@
 #include "http/cache.h"
 
+#include <algorithm>
+
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace mfhttp {
 
-LruCache::LruCache(Bytes capacity_bytes) : capacity_(capacity_bytes) {
-  MFHTTP_CHECK(capacity_ >= 0);
+namespace {
+
+obs::Counter& hits_counter() {
+  static obs::Counter& c = obs::metrics().counter("http.cache.hits_total");
+  return c;
 }
 
-std::optional<CachedObject> LruCache::get(const std::string& url) {
+obs::Counter& misses_counter() {
+  static obs::Counter& c = obs::metrics().counter("http.cache.misses_total");
+  return c;
+}
+
+obs::Counter& stale_served_counter() {
+  static obs::Counter& c = obs::metrics().counter("http.cache.stale_served_total");
+  return c;
+}
+
+obs::Counter& revalidations_counter() {
+  static obs::Counter& c = obs::metrics().counter("http.cache.revalidations_total");
+  return c;
+}
+
+obs::Counter& evictions_counter() {
+  static obs::Counter& c = obs::metrics().counter("http.cache.evictions_total");
+  return c;
+}
+
+obs::Counter& admission_rejected_counter() {
+  static obs::Counter& c =
+      obs::metrics().counter("http.cache.admission_rejected_total");
+  return c;
+}
+
+obs::Counter& prefetch_wasted_counter() {
+  static obs::Counter& c =
+      obs::metrics().counter("http.cache.prefetch_wasted_bytes_total");
+  return c;
+}
+
+}  // namespace
+
+HttpCache::HttpCache(CacheParams params) : params_(params) {
+  MFHTTP_CHECK(params_.capacity_bytes >= 0);
+  MFHTTP_CHECK(params_.max_object_fraction > 0 && params_.max_object_fraction <= 1.0);
+}
+
+bool HttpCache::fresh_locked(const Entry& e, TimeMs now_ms) const {
+  return e.object.ttl_ms <= 0 || now_ms < e.stored_ms + e.object.ttl_ms;
+}
+
+std::optional<HttpCache::Lookup> HttpCache::lookup(const std::string& url,
+                                                   TimeMs now_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(url);
   if (it == index_.end()) {
     ++stats_.misses;
+    misses_counter().inc();
+    bump_ghost_locked(url);
     return std::nullopt;
   }
-  ++stats_.hits;
+  Entry& e = *it->second;
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  ++e.hits;
+
+  Lookup out;
+  out.object = e.object;
+  if (fresh_locked(e, now_ms)) {
+    out.freshness = Freshness::kFresh;
+    ++stats_.hits;
+    hits_counter().inc();
+    if (e.prefetched) {
+      e.prefetched = false;
+      ++stats_.prefetch_useful;
+    }
+    return out;
+  }
+
+  out.freshness = Freshness::kStale;
+  out.revalidatable = !e.object.etag.empty();
+  const TimeMs expired_at = e.stored_ms + e.object.ttl_ms;
+  out.within_swr = params_.stale_while_revalidate_ms > 0 &&
+                   now_ms < expired_at + params_.stale_while_revalidate_ms;
+  ++stats_.expired;
+  if (out.within_swr) {
+    // A stale-but-served entry is a hit from the client's point of view.
+    ++stats_.hits;
+    ++stats_.stale_served;
+    hits_counter().inc();
+    stale_served_counter().inc();
+    if (e.prefetched) {
+      e.prefetched = false;
+      ++stats_.prefetch_useful;
+    }
+  }
+  return out;
+}
+
+std::optional<CachedObject> HttpCache::get(const std::string& url) {
+  auto hit = lookup(url, 0);
+  if (!hit.has_value() || hit->freshness != Freshness::kFresh) return std::nullopt;
+  return hit->object;
+}
+
+bool HttpCache::contains(const std::string& url) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.contains(url);
+}
+
+bool HttpCache::has_fresh(const std::string& url, TimeMs now_ms) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(url);
+  return it != index_.end() && fresh_locked(*it->second, now_ms);
+}
+
+std::optional<CachedObject> HttpCache::peek(const std::string& url) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(url);
+  if (it == index_.end()) return std::nullopt;
   return it->second->object;
 }
 
-bool LruCache::put(const std::string& url, CachedObject object) {
+double HttpCache::ghost_frequency_locked(const std::string& url) const {
+  auto it = ghosts_.find(url);
+  return it == ghosts_.end() ? 0.0 : static_cast<double>(it->second);
+}
+
+void HttpCache::bump_ghost_locked(const std::string& url) {
+  ++ghosts_[url];
+  // TinyLFU-style aging: every so many touches, halve every count and drop
+  // the ones that reach zero, so stale popularity decays instead of pinning
+  // admission decisions forever.
+  if (++ghost_ops_ % 1024 == 0 || ghosts_.size() > 4096) {
+    for (auto it = ghosts_.begin(); it != ghosts_.end();) {
+      it->second /= 2;
+      it = it->second == 0 ? ghosts_.erase(it) : std::next(it);
+    }
+  }
+}
+
+bool HttpCache::admit_locked(const std::string& url, Bytes size) {
+  if (!params_.cost_aware_admission) return true;
+  if (used_ + size <= params_.capacity_bytes) return true;  // fits, no victims
+
+  // Hit-per-byte density of the candidate vs. the densest entry eviction
+  // would claim. Ghost frequency gives a re-fetched hot object its history
+  // back; +1 smooths never-seen entries so equal-cold candidates still
+  // replace equal-cold victims (plain LRU behavior).
+  const double candidate_density =
+      (ghost_frequency_locked(url) + 1.0) / static_cast<double>(std::max<Bytes>(size, 1));
+  Bytes reclaimed = 0;
+  double best_victim_density = 0;
+  for (auto it = lru_.rbegin(); it != lru_.rend() && used_ - reclaimed + size >
+                                                        params_.capacity_bytes;
+       ++it) {
+    const double density = (static_cast<double>(it->hits) + 1.0) /
+                           static_cast<double>(std::max<Bytes>(it->object.size, 1));
+    best_victim_density = std::max(best_victim_density, density);
+    reclaimed += it->object.size;
+  }
+  if (candidate_density >= best_victim_density) return true;
+  ++stats_.admission_rejected;
+  admission_rejected_counter().inc();
+  return false;
+}
+
+bool HttpCache::put(const std::string& url, CachedObject object, TimeMs now_ms,
+                    bool prefetched) {
+  std::lock_guard<std::mutex> lock(mu_);
   MFHTTP_CHECK(object.size >= 0);
-  if (object.size > capacity_) return false;
-  erase(url);
-  while (used_ + object.size > capacity_) evict_one();
+  if (object.ttl_ms <= 0) object.ttl_ms = params_.default_ttl_ms;
+  const auto max_object = static_cast<Bytes>(
+      params_.max_object_fraction * static_cast<double>(params_.capacity_bytes));
+  if (object.size > max_object) return false;
+  if (!admit_locked(url, object.size)) return false;
+  erase_locked(url);
+  while (used_ + object.size > params_.capacity_bytes) evict_one_locked();
   used_ += object.size;
-  lru_.push_front(Entry{url, std::move(object)});
+  Entry e;
+  e.url = url;
+  e.object = std::move(object);
+  e.stored_ms = now_ms;
+  e.prefetched = prefetched;
+  lru_.push_front(std::move(e));
   index_[url] = lru_.begin();
   ++stats_.insertions;
+  if (prefetched) ++stats_.prefetch_insertions;
   return true;
 }
 
-bool LruCache::erase(const std::string& url) {
+bool HttpCache::revalidated(const std::string& url, TimeMs now_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(url);
   if (it == index_.end()) return false;
+  it->second->stored_ms = now_ms;
+  ++stats_.revalidations;
+  revalidations_counter().inc();
+  return true;
+}
+
+void HttpCache::retire_prefetch_locked(const Entry& e) {
+  if (!e.prefetched) return;
+  stats_.prefetch_wasted_bytes += e.object.size;
+  prefetch_wasted_counter().inc(static_cast<std::uint64_t>(e.object.size));
+}
+
+bool HttpCache::erase(const std::string& url) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return erase_locked(url);
+}
+
+bool HttpCache::erase_locked(const std::string& url) {
+  auto it = index_.find(url);
+  if (it == index_.end()) return false;
+  retire_prefetch_locked(*it->second);
   used_ -= it->second->object.size;
   lru_.erase(it->second);
   index_.erase(it);
   return true;
 }
 
-void LruCache::evict_one() {
+void HttpCache::evict_one_locked() {
   MFHTTP_CHECK(!lru_.empty());
   const Entry& victim = lru_.back();
+  retire_prefetch_locked(victim);
+  // An evicted entry keeps its earned frequency as a ghost so re-admission
+  // of a genuinely hot object is immediate.
+  ghosts_[victim.url] += static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(victim.hits, 1024));
   used_ -= victim.object.size;
   index_.erase(victim.url);
   lru_.pop_back();
   ++stats_.evictions;
+  evictions_counter().inc();
 }
 
-void LruCache::clear() {
+void HttpCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
+  ghosts_.clear();
   used_ = 0;
+}
+
+Bytes HttpCache::bytes_used() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_;
+}
+
+std::size_t HttpCache::entry_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+HttpCache::Stats HttpCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Bytes HttpCache::prefetched_unused_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Bytes total = 0;
+  for (const Entry& e : lru_)
+    if (e.prefetched) total += e.object.size;
+  return total;
 }
 
 }  // namespace mfhttp

@@ -1,13 +1,38 @@
-// LRU object cache for the middleware server (§4.2: the screen scrolling
-// tracker/flow controller "can access the related data on the cache of the
-// middleware server or directly from the multimedia service server").
+// Shared validating HTTP cache for the middleware server (§4.2: the screen
+// scrolling tracker/flow controller "can access the related data on the cache
+// of the middleware server or directly from the multimedia service server").
 //
 // Keyed by absolute URL; stores response metadata and size (the event-level
-// stack transfers sizes). Eviction is strict LRU by byte capacity. An object
-// larger than the whole capacity is never admitted.
+// stack transfers sizes). Beyond the original strict-LRU byte cache this is a
+// *validating* cache shared across sessions:
+//
+//   * TTL freshness      — an entry is fresh for ttl_ms after it was stored
+//                          (or last revalidated); 0 means immortal. TTL takes
+//                          precedence over ETags: a fresh entry is served
+//                          without ever consulting the origin, etag or not.
+//   * ETag revalidation  — a stale entry with an etag can be refreshed by a
+//                          conditional fetch; a 304 calls revalidated() and
+//                          restarts the TTL clock without moving body bytes.
+//   * stale-while-revalidate — for swr_ms past expiry a stale entry may be
+//                          served immediately while a background revalidation
+//                          runs; beyond the window revalidation must block.
+//   * cost-aware admission — when inserting would evict, the candidate must
+//                          carry at least the hit-per-byte density of the best
+//                          entry it displaces, so one giant cold tile cannot
+//                          flush a run of hot thumbnails. Recently-evicted and
+//                          missed URLs keep a decayed ghost frequency so a
+//                          re-fetched hot object is re-admitted immediately.
+//   * prefetch accounting — entries stored speculatively are flagged; the
+//                          first hit marks the prefetch useful, eviction or
+//                          expiry without one counts its bytes as wasted.
+//
+// All operations are mutex-guarded so one cache can back many concurrently
+// simulated sessions (and real threads in a deployment).
 #pragma once
 
+#include <cstdint>
 #include <list>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -20,52 +45,133 @@ struct CachedObject {
   Bytes size = 0;
   int status = 200;
   std::string content_type;
+  std::string etag;     // empty: not revalidatable, stale means refetch
+  TimeMs ttl_ms = 0;    // freshness lifetime; 0 = never stale
 };
 
-class LruCache {
+struct CacheParams {
+  Bytes capacity_bytes = 0;
+  // Applied to inserted objects whose own ttl_ms is 0. 0 keeps them immortal.
+  TimeMs default_ttl_ms = 0;
+  // Stale entries may be served (while revalidating in the background) for
+  // this long past expiry; 0 disables stale-while-revalidate.
+  TimeMs stale_while_revalidate_ms = 0;
+  // No single object may exceed this fraction of the capacity (1.0 restores
+  // the historical "fits at all" rule).
+  double max_object_fraction = 1.0;
+  // Frequency-per-byte admission when inserting would evict (see above).
+  bool cost_aware_admission = false;
+};
+
+class HttpCache {
  public:
   struct Stats {
-    std::size_t hits = 0;
+    std::size_t hits = 0;          // fresh hits (includes stale_served)
     std::size_t misses = 0;
     std::size_t insertions = 0;
     std::size_t evictions = 0;
+    std::size_t expired = 0;            // lookups that found only a stale entry
+    std::size_t stale_served = 0;       // stale hits inside the SWR window
+    std::size_t revalidations = 0;      // revalidated() calls (304 refreshes)
+    std::size_t admission_rejected = 0; // puts refused by cost-aware admission
+    std::size_t prefetch_insertions = 0;
+    std::size_t prefetch_useful = 0;    // prefetched entries that saw a hit
+    Bytes prefetch_wasted_bytes = 0;    // prefetched, evicted/expired unhit
   };
 
-  explicit LruCache(Bytes capacity_bytes);
+  enum class Freshness { kFresh, kStale };
 
-  // Lookup; a hit refreshes recency and counts in stats.
+  struct Lookup {
+    CachedObject object;
+    Freshness freshness = Freshness::kFresh;
+    // Stale entry still inside the stale-while-revalidate window: serve it
+    // now, revalidate in the background.
+    bool within_swr = false;
+    bool revalidatable = false;  // stale with an etag: conditional GET works
+  };
+
+  explicit HttpCache(Bytes capacity_bytes) : HttpCache(CacheParams{capacity_bytes}) {}
+  explicit HttpCache(CacheParams params);
+
+  // Freshness-aware lookup; any present entry (fresh or stale) refreshes
+  // recency and counts in stats. `now_ms` is simulated time.
+  std::optional<Lookup> lookup(const std::string& url, TimeMs now_ms);
+
+  // Back-compat lookup at t=0: entries inserted via the legacy put() carry
+  // ttl 0 (immortal) so this behaves exactly like the historical LRU get().
   std::optional<CachedObject> get(const std::string& url);
 
   // Peek without touching recency or stats (for tests/inspection).
-  bool contains(const std::string& url) const { return index_.contains(url); }
+  bool contains(const std::string& url) const;
 
-  // Insert/overwrite; evicts LRU entries until the object fits. Objects
-  // larger than the capacity are rejected (returns false).
-  bool put(const std::string& url, CachedObject object);
+  // True if a fresh entry exists at `now_ms`; touches neither recency nor
+  // stats — the proxy's front door uses this to decide whether a request can
+  // skip admission control before the authoritative lookup() runs.
+  bool has_fresh(const std::string& url, TimeMs now_ms) const;
+
+  // Copy of the stored object regardless of freshness; no recency/stats
+  // side effects (prefetch uses the etag for conditional warm-ups).
+  std::optional<CachedObject> peek(const std::string& url) const;
+
+  // Insert/overwrite; evicts LRU entries until the object fits, subject to
+  // cost-aware admission. Objects larger than max_object_fraction * capacity
+  // are rejected (returns false). `prefetched` flags speculative warm-ups
+  // for the waste accounting.
+  bool put(const std::string& url, CachedObject object, TimeMs now_ms = 0,
+           bool prefetched = false);
+
+  // A conditional fetch came back 304: the entry is still valid — restart
+  // its TTL clock from `now_ms`. False if the entry vanished meanwhile.
+  bool revalidated(const std::string& url, TimeMs now_ms);
 
   // Remove one entry; returns true if present.
   bool erase(const std::string& url);
 
   void clear();
 
-  Bytes capacity() const { return capacity_; }
-  Bytes bytes_used() const { return used_; }
-  std::size_t entry_count() const { return index_.size(); }
-  const Stats& stats() const { return stats_; }
+  Bytes capacity() const { return params_.capacity_bytes; }
+  Bytes bytes_used() const;
+  std::size_t entry_count() const;
+  Stats stats() const;
+  const CacheParams& params() const { return params_; }
+
+  // Bytes of live prefetched entries that have not (yet) served a hit; the
+  // bench adds this to stats().prefetch_wasted_bytes for the end-of-run
+  // "prefetch-wasted" figure.
+  Bytes prefetched_unused_bytes() const;
 
  private:
   struct Entry {
     std::string url;
     CachedObject object;
+    TimeMs stored_ms = 0;   // insert or last revalidation time
+    std::uint64_t hits = 0;
+    bool prefetched = false;  // speculative insert that has not hit yet
   };
 
-  void evict_one();
+  bool fresh_locked(const Entry& e, TimeMs now_ms) const;
+  void evict_one_locked();
+  bool erase_locked(const std::string& url);
+  bool admit_locked(const std::string& url, Bytes size);
+  double ghost_frequency_locked(const std::string& url) const;
+  void bump_ghost_locked(const std::string& url);
+  void retire_prefetch_locked(const Entry& e);
 
-  Bytes capacity_;
+  CacheParams params_;
+  mutable std::mutex mu_;
   Bytes used_ = 0;
   std::list<Entry> lru_;  // front = most recent
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  // Decayed access counts for URLs not (or no longer) resident — the
+  // admission filter's memory. Periodically halved and pruned so it stays
+  // O(entries) and old popularity fades.
+  std::unordered_map<std::string, std::uint32_t> ghosts_;
+  std::uint64_t ghost_ops_ = 0;
   Stats stats_;
 };
+
+// Historical name; the validating cache is a strict superset of the old
+// byte-capacity LRU.
+using LruCache = HttpCache;
 
 }  // namespace mfhttp

@@ -1,0 +1,144 @@
+#include "http/fetch_pipeline.h"
+
+#include <utility>
+
+#include "fault/faulty_link.h"
+#include "util/check.h"
+
+namespace mfhttp {
+
+FetchPipeline::~FetchPipeline() = default;
+
+FetchPipelineBuilder::FetchPipelineBuilder(Simulator& sim, HttpFetcher* origin)
+    : sim_(sim), origin_(origin) {
+  MFHTTP_CHECK(origin != nullptr);
+}
+
+FetchPipelineBuilder& FetchPipelineBuilder::client_link(Link::Params params) {
+  link_params_ = std::move(params);
+  external_link_ = nullptr;
+  return *this;
+}
+
+FetchPipelineBuilder& FetchPipelineBuilder::client_link(Link* link) {
+  MFHTTP_CHECK(link != nullptr);
+  external_link_ = link;
+  return *this;
+}
+
+FetchPipelineBuilder& FetchPipelineBuilder::with_faults(
+    const fault::FaultPlan* plan) {
+  if (plan == nullptr) plan = fault::global_plan();
+  if (plan != nullptr && !plan->empty()) {
+    plan_ = *plan;
+  } else {
+    plan_.reset();
+  }
+  return *this;
+}
+
+FetchPipelineBuilder& FetchPipelineBuilder::with_resilience(
+    ResilientFetcher::Params params) {
+  resilience_ = std::move(params);
+  return *this;
+}
+
+FetchPipelineBuilder& FetchPipelineBuilder::with_cache(CacheParams params) {
+  cache_params_ = params;
+  shared_cache_ = nullptr;
+  return *this;
+}
+
+FetchPipelineBuilder& FetchPipelineBuilder::with_cache(HttpCache* cache) {
+  MFHTTP_CHECK(cache != nullptr);
+  shared_cache_ = cache;
+  cache_params_.reset();
+  return *this;
+}
+
+FetchPipelineBuilder& FetchPipelineBuilder::with_admission(
+    overload::AdmissionParams params) {
+  admission_params_ = std::move(params);
+  shared_admission_ = nullptr;
+  return *this;
+}
+
+FetchPipelineBuilder& FetchPipelineBuilder::with_admission(
+    overload::AdmissionController* admission) {
+  MFHTTP_CHECK(admission != nullptr);
+  shared_admission_ = admission;
+  admission_params_.reset();
+  return *this;
+}
+
+FetchPipelineBuilder& FetchPipelineBuilder::proxy_params(
+    MitmProxy::Params params) {
+  proxy_params_ = params;
+  return *this;
+}
+
+FetchPipelineBuilder& FetchPipelineBuilder::interceptor(
+    Interceptor* interceptor) {
+  interceptor_ = interceptor;
+  return *this;
+}
+
+std::unique_ptr<FetchPipeline> FetchPipelineBuilder::build() {
+  MFHTTP_CHECK(!built_);
+  built_ = true;
+
+  auto pipeline = std::unique_ptr<FetchPipeline>(new FetchPipeline());
+  pipeline->plan_ = plan_;
+  const fault::FaultPlan* plan = pipeline->fault_plan();
+
+  // Layer 1 — the client (bottleneck) hop.
+  if (external_link_ != nullptr) {
+    pipeline->client_link_ = external_link_;
+  } else {
+    pipeline->owned_link_ =
+        plan != nullptr
+            ? std::make_unique<fault::FaultyLink>(sim_, link_params_, *plan)
+            : std::make_unique<Link>(sim_, link_params_);
+    pipeline->client_link_ = pipeline->owned_link_.get();
+  }
+
+  // Layers 2–3 — the upstream chain, innermost out: origin faults, then
+  // resilience (retries must sit *outside* the fault injector so they see
+  // and absorb its failures).
+  HttpFetcher* upstream = origin_;
+  if (plan != nullptr) {
+    pipeline->faulty_ =
+        std::make_unique<fault::FaultyFetcher>(sim_, upstream, *plan);
+    upstream = pipeline->faulty_.get();
+  }
+  if (resilience_.has_value()) {
+    pipeline->resilient_ =
+        std::make_unique<ResilientFetcher>(sim_, upstream, *resilience_);
+    upstream = pipeline->resilient_.get();
+  }
+
+  // Layer 4 — the proxy, with its cache and admission front door.
+  if (cache_params_.has_value()) {
+    pipeline->owned_cache_ = std::make_unique<HttpCache>(*cache_params_);
+    pipeline->cache_ = pipeline->owned_cache_.get();
+  } else {
+    pipeline->cache_ = shared_cache_;
+  }
+  if (admission_params_.has_value()) {
+    pipeline->owned_admission_ =
+        std::make_unique<overload::AdmissionController>(*admission_params_);
+    pipeline->admission_ = pipeline->owned_admission_.get();
+  } else {
+    pipeline->admission_ = shared_admission_;
+  }
+
+  pipeline->proxy_ = std::make_unique<MitmProxy>(
+      sim_, upstream, pipeline->client_link_, proxy_params_);
+  if (pipeline->cache_ != nullptr) pipeline->proxy_->set_cache(pipeline->cache_);
+  if (pipeline->admission_ != nullptr)
+    pipeline->proxy_->set_admission(pipeline->admission_);
+  if (interceptor_ != nullptr) pipeline->proxy_->set_interceptor(interceptor_);
+  return pipeline;
+}
+
+}  // namespace mfhttp

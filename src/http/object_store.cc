@@ -4,10 +4,15 @@
 
 namespace mfhttp {
 
+std::string ObjectStore::next_etag() {
+  return "\"v" + std::to_string(++version_) + "\"";
+}
+
 void ObjectStore::put(std::string path, Bytes size, std::string content_type) {
   MFHTTP_CHECK(size >= 0);
   MFHTTP_CHECK(!path.empty() && path[0] == '/');
-  objects_[std::move(path)] = StoredObject{size, std::move(content_type), std::nullopt};
+  objects_[std::move(path)] =
+      StoredObject{size, std::move(content_type), std::nullopt, next_etag()};
 }
 
 void ObjectStore::put_body(std::string path, std::string body,
@@ -15,7 +20,14 @@ void ObjectStore::put_body(std::string path, std::string body,
   MFHTTP_CHECK(!path.empty() && path[0] == '/');
   auto size = static_cast<Bytes>(body.size());
   objects_[std::move(path)] =
-      StoredObject{size, std::move(content_type), std::move(body)};
+      StoredObject{size, std::move(content_type), std::move(body), next_etag()};
+}
+
+bool ObjectStore::bump(std::string_view path) {
+  auto it = objects_.find(std::string(path));
+  if (it == objects_.end()) return false;
+  it->second.etag = next_etag();
+  return true;
 }
 
 const StoredObject* ObjectStore::find(std::string_view path) const {

@@ -5,6 +5,7 @@
 // tests may attach real payload bytes.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -18,13 +19,15 @@ struct StoredObject {
   Bytes size = 0;                 // response body size on the wire
   std::string content_type = "application/octet-stream";
   std::optional<std::string> body;  // real payload (optional; size wins if both)
+  std::string etag;               // validator; changes on every put()/bump()
 
   Bytes wire_size() const { return body ? static_cast<Bytes>(body->size()) : size; }
 };
 
 class ObjectStore {
  public:
-  // Register an object by path ("/img/3.jpg"). Replaces existing.
+  // Register an object by path ("/img/3.jpg"). Replaces existing (and
+  // assigns a fresh ETag — replacement is new content).
   void put(std::string path, Bytes size,
            std::string content_type = "application/octet-stream");
 
@@ -32,13 +35,20 @@ class ObjectStore {
   void put_body(std::string path, std::string body,
                 std::string content_type = "text/plain");
 
+  // The object's content changed in place: assign it a fresh ETag so
+  // conditional fetches stop matching. Returns false if the path is unknown.
+  bool bump(std::string_view path);
+
   const StoredObject* find(std::string_view path) const;
   bool contains(std::string_view path) const { return find(path) != nullptr; }
   std::size_t size() const { return objects_.size(); }
   Bytes total_bytes() const;
 
  private:
+  std::string next_etag();
+
   std::unordered_map<std::string, StoredObject> objects_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace mfhttp

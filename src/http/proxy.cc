@@ -72,12 +72,19 @@ HttpFetcher::FetchId MitmProxy::fetch(const HttpRequest& request,
       obs::metrics().counter("http.proxy.requests_total");
   requests_total.inc();
 
+  // A fresh cache hit will be served from the proxy without touching the
+  // upstream, so it must not spend admission tokens either — rate limiting
+  // protects upstream capacity, and a hit consumes none. Peek only (no
+  // stats/recency); the authoritative lookup runs in start_upstream after
+  // policy has had its say.
+  const bool fresh_hit = cache_ != nullptr && cache_->has_fresh(p.url, sim_.now());
+
   // Overload front door: rate limiting and brownout shedding run before the
   // interceptor so a condemned request costs the proxy nothing but the
   // bounce. The priority hint travels on the request (x-mfhttp-priority);
   // unhinted requests count as viewport-critical, so single-session callers
   // are never shed ahead of work they did not label.
-  if (admission_ != nullptr) {
+  if (admission_ != nullptr && !fresh_hit) {
     const int priority = request.priority_hint(overload::kPriorityViewport);
     overload::Decision door = admission_->on_request(p.session, priority, sim_.now());
     if (!door.admitted()) {
@@ -177,14 +184,35 @@ void MitmProxy::start_upstream(FetchId id) {
   undefer_accounting(p);
   disarm_watchdog(p);
 
-  // Middleware-server cache: a hit skips the upstream hop entirely. Keyed by
-  // the URL actually fetched upstream (which differs from p.url after a
-  // rewrite), so substituted responses never poison the original's entry.
+  // Middleware-server cache: a fresh hit skips the upstream hop entirely.
+  // Keyed by the URL actually fetched upstream (which differs from p.url
+  // after a rewrite), so substituted responses never poison the original's
+  // entry. Stale entries inside the stale-while-revalidate window are served
+  // immediately with a background refresh; stale entries beyond it block on
+  // a conditional GET when they carry a validator.
   const std::string fetch_url = url_of(p.request);
   if (cache_ != nullptr) {
-    if (auto hit = cache_->get(fetch_url)) {
-      serve_from_cache(id, *hit);
-      return;
+    if (auto hit = cache_->lookup(fetch_url, sim_.now())) {
+      if (hit->freshness == HttpCache::Freshness::kFresh) {
+        serve_from_cache(id, hit->object);
+        return;
+      }
+      if (hit->within_swr) {
+        ++stats_.stale_served;
+        static obs::Counter& stale =
+            obs::metrics().counter("http.proxy.stale_served_total");
+        stale.inc();
+        background_revalidate(fetch_url, hit->object);
+        serve_from_cache(id, hit->object);
+        return;
+      }
+      if (hit->revalidatable) {
+        // TTL expired past the SWR window: ask the origin whether the copy
+        // is still good before serving it. A 304 answer below streams the
+        // cached bytes; a 200 replaces them.
+        p.stale_object = hit->object;
+        p.request.headers.set("If-None-Match", hit->object.etag);
+      }
     }
   }
 
@@ -217,6 +245,22 @@ void MitmProxy::start_upstream(FetchId id) {
     // A resilient upstream re-sends headers on every retry attempt; the
     // client transfer from the first headers keeps streaming.
     if (pd.client_transfer != Link::kInvalidTransfer) return;
+
+    if (meta.status == 304 && pd.stale_object.has_value()) {
+      // The origin confirmed the stale copy: restart its TTL and stream the
+      // cached bytes — the upstream round trip moved headers only.
+      ++stats_.revalidations;
+      static obs::Counter& reval =
+          obs::metrics().counter("http.proxy.revalidations_total");
+      reval.inc();
+      cache_->revalidated(fetch_url, sim_.now());
+      CachedObject validated = *pd.stale_object;
+      pd.stale_object.reset();
+      serve_from_cache(id, validated);
+      return;
+    }
+    pd.stale_object.reset();  // changed upstream: the 200 body replaces it
+
     if (pd.callbacks.on_headers) pd.callbacks.on_headers(meta);
     if (!pending_.contains(id)) return;  // callback may cancel
 
@@ -243,6 +287,9 @@ void MitmProxy::start_upstream(FetchId id) {
       finish_failed(id, r.status != 0 ? r.status : 502);
       return;
     }
+    // A 304 completes with zero body by design: the client stream is being
+    // fed from the validated cache entry, not from upstream bytes.
+    if (r.status == 304) return;
     if (r.status == 0 || r.body_size < pd.client_total) {
       // Upstream died mid-body; the cut-through stream can never deliver
       // what the headers promised.
@@ -268,6 +315,7 @@ void MitmProxy::serve_from_cache(FetchId id, const CachedObject& object) {
   meta.status = object.status;
   meta.body_size = object.size;
   meta.content_type = object.content_type;
+  meta.etag = object.etag;
   if (it->second.callbacks.on_headers) it->second.callbacks.on_headers(meta);
   if (!pending_.contains(id)) return;  // callback may cancel
   start_client_transfer(id, meta, /*cache_key=*/{});
@@ -280,11 +328,12 @@ void MitmProxy::start_client_transfer(FetchId id, const SimResponseMeta& meta,
   const Bytes total = meta.body_size;
   const int status = meta.status;
   const std::string content_type = meta.content_type;
+  const std::string etag = meta.etag;
   it->second.client_total = total;
   it->second.client_received = 0;
   it->second.client_transfer = client_link_->submit(
       total,
-      [this, id, total, status, content_type,
+      [this, id, total, status, content_type, etag,
        cache_key = std::move(cache_key)](Bytes chunk, bool complete) {
         auto cit = pending_.find(id);
         if (cit == pending_.end()) return;
@@ -309,12 +358,108 @@ void MitmProxy::start_client_transfer(FetchId id, const SimResponseMeta& meta,
             upstream_->cancel(done.upstream_id);  // upstream may lag the client
           release_upstream_slot(done);
           if (!cache_key.empty() && cache_ != nullptr && status == 200)
-            cache_->put(cache_key, CachedObject{total, status, content_type});
+            cache_->put(cache_key, CachedObject{total, status, content_type, etag},
+                        sim_.now());
           done.callbacks.on_complete(result);
           if (interceptor_) interceptor_->on_fetch_complete(result);
         }
       },
       it->second.priority);
+}
+
+void MitmProxy::background_revalidate(const std::string& url,
+                                      const CachedObject& object) {
+  if (!revalidating_.insert(url).second) return;  // one refresh at a time
+  auto parsed = parse_url(url);
+  if (!parsed.has_value()) {
+    revalidating_.erase(url);
+    return;
+  }
+  HttpRequest req = HttpRequest::get(*parsed);
+  if (!object.etag.empty()) req.headers.set("If-None-Match", object.etag);
+  req.set_priority_hint(overload::kPrioritySpeculative);
+  // Deliberately bypasses the admission slot: in the common (304) case this
+  // round trip moves headers only, and the client it serves is already
+  // streaming the stale copy.
+  auto meta = std::make_shared<SimResponseMeta>();
+  FetchCallbacks cbs;
+  cbs.on_headers = [meta](const SimResponseMeta& m) { *meta = m; };
+  cbs.on_complete = [this, url, meta](const FetchResult& r) {
+    revalidating_.erase(url);
+    if (cache_ == nullptr) return;
+    if (r.status == 304) {
+      ++stats_.revalidations;
+      static obs::Counter& reval =
+          obs::metrics().counter("http.proxy.revalidations_total");
+      reval.inc();
+      cache_->revalidated(url, sim_.now());
+    } else if (r.status == 200) {
+      ++stats_.revalidations;
+      static obs::Counter& reval =
+          obs::metrics().counter("http.proxy.revalidations_total");
+      reval.inc();
+      cache_->put(url, CachedObject{r.body_size, 200, meta->content_type, meta->etag},
+                  sim_.now());
+    }
+  };
+  upstream_->fetch(req, std::move(cbs));
+}
+
+bool MitmProxy::prefetch(const std::string& url) {
+  if (cache_ == nullptr) return false;
+  if (prefetching_.contains(url)) return false;
+  if (cache_->has_fresh(url, sim_.now())) return false;  // already warm
+  if (admission_ != nullptr && !admission_->allow_prefetch(sim_.now())) {
+    ++stats_.prefetch_denied;
+    static obs::Counter& denied =
+        obs::metrics().counter("http.proxy.prefetch_denied_total");
+    denied.inc();
+    return false;
+  }
+  auto parsed = parse_url(url);
+  if (!parsed.has_value()) return false;
+  HttpRequest req = HttpRequest::get(*parsed);
+  req.set_priority_hint(overload::kPrioritySpeculative);
+  if (auto existing = cache_->peek(url); existing && !existing->etag.empty())
+    req.headers.set("If-None-Match", existing->etag);
+
+  ++stats_.prefetches;
+  static obs::Counter& issued =
+      obs::metrics().counter("http.proxy.prefetch_issued_total");
+  issued.inc();
+  auto meta = std::make_shared<SimResponseMeta>();
+  FetchCallbacks cbs;
+  cbs.on_headers = [meta](const SimResponseMeta& m) { *meta = m; };
+  cbs.on_complete = [this, url, meta](const FetchResult& r) {
+    prefetching_.erase(url);
+    if (cache_ == nullptr) return;
+    if (r.status == 304) {
+      cache_->revalidated(url, sim_.now());
+    } else if (r.status == 200) {
+      cache_->put(url, CachedObject{r.body_size, 200, meta->content_type, meta->etag},
+                  sim_.now(), /*prefetched=*/true);
+    }
+  };
+  // Register before fetching: a fast-failing upstream may complete (and
+  // erase the registration) before fetch() returns.
+  prefetching_[url] = HttpFetcher::kInvalidFetch;
+  HttpFetcher::FetchId fid = upstream_->fetch(req, std::move(cbs));
+  auto it = prefetching_.find(url);
+  if (it != prefetching_.end()) it->second = fid;
+  return true;
+}
+
+bool MitmProxy::cancel_prefetch(const std::string& url) {
+  auto it = prefetching_.find(url);
+  if (it == prefetching_.end()) return false;
+  const HttpFetcher::FetchId fid = it->second;
+  prefetching_.erase(it);
+  if (fid != HttpFetcher::kInvalidFetch) upstream_->cancel(fid);
+  ++stats_.prefetch_cancelled;
+  static obs::Counter& cancelled =
+      obs::metrics().counter("http.proxy.prefetch_cancelled_total");
+  cancelled.inc();
+  return true;
 }
 
 void MitmProxy::finish_failed(FetchId id, int status) {

@@ -12,8 +12,10 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "http/cache.h"
@@ -80,6 +82,11 @@ class MitmProxy : public HttpFetcher {
     std::size_t rejected = 0;  // bounced by admission (429, or 503 on full queues)
     std::size_t shed = 0;      // dropped by brownout load shedding (503)
     std::size_t cache_hits = 0;
+    std::size_t stale_served = 0;   // stale entries served inside the SWR window
+    std::size_t revalidations = 0;  // conditional refreshes (304 or replaced body)
+    std::size_t prefetches = 0;         // speculative warm-ups issued upstream
+    std::size_t prefetch_denied = 0;    // warm-ups refused by admission headroom
+    std::size_t prefetch_cancelled = 0; // warm-ups aborted (predicted path changed)
     Bytes bytes_to_client = 0;
     Bytes bytes_from_upstream_saved = 0;  // upstream bytes avoided via cache
   };
@@ -112,6 +119,22 @@ class MitmProxy : public HttpFetcher {
 
   FetchId fetch(const HttpRequest& request, FetchCallbacks callbacks) override;
   bool cancel(FetchId id) override;
+
+  // Speculative cache warm-up: fetch `url` from the upstream straight into
+  // the cache, with no client transfer. The entry is flagged prefetched so
+  // the cache can account usefulness vs. waste. Skipped (returns false) when
+  // there is no cache, the entry is already fresh, a warm-up for the URL is
+  // already in flight, or the admission controller reports no headroom for
+  // speculation. A stale revalidatable entry warms conditionally — an
+  // unchanged object costs a headers-only round trip.
+  bool prefetch(const std::string& url);
+
+  // Abort an in-flight warm-up (the predicted scroll path changed). True if
+  // one was cancelled.
+  bool cancel_prefetch(const std::string& url);
+
+  // In-flight speculative warm-ups (tests/planner introspection).
+  std::size_t prefetch_inflight() const { return prefetching_.size(); }
 
   // Start all deferred requests whose URL matches. Returns count released.
   // `priority` applies to the client-link transfer (see InterceptDecision).
@@ -160,6 +183,9 @@ class MitmProxy : public HttpFetcher {
     Link::TransferId client_transfer = Link::kInvalidTransfer;
     Bytes client_total = 0;     // advertised by the headers that started it
     Bytes client_received = 0;  // delivered to the client so far
+    // Stale-but-revalidatable cache entry backing a blocking conditional GET;
+    // served as-is if the upstream answers 304.
+    std::optional<CachedObject> stale_object;
   };
 
   void start_upstream(FetchId id);
@@ -185,6 +211,9 @@ class MitmProxy : public HttpFetcher {
   // fault, not policy — blocked stays false.
   void finish_failed(FetchId id, int status);
   void disarm_watchdog(Pending& p);
+  // Fire-and-forget conditional refresh of a stale cache entry (the
+  // stale-while-revalidate back half). Deduped per URL.
+  void background_revalidate(const std::string& url, const CachedObject& object);
   static std::string url_of(const HttpRequest& request);
 
   Simulator& sim_;
@@ -200,6 +229,10 @@ class MitmProxy : public HttpFetcher {
   // FIFO within a priority class (multimap keeps insertion order for equal
   // keys).
   std::multimap<int, FetchId, std::greater<int>> dispatch_queue_;
+  // URLs with a background revalidation in flight (dedupe).
+  std::unordered_set<std::string> revalidating_;
+  // In-flight speculative warm-ups, by URL, for cancellation.
+  std::unordered_map<std::string, HttpFetcher::FetchId> prefetching_;
   Stats stats_;
 };
 

@@ -22,11 +22,13 @@ HttpFetcher::FetchId SimHttpOrigin::fetch(const HttpRequest& request,
   auto url = request.url();
   std::string url_str = url ? url->to_string() : request.target;
   std::string path = url ? url->path : request.target;
+  std::string if_none_match = request.headers.get("If-None-Match").value_or("");
   TimeMs request_ms = sim_.now();
 
   Inflight& fl = inflight_[id];
   fl.pending_event = sim_.schedule_after(params_.request_delay_ms, [this, id, path,
                                                                     url_str, request_ms,
+                                                                    if_none_match,
                                                                     cbs = std::move(
                                                                         callbacks)] {
     auto it = inflight_.find(id);
@@ -34,15 +36,31 @@ HttpFetcher::FetchId SimHttpOrigin::fetch(const HttpRequest& request,
     it->second.pending_event = Simulator::kInvalidEvent;
 
     const StoredObject* obj = store_->find(path);
+    const bool not_modified =
+        obj != nullptr && !obj->etag.empty() && if_none_match == obj->etag;
     SimResponseMeta meta;
-    meta.status = obj ? 200 : 404;
-    meta.body_size = obj ? obj->wire_size() : params_.error_body_size;
+    meta.status = obj ? (not_modified ? 304 : 200) : 404;
+    meta.body_size = not_modified ? 0 : (obj ? obj->wire_size() : params_.error_body_size);
     meta.content_type = obj ? obj->content_type : "text/plain";
+    meta.etag = obj ? obj->etag : "";
     if (cbs.on_headers) cbs.on_headers(meta);
 
     // The headers callback may have cancelled this fetch.
     it = inflight_.find(id);
     if (it == inflight_.end()) return;
+
+    if (not_modified) {
+      // 304 carries headers only: complete without touching the link.
+      inflight_.erase(it);
+      FetchResult result;
+      result.url = url_str;
+      result.status = 304;
+      result.body_size = 0;
+      result.request_ms = request_ms;
+      result.complete_ms = sim_.now();
+      cbs.on_complete(result);
+      return;
+    }
 
     auto received = std::make_shared<Bytes>(0);
     Bytes total = meta.body_size;

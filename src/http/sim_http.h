@@ -25,6 +25,7 @@ struct SimResponseMeta {
   int status = 200;
   Bytes body_size = 0;
   std::string content_type;
+  std::string etag;  // validator for conditional refetches (empty: none)
 };
 
 // Outcome of a completed fetch.
@@ -68,7 +69,9 @@ struct SimHttpOriginParams {
 };
 
 // Origin server + its access link. Unknown paths produce 404 with a small
-// error body; known paths stream `wire_size()` bytes over the link.
+// error body; known paths stream `wire_size()` bytes over the link. A
+// conditional GET (If-None-Match matching the stored ETag) answers 304 with
+// no body — only the request-delay latency is paid, no link bytes.
 class SimHttpOrigin : public HttpFetcher {
  public:
   using Params = SimHttpOriginParams;

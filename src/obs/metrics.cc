@@ -5,7 +5,6 @@
 #include <cstdio>
 
 #include "util/check.h"
-#include "util/flags.h"
 #include "util/json.h"
 #include "util/logging.h"
 
@@ -239,10 +238,6 @@ bool write_snapshot_file(const std::string& path) {
   else
     MFHTTP_ERROR << "metrics: short write to " << path;
   return ok;
-}
-
-std::string extract_metrics_json_flag(int& argc, char** argv) {
-  return extract_string_flag(argc, argv, "--metrics-json");
 }
 
 }  // namespace mfhttp::obs

@@ -151,30 +151,8 @@ class ScopedTimer {
 };
 
 // Writes metrics().snapshot_json() to `path`; false (with a log line) on
-// I/O failure.
+// I/O failure. The "--metrics-json" flag that names the path is handled by
+// cli::StandardOptions (util/cli_options.h does the argv surgery).
 bool write_snapshot_file(const std::string& path);
-
-// Removes "--metrics-json <path>" / "--metrics-json=<path>" from argv and
-// returns the path ("" if absent). Leaves all other arguments in place, so
-// it composes with benchmark::Initialize and ad-hoc argv parsing alike.
-std::string extract_metrics_json_flag(int& argc, char** argv);
-
-// One-liner for main(): extracts the flag on construction, dumps the
-// snapshot on destruction (end of main) when the flag was present.
-class MetricsDumpGuard {
- public:
-  MetricsDumpGuard(int& argc, char** argv)
-      : path_(extract_metrics_json_flag(argc, argv)) {}
-  ~MetricsDumpGuard() {
-    if (!path_.empty()) write_snapshot_file(path_);
-  }
-  MetricsDumpGuard(const MetricsDumpGuard&) = delete;
-  MetricsDumpGuard& operator=(const MetricsDumpGuard&) = delete;
-
-  const std::string& path() const { return path_; }
-
- private:
-  std::string path_;
-};
 
 }  // namespace mfhttp::obs

@@ -132,4 +132,27 @@ bool AdmissionController::has_dispatch_room(int depth) const {
   return params_.max_dispatch_queue <= 0 || depth < params_.max_dispatch_queue;
 }
 
+bool AdmissionController::allow_prefetch(TimeMs now_ms) {
+  static obs::Counter& denied =
+      obs::metrics().counter("overload.admission.prefetch_denied_total");
+  if (brownout_ != BrownoutLevel::kNormal) {
+    denied.inc();
+    return false;
+  }
+  if (params_.max_inflight_upstream > 0 &&
+      static_cast<double>(inflight_upstream_) >=
+          params_.prefetch_headroom_fraction *
+              static_cast<double>(params_.max_inflight_upstream)) {
+    denied.inc();
+    return false;
+  }
+  if (global_bucket_.enabled() && params_.speculative_guard > 0 &&
+      global_bucket_.level(now_ms) <
+          params_.speculative_guard * global_bucket_.burst()) {
+    denied.inc();
+    return false;
+  }
+  return true;
+}
+
 }  // namespace mfhttp::overload

@@ -80,6 +80,11 @@ struct AdmissionParams {
   double transient_guard = 0.25;   // transient needs > 25% bucket left
   double guard_jitter = 0.05;
 
+  // Prefetch headroom: speculative warm-ups are allowed only while inflight
+  // upstream work sits below this fraction of max_inflight_upstream, so
+  // prefetch never competes with on-demand traffic for the last slots.
+  double prefetch_headroom_fraction = 0.75;
+
   std::uint64_t seed = 1;
 };
 
@@ -115,6 +120,15 @@ class AdmissionController {
   bool try_acquire_upstream();
   void release_upstream();
   bool has_dispatch_room(int depth) const;
+
+  // Non-consuming headroom probe for speculative warm-ups (prefetch). True
+  // only when the system has slack to burn on work nobody asked for yet:
+  // brownout is kNormal (any brownout level implies kNoSpeculation), inflight
+  // upstream work is below prefetch_headroom_fraction of the concurrency cap,
+  // and the global bucket sits above the speculative guard. Never takes a
+  // token — a prefetch that later turns into a cache hit must not have
+  // charged the rate limiter for traffic that never reached the front door.
+  bool allow_prefetch(TimeMs now_ms);
 
   // Brownout coupling: the supervisor pushes its level here; on_request
   // sheds every priority the level condemns.

@@ -1,0 +1,157 @@
+#include "prefetch/cache_config.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace mfhttp::prefetch {
+
+namespace {
+
+bool read_number(const JsonValue& obj, const char* key, double min, double* out,
+                 std::string* error) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return true;
+  if (!v->is_number() || v->number_value < min) {
+    if (error != nullptr) {
+      *error = std::string("'") + key + "' must be a number >= " +
+               std::to_string(min);
+    }
+    return false;
+  }
+  *out = v->number_value;
+  return true;
+}
+
+bool read_bytes(const JsonValue& obj, const char* key, double min, Bytes* out,
+                std::string* error) {
+  double d = static_cast<double>(*out);
+  if (!read_number(obj, key, min, &d, error)) return false;
+  *out = static_cast<Bytes>(d);
+  return true;
+}
+
+bool read_time(const JsonValue& obj, const char* key, double min, TimeMs* out,
+               std::string* error) {
+  double d = static_cast<double>(*out);
+  if (!read_number(obj, key, min, &d, error)) return false;
+  *out = static_cast<TimeMs>(d);
+  return true;
+}
+
+bool read_bool(const JsonValue& obj, const char* key, bool* out,
+               std::string* error) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return true;
+  if (!v->is_bool()) {
+    if (error != nullptr) *error = std::string("'") + key + "' must be a boolean";
+    return false;
+  }
+  *out = v->bool_value;
+  return true;
+}
+
+}  // namespace
+
+std::optional<CacheConfig> CacheConfig::from_json(std::string_view json,
+                                                  std::string* error) {
+  JsonParseError parse_error;
+  auto doc = parse_json(json, &parse_error);
+  if (!doc.has_value()) {
+    if (error != nullptr) *error = parse_error.to_string();
+    return std::nullopt;
+  }
+  if (!doc->is_object()) {
+    if (error != nullptr) *error = "top-level value must be an object";
+    return std::nullopt;
+  }
+
+  CacheConfig config;
+  if (const JsonValue* c = doc->find("cache"); c != nullptr) {
+    if (!c->is_object()) {
+      if (error != nullptr) *error = "'cache' must be an object";
+      return std::nullopt;
+    }
+    CacheParams& p = config.cache;
+    if (!read_bytes(*c, "capacity_bytes", 0, &p.capacity_bytes, error) ||
+        !read_time(*c, "default_ttl_ms", 0, &p.default_ttl_ms, error) ||
+        !read_time(*c, "stale_while_revalidate_ms", 0,
+                   &p.stale_while_revalidate_ms, error) ||
+        !read_number(*c, "max_object_fraction", 0, &p.max_object_fraction,
+                     error) ||
+        !read_bool(*c, "cost_aware_admission", &p.cost_aware_admission, error)) {
+      if (error != nullptr) *error = "'cache': " + *error;
+      return std::nullopt;
+    }
+    if (p.max_object_fraction <= 0 || p.max_object_fraction > 1) {
+      if (error != nullptr) {
+        *error = "'cache': 'max_object_fraction' must be in (0, 1]";
+      }
+      return std::nullopt;
+    }
+  }
+
+  if (const JsonValue* f = doc->find("prefetch"); f != nullptr) {
+    if (!f->is_object()) {
+      if (error != nullptr) *error = "'prefetch' must be an object";
+      return std::nullopt;
+    }
+    PrefetchBudget& p = config.prefetch;
+    double min_value = p.min_value;
+    if (!read_bool(*f, "enabled", &config.prefetch_enabled, error) ||
+        !read_number(*f, "min_value", -1e18, &min_value, error) ||
+        !read_bytes(*f, "max_bytes_per_plan", 0, &p.max_bytes_per_plan, error) ||
+        !read_time(*f, "lead_time_ms", 0, &p.lead_time_ms, error)) {
+      if (error != nullptr) *error = "'prefetch': " + *error;
+      return std::nullopt;
+    }
+    p.min_value = min_value;
+  }
+
+  return config;
+}
+
+std::optional<CacheConfig> CacheConfig::load(const std::string& path,
+                                             std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open file";
+    MFHTTP_WARN << "cache config '" << path << "': cannot open file";
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string why;
+  auto config = from_json(buffer.str(), &why);
+  if (!config.has_value()) {
+    if (error != nullptr) *error = why;
+    MFHTTP_WARN << "cache config '" << path << "': " << why;
+  }
+  return config;
+}
+
+std::string CacheConfig::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("cache").begin_object();
+  w.key("capacity_bytes").value(static_cast<long long>(cache.capacity_bytes));
+  w.key("default_ttl_ms").value(static_cast<long long>(cache.default_ttl_ms));
+  w.key("stale_while_revalidate_ms")
+      .value(static_cast<long long>(cache.stale_while_revalidate_ms));
+  w.key("max_object_fraction").value(cache.max_object_fraction);
+  w.key("cost_aware_admission").value(cache.cost_aware_admission);
+  w.end_object();
+  w.key("prefetch").begin_object();
+  w.key("enabled").value(prefetch_enabled);
+  w.key("min_value").value(prefetch.min_value);
+  w.key("max_bytes_per_plan")
+      .value(static_cast<long long>(prefetch.max_bytes_per_plan));
+  w.key("lead_time_ms").value(static_cast<long long>(prefetch.lead_time_ms));
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace mfhttp::prefetch

@@ -1,0 +1,68 @@
+#include "prefetch/planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+
+namespace mfhttp::prefetch {
+
+PrefetchPlanner::PrefetchPlanner(PrefetchBudget budget) : budget_(budget) {}
+
+PrefetchPlan PrefetchPlanner::plan(const std::vector<PrefetchCandidate>& candidates,
+                                   TimeMs now_ms) const {
+  PrefetchPlan out;
+
+  // Value density decides who gets the budget.
+  std::vector<std::size_t> order(candidates.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double da = candidates[a].value /
+                      static_cast<double>(std::max<Bytes>(candidates[a].bytes, 1));
+    const double db = candidates[b].value /
+                      static_cast<double>(std::max<Bytes>(candidates[b].bytes, 1));
+    if (da != db) return da > db;
+    return candidates[a].entry_time_ms < candidates[b].entry_time_ms;  // stable tie
+  });
+
+  for (std::size_t i : order) {
+    const PrefetchCandidate& c = candidates[i];
+    if (c.value < budget_.min_value) {
+      ++out.dropped;
+      continue;
+    }
+    if (budget_.max_bytes_per_plan > 0 &&
+        out.total_bytes + c.bytes > budget_.max_bytes_per_plan) {
+      ++out.dropped;
+      continue;
+    }
+    PrefetchItem item;
+    item.url = c.url;
+    item.bytes = c.bytes;
+    item.value = c.value;
+    item.object_index = c.object_index;
+    const TimeMs entry =
+        now_ms + static_cast<TimeMs>(std::llround(std::max(0.0, c.entry_time_ms)));
+    item.launch_at_ms = std::max(now_ms, entry - budget_.lead_time_ms);
+    out.items.push_back(std::move(item));
+    out.total_bytes += c.bytes;
+  }
+
+  std::sort(out.items.begin(), out.items.end(),
+            [](const PrefetchItem& a, const PrefetchItem& b) {
+              return a.launch_at_ms < b.launch_at_ms;
+            });
+
+  static obs::Counter& planned =
+      obs::metrics().counter("prefetch.planner.items_planned_total");
+  static obs::Counter& dropped =
+      obs::metrics().counter("prefetch.planner.items_dropped_total");
+  static obs::Counter& planned_bytes =
+      obs::metrics().counter("prefetch.planner.bytes_planned_total");
+  planned.inc(out.items.size());
+  dropped.inc(out.dropped);
+  planned_bytes.inc(static_cast<std::uint64_t>(out.total_bytes));
+  return out;
+}
+
+}  // namespace mfhttp::prefetch

@@ -1,0 +1,65 @@
+// Prediction-driven prefetch planning (ISSUE 4 tentpole).
+//
+// The scroll tracker tells the flow controller *when* each object will enter
+// the viewport; the knapsack tells it *which* version carries positive
+// p·Q − q·C value. The PrefetchPlanner turns those candidates into a
+// budgeted speculative-fetch schedule: highest value-per-byte first, capped
+// by a byte budget per plan, each launch timed lead_time_ms before the
+// predicted entry so the middleware cache is warm exactly when the request
+// arrives. Whether a planned item may actually launch is decided later, at
+// launch time, by the admission controller's headroom probe
+// (overload::AdmissionController::allow_prefetch) — planning is free,
+// fetching is not.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/flow_controller.h"
+#include "util/types.h"
+
+namespace mfhttp::prefetch {
+
+struct PrefetchBudget {
+  // Candidates below this p·Q − q·C value are never worth speculative
+  // bytes. 0 admits anything the optimizer itself selected.
+  double min_value = 0.0;
+  // Byte cap per plan; <= 0 means unlimited.
+  Bytes max_bytes_per_plan = 0;
+  // Launch this long before the predicted viewport-entry time.
+  TimeMs lead_time_ms = 300;
+};
+
+struct PrefetchItem {
+  std::string url;
+  Bytes bytes = 0;
+  TimeMs launch_at_ms = 0;  // absolute simulated time to issue the warm-up
+  double value = 0;
+  std::size_t object_index = 0;
+};
+
+struct PrefetchPlan {
+  std::vector<PrefetchItem> items;  // ordered by launch time
+  Bytes total_bytes = 0;
+  std::size_t dropped = 0;  // candidates rejected by value or byte budget
+};
+
+class PrefetchPlanner {
+ public:
+  explicit PrefetchPlanner(PrefetchBudget budget = {});
+
+  const PrefetchBudget& budget() const { return budget_; }
+
+  // Budget the candidates of one scroll analysis. `now_ms` is the current
+  // simulated time; entry times are relative to it (the analysis was just
+  // produced). Admission is by value density (value per byte), so a cheap
+  // thumbnail with modest value beats one giant tile of slightly higher
+  // value — the same cost-awareness the cache's admission filter applies.
+  PrefetchPlan plan(const std::vector<PrefetchCandidate>& candidates,
+                    TimeMs now_ms) const;
+
+ private:
+  PrefetchBudget budget_;
+};
+
+}  // namespace mfhttp::prefetch

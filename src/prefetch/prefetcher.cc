@@ -1,0 +1,88 @@
+#include "prefetch/prefetcher.h"
+
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace mfhttp::prefetch {
+
+namespace {
+
+obs::Counter& launched_counter() {
+  static obs::Counter& c = obs::metrics().counter("prefetch.launched_total");
+  return c;
+}
+
+obs::Counter& denied_counter() {
+  static obs::Counter& c = obs::metrics().counter("prefetch.denied_total");
+  return c;
+}
+
+obs::Counter& cancelled_counter() {
+  static obs::Counter& c = obs::metrics().counter("prefetch.cancelled_total");
+  return c;
+}
+
+}  // namespace
+
+Prefetcher::Prefetcher(Simulator& sim, MitmProxy* proxy) : sim_(sim), proxy_(proxy) {
+  MFHTTP_CHECK(proxy_ != nullptr);
+}
+
+Prefetcher::~Prefetcher() {
+  for (auto& [url, event] : scheduled_) sim_.cancel(event);
+  scheduled_.clear();
+}
+
+void Prefetcher::submit(const PrefetchPlan& plan) {
+  std::unordered_set<std::string> keep;
+  for (const PrefetchItem& item : plan.items) keep.insert(item.url);
+
+  // The new prediction invalidates whatever the old one scheduled. Pending
+  // launches die quietly; in-flight warm-ups are torn down at the proxy so
+  // their upstream bytes stop moving.
+  std::vector<std::string> stale;
+  for (const auto& [url, event] : scheduled_)
+    if (!keep.contains(url)) stale.push_back(url);
+  for (const std::string& url : stale) {
+    sim_.cancel(scheduled_[url]);
+    scheduled_.erase(url);
+    ++stats_.cancelled;
+    cancelled_counter().inc();
+    MFHTTP_TRACE << "prefetch cancel (rescheduled away) " << url;
+  }
+  for (auto it = launched_.begin(); it != launched_.end();) {
+    if (!keep.contains(*it) && proxy_->cancel_prefetch(*it)) {
+      ++stats_.cancelled;
+      cancelled_counter().inc();
+      MFHTTP_TRACE << "prefetch cancel (in flight) " << *it;
+    }
+    it = keep.contains(*it) ? std::next(it) : launched_.erase(it);
+  }
+
+  for (const PrefetchItem& item : plan.items) {
+    if (scheduled_.contains(item.url) || launched_.contains(item.url)) continue;
+    ++stats_.scheduled;
+    const std::string url = item.url;
+    const TimeMs at = std::max(item.launch_at_ms, sim_.now());
+    scheduled_[url] = sim_.schedule_at(at, [this, url] { launch(url); });
+  }
+}
+
+void Prefetcher::cancel_all() { submit(PrefetchPlan{}); }
+
+void Prefetcher::launch(const std::string& url) {
+  scheduled_.erase(url);
+  if (proxy_->prefetch(url)) {
+    ++stats_.launched;
+    launched_counter().inc();
+    launched_.insert(url);
+  } else {
+    ++stats_.denied;
+    denied_counter().inc();
+  }
+}
+
+}  // namespace mfhttp::prefetch

@@ -1,0 +1,57 @@
+// Executes PrefetchPlans against a MitmProxy on the simulator clock.
+//
+// submit() replaces the active plan: items scheduled under the old plan but
+// absent from the new one are cancelled — both pending launches and warm-ups
+// already in flight at the proxy — because a new fling means the old
+// predicted viewport path is simply wrong (the satellite "prefetch
+// cancellation" requirement). Launches that survive fire at their planned
+// time and go through MitmProxy::prefetch, which applies its own gates
+// (already fresh, admission headroom, brownout via allow_prefetch).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "http/proxy.h"
+#include "prefetch/planner.h"
+#include "sim/simulator.h"
+
+namespace mfhttp::prefetch {
+
+class Prefetcher {
+ public:
+  struct Stats {
+    std::size_t scheduled = 0;  // items accepted into a plan
+    std::size_t launched = 0;   // proxy->prefetch() returned true
+    std::size_t denied = 0;     // proxy->prefetch() returned false at launch
+    std::size_t cancelled = 0;  // invalidated by a newer plan (or shutdown)
+  };
+
+  Prefetcher(Simulator& sim, MitmProxy* proxy);
+  ~Prefetcher();
+
+  // Replace the active plan. Items with URLs carried over keep their
+  // original schedule; everything else from the old plan is cancelled.
+  void submit(const PrefetchPlan& plan);
+
+  // Cancel everything — pending launches and in-flight warm-ups.
+  void cancel_all();
+
+  std::size_t pending() const { return scheduled_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void launch(const std::string& url);
+
+  Simulator& sim_;
+  MitmProxy* proxy_;
+  // URL -> launch event for items not yet fired.
+  std::unordered_map<std::string, Simulator::EventId> scheduled_;
+  // URLs launched under the active plan (for in-flight invalidation).
+  std::unordered_set<std::string> launched_;
+  Stats stats_;
+};
+
+}  // namespace mfhttp::prefetch

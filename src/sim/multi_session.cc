@@ -1,8 +1,10 @@
 #include "sim/multi_session.h"
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
+#include "http/fetch_pipeline.h"
 #include "http/proxy.h"
 #include "http/sim_http.h"
 #include "net/link.h"
@@ -117,12 +119,7 @@ MultiSessionResult run_multi_session(const MultiSessionConfig& config) {
 
   Link server_link(sim, {BandwidthTrace::constant(config.server_bytes_per_s),
                          config.server_latency_ms, 5, Link::Sharing::kFifo});
-  Link client_link(sim, {BandwidthTrace::constant(config.client_bytes_per_s),
-                         config.client_latency_ms, 5, Link::Sharing::kFairShare});
   SimHttpOrigin origin(sim, &store, &server_link, {config.origin_delay_ms});
-  MitmProxy proxy(sim, &origin, &client_link);
-  HintInterceptor interceptor;
-  proxy.set_interceptor(&interceptor);
 
   AdmissionParams admission_params = config.overload.admission;
   if (config.protection == Protection::kBoundedOnly) {
@@ -130,7 +127,18 @@ MultiSessionResult run_multi_session(const MultiSessionConfig& config) {
     admission_params.session_rate_per_s = 0;
   }
   AdmissionController admission(admission_params);
-  if (config.protection != Protection::kNone) proxy.set_admission(&admission);
+
+  HintInterceptor interceptor;
+  FetchPipelineBuilder builder(sim, &origin);
+  builder
+      .client_link(Link::Params{BandwidthTrace::constant(config.client_bytes_per_s),
+                                config.client_latency_ms, 5,
+                                Link::Sharing::kFairShare})
+      .interceptor(&interceptor);
+  if (config.protection != Protection::kNone) builder.with_admission(&admission);
+  std::unique_ptr<FetchPipeline> pipeline = builder.build();
+  MitmProxy& proxy = pipeline->proxy();
+  Link& client_link = pipeline->client_link();
 
   // Brownout supervisor (full arm only): pressure comes from the proxy's
   // waiting queues and the downlink's recent goodput.

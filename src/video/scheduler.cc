@@ -49,6 +49,25 @@ TilePlan record_plan(TilePlan plan) {
 
 }  // namespace
 
+std::vector<std::string> MfHttpTileScheduler::plan_prefetch(
+    const VideoAsset& video, int segment,
+    const std::vector<bool>& predicted_visible, const SchedulerContext& context,
+    const std::string& origin) const {
+  std::vector<std::string> urls;
+  if (context.degraded || context.brownout >= 1) return urls;
+  if (segment < 0 || segment >= video.segment_count()) return urls;
+  MFHTTP_CHECK(static_cast<int>(predicted_visible.size()) ==
+               video.grid().tile_count());
+  for (int t = 0; t < video.grid().tile_count(); ++t) {
+    if (!predicted_visible[static_cast<std::size_t>(t)]) continue;
+    urls.push_back(video.segment_url(origin, t, segment, 0));
+  }
+  static obs::Counter& planned =
+      obs::metrics().counter("video.scheduler.prefetch_tiles_total");
+  planned.inc(urls.size());
+  return urls;
+}
+
 TilePlan MfHttpTileScheduler::plan_segment(const VideoAsset& video, int segment,
                                            const std::vector<bool>& visible,
                                            const SchedulerContext& context) const {

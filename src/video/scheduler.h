@@ -78,6 +78,16 @@ class MfHttpTileScheduler : public TileScheduler {
   TilePlan plan_segment(const VideoAsset& video, int segment,
                         const std::vector<bool>& visible,
                         const SchedulerContext& context) const override;
+
+  // Speculative warm-up list for a *future* segment: lowest-tier segment
+  // URLs for tiles the head-motion predictor expects in the viewport, ready
+  // to hand to MitmProxy::prefetch. Empty when the context forbids
+  // speculation — degraded playback or any brownout level — so the warm-up
+  // path can never compete with on-demand tiles under pressure.
+  std::vector<std::string> plan_prefetch(const VideoAsset& video, int segment,
+                                         const std::vector<bool>& predicted_visible,
+                                         const SchedulerContext& context,
+                                         const std::string& origin) const;
 };
 
 class GreedyDashScheduler : public TileScheduler {

@@ -1,7 +1,9 @@
 #include "video/session.h"
 
 #include <algorithm>
+#include <memory>
 
+#include "http/fetch_pipeline.h"
 #include "http/proxy.h"
 #include "util/json.h"
 #include "http/sim_http.h"
@@ -130,11 +132,10 @@ std::vector<TimeMs> replay_session_over_http(const VideoAsset& video,
                                              const StreamingSessionResult& session,
                                              const BandwidthTrace& bandwidth) {
   Simulator sim;
-  Link::Params link_params;
+  Link::Params link_params;  // bottleneck device hop
   link_params.bandwidth = bandwidth;
   link_params.latency_ms = 5;
   link_params.sharing = Link::Sharing::kFifo;  // segments fetched in order
-  Link link(sim, link_params);  // bottleneck device hop
 
   Link::Params cdn_params;
   cdn_params.bandwidth = BandwidthTrace::constant(50e6);  // fast CDN hop
@@ -157,7 +158,9 @@ std::vector<TimeMs> replay_session_over_http(const VideoAsset& video,
     }
   }
   SimHttpOrigin origin(sim, &store, &cdn_link);
-  MitmProxy proxy(sim, &origin, &link);
+  std::unique_ptr<FetchPipeline> pipeline =
+      FetchPipelineBuilder(sim, &origin).client_link(link_params).build();
+  MitmProxy& proxy = pipeline->proxy();
 
   // Fetch every chosen tile; a segment completes when its last tile lands.
   // Requests are issued in segment order and the FIFO link preserves it.

@@ -152,6 +152,24 @@ void BlockListController::on_policy(const ScrollAnalysis& analysis,
         release_image(i, kPriorityTransient);
     }
   }
+
+  // Step (3b), speculative: corridor images the optimizer left parked are
+  // warmed into the middleware cache over the fast origin hop. The client
+  // link sees no byte until a later gesture actually releases them — but
+  // that release then streams straight from the proxy.
+  if (prefetch_enabled_ && brownout_level_ == 0) {
+    static obs::Counter& prefetched =
+        obs::metrics().counter("web.blocklist.prefetches_total");
+    for (std::size_t i = 0; i < page_.images.size(); ++i) {
+      if (!analysis.coverages[i].involved) continue;
+      const std::string& url = page_.images[i].top_version().url;
+      if (!block_list_.contains(url)) continue;
+      if (proxy_->prefetch(url)) {
+        ++prefetches_requested_;
+        prefetched.inc();
+      }
+    }
+  }
 }
 
 }  // namespace mfhttp

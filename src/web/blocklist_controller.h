@@ -70,6 +70,16 @@ class BlockListController : public Interceptor {
   static constexpr int kPriorityViewport = 2;
   static constexpr int kPriorityTransient = 1;
 
+  // Speculative cache warm-up: when enabled, every on_policy pass asks the
+  // proxy to prefetch corridor images the optimizer left parked — they cost
+  // only the fast origin hop now, and a later gesture's release streams from
+  // the middleware cache with no upstream round trip. Suppressed by any
+  // brownout level (speculation is the first spend to stop) and subject to
+  // the proxy's own admission headroom check.
+  void set_prefetch_enabled(bool enabled) { prefetch_enabled_ = enabled; }
+  bool prefetch_enabled() const { return prefetch_enabled_; }
+  std::size_t prefetches_requested() const { return prefetches_requested_; }
+
   bool is_blocked(const std::string& url) const { return block_list_.contains(url); }
   std::size_t block_list_size() const { return block_list_.size(); }
   std::size_t releases() const { return releases_; }
@@ -87,6 +97,8 @@ class BlockListController : public Interceptor {
   std::unordered_map<std::string, TimeMs> release_at_;
   std::size_t releases_ = 0;
   int brownout_level_ = 0;
+  bool prefetch_enabled_ = false;
+  std::size_t prefetches_requested_ = 0;
 };
 
 }  // namespace mfhttp

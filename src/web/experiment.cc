@@ -4,9 +4,8 @@
 #include <optional>
 
 #include "core/middleware.h"
-#include "fault/faulty_fetcher.h"
-#include "fault/faulty_link.h"
 #include "gesture/recognizer.h"
+#include "http/fetch_pipeline.h"
 #include "http/proxy.h"
 #include "http/sim_http.h"
 #include "sim/simulator.h"
@@ -66,22 +65,10 @@ BrowsingSessionResult run_browsing_session(const WebPage& page,
   Simulator sim;
   Rng rng(config.seed);
 
-  // Fault plan: explicit config wins, then the ambient --fault-plan. An
-  // empty plan is no plan — the stack stays pristine (no decorators, no
-  // watchdog, no retries), preserving byte-identical seed behavior.
-  const fault::FaultPlan* plan =
-      config.fault_plan != nullptr ? config.fault_plan : fault::global_plan();
-  if (plan != nullptr && plan->empty()) plan = nullptr;
-
   Link::Params client_params;
   client_params.bandwidth = BandwidthTrace::constant(config.client_bandwidth);
   client_params.latency_ms = config.client_latency_ms;
   client_params.sharing = config.client_sharing;
-  std::unique_ptr<Link> client_link_ptr =
-      plan != nullptr
-          ? std::make_unique<fault::FaultyLink>(sim, client_params, *plan)
-          : std::make_unique<Link>(sim, client_params);
-  Link& client_link = *client_link_ptr;
 
   Link::Params server_params;
   server_params.bandwidth = BandwidthTrace::constant(config.server_bandwidth);
@@ -92,21 +79,23 @@ BrowsingSessionResult run_browsing_session(const WebPage& page,
   ObjectStore store = build_store(page);
   SimHttpOrigin origin(sim, &store, &server_link);
 
-  // Upstream chain, innermost out: origin → origin faults → resilience.
-  HttpFetcher* upstream = &origin;
-  std::optional<fault::FaultyFetcher> faulty_origin;
-  if (plan != nullptr) {
-    faulty_origin.emplace(sim, upstream, *plan);
-    upstream = &*faulty_origin;
-  }
-  std::optional<ResilientFetcher> resilient;
+  // The whole decorator stack — client-hop faults, origin faults,
+  // resilience, proxy — assembles through the one canonical builder.
+  // Explicit config plan wins; the builder falls back to the ambient
+  // --fault-plan and treats an empty plan as none.
+  FetchPipelineBuilder builder(sim, &origin);
+  builder.client_link(client_params).with_faults(config.fault_plan);
   MitmProxy::Params proxy_params;
-  if (plan != nullptr && config.enable_resilience) {
-    resilient.emplace(sim, upstream, config.resilience);
-    upstream = &*resilient;
+  if (builder.has_faults() && config.enable_resilience) {
+    builder.with_resilience(config.resilience);
     proxy_params.defer_timeout_ms = config.defer_timeout_ms;
   }
-  MitmProxy proxy(sim, upstream, &client_link, proxy_params);
+  if (config.enable_cache) builder.with_cache(config.cache);
+  builder.proxy_params(proxy_params);
+  std::unique_ptr<FetchPipeline> pipeline = builder.build();
+  MitmProxy& proxy = pipeline->proxy();
+  Link& client_link = pipeline->client_link();
+  ResilientFetcher* resilient = pipeline->resilient();
 
   const Rect vp0{0, 0, config.device.screen_w_px, config.device.screen_h_px};
 
@@ -135,6 +124,8 @@ BrowsingSessionResult run_browsing_session(const WebPage& page,
     middleware.emplace(mp, page.images,
                        BandwidthTrace::constant(config.client_bandwidth), &sim);
     controller.emplace(page, vp0, &proxy);
+    if (config.enable_cache && config.enable_prefetch)
+      controller->set_prefetch_enabled(true);
     proxy.set_interceptor(&*controller);
     middleware->set_policy_callback(
         [&](const ScrollAnalysis& a, const DownloadPolicy& p) {

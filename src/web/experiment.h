@@ -10,6 +10,7 @@
 #include "core/flow_controller.h"
 #include "fault/fault_plan.h"
 #include "gesture/synthetic.h"
+#include "http/cache.h"
 #include "http/resilient_fetcher.h"
 #include "net/link.h"
 #include "scroll/device_profile.h"
@@ -56,6 +57,16 @@ struct BrowsingSessionConfig {
   bool enable_resilience = true;
   ResilientFetcherParams resilience = default_resilience();
   TimeMs defer_timeout_ms = 15'000;  // watchdog: force-release parked requests
+
+  // Middleware-server cache + corridor warm-up (ISSUE 4). Off by default:
+  // a single-session page load re-fetches nothing, so the pristine arms
+  // stay byte-identical; the cache arms exist for the cache benches and the
+  // repeat-visit / shared-proxy configurations.
+  bool enable_cache = false;
+  CacheParams cache;
+  // With a cache: warm corridor images the optimizer left parked (the
+  // BlockListController's prefetch hook). Ignored without enable_cache.
+  bool enable_prefetch = false;
 
   static ResilientFetcherParams default_resilience() {
     ResilientFetcherParams p;

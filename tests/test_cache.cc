@@ -1,0 +1,420 @@
+// Tests for the validating HTTP cache (http/cache.h) and its proxy
+// integration: TTL-vs-ETag precedence, the stale-while-revalidate window,
+// cost-aware admission under eviction pressure, prefetch usefulness/waste
+// accounting, the 304 revalidation paths through MitmProxy, and the
+// "cache hits are free" invariants — a hit moves zero bytes on the server
+// link, consumes no admission tokens, and never takes an upstream slot.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "http/cache.h"
+#include "http/fetch_pipeline.h"
+#include "http/proxy.h"
+#include "http/sim_http.h"
+#include "obs/metrics.h"
+#include "overload/admission.h"
+
+namespace mfhttp {
+namespace {
+
+CachedObject cached(Bytes size, std::string etag = "", TimeMs ttl_ms = 0) {
+  return CachedObject{size, 200, "image/jpeg", std::move(etag), ttl_ms};
+}
+
+// ---------- HttpCache: TTL freshness and ETag precedence ----------
+
+TEST(HttpCacheTest, TtlTakesPrecedenceOverEtag) {
+  HttpCache cache(CacheParams{1'000'000});
+  cache.put("u", cached(1'000, "\"v1\"", 100), 0);
+
+  // Within the TTL the entry is fresh: no revalidation wanted, etag or not.
+  auto hit = cache.lookup("u", 50);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->freshness, HttpCache::Freshness::kFresh);
+  EXPECT_FALSE(hit->revalidatable);
+
+  // Freshness boundary is exclusive: fresh at 99, stale at exactly 100.
+  EXPECT_EQ(cache.lookup("u", 99)->freshness, HttpCache::Freshness::kFresh);
+  auto stale = cache.lookup("u", 100);
+  ASSERT_TRUE(stale.has_value());
+  EXPECT_EQ(stale->freshness, HttpCache::Freshness::kStale);
+  // Past the TTL the etag makes the entry revalidatable instead of dead.
+  EXPECT_TRUE(stale->revalidatable);
+}
+
+TEST(HttpCacheTest, StaleWithoutEtagIsNotRevalidatable) {
+  HttpCache cache(CacheParams{1'000'000});
+  cache.put("u", cached(1'000, "", 100), 0);
+  auto stale = cache.lookup("u", 200);
+  ASSERT_TRUE(stale.has_value());
+  EXPECT_EQ(stale->freshness, HttpCache::Freshness::kStale);
+  EXPECT_FALSE(stale->revalidatable);
+}
+
+TEST(HttpCacheTest, ZeroTtlIsImmortalAndDefaultTtlApplies) {
+  CacheParams params;
+  params.capacity_bytes = 1'000'000;
+  params.default_ttl_ms = 50;
+  HttpCache cache(params);
+  // Explicit TTL wins over the default; ttl 0 inherits the default.
+  cache.put("explicit", cached(100, "", 1'000), 0);
+  cache.put("defaulted", cached(100), 0);
+  EXPECT_TRUE(cache.has_fresh("explicit", 500));
+  EXPECT_FALSE(cache.has_fresh("defaulted", 500));
+
+  // With no default either, entries never go stale.
+  HttpCache immortal(CacheParams{1'000'000});
+  immortal.put("u", cached(100), 0);
+  EXPECT_TRUE(immortal.has_fresh("u", 1'000'000'000));
+}
+
+// ---------- HttpCache: stale-while-revalidate window ----------
+
+TEST(HttpCacheTest, SwrWindowBoundaries) {
+  CacheParams params;
+  params.capacity_bytes = 1'000'000;
+  params.stale_while_revalidate_ms = 50;
+  HttpCache cache(params);
+  cache.put("u", cached(1'000, "\"v1\"", 100), 0);
+
+  // Expired at 100; servable-while-revalidating until (exclusive) 150.
+  auto inside = cache.lookup("u", 100);
+  ASSERT_TRUE(inside.has_value());
+  EXPECT_EQ(inside->freshness, HttpCache::Freshness::kStale);
+  EXPECT_TRUE(inside->within_swr);
+
+  auto edge = cache.lookup("u", 149);
+  ASSERT_TRUE(edge.has_value());
+  EXPECT_TRUE(edge->within_swr);
+
+  auto beyond = cache.lookup("u", 150);
+  ASSERT_TRUE(beyond.has_value());
+  EXPECT_FALSE(beyond->within_swr);
+  EXPECT_TRUE(beyond->revalidatable);  // blocking conditional GET territory
+
+  // Stats: stale-inside-SWR lookups count as hits (client got bytes now);
+  // the beyond-SWR lookup counted expired but not hit.
+  const HttpCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.stale_served, 2u);
+  EXPECT_EQ(stats.expired, 3u);
+}
+
+TEST(HttpCacheTest, SwrDisabledMeansNoStaleServing) {
+  HttpCache cache(CacheParams{1'000'000});  // swr 0
+  cache.put("u", cached(1'000, "\"v1\"", 100), 0);
+  auto stale = cache.lookup("u", 101);
+  ASSERT_TRUE(stale.has_value());
+  EXPECT_FALSE(stale->within_swr);
+}
+
+// ---------- HttpCache: revalidated() ----------
+
+TEST(HttpCacheTest, RevalidatedRestartsTtlClock) {
+  HttpCache cache(CacheParams{1'000'000});
+  cache.put("u", cached(1'000, "\"v1\"", 100), 0);
+  EXPECT_FALSE(cache.has_fresh("u", 150));
+  EXPECT_TRUE(cache.revalidated("u", 150));
+  EXPECT_TRUE(cache.has_fresh("u", 200));   // fresh until 250 now
+  EXPECT_FALSE(cache.has_fresh("u", 250));
+  EXPECT_EQ(cache.stats().revalidations, 1u);
+  EXPECT_FALSE(cache.revalidated("gone", 0));
+}
+
+// ---------- HttpCache: eviction and cost-aware admission ----------
+
+TEST(HttpCacheTest, PlainLruEvictsLeastRecentlyUsed) {
+  HttpCache cache(CacheParams{100});
+  cache.put("x", cached(60), 0);
+  cache.put("y", cached(40), 0);
+  ASSERT_TRUE(cache.lookup("x", 0).has_value());  // x is now most recent
+  EXPECT_TRUE(cache.put("z", cached(40), 0));
+  EXPECT_TRUE(cache.contains("x"));
+  EXPECT_FALSE(cache.contains("y"));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(HttpCacheTest, CostAwareAdmissionProtectsHotEntries) {
+  CacheParams params;
+  params.capacity_bytes = 100'000;
+  params.cost_aware_admission = true;
+  HttpCache cache(params);
+  cache.put("hot_a", cached(50'000), 0);
+  cache.put("hot_b", cached(50'000), 0);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(cache.lookup("hot_a", 0).has_value());
+    ASSERT_TRUE(cache.lookup("hot_b", 0).has_value());
+  }
+
+  // One cold giant whose hit-per-byte density loses to either victim: the
+  // put is refused and the hot set survives.
+  EXPECT_FALSE(cache.put("cold_giant", cached(60'000), 0));
+  EXPECT_EQ(cache.stats().admission_rejected, 1u);
+  EXPECT_TRUE(cache.contains("hot_a"));
+  EXPECT_TRUE(cache.contains("hot_b"));
+
+  // Misses build ghost frequency; a genuinely demanded object earns its way
+  // in even though it must evict the hot entries.
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(cache.lookup("cold_giant", 0).has_value());
+  EXPECT_TRUE(cache.put("cold_giant", cached(60'000), 0));
+  EXPECT_TRUE(cache.contains("cold_giant"));
+  EXPECT_GE(cache.stats().evictions, 1u);
+}
+
+TEST(HttpCacheTest, WithoutCostAwarenessColdGiantFlushesHotSet) {
+  // Control arm for the test above: plain LRU admits the same cold giant
+  // immediately.
+  HttpCache cache(CacheParams{100'000});
+  cache.put("hot_a", cached(50'000), 0);
+  cache.put("hot_b", cached(50'000), 0);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(cache.lookup("hot_a", 0).has_value());
+  EXPECT_TRUE(cache.put("cold_giant", cached(60'000), 0));
+  EXPECT_FALSE(cache.contains("hot_b"));
+}
+
+TEST(HttpCacheTest, MaxObjectFractionRejectsOversized) {
+  CacheParams params;
+  params.capacity_bytes = 100'000;
+  params.max_object_fraction = 0.25;
+  HttpCache cache(params);
+  EXPECT_FALSE(cache.put("big", cached(25'001), 0));
+  EXPECT_TRUE(cache.put("ok", cached(25'000), 0));
+}
+
+// ---------- HttpCache: prefetch usefulness / waste accounting ----------
+
+TEST(HttpCacheTest, PrefetchedEntryHitCountsUseful) {
+  HttpCache cache(CacheParams{1'000'000});
+  cache.put("warm", cached(10'000), 0, /*prefetched=*/true);
+  EXPECT_EQ(cache.stats().prefetch_insertions, 1u);
+  EXPECT_EQ(cache.prefetched_unused_bytes(), 10'000);
+
+  ASSERT_TRUE(cache.lookup("warm", 0).has_value());
+  EXPECT_EQ(cache.stats().prefetch_useful, 1u);
+  EXPECT_EQ(cache.prefetched_unused_bytes(), 0);
+
+  // Once useful, later eviction does not count it as waste.
+  cache.erase("warm");
+  EXPECT_EQ(cache.stats().prefetch_wasted_bytes, 0);
+}
+
+TEST(HttpCacheTest, UnhitPrefetchCountsWastedOnEviction) {
+  HttpCache cache(CacheParams{20'000});
+  cache.put("wrong_guess", cached(10'000), 0, /*prefetched=*/true);
+  // Demand traffic pushes the unhit speculation out.
+  cache.put("demand_a", cached(10'000), 0);
+  cache.put("demand_b", cached(10'000), 0);
+  EXPECT_FALSE(cache.contains("wrong_guess"));
+  EXPECT_EQ(cache.stats().prefetch_wasted_bytes, 10'000);
+  EXPECT_EQ(cache.stats().prefetch_useful, 0u);
+}
+
+// ---------- MitmProxy integration ----------
+
+struct CacheProxyFixture : public ::testing::Test {
+  void SetUp() override { obs::metrics().reset(); }
+
+  // Assembles origin -> proxy with `cache_params` and an optional admission
+  // controller, via the one canonical wiring path (FetchPipelineBuilder).
+  void build(CacheParams cache_params,
+             std::optional<overload::AdmissionParams> admission = std::nullopt) {
+    Link::Params server_params;
+    server_params.bandwidth = BandwidthTrace::constant(1'000'000);
+    server_params.latency_ms = 2;
+    server_link.emplace(sim, server_params);
+
+    store.put("/img/a.jpg", 50'000, "image/jpeg");
+    store.put("/img/b.jpg", 20'000, "image/jpeg");
+    store.put("/img/c.jpg", 20'000, "image/jpeg");
+    origin.emplace(sim, &store, &*server_link);
+
+    Link::Params client_params;
+    client_params.bandwidth = BandwidthTrace::constant(1'000'000);
+    client_params.latency_ms = 5;
+
+    FetchPipelineBuilder builder(sim, &*origin);
+    builder.client_link(client_params).with_cache(cache_params);
+    if (admission.has_value()) builder.with_admission(*admission);
+    pipeline = builder.build();
+  }
+
+  FetchResult fetch_and_wait(const std::string& url) {
+    std::optional<FetchResult> out;
+    FetchCallbacks cbs;
+    cbs.on_complete = [&](const FetchResult& r) { out = r; };
+    pipeline->proxy().fetch(HttpRequest::get(url), std::move(cbs));
+    sim.run();
+    EXPECT_TRUE(out.has_value());
+    return out.value_or(FetchResult{});
+  }
+
+  Simulator sim;
+  ObjectStore store;
+  std::optional<Link> server_link;
+  std::optional<SimHttpOrigin> origin;
+  std::unique_ptr<FetchPipeline> pipeline;
+};
+
+// The "cache hits are free" invariants: a fresh hit moves zero bytes on the
+// server link, consumes no admission tokens, and holds no upstream slot.
+TEST_F(CacheProxyFixture, CacheHitMovesNoServerBytesTokensOrSlots) {
+  overload::AdmissionParams admission_params;
+  admission_params.global_rate_per_s = 0.0001;  // effectively no refill
+  admission_params.global_burst = 2;            // two misses' worth of tokens
+  admission_params.max_inflight_upstream = 1;
+  build(CacheParams{1'000'000}, admission_params);
+  MitmProxy& proxy = pipeline->proxy();
+  overload::AdmissionController& admission = *pipeline->admission();
+
+  // Miss: spends one token and holds the (only) upstream slot while active.
+  FetchCallbacks miss_cbs;
+  miss_cbs.on_complete = [](const FetchResult&) {};
+  proxy.fetch(HttpRequest::get("http://site.example/img/a.jpg"),
+              std::move(miss_cbs));
+  EXPECT_EQ(admission.inflight_upstream(), 1);
+  sim.run();
+  EXPECT_EQ(admission.inflight_upstream(), 0);
+  const Bytes server_bytes_after_miss = server_link->bytes_delivered_total();
+  EXPECT_GT(server_bytes_after_miss, 0);
+
+  // Two hits: zero new server-link bytes, no upstream slot ever taken.
+  for (int i = 0; i < 2; ++i) {
+    std::optional<FetchResult> out;
+    FetchCallbacks cbs;
+    cbs.on_complete = [&](const FetchResult& r) { out = r; };
+    proxy.fetch(HttpRequest::get("http://site.example/img/a.jpg"),
+                std::move(cbs));
+    // serve_from_cache starts synchronously; the slot was never acquired.
+    EXPECT_EQ(admission.inflight_upstream(), 0);
+    sim.run();
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->status, 200);
+    EXPECT_EQ(out->body_size, 50'000);
+  }
+  EXPECT_EQ(server_link->bytes_delivered_total(), server_bytes_after_miss);
+  EXPECT_EQ(proxy.stats().cache_hits, 2u);
+  EXPECT_EQ(proxy.stats().bytes_from_upstream_saved, 100'000);
+
+  // The hits took no tokens: the second (and last) token still buys a miss…
+  EXPECT_EQ(fetch_and_wait("http://site.example/img/b.jpg").status, 200);
+  EXPECT_EQ(proxy.stats().rejected, 0u);
+  // …and only then is the bucket empty (proves the token supply was finite,
+  // i.e. the hit fetches above would have drained it had they charged it).
+  FetchResult starved = fetch_and_wait("http://site.example/img/c.jpg");
+  EXPECT_EQ(starved.status, 429);
+  EXPECT_TRUE(starved.rejected);
+  EXPECT_EQ(proxy.stats().rejected, 1u);
+}
+
+TEST_F(CacheProxyFixture, ExpiredEntryRevalidatesWith304AndNoBodyBytes) {
+  CacheParams params;
+  params.capacity_bytes = 1'000'000;
+  params.default_ttl_ms = 1'000;  // swr 0: stale means blocking conditional GET
+  build(params);
+  MitmProxy& proxy = pipeline->proxy();
+
+  EXPECT_EQ(fetch_and_wait("http://site.example/img/a.jpg").status, 200);
+  const Bytes server_bytes = server_link->bytes_delivered_total();
+
+  // Let the entry expire, then fetch again: If-None-Match -> 304 -> the
+  // cached bytes stream to the client, the server link moves nothing.
+  std::optional<FetchResult> out;
+  sim.schedule_at(sim.now() + 1'500, [&] {
+    FetchCallbacks cbs;
+    cbs.on_complete = [&](const FetchResult& r) { out = r; };
+    proxy.fetch(HttpRequest::get("http://site.example/img/a.jpg"),
+                std::move(cbs));
+  });
+  sim.run();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->status, 200);
+  EXPECT_EQ(out->body_size, 50'000);
+  EXPECT_EQ(proxy.stats().revalidations, 1u);
+  EXPECT_EQ(server_link->bytes_delivered_total(), server_bytes);
+
+  // The 304 restarted the TTL: an immediate third fetch is a plain hit.
+  EXPECT_EQ(fetch_and_wait("http://site.example/img/a.jpg").status, 200);
+  EXPECT_EQ(proxy.stats().cache_hits, 2u);  // 304 serve + fresh hit
+}
+
+TEST_F(CacheProxyFixture, ChangedContentRevalidatesWithFullBody) {
+  CacheParams params;
+  params.capacity_bytes = 1'000'000;
+  params.default_ttl_ms = 1'000;
+  build(params);
+  MitmProxy& proxy = pipeline->proxy();
+
+  EXPECT_EQ(fetch_and_wait("http://site.example/img/a.jpg").status, 200);
+  const std::string old_etag =
+      pipeline->cache()->peek("http://site.example/img/a.jpg")->etag;
+  const Bytes server_bytes = server_link->bytes_delivered_total();
+
+  // Content changes upstream: the conditional GET misses and a 200 body
+  // replaces the cached entry.
+  ASSERT_TRUE(store.bump("/img/a.jpg"));
+  std::optional<FetchResult> out;
+  sim.schedule_at(sim.now() + 1'500, [&] {
+    FetchCallbacks cbs;
+    cbs.on_complete = [&](const FetchResult& r) { out = r; };
+    proxy.fetch(HttpRequest::get("http://site.example/img/a.jpg"),
+                std::move(cbs));
+  });
+  sim.run();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->status, 200);
+  EXPECT_EQ(out->body_size, 50'000);
+  EXPECT_EQ(proxy.stats().revalidations, 0u);  // body refresh, not a 304
+  EXPECT_EQ(server_link->bytes_delivered_total(), server_bytes + 50'000);
+  const auto refreshed = pipeline->cache()->peek("http://site.example/img/a.jpg");
+  ASSERT_TRUE(refreshed.has_value());
+  EXPECT_NE(refreshed->etag, old_etag);
+}
+
+TEST_F(CacheProxyFixture, SwrServesStaleImmediatelyAndRefreshesInBackground) {
+  CacheParams params;
+  params.capacity_bytes = 1'000'000;
+  params.default_ttl_ms = 500;
+  params.stale_while_revalidate_ms = 10'000;
+  build(params);
+  MitmProxy& proxy = pipeline->proxy();
+
+  EXPECT_EQ(fetch_and_wait("http://site.example/img/a.jpg").status, 200);
+  const Bytes server_bytes = server_link->bytes_delivered_total();
+  const TimeMs first_done = sim.now();
+
+  // Inside the SWR window: served from cache at hit latency while a
+  // background conditional GET refreshes the entry (304: headers only).
+  std::optional<FetchResult> out;
+  sim.schedule_at(first_done + 600, [&] {
+    FetchCallbacks cbs;
+    cbs.on_complete = [&](const FetchResult& r) { out = r; };
+    proxy.fetch(HttpRequest::get("http://site.example/img/a.jpg"),
+                std::move(cbs));
+  });
+  sim.run();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->status, 200);
+  EXPECT_EQ(out->body_size, 50'000);
+  EXPECT_EQ(proxy.stats().stale_served, 1u);
+  EXPECT_EQ(proxy.stats().revalidations, 1u);
+  EXPECT_EQ(server_link->bytes_delivered_total(), server_bytes);
+
+  // The background 304 restarted the TTL: a fetch shortly after is fresh.
+  std::optional<FetchResult> again;
+  sim.schedule_at(sim.now() + 100, [&] {
+    FetchCallbacks cbs;
+    cbs.on_complete = [&](const FetchResult& r) { again = r; };
+    proxy.fetch(HttpRequest::get("http://site.example/img/a.jpg"),
+                std::move(cbs));
+  });
+  sim.run();
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->status, 200);
+  EXPECT_EQ(proxy.stats().cache_hits, 2u);  // stale-served + this fresh hit
+  EXPECT_EQ(server_link->bytes_delivered_total(), server_bytes);
+}
+
+}  // namespace
+}  // namespace mfhttp

@@ -1,6 +1,7 @@
 // Tests for the obs metrics registry: counter/gauge/histogram semantics,
-// bucket boundaries, snapshot JSON shape, the --metrics-json flag extractor,
-// and the instrumentation wired through the Middleware assembly.
+// bucket boundaries, snapshot JSON shape, the shared CLI flag extraction
+// (--metrics-json via util/cli_options.h), and the instrumentation wired
+// through the Middleware assembly.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -9,6 +10,7 @@
 #include "core/middleware.h"
 #include "gesture/synthetic.h"
 #include "obs/metrics.h"
+#include "util/cli_options.h"
 #include "util/json.h"
 
 namespace mfhttp {
@@ -157,7 +159,11 @@ struct Argv {
 
 TEST_F(MetricsTest, ExtractFlagWithSeparateValue) {
   Argv a({"prog", "--foo", "--metrics-json", "/tmp/m.json", "bar"});
-  EXPECT_EQ(obs::extract_metrics_json_flag(a.argc, a.data()), "/tmp/m.json");
+  std::string path;
+  CliOptions options("prog");
+  options.add_string("--metrics-json", "path", "snapshot path", &path);
+  ASSERT_TRUE(options.parse(a.argc, a.data()));
+  EXPECT_EQ(path, "/tmp/m.json");
   ASSERT_EQ(a.argc, 3);
   EXPECT_STREQ(a.data()[0], "prog");
   EXPECT_STREQ(a.data()[1], "--foo");
@@ -166,13 +172,21 @@ TEST_F(MetricsTest, ExtractFlagWithSeparateValue) {
 
 TEST_F(MetricsTest, ExtractFlagWithEqualsValue) {
   Argv a({"prog", "--metrics-json=/tmp/m.json"});
-  EXPECT_EQ(obs::extract_metrics_json_flag(a.argc, a.data()), "/tmp/m.json");
+  std::string path;
+  CliOptions options("prog");
+  options.add_string("--metrics-json", "path", "snapshot path", &path);
+  ASSERT_TRUE(options.parse(a.argc, a.data()));
+  EXPECT_EQ(path, "/tmp/m.json");
   EXPECT_EQ(a.argc, 1);
 }
 
 TEST_F(MetricsTest, ExtractFlagAbsentLeavesArgvAlone) {
   Argv a({"prog", "--benchmark_filter=all"});
-  EXPECT_EQ(obs::extract_metrics_json_flag(a.argc, a.data()), "");
+  std::string path;
+  CliOptions options("prog");
+  options.add_string("--metrics-json", "path", "snapshot path", &path);
+  ASSERT_TRUE(options.parse(a.argc, a.data()));
+  EXPECT_EQ(path, "");
   EXPECT_EQ(a.argc, 2);
 }
 

@@ -134,7 +134,7 @@ class ScriptedFetcher : public HttpFetcher {
     auto fire = [this, id, step, request,
                  cbs = std::move(callbacks)]() mutable {
       live_.erase(id);
-      if (cbs.on_headers) cbs.on_headers({step.status, step.advertised, ""});
+      if (cbs.on_headers) cbs.on_headers({step.status, step.advertised, "", ""});
       if (cbs.on_progress && step.delivered > 0)
         cbs.on_progress(step.delivered, step.delivered, step.advertised);
       FetchResult r;
