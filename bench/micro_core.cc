@@ -120,6 +120,32 @@ void BM_ScrollAnalyze(benchmark::State& state) {
 }
 BENCHMARK(BM_ScrollAnalyze)->Args({32, 1})->Args({32, 4})->Args({128, 4});
 
+void BM_ScrollAnalyzeIndexed(benchmark::State& state) {
+  // Same analysis through the y-sorted ObjectIntervalIndex: the index prunes
+  // objects whose vertical span never meets the swept region, so cost tracks
+  // the objects the gesture can reach instead of the whole page. Compare
+  // against BM_ScrollAnalyze at the same Args.
+  ScrollTracker::Params tp;
+  tp.scroll = ScrollConfig(kDevice);
+  tp.coverage_step_ms = static_cast<double>(state.range(1));
+  ScrollTracker tracker(tp);
+  Gesture g;
+  g.kind = GestureKind::kFling;
+  g.down_time_ms = 0;
+  g.up_time_ms = 150;
+  g.release_velocity = {0, -12'000};
+  std::vector<MediaObject> objs;
+  for (int i = 0; i < state.range(0); ++i)
+    objs.push_back(make_single_version_object("o", Rect{100, i * 600.0, 800, 400},
+                                              50'000, "u"));
+  ObjectIntervalIndex index(objs);
+  ScrollPrediction pred = tracker.predict(g, Rect{0, 0, 1440, 2560});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tracker.analyze(pred, objs, index));
+  }
+}
+BENCHMARK(BM_ScrollAnalyzeIndexed)->Args({32, 1})->Args({32, 4})->Args({128, 4});
+
 void BM_FlowOptimize(benchmark::State& state) {
   // The full §3.4 optimization on a realistic gesture's worth of objects.
   ScrollAnalysis analysis = make_analysis(static_cast<int>(state.range(0)), 4.0);
@@ -138,6 +164,28 @@ void BM_FlowOptimize(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FlowOptimize)->Arg(16)->Arg(64);
+
+void BM_FlowReplan(benchmark::State& state) {
+  // The stateful hot path the middleware actually runs per touch: identical
+  // analysis every iteration, so the incremental solver's full-reuse exit and
+  // the persistent build buffers carry the whole cost. Compare against
+  // BM_FlowOptimize at the same Arg for the touch-to-policy win.
+  ScrollAnalysis analysis = make_analysis(static_cast<int>(state.range(0)), 4.0);
+  std::vector<MediaObject> objs;
+  for (int i = 0; i < state.range(0); ++i) {
+    MediaObject o;
+    o.id = "o";
+    o.rect = {100, i * 600.0, 800, 400};
+    o.versions = {{360, 10'000, "l"}, {720, 40'000, "m"}, {1080, 120'000, "h"}};
+    objs.push_back(o);
+  }
+  FlowController fc(FlowController::Params{});
+  auto bw = BandwidthTrace::constant(2e6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fc.replan(analysis, objs, bw));
+  }
+}
+BENCHMARK(BM_FlowReplan)->Arg(16)->Arg(64);
 
 void BM_PrefixKnapsackDp(benchmark::State& state) {
   Rng rng(7);
@@ -160,6 +208,54 @@ void BM_PrefixKnapsackDp(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PrefixKnapsackDp)->Arg(16)->Arg(64);
+
+std::vector<KnapsackItem> knapsack_items(int n) {
+  Rng rng(7);  // same instance family as BM_PrefixKnapsackDp
+  std::vector<KnapsackItem> items;
+  Bytes cap = 0;
+  for (int i = 0; i < n; ++i) {
+    cap += rng.uniform_int(20'000, 120'000);
+    KnapsackItem it;
+    it.capacity = cap;
+    Bytes w = rng.uniform_int(5'000, 60'000);
+    double v = rng.uniform(0.1, 0.5);
+    for (int j = 0; j < 4; ++j) {
+      it.weights.push_back(w * (j + 1));
+      it.values.push_back(v * (j + 1));
+    }
+    items.push_back(std::move(it));
+  }
+  return items;
+}
+
+void BM_PrefixKnapsackIncrementalTailChange(benchmark::State& state) {
+  // The touch-to-touch pattern replan() hits: same objects, the last item's
+  // capacity/value tail nudged per touch. Baseline: BM_PrefixKnapsackDp at
+  // the same Arg re-solves the whole table every time.
+  std::vector<KnapsackItem> items = knapsack_items(static_cast<int>(state.range(0)));
+  KnapsackScratch scratch;
+  solve_prefix_knapsack_incremental(items, 1024, &scratch);
+  double nudge = 0.001;
+  for (auto _ : state) {
+    items.back().values.back() += nudge;
+    nudge = -nudge;
+    benchmark::DoNotOptimize(
+        solve_prefix_knapsack_incremental(items, 1024, &scratch));
+  }
+}
+BENCHMARK(BM_PrefixKnapsackIncrementalTailChange)->Arg(16)->Arg(64);
+
+void BM_PrefixKnapsackIncrementalUnchanged(benchmark::State& state) {
+  // Identical instance every call — the full-reuse early exit.
+  std::vector<KnapsackItem> items = knapsack_items(static_cast<int>(state.range(0)));
+  KnapsackScratch scratch;
+  solve_prefix_knapsack_incremental(items, 1024, &scratch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solve_prefix_knapsack_incremental(items, 1024, &scratch));
+  }
+}
+BENCHMARK(BM_PrefixKnapsackIncrementalUnchanged)->Arg(16)->Arg(64);
 
 void BM_VisibleTiles(benchmark::State& state) {
   TileGrid grid(4, 4, 3840, 1920);

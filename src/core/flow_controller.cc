@@ -25,6 +25,29 @@ FlowController::FlowController(Params params) : params_(std::move(params)) {
 DownloadPolicy FlowController::optimize(const ScrollAnalysis& analysis,
                                         const std::vector<MediaObject>& objects,
                                         const BandwidthTrace& bandwidth) const {
+  BuildBuffers buffers;  // stateless entry point: fresh buffers, no DP reuse
+  return plan(analysis, objects, bandwidth, nullptr, buffers);
+}
+
+DownloadPolicy FlowController::replan(const ScrollAnalysis& analysis,
+                                      const std::vector<MediaObject>& objects,
+                                      const BandwidthTrace& bandwidth) {
+  static obs::Counter& replans_total =
+      obs::metrics().counter("core.flow.replans_total");
+  static obs::Counter& full_reuse_total =
+      obs::metrics().counter("core.flow.replan_full_reuse_total");
+  replans_total.inc();
+  const std::uint64_t reuses_before = scratch_.full_reuses;
+  DownloadPolicy policy = plan(analysis, objects, bandwidth, &scratch_, buffers_);
+  if (scratch_.full_reuses != reuses_before) full_reuse_total.inc();
+  return policy;
+}
+
+DownloadPolicy FlowController::plan(const ScrollAnalysis& analysis,
+                                    const std::vector<MediaObject>& objects,
+                                    const BandwidthTrace& bandwidth,
+                                    KnapsackScratch* scratch,
+                                    BuildBuffers& buffers) const {
   MFHTTP_CHECK(analysis.coverages.size() == objects.size());
   static obs::Counter& policies_total =
       obs::metrics().counter("core.flow.policies_total");
@@ -58,22 +81,29 @@ DownloadPolicy FlowController::optimize(const ScrollAnalysis& analysis,
   // objects): costs then normalize to 0.
   double c_m = max_cost(params_.cost, objects, involved, bandwidth, start, T);
 
-  // Build the knapsack instance in entry order.
-  std::vector<KnapsackItem> items;
-  items.reserve(involved.size());
+  // Build the knapsack instance in entry order. The buffers (and the inner
+  // values/weights vectors of recycled items) keep their capacity across
+  // calls, so steady-state replans build the instance without allocating.
+  std::vector<KnapsackItem>& items = buffers.items;
+  items.resize(involved.size());
   Bytes total_top_weight = 0;
   for (std::size_t idx : involved)
     total_top_weight += objects[idx].top_version().size;
 
-  std::vector<double> qoe_cache;  // per (item, version), row-major
-  std::vector<double> cost_cache;
+  std::vector<double>& qoe_cache = buffers.qoe;  // per (item, version), row-major
+  std::vector<double>& cost_cache = buffers.cost;
+  qoe_cache.clear();
+  cost_cache.clear();
+  std::size_t slot = 0;
   for (std::size_t idx : involved) {
     const MediaObject& obj = objects[idx];
     MFHTTP_CHECK_MSG(obj.versions_sorted(), "versions must ascend by resolution");
     const ObjectCoverage& cov = analysis.coverages[idx];
     const double r_m = obj.top_version().resolution;
 
-    KnapsackItem item;
+    KnapsackItem& item = items[slot++];
+    item.values.clear();
+    item.weights.clear();
     for (const MediaVersion& ver : obj.versions) {
       double q = qoe_score(params_.qoe, cov, S, T, ver.resolution, r_m);
       double c = c_m > 0 ? params_.cost(ver.size) / c_m : 0.0;
@@ -92,7 +122,6 @@ DownloadPolicy FlowController::optimize(const ScrollAnalysis& analysis,
                              std::max(0.0, cov.entry_time_ms))));
       item.capacity = static_cast<Bytes>(w);
     }
-    items.push_back(std::move(item));
   }
 
   Params::Solver solver =
@@ -110,7 +139,12 @@ DownloadPolicy FlowController::optimize(const ScrollAnalysis& analysis,
         sol = solve_prefix_knapsack_bnb(items).solution;
         break;
       case Params::Solver::kDp:
-        sol = solve_prefix_knapsack(items, params_.capacity_unit_bytes);
+        // The incremental entry point is bit-identical to the base DP; only
+        // the replan path carries a scratch, so optimize() stays stateless.
+        sol = scratch != nullptr
+                  ? solve_prefix_knapsack_incremental(
+                        items, params_.capacity_unit_bytes, scratch)
+                  : solve_prefix_knapsack(items, params_.capacity_unit_bytes);
         break;
     }
   }

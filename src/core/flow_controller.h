@@ -93,6 +93,21 @@ class FlowController {
                           const std::vector<MediaObject>& objects,
                           const BandwidthTrace& bandwidth) const;
 
+  // Stateful per-touch fast path (§3.4.2: the optimizer re-runs "whenever a
+  // user touch event is detected"). Bit-identical results to optimize(), but
+  // the knapsack DP table, the instance snapshot, and the item build buffers
+  // persist across calls: an unchanged instance returns the cached solution
+  // without touching the DP, an unchanged item prefix re-solves only the
+  // changed suffix, and steady-state re-solves are malloc-free. One
+  // FlowController (and thus one scratch) belongs to one session world — the
+  // parallel runner never shares controllers across workers (DESIGN.md §12).
+  DownloadPolicy replan(const ScrollAnalysis& analysis,
+                        const std::vector<MediaObject>& objects,
+                        const BandwidthTrace& bandwidth);
+
+  // Re-solve telemetry for benches and tests (counts full/prefix DP reuse).
+  const KnapsackScratch& replan_scratch() const { return scratch_; }
+
   // Objects a computed policy wants that are not already visible — ordered
   // by entry time, each carrying the decision's value so the prefetch
   // planner can budget in the same QoE-minus-cost currency the knapsack
@@ -103,6 +118,17 @@ class FlowController {
       const DownloadPolicy& policy) const;
 
  private:
+  // Reusable buffers for the knapsack instance build (replan path).
+  struct BuildBuffers {
+    std::vector<KnapsackItem> items;
+    std::vector<double> qoe;   // per (item, version), row-major
+    std::vector<double> cost;
+  };
+
+  DownloadPolicy plan(const ScrollAnalysis& analysis,
+                      const std::vector<MediaObject>& objects,
+                      const BandwidthTrace& bandwidth, KnapsackScratch* scratch,
+                      BuildBuffers& buffers) const;
   DownloadPolicy degraded_policy(const ScrollAnalysis& analysis,
                                  const std::vector<MediaObject>& objects,
                                  const std::vector<std::size_t>& involved) const;
@@ -110,6 +136,8 @@ class FlowController {
   Params params_;
   bool degraded_ = false;
   bool speculation_enabled_ = true;
+  KnapsackScratch scratch_;
+  BuildBuffers buffers_;
 };
 
 }  // namespace mfhttp

@@ -129,6 +129,127 @@ KnapsackSolution solve_prefix_knapsack(const std::vector<KnapsackItem>& items,
   return checked;
 }
 
+KnapsackSolution solve_prefix_knapsack_incremental(
+    const std::vector<KnapsackItem>& items, Bytes capacity_unit_bytes,
+    KnapsackScratch* scratch) {
+  MFHTTP_CHECK(scratch != nullptr);
+  validate_instance(items);
+  MFHTTP_CHECK(capacity_unit_bytes > 0);
+  ++scratch->solves;
+
+  const std::size_t n = items.size();
+  const Bytes unit = capacity_unit_bytes;
+  if (n == 0) {
+    scratch->items.clear();
+    scratch->unit = unit;
+    scratch->width = 0;
+    scratch->caps.clear();
+    scratch->solution = KnapsackSolution{};
+    scratch->valid = true;
+    return scratch->solution;
+  }
+
+  // Same discretization as solve_prefix_knapsack: weights round up,
+  // capacities round down.
+  auto weight_units = [&](Bytes w) -> long long { return (w + unit - 1) / unit; };
+  auto capacity_units = [&](Bytes c) -> long long { return c / unit; };
+
+  long long max_item_units = 0;
+  for (const KnapsackItem& item : items) {
+    long long wmax = 0;
+    for (Bytes wi : item.weights) wmax = std::max(wmax, weight_units(wi));
+    max_item_units += wmax;
+  }
+  const long long U =
+      std::min(capacity_units(items.back().capacity), max_item_units);
+  MFHTTP_CHECK(U >= 0);
+  const std::size_t width = static_cast<std::size_t>(U) + 1;
+
+  // Longest prefix of items unchanged since the last solve. Row i of the
+  // stored table depends only on items[0..i), their capacities, and the
+  // capacity axis, so with an identical unit and width the first k rows are
+  // still exact. caps[i] is a pure function of items[i].capacity and U, so
+  // item equality covers capacity equality.
+  std::size_t k = 0;
+  if (scratch->valid && scratch->unit == unit && scratch->width == width) {
+    const std::size_t limit = std::min(n, scratch->items.size());
+    while (k < limit && items[k].capacity == scratch->items[k].capacity &&
+           items[k].weights == scratch->items[k].weights &&
+           items[k].values == scratch->items[k].values)
+      ++k;
+    if (k == n && scratch->items.size() == n) {
+      // Touch event re-solved an unchanged instance: the §3.4.2 fast path.
+      ++scratch->full_reuses;
+      scratch->rows_reused += n;
+      return scratch->solution;
+    }
+  }
+
+  scratch->unit = unit;
+  scratch->width = width;
+  scratch->caps.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    scratch->caps[i] = std::min<long long>(capacity_units(items[i].capacity), U);
+
+  // The table only ever grows, so steady-state re-solves are malloc-free.
+  if (scratch->rows.size() < (n + 1) * width)
+    scratch->rows.resize((n + 1) * width);
+  if (scratch->choice.size() < n * width) scratch->choice.resize(n * width);
+  if (k == 0) std::fill_n(scratch->rows.begin(), width, 0.0);
+
+  scratch->rows_reused += k;
+  scratch->rows_computed += n - k;
+
+  // Identical recurrence (and tie-breaking) to solve_prefix_knapsack, begun
+  // at the first changed item.
+  for (std::size_t i = k; i < n; ++i) {
+    const double* prev = &scratch->rows[i * width];
+    double* cur = &scratch->rows[(i + 1) * width];
+    int* choice = &scratch->choice[i * width];
+    const long long cap_prev = i == 0 ? scratch->caps[0] : scratch->caps[i - 1];
+    for (long long l = 0; l <= U; ++l) {
+      double best = prev[static_cast<std::size_t>(std::min(l, cap_prev))];
+      int best_j = -1;
+      for (std::size_t j = 0; j < items[i].weights.size(); ++j) {
+        long long w = weight_units(items[i].weights[j]);
+        if (w > l) continue;
+        long long rem = std::min(l - w, cap_prev);
+        double v = prev[static_cast<std::size_t>(rem)] + items[i].values[j];
+        if (v > best) {
+          best = v;
+          best_j = static_cast<int>(j);
+        }
+      }
+      cur[static_cast<std::size_t>(l)] = best;
+      choice[static_cast<std::size_t>(l)] = best_j;
+    }
+  }
+
+  KnapsackSolution solution;
+  solution.chosen.assign(n, -1);
+  long long l = scratch->caps[n - 1];
+  for (std::size_t ii = n; ii-- > 0;) {
+    const long long cap_prev = ii == 0 ? scratch->caps[0] : scratch->caps[ii - 1];
+    int j = scratch->choice[ii * width + static_cast<std::size_t>(l)];
+    solution.chosen[ii] = j;
+    if (j >= 0) {
+      long long w = weight_units(items[ii].weights[static_cast<std::size_t>(j)]);
+      l = std::min(l - w, cap_prev);
+    } else {
+      l = std::min(l, cap_prev);
+    }
+    MFHTTP_DCHECK(l >= 0);
+  }
+
+  KnapsackSolution checked;
+  bool feasible = evaluate_selection(items, solution.chosen, &checked);
+  MFHTTP_CHECK_MSG(feasible, "incremental DP produced infeasible selection");
+  scratch->items = items;  // assignment reuses the snapshot's capacity
+  scratch->solution = checked;
+  scratch->valid = true;
+  return scratch->solution;
+}
+
 KnapsackSolution solve_prefix_knapsack_bruteforce(
     const std::vector<KnapsackItem>& items) {
   validate_instance(items);

@@ -4,12 +4,15 @@
 // the viewport (Eq. 13). Solved by dynamic programming with the
 // stage-clamped recurrence of Eq. 14.
 //
-// Three solvers share one instance format:
-//   * solve_prefix_knapsack            — the paper's DP (capacity discretized)
-//   * solve_prefix_knapsack_bruteforce — exact reference for testing (small n)
-//   * solve_prefix_knapsack_greedy     — value-density heuristic (ablation)
+// Solvers sharing one instance format:
+//   * solve_prefix_knapsack             — the paper's DP (capacity discretized)
+//   * solve_prefix_knapsack_incremental — same DP with a persistent scratch
+//                                         table reused across re-solves
+//   * solve_prefix_knapsack_bruteforce  — exact reference for testing (small n)
+//   * solve_prefix_knapsack_greedy      — value-density heuristic (ablation)
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "util/types.h"
@@ -42,6 +45,48 @@ bool evaluate_selection(const std::vector<KnapsackItem>& items,
 // Smaller units are more exact but slower: O(n * m * W/unit).
 KnapsackSolution solve_prefix_knapsack(const std::vector<KnapsackItem>& items,
                                        Bytes capacity_unit_bytes = 1024);
+
+// Persistent DP state for solve_prefix_knapsack_incremental. One scratch
+// belongs to one solver call site (e.g. one FlowController) — it is NOT
+// thread-safe; the parallel session engine gives every worker world its own
+// controller and therefore its own scratch (DESIGN.md §12).
+struct KnapsackScratch {
+  // Snapshot of the last instance, for prefix comparison.
+  std::vector<KnapsackItem> items;
+  Bytes unit = 0;
+
+  // Full DP table: rows has (n + 1) rows of `width` values, where row i is
+  // the Eq. 14 table after the first i items; choice has n such rows. Kept
+  // whole (instead of the base solver's two rolling rows) so an unchanged
+  // item prefix re-solves from its first changed row.
+  std::size_t width = 0;
+  std::vector<long long> caps;
+  std::vector<double> rows;
+  std::vector<int> choice;
+
+  KnapsackSolution solution;
+  bool valid = false;
+
+  // Telemetry (micro-bench + test hooks).
+  std::uint64_t solves = 0;
+  std::uint64_t full_reuses = 0;   // instance unchanged: cached answer
+  std::uint64_t rows_reused = 0;   // DP rows skipped via prefix reuse
+  std::uint64_t rows_computed = 0;
+};
+
+// The paper re-runs the optimizer "whenever a user touch event is detected"
+// (§3.4.2); successive touches usually re-solve the same objects with, at
+// most, a changed capacity tail. This entry point produces bit-identical
+// results to solve_prefix_knapsack(items, unit) but:
+//   * returns the cached solution outright when the whole instance (items,
+//     capacities, unit) is unchanged since the previous call;
+//   * otherwise recomputes only from the first changed item onward, reusing
+//     the DP rows of the unchanged prefix;
+//   * reuses the scratch allocations, so steady-state re-solves are
+//     malloc-free.
+KnapsackSolution solve_prefix_knapsack_incremental(
+    const std::vector<KnapsackItem>& items, Bytes capacity_unit_bytes,
+    KnapsackScratch* scratch);
 
 // Exhaustive search over all (m+1)^n assignments. Testing/reference only.
 KnapsackSolution solve_prefix_knapsack_bruteforce(

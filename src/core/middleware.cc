@@ -1,6 +1,7 @@
 #include "core/middleware.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "obs/metrics.h"
 #include "util/logging.h"
@@ -23,11 +24,14 @@ Middleware::Middleware(Params params, std::vector<MediaObject> objects,
       gesture_uplink_ms_(params.gesture_uplink_ms),
       enable_flywheel_(params.enable_flywheel),
       unscaled_viewport_(params.initial_viewport),
-      viewport_(params.initial_viewport, params.tracker.content_bounds) {}
+      viewport_(params.initial_viewport, params.tracker.content_bounds) {
+  object_index_.rebuild(objects_);
+}
 
 void Middleware::set_objects(std::vector<MediaObject> objects,
                              Rect initial_viewport) {
   objects_ = std::move(objects);
+  object_index_.rebuild(objects_);
   unscaled_viewport_ = initial_viewport;
   viewport_scale_ = 1.0;
   viewport_ = ViewportState(initial_viewport, tracker_.params().content_bounds);
@@ -73,6 +77,7 @@ void Middleware::process_gesture(const Gesture& gesture) {
   static obs::Counter& gestures_total =
       obs::metrics().counter("core.middleware.gestures_total");
   gestures_total.inc();
+  const auto wall_start = std::chrono::steady_clock::now();
 
   // Prediction accuracy: a new touch that lands mid-animation cuts the
   // predicted scroll short; the undelivered distance is the error the
@@ -139,8 +144,18 @@ void Middleware::process_gesture(const Gesture& gesture) {
       obs::metrics().counter("core.middleware.scrolls_total");
   scrolls_total.inc();
 
-  ScrollAnalysis analysis = tracker_.analyze(pred, objects_);
-  DownloadPolicy policy = flow_.optimize(analysis, objects_, bandwidth_);
+  // Touch-to-policy hot path: interval-indexed analysis plus the stateful
+  // replan() (incremental knapsack + reused build buffers). Both are
+  // bit-identical to their stateless counterparts.
+  ScrollAnalysis analysis = tracker_.analyze(pred, objects_, object_index_);
+  DownloadPolicy policy = flow_.replan(analysis, objects_, bandwidth_);
+  static obs::Histogram& touch_to_policy_ms = obs::metrics().histogram(
+      "core.middleware.touch_to_policy_ms", obs::latency_ms_bounds());
+  last_touch_to_policy_ms_ =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                wall_start)
+          .count();
+  touch_to_policy_ms.observe(last_touch_to_policy_ms_);
   last_analysis_ = analysis;
   last_policy_ = policy;
   MFHTTP_DEBUG << "middleware: gesture " << to_string(gesture.kind) << " -> "

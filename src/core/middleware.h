@@ -92,6 +92,13 @@ class Middleware {
 
   Rect viewport_at(TimeMs time_ms) const { return viewport_.at(time_ms); }
   const std::vector<MediaObject>& objects() const { return objects_; }
+  const ObjectIntervalIndex& object_index() const { return object_index_; }
+
+  // Wall-clock milliseconds the last gesture spent from entering
+  // process_gesture() to the policy being ready (the paper's touch-to-policy
+  // path); also observed into "core.middleware.touch_to_policy_ms". 0 until
+  // the first scrolling gesture.
+  double last_touch_to_policy_ms() const { return last_touch_to_policy_ms_; }
   const ViewportState& viewport_state() const { return viewport_; }
   const ScrollTracker& tracker() const { return tracker_; }
   const FlowController& flow_controller() const { return flow_; }
@@ -106,6 +113,10 @@ class Middleware {
   ScrollTracker tracker_;
   FlowController flow_;
   std::vector<MediaObject> objects_;
+  // Rebuilt whenever objects_ changes; lets every touch event analyze only
+  // the objects inside the swept y-corridor.
+  ObjectIntervalIndex object_index_;
+  double last_touch_to_policy_ms_ = 0;
   BandwidthTrace bandwidth_;
   Simulator* sim_;
   TimeMs gesture_uplink_ms_;

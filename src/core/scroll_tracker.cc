@@ -96,6 +96,74 @@ ScrollPrediction ScrollTracker::predict(const Gesture& gesture,
   return pred;
 }
 
+namespace {
+
+// The per-object coverage math, shared by both analyze() overloads so the
+// indexed path is bit-identical to the linear scan by construction.
+void analyze_object(const ScrollPrediction& prediction, const SweptRegion& sweep,
+                    const Rect& final_vp, double total_dist, double step,
+                    const Rect& rect, ObjectCoverage& cov) {
+  cov.in_initial_viewport = prediction.viewport0.overlaps(rect);
+  cov.in_final_viewport = final_vp.overlaps(rect);
+  cov.involved = intersects_swept_region(sweep, rect);
+  if (!cov.involved) return;
+
+  if (cov.in_initial_viewport) {
+    cov.entry_time_ms = 0;
+  } else {
+    double frac = first_overlap_fraction(sweep, rect);
+    MFHTTP_DCHECK(frac >= 0);
+    cov.entry_time_ms = prediction.animation.time_for_distance(frac * total_dist);
+  }
+
+  cov.final_coverage = final_vp.overlap_area(rect);
+
+  if (prediction.duration_ms <= 0) {
+    // Degenerate scroll (click / fully clamped): only the standing
+    // viewport matters.
+    cov.coverage_integral = 0;
+    return;
+  }
+  // Midpoint-rule integral of s_i(t) over the animation — the discrete sum
+  // Σ_{t=1}^{T} s_i(t) of Eq. (7) with configurable resolution.
+  double integral = 0;
+  for (double t = step / 2; t < prediction.duration_ms; t += step) {
+    double s = prediction.viewport_at(t).overlap_area(rect);
+    integral += s * step;
+  }
+  cov.coverage_integral = integral;
+}
+
+}  // namespace
+
+void ObjectIntervalIndex::rebuild(const std::vector<MediaObject>& objects) {
+  entries_.clear();
+  entries_.reserve(objects.size());
+  max_height_ = 0;
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    const Rect& r = objects[i].rect;
+    entries_.push_back({r.top(), r.bottom(), i});
+    max_height_ = std::max(max_height_, r.h);
+  }
+  std::sort(entries_.begin(), entries_.end(), [](const Entry& a, const Entry& b) {
+    return a.top != b.top ? a.top < b.top : a.index < b.index;
+  });
+}
+
+void ObjectIntervalIndex::query(double y_lo, double y_hi,
+                                std::vector<std::size_t>& out) const {
+  out.clear();
+  if (entries_.empty() || y_hi < y_lo) return;
+  // A candidate has top <= y_hi and bottom >= y_lo; since bottom is at most
+  // top + max_height_, every candidate's top sits in [y_lo - max_height_,
+  // y_hi] — binary-search the window's left edge, walk to its right edge.
+  auto first = std::lower_bound(
+      entries_.begin(), entries_.end(), y_lo - max_height_,
+      [](const Entry& e, double v) { return e.top < v; });
+  for (auto it = first; it != entries_.end() && it->top <= y_hi; ++it)
+    if (it->bottom >= y_lo) out.push_back(it->index);
+}
+
 ScrollAnalysis ScrollTracker::analyze(const ScrollPrediction& prediction,
                                       const std::vector<MediaObject>& objects) const {
   static obs::Counter& analyses_total =
@@ -114,38 +182,47 @@ ScrollAnalysis ScrollTracker::analyze(const ScrollPrediction& prediction,
   for (std::size_t i = 0; i < objects.size(); ++i) {
     ObjectCoverage& cov = analysis.coverages[i];
     cov.object_index = i;
-    const Rect& rect = objects[i].rect;
-
-    cov.in_initial_viewport = prediction.viewport0.overlaps(rect);
-    cov.in_final_viewport = final_vp.overlaps(rect);
-    cov.involved = intersects_swept_region(sweep, rect);
-    if (!cov.involved) continue;
-
-    if (cov.in_initial_viewport) {
-      cov.entry_time_ms = 0;
-    } else {
-      double frac = first_overlap_fraction(sweep, rect);
-      MFHTTP_DCHECK(frac >= 0);
-      cov.entry_time_ms = prediction.animation.time_for_distance(frac * total_dist);
-    }
-
-    cov.final_coverage = final_vp.overlap_area(rect);
-
-    if (prediction.duration_ms <= 0) {
-      // Degenerate scroll (click / fully clamped): only the standing
-      // viewport matters.
-      cov.coverage_integral = 0;
-      continue;
-    }
-    // Midpoint-rule integral of s_i(t) over the animation — the discrete sum
-    // Σ_{t=1}^{T} s_i(t) of Eq. (7) with configurable resolution.
-    double integral = 0;
-    for (double t = step / 2; t < prediction.duration_ms; t += step) {
-      double s = prediction.viewport_at(t).overlap_area(rect);
-      integral += s * step;
-    }
-    cov.coverage_integral = integral;
+    analyze_object(prediction, sweep, final_vp, total_dist, step,
+                   objects[i].rect, cov);
   }
+  return analysis;
+}
+
+ScrollAnalysis ScrollTracker::analyze(const ScrollPrediction& prediction,
+                                      const std::vector<MediaObject>& objects,
+                                      const ObjectIntervalIndex& index) const {
+  static obs::Counter& analyses_total =
+      obs::metrics().counter("core.tracker.analyses_total");
+  static obs::Counter& candidates_total =
+      obs::metrics().counter("core.tracker.index_candidates_total");
+  static obs::Counter& pruned_total =
+      obs::metrics().counter("core.tracker.index_pruned_total");
+  analyses_total.inc();
+  MFHTTP_CHECK_MSG(index.size() == objects.size(),
+                   "interval index is stale: rebuild() after layout changes");
+  ScrollAnalysis analysis;
+  analysis.prediction = prediction;
+  analysis.coverages.resize(objects.size());
+  for (std::size_t i = 0; i < objects.size(); ++i)
+    analysis.coverages[i].object_index = i;
+
+  const SweptRegion sweep = prediction.sweep();
+  const Rect final_vp = prediction.final_viewport();
+  const double total_dist = prediction.displacement.norm();
+  const double step = params_.coverage_step_ms;
+  MFHTTP_CHECK(step > 0);
+
+  // Everything a scroll can involve — initial viewport, final viewport, or
+  // the swept corridor between them — lies inside the swept y-span.
+  const double y_lo = std::min(prediction.viewport0.top(), final_vp.top());
+  const double y_hi = std::max(prediction.viewport0.bottom(), final_vp.bottom());
+  std::vector<std::size_t> candidates;
+  index.query(y_lo, y_hi, candidates);
+  for (std::size_t i : candidates)
+    analyze_object(prediction, sweep, final_vp, total_dist, step,
+                   objects[i].rect, analysis.coverages[i]);
+  candidates_total.inc(candidates.size());
+  pruned_total.inc(objects.size() - candidates.size());
   return analysis;
 }
 

@@ -64,6 +64,41 @@ struct ScrollAnalysis {
   std::vector<std::size_t> involved_by_entry_time() const;
 };
 
+// Y-sorted interval index over a page's media objects. A scroll only ever
+// touches objects whose vertical span meets the corridor the viewport sweeps,
+// so the indexed analyze() overload binary-searches this index for the
+// candidate window instead of scanning every object on the page. Built once
+// per page (rebuild() on layout change), queried per touch event.
+//
+// The query window is inclusive while Rect::overlaps is strict, so the
+// candidate set is a superset of every object the exact math can involve —
+// indexed analysis is bit-identical to the linear scan by construction.
+class ObjectIntervalIndex {
+ public:
+  ObjectIntervalIndex() = default;
+  explicit ObjectIntervalIndex(const std::vector<MediaObject>& objects) {
+    rebuild(objects);
+  }
+
+  void rebuild(const std::vector<MediaObject>& objects);
+  std::size_t size() const { return entries_.size(); }
+
+  // Indices (ascending object top, ties by index) of all objects whose
+  // [top, bottom] span touches [y_lo, y_hi]. O(log n + candidates).
+  void query(double y_lo, double y_hi, std::vector<std::size_t>& out) const;
+
+ private:
+  struct Entry {
+    double top = 0;
+    double bottom = 0;
+    std::size_t index = 0;
+  };
+  std::vector<Entry> entries_;  // ascending by top
+  // Bounds how far left of y_lo a candidate's top can sit: bottom >= y_lo
+  // implies top >= y_lo - max_height_.
+  double max_height_ = 0;
+};
+
 class ScrollTracker {
  public:
   struct Params {
@@ -87,6 +122,13 @@ class ScrollTracker {
   // Identify involved objects and compute their coverage trajectories.
   ScrollAnalysis analyze(const ScrollPrediction& prediction,
                          const std::vector<MediaObject>& objects) const;
+
+  // Same results, bit for bit, but only objects the index places inside the
+  // swept y-corridor run the per-object coverage math — the touch-to-policy
+  // hot path on large pages. `index` must be built from the same `objects`.
+  ScrollAnalysis analyze(const ScrollPrediction& prediction,
+                         const std::vector<MediaObject>& objects,
+                         const ObjectIntervalIndex& index) const;
 
  private:
   Params params_;

@@ -28,6 +28,16 @@
 //
 // All operations are mutex-guarded so one cache can back many concurrently
 // simulated sessions (and real threads in a deployment).
+//
+// Lock order (DESIGN.md §12): mu_ is a LEAF lock. Critical sections do
+// container bookkeeping only — no logging, no JSON formatting, no callbacks
+// into user code — so nothing slower than a map operation ever runs under
+// it. The single other mutex a critical section may touch is the obs
+// registry's (first-use metric registration inside the cached
+// function-local statics); the registry never calls back into the cache,
+// so the order HttpCache::mu_ -> obs::Registry::mu_ is acyclic. Snapshot
+// accessors (stats(), bytes_used(), ...) copy POD state under the lock and
+// format outside it.
 #pragma once
 
 #include <cstdint>

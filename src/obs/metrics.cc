@@ -3,12 +3,20 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <utility>
 
 #include "util/check.h"
 #include "util/json.h"
 #include "util/logging.h"
 
 namespace mfhttp::obs {
+
+std::size_t Counter::this_thread_shard() {
+  static std::atomic<std::size_t> next_slot{0};
+  thread_local const std::size_t shard =
+      next_slot.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
 
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   MFHTTP_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bucket bound");
@@ -163,17 +171,33 @@ const Histogram* Registry::find_histogram(std::string_view name) const {
 }
 
 void Registry::write_snapshot(JsonWriter& w) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Lock-scope rule (DESIGN.md §12): mu_ guards only the name->metric maps.
+  // Collect stable metric pointers under the lock, then release it before
+  // reading values and formatting JSON — snapshotting a registry must never
+  // stall worker threads that are registering (or looking up) metrics.
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
+    gauges.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) gauges.emplace_back(name, g.get());
+    histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_)
+      histograms.emplace_back(name, h.get());
+  }
   w.begin_object();
   w.key("counters").begin_object();
-  for (const auto& [name, c] : counters_) w.key(name).value(c->value());
+  for (const auto& [name, c] : counters) w.key(name).value(c->value());
   w.end_object();
   w.key("gauges").begin_object();
-  for (const auto& [name, g] : gauges_)
+  for (const auto& [name, g] : gauges)
     w.key(name).value(static_cast<long long>(g->value()));
   w.end_object();
   w.key("histograms").begin_object();
-  for (const auto& [name, h] : histograms_) {
+  for (const auto& [name, h] : histograms) {
     w.key(name).begin_object();
     w.key("count").value(h->count());
     w.key("sum").value(h->sum());

@@ -2,8 +2,14 @@
 // histograms, cheap enough for the simulator's inner loops.
 //
 // Hot-path updates are single relaxed atomic operations; the registry mutex
-// guards only name->metric registration (cold). Instrumentation sites look a
-// metric up once and cache the reference in a function-local static:
+// guards only name->metric registration (cold). Counters are additionally
+// *sharded*: each counter owns kShards cache-line-padded cells and a thread
+// increments only the cell its thread-local shard slot maps to, so the
+// parallel session runner (sim/parallel_runner.h) never bounces one hot
+// cache line between workers. value() merges the cells by summation —
+// commutative over unsigned integers, so the merged value is deterministic
+// no matter which worker incremented which cell. Instrumentation sites look
+// a metric up once and cache the reference in a function-local static:
 //
 //   static obs::Counter& c = obs::metrics().counter("core.flow.policies_total");
 //   c.inc();
@@ -33,17 +39,36 @@ class JsonWriter;
 
 namespace mfhttp::obs {
 
-// Monotonically increasing event count.
+// Monotonically increasing event count, sharded per worker thread (see the
+// file comment). Reads sum every cell; resets zero them all.
 class Counter {
  public:
+  static constexpr std::size_t kShards = 16;
+
   void inc(std::uint64_t delta = 1) {
-    value_.fetch_add(delta, std::memory_order_relaxed);
+    cells_[this_thread_shard()].value.fetch_add(delta,
+                                                std::memory_order_relaxed);
   }
-  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
-  void reset() { value_.store(0, std::memory_order_relaxed); }
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Cell& cell : cells_)
+      total += cell.value.load(std::memory_order_relaxed);
+    return total;
+  }
+  void reset() {
+    for (Cell& cell : cells_) cell.value.store(0, std::memory_order_relaxed);
+  }
 
  private:
-  std::atomic<std::uint64_t> value_{0};
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  // Threads are spread over the shards round-robin at first use; the slot is
+  // cached thread_local so the hot path is one TLS read + one relaxed add.
+  static std::size_t this_thread_shard();
+
+  Cell cells_[kShards];
 };
 
 // Instantaneous level (queue depth, buffer occupancy). May go negative only

@@ -20,6 +20,14 @@
 //
 // All decisions are functions of (simulated time, seeded RNG state, request
 // stream), so the same seed and arrival trace produce the same admit trace.
+//
+// Threading contract (DESIGN.md §12): an AdmissionController is
+// *externally synchronized* — deliberately unlocked, because it belongs to
+// exactly one discrete-event world and every call arrives from that world's
+// single event loop. The parallel scale engine (sim/session_world.h) keeps
+// this sound by sharing nothing: each worker thread owns whole worlds, so
+// no controller is ever visible to two threads. Do NOT share one instance
+// across concurrently-running simulations; give each world its own.
 #pragma once
 
 #include <cstdint>

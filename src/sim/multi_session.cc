@@ -40,6 +40,7 @@ struct Outcome {
   TimeMs deadline_ms = 0;
   bool done = false;
   FetchResult result;
+  int session = 0;  // shard key: which session issued the request
 };
 
 }  // namespace
@@ -96,6 +97,20 @@ std::string MultiSessionResult::to_json() const {
   w.key("makespan_ms").value(static_cast<long long>(makespan_ms));
   w.key("shed_ratio").value(shed_ratio);
   w.key("max_brownout_level").value(max_brownout_level);
+  w.key("per_session").begin_array();
+  for (const SessionMetrics& s : per_session) {
+    w.begin_object();
+    w.key("id").value(s.session_id);
+    w.key("requests").value(s.requests);
+    w.key("completed").value(s.completed);
+    w.key("rejected").value(s.rejected);
+    w.key("failed").value(s.failed);
+    w.key("stranded").value(s.stranded);
+    w.key("on_time").value(s.on_time);
+    w.key("on_time_bytes").value(static_cast<long long>(s.on_time_bytes));
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
   return w.str();
 }
@@ -197,7 +212,7 @@ MultiSessionResult run_multi_session(const MultiSessionConfig& config) {
       }
       const ClassSpec& spec = classes[cls];
       const std::size_t index = outcomes.size();
-      outcomes.push_back({spec.priority, spec.deadline_ms, false, {}});
+      outcomes.push_back({spec.priority, spec.deadline_ms, false, {}, s});
       sim.schedule_at(at, [&proxy, &outcomes, index, session, &spec] {
         HttpRequest request =
             HttpRequest::get(std::string("http://origin.test") + spec.path);
@@ -219,32 +234,52 @@ MultiSessionResult run_multi_session(const MultiSessionConfig& config) {
   out.protection = to_string(config.protection);
   out.sessions = config.sessions;
   out.rate_per_session_per_s = config.rate_per_session_per_s;
-  out.requests = outcomes.size();
   out.max_brownout_level = max_level;
+
+  // Shard every outcome under the session that issued it. The outcomes
+  // vector is in pre-drawn arrival order (a pure function of the seed), so
+  // nothing below can observe completion order.
+  out.per_session.resize(static_cast<std::size_t>(config.sessions));
+  for (int s = 0; s < config.sessions; ++s)
+    out.per_session[static_cast<std::size_t>(s)].session_id = s;
 
   Samples viewport_ms;
   for (const Outcome& o : outcomes) {
+    SessionMetrics& shard = out.per_session[static_cast<std::size_t>(o.session)];
+    ++shard.requests;
     if (!o.done) {
-      ++out.stranded;
+      ++shard.stranded;
       continue;
     }
     if (o.result.rejected) {
-      ++out.rejected;
+      ++shard.rejected;
       continue;
     }
     if (o.result.status != 200) {
-      ++out.failed;
+      ++shard.failed;
       continue;
     }
-    ++out.completed;
+    ++shard.completed;
     out.makespan_ms = std::max(out.makespan_ms, o.result.complete_ms);
     if (o.result.latency_ms() <= o.deadline_ms) {
-      ++out.on_time;
-      out.on_time_bytes += o.result.body_size;
+      ++shard.on_time;
+      shard.on_time_bytes += o.result.body_size;
     }
     if (o.priority == kPriorityViewport) {
       viewport_ms.add(static_cast<double>(o.result.latency_ms()));
     }
+  }
+
+  // Batch totals merge the shards in session-id order — never completion
+  // order — so the same trace always folds the same way.
+  for (const SessionMetrics& shard : out.per_session) {
+    out.requests += shard.requests;
+    out.completed += shard.completed;
+    out.rejected += shard.rejected;
+    out.failed += shard.failed;
+    out.stranded += shard.stranded;
+    out.on_time += shard.on_time;
+    out.on_time_bytes += shard.on_time_bytes;
   }
   out.shed = proxy.stats().shed;
   out.rejected = out.rejected >= out.shed ? out.rejected - out.shed : 0;

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "overload/config.h"
 #include "util/types.h"
@@ -72,10 +73,28 @@ struct MultiSessionConfig {
   MultiSessionConfig();  // fills `overload` with driver-scaled defaults
 };
 
+// Per-session shard of the result. Outcomes are attributed to the session
+// that issued the request and merged into batch totals by session id — the
+// order requests *complete* in (a scheduling artifact) never influences
+// what is reported.
+struct SessionMetrics {
+  int session_id = 0;
+  std::size_t requests = 0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;  // admission bounce or shed, as the session saw it
+  std::size_t failed = 0;
+  std::size_t stranded = 0;
+  std::size_t on_time = 0;
+  Bytes on_time_bytes = 0;
+};
+
 struct MultiSessionResult {
   std::string protection;
   int sessions = 0;
   double rate_per_session_per_s = 0;
+
+  // One shard per session, indexed and merged by session id.
+  std::vector<SessionMetrics> per_session;
 
   std::size_t requests = 0;
   std::size_t completed = 0;   // 200, bytes fully delivered

@@ -1,0 +1,53 @@
+// Work-stealing executor for embarrassingly-parallel simulation batches
+// (DESIGN.md §12): N independent tasks (one per simulated session) spread
+// over W worker threads, with results slotted by task index so the outcome
+// of a run is a pure function of (tasks, task bodies) — never of thread
+// scheduling.
+//
+// Determinism contract:
+//   * Task bodies must be shared-nothing: each task owns its world (its RNG
+//     streams, its middleware stack, its metric shards) and writes only to
+//     its own result slot. The runner supplies the index; the caller
+//     pre-sizes the result vector.
+//   * The runner decides only WHERE and WHEN a task runs, never WHAT it
+//     computes. run(count, fn) with workers() == 1 executes inline on the
+//     calling thread in index order — the serial baseline any worker count
+//     must reproduce bit for bit.
+//   * Merging (by the caller) must iterate result slots in index order, not
+//     completion order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace mfhttp::sim {
+
+struct ParallelRunStats {
+  std::size_t tasks = 0;
+  std::size_t workers = 1;
+  // Tasks a worker executed from another worker's deque. 0 when the initial
+  // block partition was perfectly balanced (or workers == 1).
+  std::uint64_t steals = 0;
+};
+
+class ParallelRunner {
+ public:
+  // workers == 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit ParallelRunner(std::size_t workers = 0);
+
+  std::size_t workers() const { return workers_; }
+
+  // Invoke fn(i) exactly once for every i in [0, count), blocking until all
+  // are done. Threads are spawned per run (sessions are coarse; pool reuse
+  // would buy microseconds) and joined before returning. A task that throws
+  // aborts the batch: the first exception is rethrown on the caller after
+  // every worker has drained.
+  ParallelRunStats run(std::size_t count,
+                       const std::function<void(std::size_t)>& fn) const;
+
+ private:
+  std::size_t workers_;
+};
+
+}  // namespace mfhttp::sim

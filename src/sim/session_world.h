@@ -1,0 +1,92 @@
+// Shared-nothing session worlds for the parallel scale engine (DESIGN.md
+// §12). Each world is one simulated browsing session: a corpus page with
+// multi-version images, a seeded gesture stream, a bandwidth trace, and a
+// full middleware stack (touch monitor -> tracker -> flow controller) —
+// everything owned by the session, nothing shared between sessions.
+//
+// This is deliberately NOT overload::run_multi_session. That engine couples
+// its sessions through one fair-share downlink and one admission controller
+// to study contention, so it is a single discrete-event world and stays
+// serial. Scale worlds are independent by construction, which is what makes
+// them parallelizable with bit-for-bit deterministic results:
+//
+//   * session seed = pure function of (master seed, session id),
+//   * each world draws only from its own RNG streams,
+//   * results land in slots indexed by session id and are merged in id
+//     order — never completion order,
+//   * wall-clock measurements ride along for the benches but are excluded
+//     from deterministic_json(), the byte-comparable artifact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/parallel_runner.h"
+
+namespace mfhttp::sim {
+
+struct ScaleSessionConfig {
+  std::uint64_t seed = 1;
+  std::size_t sessions = 16;
+  // Worker threads; 0 = hardware concurrency, 1 = the serial baseline any
+  // other count must reproduce byte for byte.
+  std::size_t workers = 1;
+  std::size_t gestures_per_session = 40;
+  // Each corpus image is expanded to this many versions (ascending
+  // resolution) so the knapsack solves a real multi-version instance.
+  std::size_t versions_per_object = 3;
+  double mean_bandwidth_mbps = 16.0;
+};
+
+struct ScaleSessionResult {
+  std::size_t session_id = 0;
+  std::uint64_t seed = 0;
+  std::string site;
+  std::size_t objects = 0;
+  std::size_t gestures = 0;
+  std::size_t scrolls = 0;
+  std::size_t involved = 0;     // involved-object decisions across all scrolls
+  std::size_t downloads = 0;    // decisions with a version selected
+  std::uint64_t planned_bytes = 0;
+  double objective_sum = 0;
+  double qoe_sum = 0;
+  // FNV-1a over every policy's decisions (indices, versions, value bits) —
+  // the cheap bit-for-bit equality witness between runs.
+  std::uint64_t fingerprint = 0;
+  // Wall-clock measurements (excluded from deterministic_json).
+  double wall_ms = 0;                    // whole session
+  std::vector<double> touch_to_policy_ms;  // one per scroll gesture
+};
+
+struct ScaleRunResult {
+  ScaleSessionConfig config;
+  std::vector<ScaleSessionResult> sessions;  // ordered by session id
+  ParallelRunStats stats;
+  double wall_ms = 0;  // whole batch, caller-visible speedup numerator
+
+  // Batch totals (merged in session-id order).
+  std::size_t total_scrolls = 0;
+  std::uint64_t total_planned_bytes = 0;
+  double total_objective = 0;
+
+  // One JSON document covering config + every per-session result, with all
+  // wall-clock fields omitted: two runs of the same config must produce the
+  // same bytes regardless of worker count, machine load, or scheduling.
+  std::string deterministic_json() const;
+};
+
+// Seed for session `id` under master `seed` (splitmix64 mixing — changing
+// either input decorrelates every stream in the session's world).
+std::uint64_t session_seed(std::uint64_t seed, std::size_t id);
+
+// Run one session world in isolation. Pure: same (config, id) -> same
+// result modulo wall-clock fields.
+ScaleSessionResult run_scale_session(const ScaleSessionConfig& config,
+                                     std::size_t id);
+
+// Run config.sessions worlds across config.workers threads and merge by
+// session id.
+ScaleRunResult run_scale_sessions(const ScaleSessionConfig& config);
+
+}  // namespace mfhttp::sim
