@@ -48,7 +48,47 @@ obs::Counter& prefetch_wasted_counter() {
 
 }  // namespace
 
-HttpCache::HttpCache(CacheParams params) : params_(params) {
+void CacheGhosts::bump(const std::string& url) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_[url];
+  // TinyLFU-style aging: every so many touches, halve every count and drop
+  // the ones that reach zero, so stale popularity decays instead of pinning
+  // admission decisions forever.
+  if (++ops_ % 1024 == 0 || counts_.size() > 4096) {
+    for (auto it = counts_.begin(); it != counts_.end();) {
+      it->second /= 2;
+      it = it->second == 0 ? counts_.erase(it) : std::next(it);
+    }
+  }
+}
+
+void CacheGhosts::credit(const std::string& url, std::uint64_t hits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counts_[url] +=
+      static_cast<std::uint32_t>(std::min<std::uint64_t>(hits, 1024));
+}
+
+double CacheGhosts::frequency(const std::string& url) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counts_.find(url);
+  return it == counts_.end() ? 0.0 : static_cast<double>(it->second);
+}
+
+std::size_t CacheGhosts::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_.size();
+}
+
+void CacheGhosts::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counts_.clear();
+  ops_ = 0;
+}
+
+HttpCache::HttpCache(CacheParams params)
+    : params_(params),
+      ghosts_(params.shared_ghosts ? params.shared_ghosts
+                                   : std::make_shared<CacheGhosts>()) {
   MFHTTP_CHECK(params_.capacity_bytes >= 0);
   MFHTTP_CHECK(params_.max_object_fraction > 0 && params_.max_object_fraction <= 1.0);
 }
@@ -64,7 +104,7 @@ std::optional<HttpCache::Lookup> HttpCache::lookup(const std::string& url,
   if (it == index_.end()) {
     ++stats_.misses;
     misses_counter().inc();
-    bump_ghost_locked(url);
+    ghosts_->bump(url);
     return std::nullopt;
   }
   Entry& e = *it->second;
@@ -128,24 +168,6 @@ std::optional<CachedObject> HttpCache::peek(const std::string& url) const {
   return it->second->object;
 }
 
-double HttpCache::ghost_frequency_locked(const std::string& url) const {
-  auto it = ghosts_.find(url);
-  return it == ghosts_.end() ? 0.0 : static_cast<double>(it->second);
-}
-
-void HttpCache::bump_ghost_locked(const std::string& url) {
-  ++ghosts_[url];
-  // TinyLFU-style aging: every so many touches, halve every count and drop
-  // the ones that reach zero, so stale popularity decays instead of pinning
-  // admission decisions forever.
-  if (++ghost_ops_ % 1024 == 0 || ghosts_.size() > 4096) {
-    for (auto it = ghosts_.begin(); it != ghosts_.end();) {
-      it->second /= 2;
-      it = it->second == 0 ? ghosts_.erase(it) : std::next(it);
-    }
-  }
-}
-
 bool HttpCache::admit_locked(const std::string& url, Bytes size) {
   if (!params_.cost_aware_admission) return true;
   if (used_ + size <= params_.capacity_bytes) return true;  // fits, no victims
@@ -155,7 +177,7 @@ bool HttpCache::admit_locked(const std::string& url, Bytes size) {
   // back; +1 smooths never-seen entries so equal-cold candidates still
   // replace equal-cold victims (plain LRU behavior).
   const double candidate_density =
-      (ghost_frequency_locked(url) + 1.0) / static_cast<double>(std::max<Bytes>(size, 1));
+      (ghosts_->frequency(url) + 1.0) / static_cast<double>(std::max<Bytes>(size, 1));
   Bytes reclaimed = 0;
   double best_victim_density = 0;
   for (auto it = lru_.rbegin(); it != lru_.rend() && used_ - reclaimed + size >
@@ -233,8 +255,7 @@ void HttpCache::evict_one_locked() {
   retire_prefetch_locked(victim);
   // An evicted entry keeps its earned frequency as a ghost so re-admission
   // of a genuinely hot object is immediate.
-  ghosts_[victim.url] += static_cast<std::uint32_t>(
-      std::min<std::uint64_t>(victim.hits, 1024));
+  ghosts_->credit(victim.url, victim.hits);
   used_ -= victim.object.size;
   index_.erase(victim.url);
   lru_.pop_back();
@@ -246,7 +267,7 @@ void HttpCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
-  ghosts_.clear();
+  ghosts_->clear();
   used_ = 0;
 }
 

@@ -29,19 +29,21 @@
 // All operations are mutex-guarded so one cache can back many concurrently
 // simulated sessions (and real threads in a deployment).
 //
-// Lock order (DESIGN.md §12): mu_ is a LEAF lock. Critical sections do
-// container bookkeeping only — no logging, no JSON formatting, no callbacks
-// into user code — so nothing slower than a map operation ever runs under
-// it. The single other mutex a critical section may touch is the obs
-// registry's (first-use metric registration inside the cached
-// function-local statics); the registry never calls back into the cache,
-// so the order HttpCache::mu_ -> obs::Registry::mu_ is acyclic. Snapshot
-// accessors (stats(), bytes_used(), ...) copy POD state under the lock and
-// format outside it.
+// Lock order (DESIGN.md §12-§13): mu_ is held only above two strict leaves.
+// Critical sections do container bookkeeping only — no logging, no JSON
+// formatting, no callbacks into user code — so nothing slower than a map
+// operation ever runs under them. The leaves a critical section may touch:
+// the obs registry's mutex (first-use metric registration inside the cached
+// function-local statics) and CacheGhosts::mu_ (the admission filter's
+// frequency map, possibly shared between shard segments). Neither ever
+// calls back into the cache, so HttpCache::mu_ -> {CacheGhosts::mu_,
+// obs::Registry::mu_} is acyclic. Snapshot accessors (stats(),
+// bytes_used(), ...) copy POD state under the lock and format outside it.
 #pragma once
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -50,6 +52,36 @@
 #include "util/types.h"
 
 namespace mfhttp {
+
+// The TinyLFU admission filter's memory: decayed access counts for URLs not
+// (or no longer) resident in a cache. Extracted from HttpCache so N shard
+// segments can share ONE ghost list (DESIGN.md §13): a URL that was hot on
+// any shard re-enters every segment's admission fight with its history
+// intact, and a session migrating between runs cannot cold-start the
+// filter. Self-synchronized (leaf mutex, see the lock-order note above) so
+// shard workers may touch it concurrently from inside their segment's
+// critical sections.
+class CacheGhosts {
+ public:
+  // One lookup missed (or bypassed) a cache: remember the URL was wanted.
+  // Every 1024 touches — or whenever the map outgrows 4096 entries — all
+  // counts halve and zeros are pruned, so stale popularity decays instead
+  // of pinning admission decisions forever.
+  void bump(const std::string& url);
+
+  // An evicted entry banks its earned hits (capped) so re-admission of a
+  // genuinely hot object is immediate.
+  void credit(const std::string& url, std::uint64_t hits);
+
+  double frequency(const std::string& url) const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::uint32_t> counts_;
+  std::uint64_t ops_ = 0;
+};
 
 struct CachedObject {
   Bytes size = 0;
@@ -71,6 +103,11 @@ struct CacheParams {
   double max_object_fraction = 1.0;
   // Frequency-per-byte admission when inserting would evict (see above).
   bool cost_aware_admission = false;
+  // Ghost list shared with other caches (the sharded front door passes one
+  // instance to every per-shard segment). Null: the cache owns a private
+  // one, which is the historical single-box behavior. Note clear() clears
+  // the ghost list it uses — shared or not.
+  std::shared_ptr<CacheGhosts> shared_ghosts = nullptr;
 };
 
 class HttpCache {
@@ -145,6 +182,10 @@ class HttpCache {
   Stats stats() const;
   const CacheParams& params() const { return params_; }
 
+  // The admission filter's ghost list (shared with other segments when
+  // CacheParams::shared_ghosts was set; private otherwise).
+  const std::shared_ptr<CacheGhosts>& ghosts() const { return ghosts_; }
+
   // Bytes of live prefetched entries that have not (yet) served a hit; the
   // bench adds this to stats().prefetch_wasted_bytes for the end-of-run
   // "prefetch-wasted" figure.
@@ -163,8 +204,6 @@ class HttpCache {
   void evict_one_locked();
   bool erase_locked(const std::string& url);
   bool admit_locked(const std::string& url, Bytes size);
-  double ghost_frequency_locked(const std::string& url) const;
-  void bump_ghost_locked(const std::string& url);
   void retire_prefetch_locked(const Entry& e);
 
   CacheParams params_;
@@ -172,11 +211,9 @@ class HttpCache {
   Bytes used_ = 0;
   std::list<Entry> lru_;  // front = most recent
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  // Decayed access counts for URLs not (or no longer) resident — the
-  // admission filter's memory. Periodically halved and pruned so it stays
-  // O(entries) and old popularity fades.
-  std::unordered_map<std::string, std::uint32_t> ghosts_;
-  std::uint64_t ghost_ops_ = 0;
+  // The admission filter's memory (see CacheGhosts); private by default,
+  // shared across segments when params_.shared_ghosts was set.
+  std::shared_ptr<CacheGhosts> ghosts_;
   Stats stats_;
 };
 

@@ -1,0 +1,409 @@
+#include "http/frontdoor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "http/fetch_pipeline.h"
+#include "http/object_store.h"
+#include "http/sim_http.h"
+#include "net/link.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+#include "util/check.h"
+#include "util/json.h"
+#include "util/mpsc_queue.h"
+#include "util/stats.h"
+
+namespace mfhttp {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fnv_fold(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+}
+
+std::uint64_t wall_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Forwards the request's priority hint into the intercept decision so the
+// proxy's dispatch queue orders admitted-but-waiting work by class (the
+// multi-session overload driver does the same).
+class HintInterceptor : public Interceptor {
+ public:
+  InterceptDecision on_request(const HttpRequest& request) override {
+    return InterceptDecision::allow(
+        request.priority_hint(overload::kPriorityViewport));
+  }
+};
+
+// A touch event travelling through a shard's dispatch queue, stamped at
+// enqueue so the consumer can measure queue wait + service as one
+// touch-to-policy latency.
+struct QueuedEvent {
+  sim::TouchEvent event;
+  std::uint64_t enqueue_ns = 0;
+};
+
+// One shard: a complete single-box serving stack (own Simulator, origin,
+// pipeline) plus the dispatch queue feeding it. Owned by exactly one worker
+// thread once the run starts; the only cross-shard state it touches is the
+// shared CacheGhosts (through its cache segment), the lock-free queue, and
+// the obs registry via batched flushes.
+class Shard {
+ public:
+  Shard(std::size_t index, const FrontDoorParams& params,
+        const ObjectStore* store, const std::vector<std::string>* urls,
+        const std::shared_ptr<CacheGhosts>& ghosts,
+        FrontDoorSessionStats* slots)
+      : queue(params.queue_capacity),
+        index_(index),
+        urls_(urls),
+        slots_(slots),
+        server_link_(sim_,
+                     {BandwidthTrace::constant(params.server_bytes_per_s_total /
+                                              static_cast<double>(params.shards)),
+                      params.server_latency_ms, 5, Link::Sharing::kFifo}),
+        origin_(sim_, store, &server_link_, {params.origin_delay_ms}),
+        events_counter_(obs::metrics().counter("http.frontdoor.events_total"),
+                        params.counter_flush_batch),
+        requests_counter_(
+            obs::metrics().counter("http.frontdoor.requests_total"),
+            params.counter_flush_batch) {
+    CacheParams cache_params;
+    cache_params.capacity_bytes = static_cast<Bytes>(
+        params.cache_capacity_total / static_cast<Bytes>(params.shards));
+    cache_params.default_ttl_ms = params.cache_ttl_ms;
+    cache_params.cost_aware_admission = true;
+    cache_params.shared_ghosts = ghosts;
+
+    FetchPipelineBuilder builder(sim_, &origin_);
+    builder
+        .client_link(Link::Params{
+            BandwidthTrace::constant(params.client_bytes_per_s_total /
+                                     static_cast<double>(params.shards)),
+            params.client_latency_ms, 5, Link::Sharing::kFairShare})
+        .with_cache(cache_params)
+        .with_admission(
+            overload::shard_slice(params.admission, index_, params.shards))
+        .interceptor(&interceptor_);
+    pipeline_ = builder.build();
+  }
+
+  void process(const QueuedEvent& qe) {
+    const sim::TouchEvent& e = qe.event;
+    if (static_cast<TimeMs>(e.ts_ms) > sim_.now())
+      sim_.run_until(static_cast<TimeMs>(e.ts_ms));
+    FrontDoorSessionStats& slot = slots_[e.session];
+    for (std::size_t u = 0; u < e.n_urls; ++u) {
+      HttpRequest req = HttpRequest::get((*urls_)[e.urls[u]]);
+      req.set_session("s" + std::to_string(e.session));
+      req.set_priority_hint(e.priority);
+      ++slot.requests;
+      ++requests_;
+      requests_counter_.inc();
+      FetchCallbacks callbacks;
+      callbacks.on_complete = [&slot](const FetchResult& r) {
+        if (r.rejected) {
+          ++slot.rejected;
+        } else if (r.status == 200 && !r.blocked) {
+          ++slot.completed;
+          slot.bytes_to_client += static_cast<std::uint64_t>(r.body_size);
+        } else {
+          ++slot.failed;
+        }
+        fnv_fold(slot.fingerprint,
+                 (static_cast<std::uint64_t>(static_cast<std::uint32_t>(r.status))
+                  << 32) |
+                     (r.rejected ? 2u : 0u) | (r.blocked ? 1u : 0u));
+        fnv_fold(slot.fingerprint, static_cast<std::uint64_t>(r.body_size));
+        fnv_fold(slot.fingerprint, static_cast<std::uint64_t>(r.complete_ms));
+      };
+      pipeline_->proxy().fetch(req, std::move(callbacks));
+    }
+    ++events_;
+    events_counter_.inc();
+    // Touch-to-policy: event production to every policy verdict issued
+    // (admission decided, upstream dispatched or bounce scheduled).
+    latencies_us_.push_back(static_cast<double>(wall_ns() - qe.enqueue_ns) /
+                            1000.0);
+  }
+
+  // Run the shard's world dry (deferred completions, queued dispatch) and
+  // push the batched counters out. Call after the last event.
+  void drain() {
+    sim_.run();
+    events_counter_.flush();
+    requests_counter_.flush();
+  }
+
+  FrontDoorShardReport report() const {
+    FrontDoorShardReport r;
+    r.shard = index_;
+    r.events = events_;
+    r.requests = requests_;
+    r.proxy = pipeline_->proxy().stats();
+    r.cache = pipeline_->cache()->stats();
+    return r;
+  }
+
+  const std::vector<double>& latencies_us() const { return latencies_us_; }
+
+  // Single-consumer dispatch queue; producers push, the owning worker pops.
+  MpscQueue<QueuedEvent> queue;
+
+ private:
+  std::size_t index_;
+  const std::vector<std::string>* urls_;
+  FrontDoorSessionStats* slots_;
+  Simulator sim_;
+  Link server_link_;
+  SimHttpOrigin origin_;
+  HintInterceptor interceptor_;
+  std::unique_ptr<FetchPipeline> pipeline_;
+  std::size_t events_ = 0;
+  std::size_t requests_ = 0;
+  std::vector<double> latencies_us_;
+  obs::BatchedCounter events_counter_;
+  obs::BatchedCounter requests_counter_;
+};
+
+}  // namespace
+
+std::uint64_t routing_fingerprint(std::size_t sessions, std::size_t shards) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t s = 0; s < sessions; ++s)
+    fnv_fold(h, static_cast<std::uint64_t>(shard_of(s, shards)));
+  return h;
+}
+
+void FrontDoorParams::apply_scaled_admission() {
+  // Expected steady-state request rate: every arriving session eventually
+  // issues touches x mean-URLs requests, so the long-run rate is the
+  // arrival rate times requests per session. Fresh cache hits bypass
+  // admission entirely (proxy front door, PR 4), so the token budget only
+  // meets the *miss* stream — provision at half the gross rate and a
+  // saturating sweep sheds its overflow deterministically instead of
+  // queueing it without bound.
+  const double mean_urls =
+      (1.0 + static_cast<double>(load.max_urls_per_touch)) / 2.0;
+  const double expected_rps =
+      load.session_arrival_per_s *
+      static_cast<double>(load.touches_per_session) * mean_urls;
+  admission.global_rate_per_s = expected_rps * 0.50;
+  admission.global_burst = expected_rps * 0.25;
+  admission.session_rate_per_s = 0;  // a million lazy buckets help nobody
+  admission.session_burst = 0;
+  admission.max_inflight_upstream = 4096;
+  admission.max_dispatch_queue = 16384;
+  admission.seed = load.seed;
+}
+
+std::string FrontDoorResult::deterministic_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("frontdoor");
+  w.key("shards").value(shards);
+  w.key("sessions").value(load.sessions);
+  w.key("touches_per_session").value(load.touches_per_session);
+  w.key("url_universe").value(load.url_universe);
+  w.key("skew_exponent").value(load.skew_exponent);
+  w.key("touch_rate_per_s").value(load.touch_rate_per_s);
+  w.key("session_arrival_per_s").value(load.session_arrival_per_s);
+  w.key("seed").value(static_cast<unsigned long long>(load.seed));
+  w.key("events").value(events);
+  w.key("requests").value(requests);
+  w.key("completed").value(completed);
+  w.key("rejected").value(rejected);
+  w.key("failed").value(failed);
+  w.key("cache_hits").value(cache_hits);
+  w.key("bytes_to_client").value(static_cast<unsigned long long>(bytes_to_client));
+  w.key("upstream_bytes_saved")
+      .value(static_cast<unsigned long long>(upstream_bytes_saved));
+  w.key("cache_hit_ratio").value(cache_hit_ratio);
+  w.key("shed_rate").value(shed_rate);
+  w.key("fingerprint").value(static_cast<unsigned long long>(fingerprint));
+  w.key("routing_fingerprint").value(static_cast<unsigned long long>(routing_fp));
+  w.key("per_shard").begin_array();
+  for (const FrontDoorShardReport& s : per_shard) {
+    w.begin_object();
+    w.key("shard").value(s.shard);
+    w.key("sessions").value(s.sessions);
+    w.key("events").value(s.events);
+    w.key("requests").value(s.requests);
+    w.key("cache_hits").value(s.proxy.cache_hits);
+    w.key("rejected").value(s.proxy.rejected);
+    w.key("shed").value(s.proxy.shed);
+    w.key("cache_insertions").value(s.cache.insertions);
+    w.key("cache_evictions").value(s.cache.evictions);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+FrontDoorResult run_front_door(const FrontDoorParams& params,
+                               FrontDoorMode mode) {
+  MFHTTP_CHECK(params.shards >= 1);
+  MFHTTP_CHECK(params.load.sessions <= 0xffffffffULL);
+
+  // Shared, read-only URL universe: one ObjectStore every shard's origin
+  // serves from, plus the absolute URL strings requests are built with.
+  ObjectStore store;
+  std::vector<std::string> urls;
+  urls.reserve(params.load.url_universe);
+  for (std::size_t i = 0; i < params.load.url_universe; ++i) {
+    const std::string path = "/obj/" + std::to_string(i);
+    store.put(path, sim::frontdoor_object_bytes(params.load, i), "image/jpeg");
+    urls.push_back("http://origin.example" + path);
+  }
+
+  const std::vector<sim::TouchEvent> timeline =
+      generate_frontdoor_load(params.load);
+
+  std::vector<FrontDoorSessionStats> slots(params.load.sessions);
+  auto ghosts = std::make_shared<CacheGhosts>();
+  std::vector<std::unique_ptr<Shard>> shards;
+  shards.reserve(params.shards);
+  for (std::size_t i = 0; i < params.shards; ++i)
+    shards.push_back(std::make_unique<Shard>(i, params, &store, &urls, ghosts,
+                                             slots.data()));
+
+  std::vector<std::size_t> max_depth(params.shards, 0);
+  std::uint64_t backpressure_retries = 0;
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  if (mode == FrontDoorMode::kInline) {
+    // The historical single-box path: every event served on this thread in
+    // global order. With shards == 1 this is the byte-identity reference.
+    for (const sim::TouchEvent& e : timeline) {
+      QueuedEvent qe{e, wall_ns()};
+      shards[shard_of(e.session, params.shards)]->process(qe);
+    }
+    for (auto& shard : shards) shard->drain();
+  } else {
+    std::atomic<bool> producers_done{false};
+    std::vector<std::thread> workers;
+    workers.reserve(params.shards);
+    for (auto& shard_ptr : shards) {
+      Shard* shard = shard_ptr.get();
+      workers.emplace_back([shard, &producers_done] {
+        QueuedEvent qe;
+        for (;;) {
+          if (shard->queue.try_pop(qe)) {
+            shard->process(qe);
+            continue;
+          }
+          if (producers_done.load(std::memory_order_acquire)) {
+            // One more look: the flag may have been raised between our
+            // failed pop and the producer's final push landing.
+            if (shard->queue.try_pop(qe)) {
+              shard->process(qe);
+              continue;
+            }
+            break;
+          }
+          std::this_thread::yield();
+        }
+        shard->drain();
+      });
+    }
+
+    // This thread is the single in-order producer: pushing the globally
+    // sorted timeline means every shard consumes its sessions' events in
+    // timestamp order, which is what makes any shard count reproducible.
+    for (const sim::TouchEvent& e : timeline) {
+      const std::size_t s = shard_of(e.session, params.shards);
+      Shard& shard = *shards[s];
+      QueuedEvent qe{e, wall_ns()};
+      while (!shard.queue.try_push(qe)) {
+        ++backpressure_retries;  // bounded queue: stall, never drop
+        std::this_thread::yield();
+      }
+      max_depth[s] = std::max(max_depth[s], shard.queue.approx_size());
+    }
+    producers_done.store(true, std::memory_order_release);
+    for (std::thread& t : workers) t.join();
+  }
+
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                wall_start)
+          .count();
+
+  FrontDoorResult result;
+  result.shards = params.shards;
+  result.threaded = mode == FrontDoorMode::kThreaded;
+  result.load = params.load;
+  result.wall_ms = wall_ms;
+
+  // Merge strictly in session-id order: completion interleavings already
+  // collapsed into per-slot state, so these totals (and the fingerprint
+  // fold) are pure functions of per-shard processing order.
+  result.fingerprint = 1469598103934665603ULL;
+  for (const FrontDoorSessionStats& slot : slots) {
+    result.requests += slot.requests;
+    result.completed += slot.completed;
+    result.rejected += slot.rejected;
+    result.failed += slot.failed;
+    result.bytes_to_client += static_cast<Bytes>(slot.bytes_to_client);
+    fnv_fold(result.fingerprint, slot.fingerprint);
+  }
+  result.routing_fp = routing_fingerprint(params.load.sessions, params.shards);
+
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    FrontDoorShardReport report = shards[i]->report();
+    report.max_queue_depth = max_depth[i];
+    result.events += report.events;
+    result.cache_hits += report.proxy.cache_hits;
+    result.upstream_bytes_saved += report.proxy.bytes_from_upstream_saved;
+    result.per_shard.push_back(std::move(report));
+  }
+  for (std::size_t s = 0; s < params.load.sessions; ++s)
+    ++result.per_shard[shard_of(s, params.shards)].sessions;
+
+  result.cache_hit_ratio =
+      result.requests > 0
+          ? static_cast<double>(result.cache_hits) /
+                static_cast<double>(result.requests)
+          : 0;
+  result.shed_rate = result.requests > 0
+                         ? static_cast<double>(result.rejected) /
+                               static_cast<double>(result.requests)
+                         : 0;
+
+  Samples latencies;
+  for (const auto& shard : shards)
+    for (double us : shard->latencies_us()) latencies.add(us);
+  result.p50_touch_to_policy_us =
+      latencies.count() ? latencies.percentile(50) : 0;
+  result.p99_touch_to_policy_us =
+      latencies.count() ? latencies.percentile(99) : 0;
+  if (wall_ms > 0) {
+    result.sessions_per_sec =
+        static_cast<double>(params.load.sessions) * 1000.0 / wall_ms;
+    result.events_per_sec =
+        static_cast<double>(result.events) * 1000.0 / wall_ms;
+  }
+
+  obs::metrics()
+      .counter("http.frontdoor.backpressure_retries_total")
+      .inc(backpressure_retries);
+
+  return result;
+}
+
+}  // namespace mfhttp

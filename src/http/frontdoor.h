@@ -1,0 +1,169 @@
+// Sharded million-session front door (ISSUE 6 tentpole, DESIGN.md §13).
+//
+// PR 5 made the *simulation* side scale (shared-nothing session worlds on a
+// work-stealing runner); the serving path itself — MitmProxy + shared
+// HttpCache + AdmissionController — was still one box behind coarse locks.
+// This front door shards that box across per-core workers:
+//
+//   * routing     — a session lands on shard splitmix64(id) % N, a pure
+//                   function of (session, N): stable across runs, machines,
+//                   and restarts, so per-session state never migrates;
+//   * dispatch    — each shard owns one bounded lock-free MPSC queue
+//                   (util/mpsc_queue.h). Producers (session/touch event
+//                   sources) push; the shard's worker thread is the queue's
+//                   single consumer. A full queue back-pressures the
+//                   producer (spin-yield), never drops silently;
+//   * serving     — each shard owns a full pipeline built through
+//                   FetchPipelineBuilder exactly like the single box:
+//                   SimHttpOrigin -> MitmProxy with a per-shard HttpCache
+//                   *segment* (1/N capacity, TinyLFU admission against the
+//                   SHARED CacheGhosts so cross-shard popularity history
+//                   survives) and a per-shard AdmissionController holding
+//                   1/N of the box's token/queue budget
+//                   (overload::shard_slice);
+//   * metrics     — shard workers count locally through obs::BatchedCounter
+//                   and flush in batches, so the process metrics snapshot
+//                   stays ONE JSON document with no per-event atomic
+//                   traffic on the hot path.
+//
+// Determinism contract: the per-session outcome stream is a function of the
+// order a shard consumes events in. With the single in-order producer the
+// benches use, every shard consumes its sessions' events in global
+// timestamp order — and shards=1 consumes the IDENTICAL total order the
+// unsharded inline path serves, making run_front_door(p, kThreaded) with
+// one shard byte-identical (deterministic_json) to run_front_door(p,
+// kInline). That N=1 gate is what lets every existing single-box bench and
+// test keep its meaning unchanged. At N>1 the routing table, event/request
+// totals, and each shard's consumption order stay exact, but the SHARED
+// ghost list is bumped by all workers concurrently: its decay epochs land
+// on interleaving-dependent op counts, so cache admission — and with it
+// hit ratios and fingerprints — may wobble slightly between repeat runs.
+// That is the price of cross-shard popularity history; gates on N>1 rows
+// compare ratios within tolerance, never bytes.
+//
+// Lock/thread order (extends DESIGN.md §12): a shard worker owns its
+// Simulator, proxy, and admission controller outright (externally
+// synchronized, never shared). The only cross-shard objects are the MPSC
+// queues (lock-free), the shared CacheGhosts (leaf mutex below the cache's,
+// see http/cache.h), the obs registry (leaf), and the per-session stats
+// slots — which are partitioned by routing, each slot written by exactly
+// one worker and read only after join.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "http/cache.h"
+#include "http/proxy.h"
+#include "overload/admission.h"
+#include "sim/frontdoor_load.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace mfhttp {
+
+// Stable session -> shard routing. Pure, total, and platform-independent.
+inline std::size_t shard_of(std::uint64_t session, std::size_t shards) {
+  return shards <= 1 ? 0 : static_cast<std::size_t>(splitmix64(session) %
+                                                    static_cast<std::uint64_t>(shards));
+}
+
+// FNV-1a over the whole routing table — the cheap witness the TSan smoke
+// compares across recomputations to assert routing is deterministic.
+std::uint64_t routing_fingerprint(std::size_t sessions, std::size_t shards);
+
+struct FrontDoorParams {
+  std::size_t shards = 1;
+  sim::FrontDoorLoadConfig load;
+
+  // Whole-box budgets, divided across shards at build time.
+  Bytes cache_capacity_total = 8 * 1024 * 1024;
+  TimeMs cache_ttl_ms = 0;  // 0: immortal entries (working-set study)
+  overload::AdmissionParams admission;  // sliced via overload::shard_slice
+
+  // Shard egress/ingress link shape (per shard = total / shards).
+  BytesPerSec client_bytes_per_s_total = 400'000'000;
+  BytesPerSec server_bytes_per_s_total = 800'000'000;
+  TimeMs client_latency_ms = 2;
+  TimeMs server_latency_ms = 1;
+  TimeMs origin_delay_ms = 5;
+
+  std::size_t queue_capacity = 8192;     // per-shard MPSC bound
+  std::uint64_t counter_flush_batch = 1024;  // obs::BatchedCounter batch
+
+  // Fill `admission` with budgets scaled to the configured load: the box is
+  // provisioned for ~85% of the expected steady-state request rate, so a
+  // saturating sweep sheds the overflow instead of queueing it forever.
+  void apply_scaled_admission();
+};
+
+enum class FrontDoorMode {
+  kInline,    // the historical single-box path: caller thread, no queues
+  kThreaded,  // producer -> per-shard MPSC queues -> shard worker threads
+};
+
+// Per-session outcome slot. Padded to a cache line: neighbouring sessions
+// usually route to different shards, and two workers must never share a
+// line. fingerprint folds (status, delivered bytes, completion time,
+// verdict) of every one of the session's requests in completion order.
+struct alignas(64) FrontDoorSessionStats {
+  std::uint32_t requests = 0;
+  std::uint32_t completed = 0;
+  std::uint32_t rejected = 0;   // admission bounce or shed (429/503)
+  std::uint32_t failed = 0;     // non-2xx, non-rejected
+  std::uint64_t bytes_to_client = 0;
+  std::uint64_t fingerprint = 1469598103934665603ULL;  // FNV-1a offset
+};
+
+struct FrontDoorShardReport {
+  std::size_t shard = 0;
+  std::size_t sessions = 0;     // sessions routed here
+  std::size_t events = 0;       // touch events consumed
+  std::size_t requests = 0;
+  std::size_t max_queue_depth = 0;  // producer-side high-water mark
+  MitmProxy::Stats proxy;
+  HttpCache::Stats cache;
+};
+
+struct FrontDoorResult {
+  std::size_t shards = 0;
+  bool threaded = false;
+  sim::FrontDoorLoadConfig load;
+
+  // Deterministic aggregates (merged in session-id / shard-index order).
+  std::size_t events = 0;
+  std::size_t requests = 0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;  // admission 429 + brownout/queue 503
+  std::size_t failed = 0;
+  std::size_t cache_hits = 0;
+  Bytes bytes_to_client = 0;
+  Bytes upstream_bytes_saved = 0;
+  double cache_hit_ratio = 0;  // cache_hits / requests
+  double shed_rate = 0;        // rejected / requests
+  std::uint64_t fingerprint = 0;          // fold of per-session fingerprints
+  std::uint64_t routing_fp = 0;           // routing_fingerprint(sessions, shards)
+  std::vector<FrontDoorShardReport> per_shard;
+
+  // Wall-clock measurements — excluded from deterministic_json().
+  double wall_ms = 0;
+  double sessions_per_sec = 0;  // load.sessions / wall seconds
+  double events_per_sec = 0;
+  double p50_touch_to_policy_us = 0;  // enqueue -> policy verdict issued
+  double p99_touch_to_policy_us = 0;
+
+  // One JSON document over config + every deterministic field above. The
+  // byte-comparable artifact: kInline and kThreaded with shards=1 must
+  // produce the same bytes.
+  std::string deterministic_json() const;
+};
+
+// Run the configured load through an N-shard front door. kThreaded spawns
+// params.shards worker threads plus uses the calling thread as the single
+// in-order producer; kInline serves every event on the calling thread in
+// the same global order (the unsharded reference path when shards == 1).
+FrontDoorResult run_front_door(const FrontDoorParams& params,
+                               FrontDoorMode mode);
+
+}  // namespace mfhttp

@@ -116,6 +116,40 @@ class Histogram {
   std::atomic<double> sum_{0};
 };
 
+// Thread-local batching front for a Counter. A shard worker that counts an
+// event per request would otherwise pay one atomic RMW per event even on
+// the sharded cells; a BatchedCounter accumulates in a plain integer owned
+// by its thread and flushes the sum into the underlying Counter every
+// `batch` increments (and on flush()/destruction), so the global metrics
+// snapshot stays one JSON document while the hot path touches no atomics
+// at all. NOT thread-safe: one instance per worker thread, by construction
+// (the sharded front door owns one set per shard). Readers see the counter
+// lag by at most `batch - 1` events until the owning worker flushes.
+class BatchedCounter {
+ public:
+  explicit BatchedCounter(Counter& counter, std::uint64_t batch = 1024)
+      : counter_(counter), batch_(batch) {}
+  ~BatchedCounter() { flush(); }
+  BatchedCounter(const BatchedCounter&) = delete;
+  BatchedCounter& operator=(const BatchedCounter&) = delete;
+
+  void inc(std::uint64_t delta = 1) {
+    pending_ += delta;
+    if (pending_ >= batch_) flush();
+  }
+  void flush() {
+    if (pending_ == 0) return;
+    counter_.inc(pending_);
+    pending_ = 0;
+  }
+  std::uint64_t pending() const { return pending_; }
+
+ private:
+  Counter& counter_;
+  std::uint64_t batch_;
+  std::uint64_t pending_ = 0;
+};
+
 // Bucket-bound generators: {start, start*factor, ...} / {start, start+width, ...}.
 std::vector<double> exponential_bounds(double start, double factor, int count);
 std::vector<double> linear_bounds(double start, double width, int count);

@@ -1,6 +1,7 @@
 #include "overload/admission.h"
 
 #include "obs/metrics.h"
+#include "util/check.h"
 
 namespace mfhttp::overload {
 
@@ -31,6 +32,29 @@ const char* to_string(BrownoutLevel level) {
     case BrownoutLevel::kShed: return "shed";
   }
   return "?";
+}
+
+AdmissionParams shard_slice(const AdmissionParams& params, std::size_t shard,
+                            std::size_t shards) {
+  MFHTTP_CHECK(shards > 0 && shard < shards);
+  if (shards == 1) return params;
+  const double n = static_cast<double>(shards);
+  // Positive integer bounds split ceil-wise so no shard's bound rounds to
+  // zero (a shard that can admit nothing is a routing black hole);
+  // non-positive sentinels ("unlimited") pass through untouched.
+  const auto split = [shards](int bound) {
+    if (bound <= 0) return bound;
+    return static_cast<int>((static_cast<std::size_t>(bound) + shards - 1) /
+                            shards);
+  };
+  AdmissionParams out = params;
+  out.global_rate_per_s = params.global_rate_per_s / n;
+  out.global_burst = params.global_burst / n;
+  out.max_inflight_upstream = split(params.max_inflight_upstream);
+  out.max_dispatch_queue = split(params.max_dispatch_queue);
+  out.max_deferred_global = split(params.max_deferred_global);
+  out.seed = splitmix64(params.seed ^ splitmix64(shard + 1));
+  return out;
 }
 
 AdmissionController::AdmissionController(AdmissionParams params)

@@ -96,6 +96,17 @@ struct AdmissionParams {
   std::uint64_t seed = 1;
 };
 
+// Slice one box's admission budget across `shards` front-door workers
+// (http/frontdoor.h): rates, bursts, the concurrency cap, and the global
+// queue bounds divide evenly (integer bounds round up, never to zero, so a
+// tiny budget still admits work on every shard); per-session parameters are
+// untouched because a session lives entirely on one shard; the seed is
+// remixed per shard so guard-band jitter decorrelates across workers.
+// shards == 1 returns `params` byte-identical — the single-shard front door
+// must reproduce the unsharded box exactly.
+AdmissionParams shard_slice(const AdmissionParams& params, std::size_t shard,
+                            std::size_t shards);
+
 enum class Verdict { kAdmit, kReject, kShed };
 
 struct Decision {

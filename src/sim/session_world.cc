@@ -18,13 +18,6 @@ namespace mfhttp::sim {
 
 namespace {
 
-std::uint64_t splitmix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
 // FNV-1a over raw bytes; doubles hash by bit pattern, so the fingerprint
 // detects even sub-ulp drift between runs.
 struct Fnv {

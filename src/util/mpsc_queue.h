@@ -1,0 +1,129 @@
+// Bounded lock-free multi-producer single-consumer queue — the dispatch
+// spine of the sharded front door (http/frontdoor.h, DESIGN.md §13).
+//
+// This is the classic bounded array queue with per-slot sequence numbers
+// (Vyukov): capacity is rounded up to a power of two, every slot carries an
+// atomic sequence stamp, and producers claim slots with one CAS on the tail
+// while the single consumer advances the head with plain loads/stores. No
+// operation ever blocks, allocates, or takes a lock:
+//
+//   * try_push is safe from any number of threads concurrently; it fails
+//     (returns false) when the ring is full — callers decide whether to
+//     retry, shed, or count the event as dropped. Nothing is silently lost.
+//   * try_pop must only ever be called from ONE consumer thread at a time
+//     (the shard worker). This is the contract that lets the pop side skip
+//     the CAS loop a full MPMC queue would need.
+//
+// FIFO holds per producer: two events pushed by the same thread are popped
+// in push order. Cross-producer order is whatever the CAS race decided —
+// the front door keeps per-session streams on one producer precisely so
+// per-session order is preserved.
+//
+// The queue value type must be movable; slots destroy their payload when
+// popped. approx_size() is a racy snapshot for gauges and backpressure
+// heuristics only — never for emptiness decisions.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "util/check.h"
+
+namespace mfhttp {
+
+template <typename T>
+class MpscQueue {
+ public:
+  // `capacity` is a minimum; the ring is sized to the next power of two
+  // (>= 2) so index masking stays one AND.
+  explicit MpscQueue(std::size_t capacity) {
+    MFHTTP_CHECK(capacity > 0);
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<Slot[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i)
+      slots_[i].sequence.store(i, std::memory_order_relaxed);
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  // Multi-producer enqueue. False when the ring is full at the instant of
+  // the attempt (the slot the tail points at has not been consumed yet).
+  bool try_push(T value) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const std::size_t seq = slot.sequence.load(std::memory_order_acquire);
+      const std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                                 static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        // Slot is free for this ticket; race other producers for it.
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          ::new (slot.storage()) T(std::move(value));
+          slot.sequence.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failed: `pos` was reloaded, retry with the new ticket.
+      } else if (diff < 0) {
+        return false;  // slot still holds an unconsumed value: full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);  // lost the race, rescan
+      }
+    }
+  }
+
+  // Single-consumer dequeue. False when empty at the instant of the attempt.
+  // MUST NOT be called concurrently from two threads.
+  bool try_pop(T& out) {
+    const std::size_t pos = head_;
+    Slot& slot = slots_[pos & mask_];
+    const std::size_t seq = slot.sequence.load(std::memory_order_acquire);
+    if (static_cast<std::intptr_t>(seq) !=
+        static_cast<std::intptr_t>(pos + 1))
+      return false;  // producer has not published this slot yet
+    T* value = std::launder(reinterpret_cast<T*>(slot.storage()));
+    out = std::move(*value);
+    value->~T();
+    // Re-arm the slot for the producer one lap ahead.
+    slot.sequence.store(pos + mask_ + 1, std::memory_order_release);
+    head_ = pos + 1;
+    return true;
+  }
+
+  // Racy occupancy estimate (tail may move mid-read). Gauges only.
+  std::size_t approx_size() const {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_;
+    return tail >= head ? tail - head : 0;
+  }
+
+  ~MpscQueue() {
+    T scratch;
+    while (try_pop(scratch)) {
+    }
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::size_t> sequence;
+    alignas(T) unsigned char raw[sizeof(T)];
+    void* storage() { return raw; }
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t mask_ = 0;
+  // Producers share tail_; the consumer alone owns head_. Separate cache
+  // lines so producer CAS traffic never invalidates the consumer's line.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) std::size_t head_ = 0;
+};
+
+}  // namespace mfhttp

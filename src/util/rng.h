@@ -13,6 +13,18 @@
 
 namespace mfhttp {
 
+// Fibonacci-hash finalizer (splitmix64). One deterministic 64-bit mix used
+// everywhere a stable, well-distributed hash of a small integer is needed:
+// per-session world seeds (sim/session_world.h) and session->shard routing
+// in the front door (http/frontdoor.h) both derive from this, so a session
+// keeps its seed and its shard across runs, binaries, and platforms.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 42) : engine_(seed) {}
