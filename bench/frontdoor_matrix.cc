@@ -146,6 +146,7 @@ int main(int argc, char** argv) {
 
   std::vector<Row> rows;
   double best_speedup = 0;
+  bool have_baseline = true;  // every session count had a shards=1 row
   bool all_identical = true;
   bool routing_ok = true;
 
@@ -160,7 +161,7 @@ int main(int argc, char** argv) {
         run_front_door(params, FrontDoorMode::kInline);
     const std::string reference_doc = inline_ref.deterministic_json();
 
-    double base_sessions_per_sec = 0;
+    const std::size_t first_row = rows.size();
     for (std::size_t shards : shard_counts) {
       params.shards = shards;
       const FrontDoorResult r = run_front_door(params, FrontDoorMode::kThreaded);
@@ -185,20 +186,31 @@ int main(int argc, char** argv) {
       row.routing_stable =
           routing_fingerprint(sessions, shards) == r.routing_fp;
 
-      if (base_sessions_per_sec == 0) base_sessions_per_sec = r.sessions_per_sec;
-      row.speedup = base_sessions_per_sec > 0
-                        ? r.sessions_per_sec / base_sessions_per_sec
-                        : 0;
-      best_speedup = std::max(best_speedup, row.speedup);
       all_identical = all_identical && row.byte_identical;
       routing_ok = routing_ok && row.routing_stable;
+      rows.push_back(row);
+    }
 
+    // Speedup is strictly relative to this session count's shards=1 row,
+    // wherever it appears in the --shards list. Without a shards=1 row the
+    // ratio has no baseline: speedups stay 0 and the --assert-speedup gate
+    // refuses to pass below.
+    double base_sessions_per_sec = 0;
+    for (std::size_t i = first_row; i < rows.size(); ++i)
+      if (rows[i].shards == 1) base_sessions_per_sec = rows[i].sessions_per_sec;
+    have_baseline = have_baseline && base_sessions_per_sec > 0;
+
+    for (std::size_t i = first_row; i < rows.size(); ++i) {
+      Row& row = rows[i];
+      row.speedup = base_sessions_per_sec > 0
+                        ? row.sessions_per_sec / base_sessions_per_sec
+                        : 0;
+      best_speedup = std::max(best_speedup, row.speedup);
       std::printf("%9zu %7zu %10.1f %12.0f %7.2fx %6.1f%% %6.1f%% %12.1f %6s\n",
                   row.sessions, row.shards, row.wall_ms, row.sessions_per_sec,
                   row.speedup, row.shed_rate * 100.0,
                   row.cache_hit_ratio * 100.0, row.p99_t2p_us,
                   row.byte_identical && row.routing_stable ? "yes" : "NO");
-      rows.push_back(row);
     }
   }
 
@@ -260,6 +272,12 @@ int main(int argc, char** argv) {
     if (end == nullptr || *end != '\0' || want <= 0)
       CliOptions::fail("--assert-speedup", assert_speedup_s,
                        "expected a positive number");
+    if (!have_baseline) {
+      std::fprintf(stderr,
+                   "FAIL: --assert-speedup needs a shards=1 baseline row; "
+                   "add 1 to --shards\n");
+      return 1;
+    }
     if (best_speedup < want) {
       std::fprintf(stderr, "FAIL: best speedup %.2fx < required %.2fx\n",
                    best_speedup, want);

@@ -53,12 +53,18 @@ void CacheGhosts::bump(const std::string& url) {
   ++counts_[url];
   // TinyLFU-style aging: every so many touches, halve every count and drop
   // the ones that reach zero, so stale popularity decays instead of pinning
-  // admission decisions forever.
-  if (++ops_ % 1024 == 0 || counts_.size() > 4096) {
-    for (auto it = counts_.begin(); it != counts_.end();) {
-      it->second /= 2;
-      it = it->second == 0 ? counts_.erase(it) : std::next(it);
-    }
+  // admission decisions forever. The sweep runs only on the epoch boundary
+  // — never per-bump on map size — so steady-state bumps stay O(1) even
+  // with one ghost list shared by every shard under this mutex; a sweep
+  // re-halves until the map is back under its bound, and between epochs it
+  // can grow by at most one epoch of new URLs.
+  if (++ops_ % 1024 == 0) {
+    do {
+      for (auto it = counts_.begin(); it != counts_.end();) {
+        it->second /= 2;
+        it = it->second == 0 ? counts_.erase(it) : std::next(it);
+      }
+    } while (counts_.size() > 4096);
   }
 }
 

@@ -64,9 +64,10 @@ namespace mfhttp {
 class CacheGhosts {
  public:
   // One lookup missed (or bypassed) a cache: remember the URL was wanted.
-  // Every 1024 touches — or whenever the map outgrows 4096 entries — all
-  // counts halve and zeros are pruned, so stale popularity decays instead
-  // of pinning admission decisions forever.
+  // Every 1024 touches all counts halve (repeatedly, until the map is back
+  // under 4096 entries) and zeros are pruned, so stale popularity decays
+  // instead of pinning admission decisions forever while the common-case
+  // bump stays O(1) under the shared lock.
   void bump(const std::string& url);
 
   // An evicted entry banks its earned hits (capped) so re-admission of a

@@ -92,9 +92,11 @@ struct FrontDoorParams {
   std::size_t queue_capacity = 8192;     // per-shard MPSC bound
   std::uint64_t counter_flush_batch = 1024;  // obs::BatchedCounter batch
 
-  // Fill `admission` with budgets scaled to the configured load: the box is
-  // provisioned for ~85% of the expected steady-state request rate, so a
-  // saturating sweep sheds the overflow instead of queueing it forever.
+  // Fill `admission` with budgets scaled to the configured load: the token
+  // rate is provisioned at 50% of the expected gross request rate (fresh
+  // cache hits bypass admission, so tokens only meet the miss stream) plus
+  // a 25% burst allowance, so a saturating sweep sheds the overflow instead
+  // of queueing it forever.
   void apply_scaled_admission();
 };
 

@@ -8,9 +8,12 @@
 // pre-draws that entire timeline from a seeded Rng — per session, from a
 // seed that is a pure function of (master seed, session id) via splitmix64
 // (the same derivation sim/session_world.h uses) — and returns it globally
-// sorted by timestamp. Two runs of the same config therefore produce the
-// same byte sequence of events no matter which machine, shard count, or
-// thread schedule consumes them; all nondeterminism in a front-door run
+// sorted by timestamp. The draws map raw mt19937_64 output (standardized
+// bit-for-bit) through explicit inverse CDFs rather than std::
+// distributions (whose algorithms are implementation-defined and differ
+// between libstdc++ and libc++), so two runs of the same config produce
+// the same byte sequence of events across standard libraries, shard
+// counts, and thread schedules; all nondeterminism in a front-door run
 // lives strictly downstream of this vector.
 //
 // Events are 20 bytes on purpose: a million-session sweep holds the whole

@@ -83,7 +83,7 @@ class MpscQueue {
   // Single-consumer dequeue. False when empty at the instant of the attempt.
   // MUST NOT be called concurrently from two threads.
   bool try_pop(T& out) {
-    const std::size_t pos = head_;
+    const std::size_t pos = head_.load(std::memory_order_relaxed);
     Slot& slot = slots_[pos & mask_];
     const std::size_t seq = slot.sequence.load(std::memory_order_acquire);
     if (static_cast<std::intptr_t>(seq) !=
@@ -94,14 +94,14 @@ class MpscQueue {
     value->~T();
     // Re-arm the slot for the producer one lap ahead.
     slot.sequence.store(pos + mask_ + 1, std::memory_order_release);
-    head_ = pos + 1;
+    head_.store(pos + 1, std::memory_order_relaxed);
     return true;
   }
 
   // Racy occupancy estimate (tail may move mid-read). Gauges only.
   std::size_t approx_size() const {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
-    const std::size_t head = head_;
+    const std::size_t head = head_.load(std::memory_order_relaxed);
     return tail >= head ? tail - head : 0;
   }
 
@@ -120,10 +120,12 @@ class MpscQueue {
 
   std::unique_ptr<Slot[]> slots_;
   std::size_t mask_ = 0;
-  // Producers share tail_; the consumer alone owns head_. Separate cache
-  // lines so producer CAS traffic never invalidates the consumer's line.
+  // Producers share tail_; the consumer alone writes head_, but producers
+  // read it (relaxed) in approx_size(), so it must be atomic to keep the
+  // snapshot a benign race rather than UB. Separate cache lines so producer
+  // CAS traffic never invalidates the consumer's line.
   alignas(64) std::atomic<std::size_t> tail_{0};
-  alignas(64) std::size_t head_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};
 };
 
 }  // namespace mfhttp
