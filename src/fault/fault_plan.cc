@@ -32,6 +32,24 @@ std::optional<LinkFaultWindow::Kind> kind_from_name(std::string_view name) {
   return std::nullopt;
 }
 
+const char* shard_kind_name(ShardFault::Kind kind) {
+  switch (kind) {
+    case ShardFault::Kind::kStall: return "stall";
+    case ShardFault::Kind::kCrash: return "crash";
+    case ShardFault::Kind::kOriginSlow: return "origin_slow";
+    case ShardFault::Kind::kSaturate: return "saturate";
+  }
+  return "?";
+}
+
+std::optional<ShardFault::Kind> shard_kind_from_name(std::string_view name) {
+  if (name == "stall") return ShardFault::Kind::kStall;
+  if (name == "crash") return ShardFault::Kind::kCrash;
+  if (name == "origin_slow") return ShardFault::Kind::kOriginSlow;
+  if (name == "saturate") return ShardFault::Kind::kSaturate;
+  return std::nullopt;
+}
+
 TimeMs time_field(const JsonValue& obj, std::string_view key, TimeMs fallback) {
   const JsonValue* v = obj.find(key);
   return v ? static_cast<TimeMs>(v->number_or(static_cast<double>(fallback)))
@@ -199,6 +217,37 @@ std::optional<FaultPlan> FaultPlan::from_json(std::string_view json,
         o.error_body_size < 0)
       return fail("origin rates must be in [0,1], fraction in (0,1), sizes >= 0");
   }
+
+  if (const JsonValue* frontdoor = doc->find("frontdoor")) {
+    if (!frontdoor->is_array()) return fail("'frontdoor' must be an array");
+    for (const JsonValue& entry : frontdoor->array_value) {
+      if (!entry.is_object()) return fail("'frontdoor' entries must be objects");
+      const JsonValue* kind = entry.find("kind");
+      if (kind == nullptr || !kind->is_string())
+        return fail("frontdoor fault needs a string 'kind'");
+      auto parsed_kind = shard_kind_from_name(kind->string_value);
+      if (!parsed_kind)
+        return fail("unknown frontdoor 'kind' (stall|crash|origin_slow|saturate)");
+      ShardFault f;
+      f.kind = *parsed_kind;
+      f.shard = static_cast<int>(rate_field(entry, "shard", 0));
+      f.at_event = static_cast<std::size_t>(rate_field(entry, "at_event", 0));
+      f.stall_ms = time_field(entry, "stall_ms", 0);
+      f.count = static_cast<std::size_t>(rate_field(entry, "count", 0));
+      f.factor = rate_field(entry, "factor", 1.0);
+      if (f.shard < -1) return fail("frontdoor 'shard' must be >= -1");
+      if (f.stall_ms < 0) return fail("frontdoor 'stall_ms' must be >= 0");
+      if ((f.kind == ShardFault::Kind::kStall ||
+           f.kind == ShardFault::Kind::kSaturate) &&
+          f.stall_ms <= 0)
+        return fail("stall/saturate frontdoor faults need stall_ms > 0");
+      if (f.kind == ShardFault::Kind::kSaturate && f.count == 0)
+        return fail("saturate frontdoor faults need count > 0");
+      if (f.kind == ShardFault::Kind::kOriginSlow && f.factor < 1.0)
+        return fail("origin_slow frontdoor 'factor' must be >= 1");
+      plan.frontdoor.push_back(f);
+    }
+  }
   return plan;
 }
 
@@ -258,6 +307,22 @@ std::string FaultPlan::to_json() const {
   w.key("abrupt_close_rate").value(origin.abrupt_close_rate);
   w.key("abrupt_close_fraction").value(origin.abrupt_close_fraction);
   w.end_object();
+  w.key("frontdoor").begin_array();
+  for (const ShardFault& f : frontdoor) {
+    w.begin_object();
+    w.key("kind").value(shard_kind_name(f.kind));
+    w.key("shard").value(f.shard);
+    w.key("at_event").value(static_cast<unsigned long long>(f.at_event));
+    if (f.kind == ShardFault::Kind::kStall ||
+        f.kind == ShardFault::Kind::kSaturate)
+      w.key("stall_ms").value(static_cast<long long>(f.stall_ms));
+    if (f.kind == ShardFault::Kind::kSaturate)
+      w.key("count").value(static_cast<unsigned long long>(f.count));
+    if (f.kind == ShardFault::Kind::kOriginSlow)
+      w.key("factor").value(f.factor);
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
   return w.str();
 }
@@ -278,6 +343,20 @@ FaultPlan FaultPlan::lossy_cellular(std::uint64_t seed) {
   plan.origin.error_rate = 0.10;  // 10% 5xx/429
   plan.origin.error_statuses = {503, 502, 429};
   plan.origin.abrupt_close_rate = 0.03;
+  return plan;
+}
+
+FaultPlan FaultPlan::shard_stall(int shard, std::size_t at_event,
+                                 TimeMs stall_ms, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.name = "shard-stall";
+  ShardFault f;
+  f.kind = ShardFault::Kind::kStall;
+  f.shard = shard;
+  f.at_event = at_event;
+  f.stall_ms = stall_ms;
+  plan.frontdoor.push_back(f);
   return plan;
 }
 

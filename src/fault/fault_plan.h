@@ -67,14 +67,48 @@ struct OriginFaults {
   bool any() const { return error_rate > 0 || abrupt_close_rate > 0; }
 };
 
+// Front-door shard faults (ISSUE 7 chaos harness, DESIGN.md §14). Unlike
+// the link/transfer/origin faults above — which live inside a shard's
+// simulated pipeline — these target the shard *worker thread* itself, the
+// thing the FrontDoorSupervisor exists to catch. Triggers are indexed by
+// the shard's Nth consumed event rather than by wall time, so a fault
+// lands on the same logical work item no matter how fast the host runs.
+struct ShardFault {
+  enum class Kind {
+    kStall,       // worker sleeps stall_ms (wall clock), once, at event K
+    kCrash,       // worker stops serving at event K; its queue drains as sheds
+    kOriginSlow,  // shard's origin think time multiplied by `factor`
+    kSaturate,    // worker sleeps stall_ms before EACH of events [K, K+count)
+  };
+
+  Kind kind = Kind::kStall;
+  int shard = 0;             // target shard index; -1 hits every shard
+  std::size_t at_event = 0;  // shard-local consumed-event index K
+  TimeMs stall_ms = 0;       // kStall / kSaturate sleep length
+  std::size_t count = 0;     // kSaturate: number of slowed events
+  double factor = 1.0;       // kOriginSlow: think-time multiplier (>= 1)
+
+  bool applies_to(std::size_t shard_index) const {
+    return shard < 0 || static_cast<std::size_t>(shard) == shard_index;
+  }
+};
+
 struct FaultPlan {
   std::uint64_t seed = 1;
   std::string name;  // optional label, echoed in logs/benches
   std::vector<LinkFaultWindow> link;
   TransferFaults transfer;
   OriginFaults origin;
+  std::vector<ShardFault> frontdoor;
 
-  bool empty() const { return link.empty() && !transfer.any() && !origin.any(); }
+  // Faults the FetchPipelineBuilder decorators (FaultyLink/FaultyFetcher)
+  // execute. The front-door shard faults are deliberately excluded: they
+  // are consumed by the shard workers themselves, and a frontdoor-only plan
+  // must not cost an undecorated pipeline anything.
+  bool pipeline_empty() const {
+    return link.empty() && !transfer.any() && !origin.any();
+  }
+  bool empty() const { return pipeline_empty() && frontdoor.empty(); }
 
   // End of the last scheduled window (0 if none).
   TimeMs horizon_ms() const;
@@ -90,8 +124,10 @@ struct FaultPlan {
   // base trace continues untouched.
   BandwidthTrace shape(const BandwidthTrace& base) const;
 
-  // JSON schema (DESIGN.md §9): top-level {"seed", "name", "link": [...],
-  // "transfer": {...}, "origin": {...}}. Returns nullopt on malformed JSON
+  // JSON schema (DESIGN.md §9, §14): top-level {"seed", "name", "link":
+  // [...], "transfer": {...}, "origin": {...}, "frontdoor": [{"kind":
+  // "stall|crash|origin_slow|saturate", "shard", "at_event", "stall_ms",
+  // "count", "factor"}, ...]}. Returns nullopt on malformed JSON
   // or schema violations (unknown kind, negative rate, ...). The `error`
   // out-param (may be nullptr) receives a human-readable cause — malformed
   // JSON reports "line L, column C: why"; schema violations name the field.
@@ -104,6 +140,13 @@ struct FaultPlan {
   // The acceptance scenario from ISSUE 2: repeated 3-second link outages
   // plus 10% origin 5xx — the canonical lossy-cellular stress plan.
   static FaultPlan lossy_cellular(std::uint64_t seed = 7);
+
+  // The acceptance scenario from ISSUE 7: one shard of the front door
+  // stalls mid-run for `stall_ms` after consuming `at_event` events — the
+  // canonical shard-stall chaos plan the supervised/unsupervised arms of
+  // bench/chaos_matrix are compared under.
+  static FaultPlan shard_stall(int shard, std::size_t at_event, TimeMs stall_ms,
+                               std::uint64_t seed = 7);
 };
 
 // Ambient process-wide plan installed by the --fault-plan flag (flags.h) and

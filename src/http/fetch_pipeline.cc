@@ -29,7 +29,10 @@ FetchPipelineBuilder& FetchPipelineBuilder::client_link(Link* link) {
 FetchPipelineBuilder& FetchPipelineBuilder::with_faults(
     const fault::FaultPlan* plan) {
   if (plan == nullptr) plan = fault::global_plan();
-  if (plan != nullptr && !plan->empty()) {
+  // Only pipeline-visible faults warrant the decorators; a plan carrying
+  // nothing but front-door shard faults (consumed by the shard workers, not
+  // this stack) must leave the pipeline undecorated and byte-identical.
+  if (plan != nullptr && !plan->pipeline_empty()) {
     plan_ = *plan;
   } else {
     plan_.reset();

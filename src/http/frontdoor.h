@@ -48,14 +48,30 @@
 // see http/cache.h), the obs registry (leaf), and the per-session stats
 // slots — which are partitioned by routing, each slot written by exactly
 // one worker and read only after join.
+//
+// ISSUE 7 layers self-healing on top (DESIGN.md §14): per-shard heartbeats
+// watched by a FrontDoorSupervisor (healthy → slow → wedged with
+// hysteresis), rendezvous-hash failover of NEW sessions off wedged shards
+// (in-flight sessions never migrate — the determinism contract survives),
+// deadline-aware enqueue and serve (stale events shed with an explicit 503
+// verdict instead of blocking the producer or serving dead air), admission
+// budget re-distribution over the healthy cohort, and seeded chaos faults
+// (fault::ShardFault) that stall, crash, or slow individual shard workers.
+// With supervision enabled but no faults firing, nothing sheds and nothing
+// fails over: the shards=1 kInline/kThreaded byte-identity gate holds
+// unchanged.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "fault/fault_plan.h"
 #include "http/cache.h"
+#include "http/frontdoor_supervisor.h"
 #include "http/proxy.h"
+#include "http/resilient_fetcher.h"
 #include "overload/admission.h"
 #include "sim/frontdoor_load.h"
 #include "util/rng.h"
@@ -72,6 +88,15 @@ inline std::size_t shard_of(std::uint64_t session, std::size_t shards) {
 // FNV-1a over the whole routing table — the cheap witness the TSan smoke
 // compares across recomputations to assert routing is deterministic.
 std::uint64_t routing_fingerprint(std::size_t sessions, std::size_t shards);
+
+// Failover routing: rendezvous (highest-random-weight) hash over the
+// healthy set. Every caller computes the same substitute shard from
+// (session, shards, mask) alone — no coordination, no routing table to
+// replicate — and when a shard recovers, only sessions first seen during
+// its outage stay re-routed; everything else keeps its shard_of home.
+// Falls back to shard_of when the mask is empty (nothing to fail over to).
+std::size_t failover_shard_of(std::uint64_t session, std::size_t shards,
+                              std::uint64_t healthy_mask);
 
 struct FrontDoorParams {
   std::size_t shards = 1;
@@ -91,6 +116,25 @@ struct FrontDoorParams {
 
   std::size_t queue_capacity = 8192;     // per-shard MPSC bound
   std::uint64_t counter_flush_batch = 1024;  // obs::BatchedCounter batch
+
+  // ---- Self-healing (ISSUE 7, DESIGN.md §14) -------------------------
+  // Shard health supervision + failover. Only the kThreaded path runs a
+  // watchdog (kInline has no workers to watch); the flag still echoes into
+  // the result so both modes emit identical deterministic_json bytes.
+  SupervisorParams supervisor;
+  // Per-event freshness budget from the touch's enqueue stamp. The
+  // producer's bounded push sheds once the deadline passes instead of
+  // spinning, and a worker sheds a dequeued event that is already past it
+  // (a scrolled-away viewport is not worth serving). 0 = no deadline: the
+  // legacy block-forever producer, now with its wait time counted.
+  TimeMs enqueue_deadline_ms = 0;
+  // Per-shard retry/breaker stack (PR-2 ResilientFetcher) inside each
+  // shard's pipeline; per-shard breaker state surfaces in the report.
+  std::optional<ResilientFetcherParams> resilience;
+  // Chaos plan: pipeline faults (link/transfer/origin) decorate each
+  // shard's stack with per-shard remixed seeds; frontdoor shard faults
+  // (fault::ShardFault) stall/crash/slow the workers themselves.
+  std::optional<fault::FaultPlan> fault_plan;
 
   // Fill `admission` with budgets scaled to the configured load: the token
   // rate is provisioned at 50% of the expected gross request rate (fresh
@@ -126,6 +170,18 @@ struct FrontDoorShardReport {
   std::size_t max_queue_depth = 0;  // producer-side high-water mark
   MitmProxy::Stats proxy;
   HttpCache::Stats cache;
+
+  // §14 self-healing fields. worker_sheds counts events this shard drained
+  // as 503s (crashed worker, or already past their serve deadline);
+  // `breaker` is the shard's per-origin circuit-breaker state ("off" when
+  // resilience is not configured). Supervision outcome fields are filled
+  // from the supervisor after join and are all zero in healthy runs.
+  std::size_t worker_sheds = 0;
+  std::string breaker = "off";
+  ShardHealth final_health = ShardHealth::kHealthy;
+  std::uint64_t wedged_spells = 0;
+  double time_to_detect_ms = 0;   // wall; excluded from deterministic_json
+  double time_to_recover_ms = 0;  // wall; excluded from deterministic_json
 };
 
 struct FrontDoorResult {
@@ -148,12 +204,25 @@ struct FrontDoorResult {
   std::uint64_t routing_fp = 0;           // routing_fingerprint(sessions, shards)
   std::vector<FrontDoorShardReport> per_shard;
 
+  // §14 self-healing aggregates. All zero when no fault fires, which keeps
+  // them safe to include in deterministic_json(): the byte-identity gate
+  // only ever compares fault-free runs. `shed_events` counts whole touch
+  // events shed (producer deadline/wedged sheds + worker drains); their
+  // requests are already inside `rejected`.
+  bool supervised = false;
+  std::size_t failover_sessions = 0;  // sessions re-routed off wedged shards
+  std::size_t shed_events = 0;
+  std::size_t deadline_shed_events = 0;  // subset of shed_events
+
   // Wall-clock measurements — excluded from deterministic_json().
   double wall_ms = 0;
   double sessions_per_sec = 0;  // load.sessions / wall seconds
   double events_per_sec = 0;
   double p50_touch_to_policy_us = 0;  // enqueue -> policy verdict issued
   double p99_touch_to_policy_us = 0;
+  std::uint64_t wedged_declared = 0;  // supervisor wedged declarations
+  double first_detect_ms = 0;   // earliest shard time-to-detect (0: none)
+  double first_recover_ms = 0;  // earliest shard time-to-recover (0: none)
 
   // One JSON document over config + every deterministic field above. The
   // byte-comparable artifact: kInline and kThreaded with shards=1 must

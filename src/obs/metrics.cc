@@ -106,6 +106,13 @@ const std::vector<double>& latency_ms_bounds() {
   return bounds;
 }
 
+const std::vector<double>& stall_ms_bounds() {
+  // Supervision stalls live between a scheduler hiccup (~1 ms) and a dead
+  // worker (~multi-second): 1 ms .. ~8 s, 2x steps.
+  static const std::vector<double> bounds = exponential_bounds(1.0, 2.0, 14);
+  return bounds;
+}
+
 Counter& Registry::counter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   MFHTTP_CHECK_MSG(!gauges_.count(std::string(name)) &&

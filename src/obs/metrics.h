@@ -155,6 +155,9 @@ std::vector<double> exponential_bounds(double start, double factor, int count);
 std::vector<double> linear_bounds(double start, double width, int count);
 // Default bounds for wall-clock latencies: 1 µs .. ~4 s, 4x steps.
 const std::vector<double>& latency_ms_bounds();
+// Default bounds for supervision stall durations: 1 ms .. ~8 s, 2x steps
+// (http.frontdoor.supervisor.stall_ms and friends, DESIGN.md §14).
+const std::vector<double>& stall_ms_bounds();
 
 class Registry {
  public:

@@ -57,10 +57,42 @@ AdmissionParams shard_slice(const AdmissionParams& params, std::size_t shard,
   return out;
 }
 
+AdmissionParams failover_slice(const AdmissionParams& params, std::size_t shard,
+                               std::size_t shards, std::size_t healthy) {
+  MFHTTP_CHECK(shards > 0 && shard < shards);
+  MFHTTP_CHECK(healthy > 0 && healthy <= shards);
+  if (shards == 1) return params;
+  const double n = static_cast<double>(healthy);
+  const auto split = [healthy](int bound) {
+    if (bound <= 0) return bound;
+    return static_cast<int>((static_cast<std::size_t>(bound) + healthy - 1) /
+                            healthy);
+  };
+  AdmissionParams out = params;
+  out.global_rate_per_s = params.global_rate_per_s / n;
+  out.global_burst = params.global_burst / n;
+  out.max_inflight_upstream = split(params.max_inflight_upstream);
+  out.max_dispatch_queue = split(params.max_dispatch_queue);
+  out.max_deferred_global = split(params.max_deferred_global);
+  // Keyed to the original shard index (NOT the healthy-cohort rank): the
+  // jitter stream must survive re-slicing without a discontinuity.
+  out.seed = splitmix64(params.seed ^ splitmix64(shard + 1));
+  return out;
+}
+
 AdmissionController::AdmissionController(AdmissionParams params)
     : params_(params),
       rng_(params.seed),
       global_bucket_(params.global_rate_per_s, params.global_burst) {}
+
+void AdmissionController::apply_budget(const AdmissionParams& sliced) {
+  params_.global_rate_per_s = sliced.global_rate_per_s;
+  params_.global_burst = sliced.global_burst;
+  params_.max_inflight_upstream = sliced.max_inflight_upstream;
+  params_.max_dispatch_queue = sliced.max_dispatch_queue;
+  params_.max_deferred_global = sliced.max_deferred_global;
+  global_bucket_ = TokenBucket(sliced.global_rate_per_s, sliced.global_burst);
+}
 
 TokenBucket& AdmissionController::session_bucket(const std::string& session) {
   auto it = session_buckets_.find(session);

@@ -107,6 +107,16 @@ struct AdmissionParams {
 AdmissionParams shard_slice(const AdmissionParams& params, std::size_t shard,
                             std::size_t shards);
 
+// Failover re-slice (ISSUE 7): the box budget spread over the `healthy`
+// survivors of an `shards`-way front door, so a wedged shard's admission
+// slice is re-distributed instead of stranded. Identical to shard_slice
+// except rates and bounds divide by `healthy`; the seed remix stays keyed
+// to the shard's ORIGINAL index, so a re-slice never teleports a worker's
+// guard-jitter stream mid-run. healthy == shards degenerates to
+// shard_slice (and shards == 1 to the byte-identical passthrough).
+AdmissionParams failover_slice(const AdmissionParams& params, std::size_t shard,
+                               std::size_t shards, std::size_t healthy);
+
 enum class Verdict { kAdmit, kReject, kShed };
 
 struct Decision {
@@ -153,6 +163,15 @@ class AdmissionController {
   // sheds every priority the level condemns.
   void set_brownout_level(BrownoutLevel level) { brownout_ = level; }
   BrownoutLevel brownout_level() const { return brownout_; }
+
+  // Swap in a new global budget mid-run (front-door failover re-slice,
+  // DESIGN.md §14): replaces the global bucket parameters, inflight cap and
+  // dispatch bound with `sliced`'s, leaving per-session buckets, deferred
+  // queues and in-flight accounting untouched. The global bucket restarts
+  // full at the new burst — a re-sliced shard begins its new budget with
+  // clean headroom rather than inheriting debt priced under the old rate.
+  // Same threading contract as everything else here: callers serialize.
+  void apply_budget(const AdmissionParams& sliced);
 
   int inflight_upstream() const { return inflight_upstream_; }
   int deferred_total() const { return deferred_total_; }

@@ -10,6 +10,12 @@
 //   * try_push is safe from any number of threads concurrently; it fails
 //     (returns false) when the ring is full — callers decide whether to
 //     retry, shed, or count the event as dropped. Nothing is silently lost.
+//   * push_until is the deadline-bounded blocking form: it spin-yields
+//     while the ring is full and gives up when the caller's clock passes
+//     the deadline, reporting how long it waited either way — so queue
+//     saturation is an observable, bounded event instead of a silent
+//     producer livelock (the ISSUE 7 self-healing front door's enqueue
+//     path).
 //   * try_pop must only ever be called from ONE consumer thread at a time
 //     (the shard worker). This is the contract that lets the pop side skip
 //     the CAS loop a full MPMC queue would need.
@@ -28,6 +34,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <thread>
 #include <utility>
 
 #include "util/check.h"
@@ -56,26 +63,32 @@ class MpscQueue {
 
   // Multi-producer enqueue. False when the ring is full at the instant of
   // the attempt (the slot the tail points at has not been consumed yet).
-  bool try_push(T value) {
-    std::size_t pos = tail_.load(std::memory_order_relaxed);
+  bool try_push(T value) { return push_slot(value); }
+
+  // Deadline-bounded blocking enqueue (multi-producer safe). Retries the
+  // push, yielding between attempts, until it succeeds or `now_ns()` passes
+  // `deadline_ns`; deadline_ns == 0 means "no deadline" (block until space
+  // frees — the legacy spin, but with its wait time accounted for). Returns
+  // true on success. When `blocked_ns` is non-null it accumulates the wall
+  // time spent waiting regardless of outcome, so callers can surface queue
+  // saturation as a metric instead of a mystery stall. `now_ns` is any
+  // callable returning a monotonic nanosecond clock — injected so tests can
+  // drive synthetic time.
+  template <typename NowFn>
+  bool push_until(T value, std::uint64_t deadline_ns, NowFn&& now_ns,
+                  std::uint64_t* blocked_ns = nullptr) {
+    if (push_slot(value)) return true;
+    const std::uint64_t start = now_ns();
     for (;;) {
-      Slot& slot = slots_[pos & mask_];
-      const std::size_t seq = slot.sequence.load(std::memory_order_acquire);
-      const std::intptr_t diff = static_cast<std::intptr_t>(seq) -
-                                 static_cast<std::intptr_t>(pos);
-      if (diff == 0) {
-        // Slot is free for this ticket; race other producers for it.
-        if (tail_.compare_exchange_weak(pos, pos + 1,
-                                        std::memory_order_relaxed)) {
-          ::new (slot.storage()) T(std::move(value));
-          slot.sequence.store(pos + 1, std::memory_order_release);
-          return true;
-        }
-        // CAS failed: `pos` was reloaded, retry with the new ticket.
-      } else if (diff < 0) {
-        return false;  // slot still holds an unconsumed value: full
-      } else {
-        pos = tail_.load(std::memory_order_relaxed);  // lost the race, rescan
+      std::this_thread::yield();
+      if (push_slot(value)) {
+        if (blocked_ns != nullptr) *blocked_ns += now_ns() - start;
+        return true;
+      }
+      const std::uint64_t now = now_ns();
+      if (deadline_ns != 0 && now >= deadline_ns) {
+        if (blocked_ns != nullptr) *blocked_ns += now - start;
+        return false;
       }
     }
   }
@@ -112,6 +125,33 @@ class MpscQueue {
   }
 
  private:
+  // Shared push core: moves from `value` ONLY when a slot is claimed, so a
+  // failed attempt leaves the caller's object intact for the next retry
+  // (what lets push_until loop without copying per attempt).
+  bool push_slot(T& value) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const std::size_t seq = slot.sequence.load(std::memory_order_acquire);
+      const std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                                 static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        // Slot is free for this ticket; race other producers for it.
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          ::new (slot.storage()) T(std::move(value));
+          slot.sequence.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failed: `pos` was reloaded, retry with the new ticket.
+      } else if (diff < 0) {
+        return false;  // slot still holds an unconsumed value: full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);  // lost the race, rescan
+      }
+    }
+  }
+
   struct alignas(64) Slot {
     std::atomic<std::size_t> sequence;
     alignas(T) unsigned char raw[sizeof(T)];

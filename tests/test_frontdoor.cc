@@ -15,6 +15,7 @@
 // Suite names match the ThreadSanitizer job's -R 'Shard|Mpsc' selection.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <set>
 #include <string>
@@ -101,6 +102,113 @@ TEST(MpscQueue, ConcurrentProducersDeliverEverythingExactlyOnceInOrder) {
   std::uint64_t v = 0;
   EXPECT_FALSE(q.try_pop(v));
   for (std::uint64_t p = 0; p < kProducers; ++p) EXPECT_EQ(next[p], kPerProducer);
+}
+
+TEST(MpscQueue, TryPushFailureLeavesQueueStateConsistent) {
+  MpscQueue<std::string> q(4);
+  for (int i = 0; i < 4; ++i)
+    ASSERT_TRUE(q.try_push("v" + std::to_string(i)));
+  // Repeated failed pushes against a full ring must not disturb any slot,
+  // the occupancy, or subsequent FIFO order.
+  for (int i = 0; i < 16; ++i) EXPECT_FALSE(q.try_push("overflow"));
+  EXPECT_EQ(q.approx_size(), 4u);
+  std::string out;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, "v" + std::to_string(i));
+  }
+  EXPECT_FALSE(q.try_pop(out));
+  EXPECT_TRUE(q.try_push("after"));
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, "after");
+}
+
+TEST(MpscQueue, PushUntilExpiresAtTheDeadlineAndReportsTheWait) {
+  MpscQueue<int> q(2);
+  ASSERT_TRUE(q.try_push(1));
+  ASSERT_TRUE(q.try_push(2));
+  // Synthetic clock: each call advances 1 "ns", deadline at tick 10 — the
+  // push must give up, report the wait, and leave the ring untouched.
+  std::uint64_t tick = 0;
+  std::uint64_t blocked = 0;
+  EXPECT_FALSE(q.push_until(
+      3, 10, [&tick] { return ++tick; }, &blocked));
+  EXPECT_GT(blocked, 0u);
+  EXPECT_EQ(q.approx_size(), 2u);
+  int out = 0;
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 1);
+}
+
+TEST(MpscQueue, PushUntilSucceedsOnceTheConsumerFreesASlot) {
+  MpscQueue<int> q(2);
+  ASSERT_TRUE(q.try_push(1));
+  ASSERT_TRUE(q.try_push(2));
+  // The consumer thread frees one slot after a few spins; the blocked push
+  // must land in it and account the wait it endured. Deadline 0 = no
+  // deadline (the legacy block-forever producer path).
+  std::thread consumer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    int out = 0;
+    ASSERT_TRUE(q.try_pop(out));
+  });
+  std::uint64_t blocked = 0;
+  const auto now_ns = [] {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  };
+  EXPECT_TRUE(q.push_until(3, 0, now_ns, &blocked));
+  consumer.join();
+  EXPECT_GT(blocked, 0u);
+  int out = 0;
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 2);
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 3);
+}
+
+TEST(MpscQueue, WraparoundLapsKeepExactlyOnceWithSlowConsumerAtCapacity) {
+  // A deliberately tiny ring laps thousands of times while a slow consumer
+  // holds it at capacity: the sequence-stamp protocol must keep every
+  // element exactly-once and per-producer FIFO through every wraparound.
+  // (TSan target: producers race the CAS on a full ring constantly.)
+  constexpr std::uint64_t kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 5000;
+  MpscQueue<std::uint64_t> q(8);
+
+  std::vector<std::thread> producers;
+  for (std::uint64_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i)
+        ASSERT_TRUE(q.push_until((p << 32) | i, 0,
+                                 [] { return std::uint64_t{0}; }));
+    });
+  }
+
+  std::vector<std::uint64_t> next(kProducers, 0);
+  std::uint64_t received = 0;
+  while (received < kProducers * kPerProducer) {
+    std::uint64_t v = 0;
+    if (!q.try_pop(v)) {
+      std::this_thread::yield();
+      continue;
+    }
+    // Stay slow every few pops so the ring sits at capacity and producers
+    // keep contending for the slot being re-armed.
+    if ((received & 63) == 0) std::this_thread::yield();
+    const std::uint64_t p = v >> 32;
+    ASSERT_LT(p, kProducers);
+    ASSERT_EQ(v & 0xffffffffULL, next[p]) << "producer " << p << " reordered";
+    ++next[p];
+    ++received;
+  }
+  for (std::thread& t : producers) t.join();
+  std::uint64_t v = 0;
+  EXPECT_FALSE(q.try_pop(v));
+  for (std::uint64_t p = 0; p < kProducers; ++p)
+    EXPECT_EQ(next[p], kPerProducer);
 }
 
 // ---------- Shard routing ----------

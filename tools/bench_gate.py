@@ -59,6 +59,25 @@ SCHEMAS = {
             "p99_touch_to_policy_us": ("wall", "ceiling"),
         },
     },
+    "chaos_matrix": {
+        # Arms of one (plan, shards) cell share a timeline, so events and
+        # request totals are exact even mid-chaos (every touch resolves to
+        # served or shed, never lost). Goodput retained and shed rate are
+        # timing-dependent -- detection lands a few watchdog periods after
+        # the fault -- so they gate as ratios; detection latency and the
+        # P99 tail are wall metrics on the machine that ran the arm.
+        "keys": ["plan", "shards", "arm"],
+        "top_exact": ["byte_identical_with_supervision",
+                      "supervised_never_worse"],
+        "metrics": {
+            "events": ("exact", "both"),
+            "requests": ("exact", "both"),
+            "goodput_retained": ("ratio", "floor"),
+            "shed_rate": ("ratio", "ceiling"),
+            "p99_touch_to_policy_us": ("wall", "ceiling"),
+            "time_to_detect_ms": ("wall", "ceiling"),
+        },
+    },
     "scale_matrix": {
         "keys": ["workers"],
         "top_exact": ["deterministic_across_workers"],
