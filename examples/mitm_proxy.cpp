@@ -80,11 +80,16 @@ int main(int argc, char** argv) {
   store.put("/img/below_fold.jpg", 80'000, "image/jpeg");
   store.put("/banner.gif", 40'000, "image/gif");
 
-  SimHttpOrigin origin(sim, &store, &server_link);
   // The canonical stack assembly: one builder call replaces the hand-wired
   // decorator chain (and picks up any ambient --fault-plan automatically).
+  // --transport socket swaps the simulated origin for the real epoll
+  // loopback server (DESIGN.md §15) with identical timestamps on output.
   DemoInterceptor interceptor;
-  auto pipeline = FetchPipelineBuilder(sim, &origin)
+  TransportConfig transport_config;
+  transport_config.kind = standard_options.transport();
+  auto pipeline = FetchPipelineBuilder(sim)
+                      .with_origin(&store, &server_link)
+                      .with_transport(transport_config)
                       .client_link(client_params)
                       .with_faults()
                       .interceptor(&interceptor)

@@ -21,9 +21,19 @@ StandardOptions::StandardOptions(int& argc, char** argv,
                   &fault_plan_path_)
       .add_string("--cache-config", "path",
                   "cache sizing + prefetch budget (prefetch/cache_config.h)",
-                  &cache_config_path_);
+                  &cache_config_path_)
+      .add_string("--transport", "sim|socket",
+                  "origin backend: discrete-event sim or real epoll loopback",
+                  &transport_name_);
   if (extend) extend(options);
   options.parse_or_exit(argc, argv);
+
+  if (!transport_name_.empty()) {
+    auto kind = transport_kind_from_name(transport_name_);
+    if (!kind.has_value())
+      CliOptions::fail("--transport", transport_name_, "expected sim or socket");
+    transport_ = *kind;
+  }
 
   if (!fault_plan_path_.empty()) {
     std::string why;

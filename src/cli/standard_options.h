@@ -6,7 +6,11 @@
 //   --fault-plan <path>      install an ambient fault::global_plan() for
 //                            every session the binary runs,
 //   --cache-config <path>    load a prefetch::CacheConfig (cache sizing +
-//                            prefetch budget) for tools that take one.
+//                            prefetch budget) for tools that take one,
+//   --transport sim|socket   origin backend for pipelines built through
+//                            FetchPipelineBuilder::with_origin (sim: the
+//                            discrete-event SimHttpOrigin; socket: the real
+//                            epoll loopback transport, DESIGN.md §15).
 //
 // Construction registers the flags (plus any binary-specific ones via the
 // `extend` hook), parses argv in place, and *loads* the named files —
@@ -20,6 +24,7 @@
 #include <functional>
 #include <string>
 
+#include "http/transport.h"
 #include "prefetch/cache_config.h"
 #include "util/cli_options.h"
 
@@ -44,10 +49,16 @@ class StandardOptions {
   const prefetch::CacheConfig& cache_config() const { return cache_config_; }
   bool has_cache_config() const { return !cache_config_path_.empty(); }
 
+  // The parsed --transport (default kSim). Binaries pass this to
+  // FetchPipelineBuilder::with_transport.
+  TransportKind transport() const { return transport_; }
+
  private:
   std::string metrics_path_;
   std::string fault_plan_path_;
   std::string cache_config_path_;
+  std::string transport_name_;
+  TransportKind transport_ = TransportKind::kSim;
   prefetch::CacheConfig cache_config_;
 };
 

@@ -248,6 +248,29 @@ std::optional<FaultPlan> FaultPlan::from_json(std::string_view json,
       plan.frontdoor.push_back(f);
     }
   }
+
+  if (const JsonValue* socket = doc->find("socket")) {
+    if (!socket->is_object()) return fail("'socket' must be an object");
+    SocketFaults& s = plan.socket;
+    s.short_read_rate = rate_field(*socket, "short_read_rate", 0.0);
+    s.short_read_cap =
+        static_cast<std::size_t>(rate_field(*socket, "short_read_cap", 16));
+    s.torn_write_rate = rate_field(*socket, "torn_write_rate", 0.0);
+    s.torn_write_cap =
+        static_cast<std::size_t>(rate_field(*socket, "torn_write_cap", 16));
+    s.reset_rate = rate_field(*socket, "reset_rate", 0.0);
+    s.stall_rate = rate_field(*socket, "stall_rate", 0.0);
+    s.stall_ms = time_field(*socket, "stall_ms", 0);
+    if (!valid_rate(s.short_read_rate) || !valid_rate(s.torn_write_rate) ||
+        !valid_rate(s.reset_rate) || !valid_rate(s.stall_rate) ||
+        s.stall_ms < 0)
+      return fail("socket rates must be in [0,1], stall_ms >= 0");
+    if ((s.short_read_rate > 0 && s.short_read_cap == 0) ||
+        (s.torn_write_rate > 0 && s.torn_write_cap == 0))
+      return fail("socket short_read_cap/torn_write_cap must be >= 1");
+    if (s.stall_rate > 0 && s.stall_ms <= 0)
+      return fail("socket stalls need stall_ms > 0");
+  }
   return plan;
 }
 
@@ -323,6 +346,15 @@ std::string FaultPlan::to_json() const {
     w.end_object();
   }
   w.end_array();
+  w.key("socket").begin_object();
+  w.key("short_read_rate").value(socket.short_read_rate);
+  w.key("short_read_cap").value(socket.short_read_cap);
+  w.key("torn_write_rate").value(socket.torn_write_rate);
+  w.key("torn_write_cap").value(socket.torn_write_cap);
+  w.key("reset_rate").value(socket.reset_rate);
+  w.key("stall_rate").value(socket.stall_rate);
+  w.key("stall_ms").value(static_cast<long long>(socket.stall_ms));
+  w.end_object();
   w.end_object();
   return w.str();
 }
@@ -357,6 +389,20 @@ FaultPlan FaultPlan::shard_stall(int shard, std::size_t at_event,
   f.at_event = at_event;
   f.stall_ms = stall_ms;
   plan.frontdoor.push_back(f);
+  return plan;
+}
+
+FaultPlan FaultPlan::flaky_socket(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.name = "flaky-socket";
+  plan.socket.short_read_rate = 0.20;
+  plan.socket.short_read_cap = 7;
+  plan.socket.torn_write_rate = 0.15;
+  plan.socket.torn_write_cap = 11;
+  plan.socket.reset_rate = 0.02;
+  plan.socket.stall_rate = 0.05;
+  plan.socket.stall_ms = 20;  // short: chaos, not a bench-stalling sleep
   return plan;
 }
 

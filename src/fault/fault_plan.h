@@ -93,6 +93,26 @@ struct ShardFault {
   }
 };
 
+// Byte-level faults on real loopback connections (ISSUE 8, DESIGN.md §15).
+// Consumed by fault::SocketFaultInjector inside the aio transport — never by
+// the sim-side decorators — and drawn as a pure function of (plan seed,
+// connection ordinal, operation ordinal), so the same plan replays the same
+// chaos regardless of kernel scheduling or host speed.
+struct SocketFaults {
+  double short_read_rate = 0;       // clamp a kernel read to a few bytes
+  std::size_t short_read_cap = 16;  // max bytes a shortened read may move
+  double torn_write_rate = 0;       // clamp a send(), splitting the segment
+  std::size_t torn_write_cap = 16;
+  double reset_rate = 0;            // abortive close (RST) instead of the op
+  double stall_rate = 0;            // pause the direction for stall_ms
+  TimeMs stall_ms = 0;
+
+  bool any() const {
+    return short_read_rate > 0 || torn_write_rate > 0 || reset_rate > 0 ||
+           (stall_rate > 0 && stall_ms > 0);
+  }
+};
+
 struct FaultPlan {
   std::uint64_t seed = 1;
   std::string name;  // optional label, echoed in logs/benches
@@ -100,15 +120,19 @@ struct FaultPlan {
   TransferFaults transfer;
   OriginFaults origin;
   std::vector<ShardFault> frontdoor;
+  SocketFaults socket;
 
   // Faults the FetchPipelineBuilder decorators (FaultyLink/FaultyFetcher)
-  // execute. The front-door shard faults are deliberately excluded: they
-  // are consumed by the shard workers themselves, and a frontdoor-only plan
-  // must not cost an undecorated pipeline anything.
+  // execute. The front-door shard faults and byte-level socket faults are
+  // deliberately excluded: the former are consumed by the shard workers,
+  // the latter by the aio transport's SocketFaultInjector, and a plan
+  // carrying only those must not cost an undecorated pipeline anything.
   bool pipeline_empty() const {
     return link.empty() && !transfer.any() && !origin.any();
   }
-  bool empty() const { return pipeline_empty() && frontdoor.empty(); }
+  bool empty() const {
+    return pipeline_empty() && frontdoor.empty() && !socket.any();
+  }
 
   // End of the last scheduled window (0 if none).
   TimeMs horizon_ms() const;
@@ -124,10 +148,12 @@ struct FaultPlan {
   // base trace continues untouched.
   BandwidthTrace shape(const BandwidthTrace& base) const;
 
-  // JSON schema (DESIGN.md §9, §14): top-level {"seed", "name", "link":
-  // [...], "transfer": {...}, "origin": {...}, "frontdoor": [{"kind":
-  // "stall|crash|origin_slow|saturate", "shard", "at_event", "stall_ms",
-  // "count", "factor"}, ...]}. Returns nullopt on malformed JSON
+  // JSON schema (DESIGN.md §9, §14, §15): top-level {"seed", "name",
+  // "link": [...], "transfer": {...}, "origin": {...}, "frontdoor":
+  // [{"kind": "stall|crash|origin_slow|saturate", "shard", "at_event",
+  // "stall_ms", "count", "factor"}, ...], "socket": {"short_read_rate",
+  // "short_read_cap", "torn_write_rate", "torn_write_cap", "reset_rate",
+  // "stall_rate", "stall_ms"}}. Returns nullopt on malformed JSON
   // or schema violations (unknown kind, negative rate, ...). The `error`
   // out-param (may be nullptr) receives a human-readable cause — malformed
   // JSON reports "line L, column C: why"; schema violations name the field.
@@ -147,6 +173,12 @@ struct FaultPlan {
   // bench/chaos_matrix are compared under.
   static FaultPlan shard_stall(int shard, std::size_t at_event, TimeMs stall_ms,
                                std::uint64_t seed = 7);
+
+  // The acceptance scenario from ISSUE 8: short reads, torn writes, RSTs
+  // and stall windows on real loopback connections — the canonical plan the
+  // faulty-socket arms of bench/loopback_matrix run under. Socket-only: the
+  // sim-side pipeline stays undecorated.
+  static FaultPlan flaky_socket(std::uint64_t seed = 7);
 };
 
 // Ambient process-wide plan installed by the --fault-plan flag (flags.h) and

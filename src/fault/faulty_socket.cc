@@ -1,0 +1,64 @@
+#include "fault/faulty_socket.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace mfhttp::fault {
+
+namespace {
+
+// Independent uniform in [0, 1) for one (coordinate, lane) pair. splitmix64
+// is a bijective finalizer, so distinct lanes of one coordinate are
+// decorrelated without any sequential state.
+double lane_uniform(std::uint64_t coordinate, std::uint64_t lane) {
+  const std::uint64_t h = splitmix64(coordinate ^ (lane * 0xd1342543de82ef95ULL));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t lane_bits(std::uint64_t coordinate, std::uint64_t lane) {
+  return splitmix64(coordinate ^ (lane * 0xd1342543de82ef95ULL));
+}
+
+}  // namespace
+
+aio::ByteFaults::Op SocketFaultInjector::decide(std::uint64_t conn,
+                                                std::uint64_t op,
+                                                std::size_t want,
+                                                std::uint64_t direction) const {
+  aio::ByteFaults::Op out;
+  if (!faults_.any()) return out;
+  // One stateless coordinate per operation; all randomness derives from it.
+  const std::uint64_t coordinate =
+      splitmix64(seed_ ^ splitmix64(conn + 0x9e3779b97f4a7c15ULL) ^
+                 splitmix64(op) ^ direction);
+
+  if (faults_.reset_rate > 0 &&
+      lane_uniform(coordinate, 1) < faults_.reset_rate) {
+    out.reset = true;
+    return out;
+  }
+  if (faults_.stall_rate > 0 && faults_.stall_ms > 0 &&
+      lane_uniform(coordinate, 2) < faults_.stall_rate) {
+    out.stall_ms = faults_.stall_ms;
+    return out;
+  }
+  const bool clamping = direction == kReadTag
+                            ? faults_.short_read_rate > 0 &&
+                                  lane_uniform(coordinate, 3) <
+                                      faults_.short_read_rate
+                            : faults_.torn_write_rate > 0 &&
+                                  lane_uniform(coordinate, 3) <
+                                      faults_.torn_write_rate;
+  if (clamping) {
+    const std::size_t cap = direction == kReadTag ? faults_.short_read_cap
+                                                  : faults_.torn_write_cap;
+    const std::size_t drawn =
+        1 + static_cast<std::size_t>(lane_bits(coordinate, 4) %
+                                     std::max<std::size_t>(cap, 1));
+    out.clamp = std::min(drawn, std::max<std::size_t>(want, 1));
+  }
+  return out;
+}
+
+}  // namespace mfhttp::fault

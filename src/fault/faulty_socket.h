@@ -1,0 +1,53 @@
+// Seeded byte-level fault injector for real loopback connections
+// (ISSUE 8, DESIGN.md §15) — the socket counterpart of FaultyLink and
+// FaultyFetcher.
+//
+// Implements aio::ByteFaults: the aio transport consults it before every
+// kernel read/write. Unlike the sim decorators, real I/O offers no global
+// event order to consume randomness in — kernel scheduling decides how many
+// reads a request takes — so determinism is anchored differently: every
+// decision is a *pure function* of (plan seed, connection ordinal, operation
+// ordinal, direction), with no internal state at all. Same plan + same
+// (conn, op) coordinate → same decision, on any machine, in any
+// interleaving. The FaultySocket determinism tests in tests/test_transport.cc
+// pin exactly this contract by comparing whole decision streams.
+//
+// Decision precedence per operation: reset beats stall beats clamp — a
+// connection ordered dead does not also dribble.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault_plan.h"
+#include "net/aio/tcp.h"
+
+namespace mfhttp::fault {
+
+class SocketFaultInjector : public aio::ByteFaults {
+ public:
+  explicit SocketFaultInjector(const FaultPlan& plan)
+      : faults_(plan.socket), seed_(plan.seed) {}
+
+  aio::ByteFaults::Op on_read(std::uint64_t conn, std::uint64_t op,
+                              std::size_t want) override {
+    return decide(conn, op, want, /*direction=*/kReadTag);
+  }
+  aio::ByteFaults::Op on_write(std::uint64_t conn, std::uint64_t op,
+                               std::size_t want) override {
+    return decide(conn, op, want, /*direction=*/kWriteTag);
+  }
+
+  const SocketFaults& faults() const { return faults_; }
+
+ private:
+  static constexpr std::uint64_t kReadTag = 0x52;   // 'R'
+  static constexpr std::uint64_t kWriteTag = 0x57;  // 'W'
+
+  aio::ByteFaults::Op decide(std::uint64_t conn, std::uint64_t op,
+                             std::size_t want, std::uint64_t direction) const;
+
+  SocketFaults faults_;
+  std::uint64_t seed_;
+};
+
+}  // namespace mfhttp::fault

@@ -14,6 +14,26 @@ FetchPipelineBuilder::FetchPipelineBuilder(Simulator& sim, HttpFetcher* origin)
   MFHTTP_CHECK(origin != nullptr);
 }
 
+FetchPipelineBuilder::FetchPipelineBuilder(Simulator& sim)
+    : sim_(sim), origin_(nullptr) {}
+
+FetchPipelineBuilder& FetchPipelineBuilder::with_origin(
+    const ObjectStore* store, Link* origin_link, SimHttpOriginParams params) {
+  MFHTTP_CHECK(store != nullptr);
+  MFHTTP_CHECK(origin_link != nullptr);
+  origin_store_ = store;
+  origin_link_ = origin_link;
+  origin_params_ = params;
+  origin_ = nullptr;
+  return *this;
+}
+
+FetchPipelineBuilder& FetchPipelineBuilder::with_transport(
+    TransportConfig config) {
+  transport_config_ = config;
+  return *this;
+}
+
 FetchPipelineBuilder& FetchPipelineBuilder::client_link(Link::Params params) {
   link_params_ = std::move(params);
   external_link_ = nullptr;
@@ -36,6 +56,14 @@ FetchPipelineBuilder& FetchPipelineBuilder::with_faults(
     plan_ = *plan;
   } else {
     plan_.reset();
+  }
+  // The socket section is consumed by the transport, not the decorators —
+  // a socket-only plan leaves the sim-side pipeline pristine but must still
+  // reach a kSocket transport at build().
+  if (plan != nullptr && plan->socket.any()) {
+    socket_plan_ = *plan;
+  } else {
+    socket_plan_.reset();
   }
   return *this;
 }
@@ -105,10 +133,38 @@ std::unique_ptr<FetchPipeline> FetchPipelineBuilder::build() {
     pipeline->client_link_ = pipeline->owned_link_.get();
   }
 
-  // Layers 2–3 — the upstream chain, innermost out: origin faults, then
+  // Layer 2 — the origin. Either caller-supplied (constructor) or built
+  // here from the store + origin link, over the selected transport backend.
+  pipeline->transport_kind_ = transport_config_.kind;
+  HttpFetcher* upstream = origin_;
+  if (origin_store_ != nullptr) {
+    if (transport_config_.kind == TransportKind::kSocket) {
+      TransportConfig config = transport_config_;
+      if (config.plan == nullptr && socket_plan_.has_value()) {
+        pipeline->socket_plan_ = socket_plan_;
+        config.plan = &*pipeline->socket_plan_;
+      }
+      pipeline->transport_ = std::make_unique<SocketTransport>(
+          sim_, origin_store_, origin_link_, origin_params_, config);
+      upstream = &pipeline->transport_->origin();
+    } else {
+      pipeline->owned_origin_ = std::make_unique<SimHttpOrigin>(
+          sim_, origin_store_, origin_link_, origin_params_);
+      upstream = pipeline->owned_origin_.get();
+    }
+  } else {
+    MFHTTP_CHECK_MSG(transport_config_.kind == TransportKind::kSim,
+                     "--transport=socket requires a builder-owned origin "
+                     "(call with_origin)");
+  }
+  MFHTTP_CHECK_MSG(upstream != nullptr,
+                   "pipeline needs an origin: pass one to the constructor or "
+                   "call with_origin()");
+  pipeline->origin_ = upstream;
+
+  // Layers 3–4 — the upstream chain, innermost out: origin faults, then
   // resilience (retries must sit *outside* the fault injector so they see
   // and absorb its failures).
-  HttpFetcher* upstream = origin_;
   if (plan != nullptr) {
     pipeline->faulty_ =
         std::make_unique<fault::FaultyFetcher>(sim_, upstream, *plan);
@@ -120,7 +176,7 @@ std::unique_ptr<FetchPipeline> FetchPipelineBuilder::build() {
     upstream = pipeline->resilient_.get();
   }
 
-  // Layer 4 — the proxy, with its cache and admission front door.
+  // Layer 5 — the proxy, with its cache and admission front door.
   if (cache_params_.has_value()) {
     pipeline->owned_cache_ = std::make_unique<HttpCache>(*cache_params_);
     pipeline->cache_ = pipeline->owned_cache_.get();

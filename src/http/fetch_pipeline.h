@@ -33,6 +33,7 @@
 #include "http/cache.h"
 #include "http/proxy.h"
 #include "http/resilient_fetcher.h"
+#include "http/transport.h"
 #include "net/link.h"
 #include "overload/admission.h"
 #include "sim/simulator.h"
@@ -60,13 +61,26 @@ class FetchPipeline {
   // The plan the pipeline was built under (null when fault-free).
   const fault::FaultPlan* fault_plan() const { return plan_ ? &*plan_ : nullptr; }
 
+  // The innermost fetcher the decorator chain wraps. Always non-null.
+  HttpFetcher& origin() { return *origin_; }
+  // Which backend serves origin fetches (--transport; DESIGN.md §15).
+  TransportKind transport_kind() const { return transport_kind_; }
+  // The real-socket backend; null under --transport=sim.
+  SocketTransport* transport() { return transport_.get(); }
+
  private:
   friend class FetchPipelineBuilder;
   FetchPipeline() = default;
 
   // Destruction runs bottom-up (members in reverse order): the proxy dies
-  // first, then the upstream decorators, then the owned link.
+  // first, then the upstream decorators, then the owned origin/transport,
+  // then the owned link.
   std::optional<fault::FaultPlan> plan_;
+  std::optional<fault::FaultPlan> socket_plan_;  // transport-side chaos
+  TransportKind transport_kind_ = TransportKind::kSim;
+  std::unique_ptr<SocketTransport> transport_;
+  std::unique_ptr<SimHttpOrigin> owned_origin_;
+  HttpFetcher* origin_ = nullptr;
   std::unique_ptr<Link> owned_link_;
   Link* client_link_ = nullptr;
   std::unique_ptr<HttpCache> owned_cache_;
@@ -82,6 +96,23 @@ class FetchPipelineBuilder {
  public:
   // origin: the innermost HttpFetcher (usually a SimHttpOrigin). Not owned.
   FetchPipelineBuilder(Simulator& sim, HttpFetcher* origin);
+
+  // Origin-less form: the builder creates the origin itself from an
+  // ObjectStore + origin access link, honoring with_transport() — a
+  // SimHttpOrigin under kSim, a SocketTransport (real epoll loopback
+  // origin) under kSocket. Requires with_origin() before build().
+  explicit FetchPipelineBuilder(Simulator& sim);
+
+  // Store + origin link the builder-owned origin serves from (both
+  // caller-owned, must outlive the pipeline). Replaces any constructor-
+  // supplied origin.
+  FetchPipelineBuilder& with_origin(const ObjectStore* store, Link* origin_link,
+                                    SimHttpOriginParams params = {});
+
+  // Select the origin transport backend (default kSim). kSocket requires
+  // with_origin(). When config.plan is null, the socket section of the
+  // with_faults() plan (if any) drives the wire chaos.
+  FetchPipelineBuilder& with_transport(TransportConfig config);
 
   // Client (bottleneck) hop. Params → pipeline-owned link, wrapped in
   // FaultyLink when a fault plan is active; pointer → caller-owned, used
@@ -116,6 +147,11 @@ class FetchPipelineBuilder {
  private:
   Simulator& sim_;
   HttpFetcher* origin_;
+  const ObjectStore* origin_store_ = nullptr;
+  Link* origin_link_ = nullptr;
+  SimHttpOriginParams origin_params_;
+  TransportConfig transport_config_;
+  std::optional<fault::FaultPlan> socket_plan_;
   Link::Params link_params_;
   Link* external_link_ = nullptr;
   std::optional<fault::FaultPlan> plan_;

@@ -9,7 +9,6 @@ namespace mfhttp {
 
 namespace {
 constexpr std::size_t kMaxStartLine = 16 * 1024;
-constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
 
 // Extract one CRLF-terminated line from buf (also tolerates bare LF).
 // Returns true and sets `line` (without terminator) if a full line exists.
@@ -26,6 +25,27 @@ bool take_line(std::string& buf, std::string& line) {
 void HttpParser::fail(std::string msg) {
   state_ = State::kError;
   error_ = std::move(msg);
+}
+
+void HttpParser::fail_limit(std::string msg) {
+  limit_violation_ = true;
+  fail(std::move(msg));
+}
+
+// Cumulative header-section accounting (Limits). `line` is one header or
+// trailer field line; returns false (parser failed) on a cap breach.
+bool HttpParser::count_header_line(std::string_view line) {
+  header_bytes_ += line.size() + 2;  // + CRLF
+  if (limits_.max_header_bytes > 0 && header_bytes_ > limits_.max_header_bytes) {
+    fail_limit("headers too large");
+    return false;
+  }
+  if (!line.empty() && limits_.max_header_count > 0 &&
+      ++header_count_ > limits_.max_header_count) {
+    fail_limit("too many headers");
+    return false;
+  }
+  return true;
 }
 
 HeaderMap& HttpParser::current_headers() {
@@ -171,14 +191,21 @@ bool HttpParser::feed(std::string_view data) {
           return state_ != State::kError;
         }
         if (!parse_start_line(line)) return false;
+        header_bytes_ = 0;
+        header_count_ = 0;
         state_ = State::kHeaders;
         break;
       }
       case State::kHeaders: {
         if (!take_line(buffer_, line)) {
-          if (buffer_.size() > kMaxHeaderBytes) fail("headers too large");
+          // No line break yet: the flood case. Count what is buffered so an
+          // attacker cannot park max_header_bytes per feed() indefinitely.
+          if (limits_.max_header_bytes > 0 &&
+              header_bytes_ + buffer_.size() > limits_.max_header_bytes)
+            fail_limit("headers too large");
           return state_ != State::kError;
         }
+        if (!count_header_line(line)) return false;
         if (line.empty()) {
           on_headers_complete();
         } else if (!parse_header_line(line)) {
@@ -255,11 +282,17 @@ bool HttpParser::feed(std::string_view data) {
         break;
       }
       case State::kTrailers: {
-        if (!take_line(buffer_, line)) return true;
+        if (!take_line(buffer_, line)) {
+          if (limits_.max_header_bytes > 0 &&
+              header_bytes_ + buffer_.size() > limits_.max_header_bytes)
+            fail_limit("headers too large");
+          return state_ != State::kError;
+        }
+        // Trailers fold into the main header map, so they share its caps.
+        if (!count_header_line(line)) return false;
         if (line.empty()) {
           complete_message();
         } else {
-          // Trailer fields are parsed but folded into the main header map.
           if (!parse_header_line(line)) return false;
         }
         break;

@@ -18,7 +18,18 @@ class HttpParser {
  public:
   enum class Mode { kRequest, kResponse };
 
-  explicit HttpParser(Mode mode) : mode_(mode) {}
+  // Hard caps on the header section of one message (start line excluded;
+  // trailers included — they fold into the same header map). 0 disables a
+  // cap. Breaching either puts the parser in the error state with
+  // limit_violation() set, which transports surface as 431 Request Header
+  // Fields Too Large instead of a generic 400.
+  struct Limits {
+    std::size_t max_header_bytes = 64 * 1024;
+    std::size_t max_header_count = 256;
+  };
+
+  explicit HttpParser(Mode mode) : HttpParser(mode, Limits()) {}
+  HttpParser(Mode mode, Limits limits) : mode_(mode), limits_(limits) {}
 
   // Consume bytes. Returns false once the stream is in an error state
   // (further input is ignored).
@@ -33,11 +44,19 @@ class HttpParser {
 
   bool has_error() const { return state_ == State::kError; }
   const std::string& error() const { return error_; }
+  // True when the error was a header byte/count cap breach (431, not 400).
+  bool limit_violation() const { return limit_violation_; }
 
   std::size_t message_count() const {
     return mode_ == Mode::kRequest ? requests_.size() : responses_.size();
   }
   bool has_message() const { return message_count() > 0; }
+
+  // True when no partial message is buffered — the safe point to close a
+  // keep-alive connection or drop a per-message read deadline.
+  bool between_messages() const {
+    return state_ == State::kStartLine && buffer_.empty();
+  }
 
   // Precondition: has_message() and the matching mode.
   HttpRequest take_request();
@@ -48,6 +67,8 @@ class HttpParser {
                      kChunkDataEnd, kTrailers, kError };
 
   void fail(std::string msg);
+  void fail_limit(std::string msg);
+  bool count_header_line(std::string_view line);
   bool parse_start_line(std::string_view line);
   bool parse_header_line(std::string_view line);
   void on_headers_complete();
@@ -56,10 +77,14 @@ class HttpParser {
   std::string& current_body();
 
   Mode mode_;
+  Limits limits_;
   State state_ = State::kStartLine;
   std::string buffer_;           // unconsumed input
   std::string error_;
   bool head_response_ = false;
+  bool limit_violation_ = false;
+  std::size_t header_bytes_ = 0;  // cumulative header-section bytes, this message
+  std::size_t header_count_ = 0;  // header + trailer fields, this message
 
   HttpRequest req_;              // message under construction
   HttpResponse resp_;

@@ -72,6 +72,30 @@ HttpFetcher::FetchId MitmProxy::fetch(const HttpRequest& request,
       obs::metrics().counter("http.proxy.requests_total");
   requests_total.inc();
 
+  // Header hygiene precedes everything else: an abusive request must not
+  // charge admission tokens or reach policy code (same caps the socket
+  // transport's parser enforces on the wire — see HttpParser::Limits).
+  if (params_.max_header_bytes > 0 || params_.max_header_count > 0) {
+    std::size_t header_bytes = 0;
+    for (const auto& entry : request.headers.entries())
+      header_bytes += entry.name.size() + entry.value.size() + 4;  // ": " CRLF
+    const bool too_big = params_.max_header_bytes > 0 &&
+                         header_bytes > params_.max_header_bytes;
+    const bool too_many = params_.max_header_count > 0 &&
+                          request.headers.size() > params_.max_header_count;
+    if (too_big || too_many) {
+      ++stats_.header_violations;
+      static obs::Counter& violations =
+          obs::metrics().counter("http.proxy.header_violation_total");
+      violations.inc();
+      MFHTTP_TRACE << "proxy 431 (" << (too_big ? "header bytes" : "header count")
+                   << ") " << p.url;
+      p.reject_event = sim_.schedule_after(
+          params_.reject_delay_ms, [this, id] { finish_rejected(id, 431); });
+      return id;
+    }
+  }
+
   // A fresh cache hit will be served from the proxy without touching the
   // upstream, so it must not spend admission tokens either — rate limiting
   // protects upstream capacity, and a hit consumes none. Peek only (no

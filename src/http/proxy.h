@@ -58,6 +58,13 @@ struct MitmProxyParams {
   // Delay for the proxy to reject a blocked request back to the client.
   TimeMs reject_delay_ms = 5;
 
+  // Request-header hygiene at the proxy front door, mirroring
+  // HttpParser::Limits on the socket transport: a request whose header
+  // section exceeds either cap bounces with 431 Request Header Fields Too
+  // Large before admission, policy, or cache see it. 0 disables a cap.
+  std::size_t max_header_bytes = 64 * 1024;
+  std::size_t max_header_count = 256;
+
   // Deferred-queue watchdog (resilience layer). A request parked longer than
   // defer_timeout_ms is either force-released upstream (kRelease — graceful
   // degradation: stale policy beats a stranded client) or failed back to the
@@ -81,6 +88,7 @@ class MitmProxy : public HttpFetcher {
     std::size_t rewritten = 0;
     std::size_t rejected = 0;  // bounced by admission (429, or 503 on full queues)
     std::size_t shed = 0;      // dropped by brownout load shedding (503)
+    std::size_t header_violations = 0;  // bounced with 431 (header caps)
     std::size_t cache_hits = 0;
     std::size_t stale_served = 0;   // stale entries served inside the SWR window
     std::size_t revalidations = 0;  // conditional refreshes (304 or replaced body)

@@ -1,0 +1,117 @@
+// Transport selection: the same middleware stack over the discrete-event
+// sim or over real loopback sockets (ISSUE 8 tentpole, DESIGN.md §15).
+//
+// The sim backend is SimHttpOrigin, unchanged. The socket backend stands up
+// a real HTTP/1.1 origin — aio::HttpServer on an epoll EventLoop, answering
+// from the same ObjectStore — and fronts it with SocketOrigin, an
+// HttpFetcher whose fetch():
+//
+//   1. serializes the request and performs the full loopback round trip
+//      *synchronously* on the event loop (real bytes, real parser, real
+//      deadlines, real faults), then
+//   2. replays the outcome into the simulation with exactly
+//      SimHttpOrigin's event shape: request_delay_ms of think time, an
+//      on_headers callback, body bytes streamed over the origin Link,
+//      completion timestamps in sim time.
+//
+// That split is the parity contract: on a clean wire, a fetch through
+// either backend produces byte-identical HTTP outcomes AND identical sim
+// timestamps, so every bench, test, and policy layer runs unchanged on
+// both — which is what lets bench/loopback_matrix assert sim-vs-socket
+// equivalence in-binary. Transport failures (reset, deadline, parse error)
+// complete with status 0, the taxonomy code ResilientFetcher already
+// treats as retryable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "http/sim_http.h"
+#include "net/aio/event_loop.h"
+#include "net/aio/http_server.h"
+#include "net/aio/tcp.h"
+
+namespace mfhttp {
+
+namespace fault {
+struct FaultPlan;
+class SocketFaultInjector;
+}  // namespace fault
+
+namespace overload {
+class AdmissionController;
+}  // namespace overload
+
+enum class TransportKind { kSim, kSocket };
+
+const char* transport_kind_name(TransportKind kind);
+// "sim" / "socket"; nullopt otherwise.
+std::optional<TransportKind> transport_kind_from_name(std::string_view name);
+
+struct TransportConfig {
+  TransportKind kind = TransportKind::kSim;
+
+  // Socket-backend knobs (wall-clock milliseconds; ignored by kSim).
+  std::uint16_t port = 0;              // 0: ephemeral loopback port
+  TimeMs fetch_deadline_ms = 5000;     // client round-trip budget
+  TimeMs idle_timeout_ms = 2000;       // server slowloris guard
+  TimeMs request_deadline_ms = 2000;   // server per-request read deadline
+  TimeMs write_deadline_ms = 2000;     // both sides: pending output drain
+  std::size_t max_header_bytes = 64 * 1024;  // 431 past this (0 disables)
+  std::size_t max_header_count = 256;        // 431 past this (0 disables)
+  std::size_t max_connections = 64;
+
+  // Byte-level chaos for the server side of the wire (plan->socket section;
+  // nullptr or an empty section leaves the wire clean). Not owned.
+  const fault::FaultPlan* plan = nullptr;
+  // Optional server-side shed hook: requests the controller sheds answer
+  // 503 before reaching the origin handler. Not owned. Leave null when the
+  // MitmProxy already fronts the same controller, or requests get charged
+  // twice.
+  overload::AdmissionController* admission = nullptr;
+};
+
+// The socket backend: one event loop, one loopback origin server, one
+// keep-alive client connection. Owned by the FetchPipeline that selected
+// --transport=socket; must outlive every fetch it serves.
+class SocketTransport {
+ public:
+  // `store` and `origin_link` play exactly their SimHttpOrigin roles; the
+  // link carries the replayed body bytes so sim-side byte accounting and
+  // congestion behave identically across backends.
+  SocketTransport(Simulator& sim, const ObjectStore* store, Link* origin_link,
+                  SimHttpOriginParams origin_params, TransportConfig config);
+  ~SocketTransport();
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  struct ClientStats {
+    std::size_t connects = 0;
+    std::size_t responses = 0;
+    std::size_t transport_errors = 0;  // status-0 completions
+  };
+
+  HttpFetcher& origin();
+  std::uint16_t port() const { return server_->port(); }
+  aio::EventLoop& loop() { return loop_; }
+  const aio::HttpServer::Stats& server_stats() const {
+    return server_->stats();
+  }
+  const ClientStats& client_stats() const;
+
+  // Graceful shutdown: stop accepting, let in-flight requests finish.
+  void drain();
+
+ private:
+  class SocketOrigin;
+
+  aio::EventLoop loop_;
+  std::unique_ptr<fault::SocketFaultInjector> injector_;
+  std::unique_ptr<aio::HttpServer> server_;
+  std::unique_ptr<SocketOrigin> origin_;
+};
+
+}  // namespace mfhttp

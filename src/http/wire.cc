@@ -141,7 +141,10 @@ HttpResponse WireHttpServer::handle(const HttpRequest& request) const {
 void WireHttpServer::on_bytes(std::string_view data) {
   if (!parser_.feed(data)) {
     MFHTTP_WARN << "wire server: parse error: " << parser_.error();
-    tx_->send(HttpResponse::make(400, "", "malformed request").serialize());
+    const int status = parser_.limit_violation() ? 431 : 400;
+    const char* body =
+        parser_.limit_violation() ? "header limits exceeded" : "malformed request";
+    tx_->send(HttpResponse::make(status, "", body).serialize());
     tx_->close();
     return;
   }
@@ -195,7 +198,10 @@ WireMitmProxy::WireMitmProxy(BytePipe* client_rx, BytePipe* client_tx,
 void WireMitmProxy::on_client_bytes(std::string_view data) {
   if (!client_parser_.feed(data)) {
     MFHTTP_WARN << "wire proxy: client parse error: " << client_parser_.error();
-    client_tx_->send(HttpResponse::make(400, "", "malformed request").serialize());
+    const int status = client_parser_.limit_violation() ? 431 : 400;
+    const char* body = client_parser_.limit_violation() ? "header limits exceeded"
+                                                        : "malformed request";
+    client_tx_->send(HttpResponse::make(status, "", body).serialize());
     client_tx_->close();
     return;
   }

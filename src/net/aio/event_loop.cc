@@ -1,0 +1,168 @@
+#include "net/aio/event_loop.h"
+
+#include <errno.h>
+#include <sys/epoll.h>
+#include <time.h>
+
+#include <algorithm>
+
+#include "net/aio/syscall.h"
+#include "util/check.h"
+
+namespace mfhttp::aio {
+
+namespace {
+
+std::int64_t monotonic_ns() {
+  timespec ts;
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1000000000LL + ts.tv_nsec;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() : wheel_(kSlots) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  MFHTTP_CHECK_MSG(epoll_fd_ >= 0, "epoll_create1 failed");
+  t0_ns_ = monotonic_ns();
+}
+
+EventLoop::~EventLoop() { close_fd(epoll_fd_); }
+
+TimeMs EventLoop::now_ms() const {
+  return static_cast<TimeMs>((monotonic_ns() - t0_ns_) / 1000000LL);
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t events, IoFn fn) {
+  MFHTTP_CHECK_MSG(!fds_.contains(fd), "fd already registered");
+  auto state = std::make_shared<FdState>();
+  state->fn = std::move(fn);
+  state->events = events;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  int rc = ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  MFHTTP_CHECK_MSG(rc == 0, "epoll_ctl ADD failed");
+  fds_.emplace(fd, std::move(state));
+}
+
+void EventLoop::modify_fd(int fd, std::uint32_t events) {
+  auto it = fds_.find(fd);
+  MFHTTP_CHECK_MSG(it != fds_.end(), "modify_fd on unregistered fd");
+  if (it->second->events == events) return;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  int rc = ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+  MFHTTP_CHECK_MSG(rc == 0, "epoll_ctl MOD failed");
+  it->second->events = events;
+}
+
+void EventLoop::remove_fd(int fd) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  fds_.erase(it);
+}
+
+EventLoop::TimerId EventLoop::add_timer_at(TimeMs deadline_ms, TimerFn fn) {
+  TimerId id = next_timer_id_++;
+  Timer t;
+  t.deadline_ms = std::max<TimeMs>(deadline_ms, 0);
+  t.fn = std::move(fn);
+  wheel_[slot_of(t.deadline_ms)].push_back(id);
+  timers_.emplace(id, std::move(t));
+  return id;
+}
+
+bool EventLoop::cancel_timer(TimerId id) {
+  // Lazy cancellation: the wheel's id entry stays behind and is skipped on
+  // the sweep — O(1) cancel, which deadline churn needs.
+  return timers_.erase(id) > 0;
+}
+
+TimeMs EventLoop::next_deadline() const {
+  TimeMs best = -1;
+  for (const auto& [id, t] : timers_)
+    if (best < 0 || t.deadline_ms < best) best = t.deadline_ms;
+  return best;
+}
+
+int EventLoop::fire_due_timers() {
+  const TimeMs now = now_ms();
+  const TimeMs tick = now / kTickMs;
+  int fired = 0;
+  // Sweep every tick from the last swept one (inclusive: a timer armed for
+  // the current tick must fire without waiting a revolution) through the
+  // current tick, bounded by one full revolution — past that slots repeat.
+  const TimeMs first = last_swept_tick_;
+  const TimeMs last =
+      std::min(tick, last_swept_tick_ + static_cast<TimeMs>(kSlots) - 1);
+  for (TimeMs t = first; t <= last; ++t) {
+    std::vector<TimerId>& slot =
+        wheel_[static_cast<std::size_t>(t) % kSlots];
+    std::vector<TimerId> keep;
+    std::vector<TimerId> due;
+    keep.reserve(slot.size());
+    for (TimerId id : slot) {
+      auto it = timers_.find(id);
+      if (it == timers_.end()) continue;  // lazily cancelled
+      if (it->second.deadline_ms <= now)
+        due.push_back(id);  // due this revolution
+      else
+        keep.push_back(id);  // a later revolution of this slot
+    }
+    slot = std::move(keep);
+    for (TimerId id : due) {
+      auto it = timers_.find(id);
+      if (it == timers_.end()) continue;  // cancelled by an earlier callback
+      TimerFn fn = std::move(it->second.fn);
+      timers_.erase(it);
+      fn();
+      ++fired;
+    }
+  }
+  last_swept_tick_ = std::max(last_swept_tick_, tick);
+  return fired;
+}
+
+int EventLoop::poll(TimeMs max_wait_ms) {
+  TimeMs wait = std::max<TimeMs>(max_wait_ms, 0);
+  const TimeMs deadline = next_deadline();
+  if (deadline >= 0) {
+    const TimeMs until = deadline - now_ms();
+    wait = std::min(wait, std::max<TimeMs>(until, 0));
+  }
+
+  epoll_event events[64];
+  int n;
+  do {
+    n = ::epoll_wait(epoll_fd_, events, 64, static_cast<int>(wait));
+  } while (n < 0 && errno == EINTR);
+  MFHTTP_CHECK_MSG(n >= 0, "epoll_wait failed");
+
+  int dispatched = 0;
+  for (int i = 0; i < n; ++i) {
+    auto it = fds_.find(events[i].data.fd);
+    if (it == fds_.end()) continue;  // removed by an earlier handler
+    // Shared ownership keeps the callback alive through remove_fd from
+    // inside itself.
+    std::shared_ptr<FdState> state = it->second;
+    state->fn(events[i].events);
+    ++dispatched;
+  }
+  dispatched += fire_due_timers();
+  return dispatched;
+}
+
+bool EventLoop::run_until(const std::function<bool()>& done,
+                          TimeMs deadline_ms) {
+  while (!done()) {
+    const TimeMs left = deadline_ms - now_ms();
+    if (left <= 0) return false;
+    poll(std::min<TimeMs>(left, 50));
+  }
+  return true;
+}
+
+}  // namespace mfhttp::aio

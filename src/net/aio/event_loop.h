@@ -1,0 +1,104 @@
+// Level-triggered epoll event loop with a coarse timer wheel — the real-I/O
+// counterpart of sim/simulator.h (DESIGN.md §15).
+//
+// One loop drives every socket of one transport: the loopback origin
+// server's listener and connections plus the client side of each fetch. It
+// is strictly single-threaded; poll() is re-entered from SocketOrigin::fetch
+// synchronously, never from another thread.
+//
+// Timers ride a 256-slot x 4 ms wheel keyed by absolute monotonic deadline.
+// A slot holds every timer whose deadline lands on that tick modulo one
+// revolution (~1 s); when the cursor sweeps a slot, entries are re-examined
+// and only those actually due fire — the rest wait for a later revolution.
+// This is the classic kernel-style wheel: O(1) insert/cancel and a bounded
+// per-tick sweep, which is what per-connection deadline churn (armed and
+// disarmed on every request) needs.
+//
+// Dispatch safety: the callback registered for an fd is copied (via shared
+// ownership) before invocation, so a handler that removes its own fd — or
+// any other — mid-dispatch never destroys the std::function it is executing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.h"
+
+namespace mfhttp::aio {
+
+class EventLoop {
+ public:
+  // `events` is the EPOLL* bitmask that fired (EPOLLIN, EPOLLOUT, EPOLLHUP,
+  // EPOLLERR — level-triggered, no EPOLLET anywhere in this loop).
+  using IoFn = std::function<void(std::uint32_t events)>;
+  using TimerFn = std::function<void()>;
+  using TimerId = std::uint64_t;
+  static constexpr TimerId kInvalidTimer = 0;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Monotonic wall-clock milliseconds since loop construction.
+  TimeMs now_ms() const;
+
+  void add_fd(int fd, std::uint32_t events, IoFn fn);
+  void modify_fd(int fd, std::uint32_t events);
+  void remove_fd(int fd);  // unregisters only; the caller owns the close
+  bool watching(int fd) const { return fds_.contains(fd); }
+
+  TimerId add_timer_at(TimeMs deadline_ms, TimerFn fn);
+  TimerId add_timer_after(TimeMs delay_ms, TimerFn fn) {
+    return add_timer_at(now_ms() + (delay_ms < 0 ? 0 : delay_ms), std::move(fn));
+  }
+  // False when the timer already fired or was cancelled.
+  bool cancel_timer(TimerId id);
+
+  // One epoll_wait pass: dispatch ready fds, then fire due timers. Blocks at
+  // most max_wait_ms (clamped down to the next timer deadline); 0 polls.
+  // Returns the number of fd events plus timers dispatched.
+  int poll(TimeMs max_wait_ms);
+
+  // Drive poll() until done() or the wall deadline. True when done() won.
+  bool run_until(const std::function<bool()>& done, TimeMs deadline_ms);
+
+  std::size_t fd_count() const { return fds_.size(); }
+  std::size_t timer_count() const { return timers_.size(); }
+
+ private:
+  static constexpr TimeMs kTickMs = 4;
+  static constexpr std::size_t kSlots = 256;
+
+  struct FdState {
+    IoFn fn;
+    std::uint32_t events = 0;
+  };
+  struct Timer {
+    TimeMs deadline_ms = 0;
+    TimerFn fn;
+  };
+
+  std::size_t slot_of(TimeMs deadline_ms) const {
+    return static_cast<std::size_t>(deadline_ms / kTickMs) % kSlots;
+  }
+  // Soonest pending timer deadline, or -1 when none. Linear in the slot the
+  // cursor is about to sweep plus the timer map — both small (tens of
+  // connections, a few deadlines each).
+  TimeMs next_deadline() const;
+  int fire_due_timers();
+
+  int epoll_fd_ = -1;
+  std::int64_t t0_ns_ = 0;  // CLOCK_MONOTONIC at construction
+
+  std::unordered_map<int, std::shared_ptr<FdState>> fds_;
+  std::unordered_map<TimerId, Timer> timers_;
+  std::vector<std::vector<TimerId>> wheel_;  // kSlots buckets of timer ids
+  TimeMs last_swept_tick_ = 0;
+  TimerId next_timer_id_ = 1;
+};
+
+}  // namespace mfhttp::aio

@@ -1,0 +1,110 @@
+// Loopback HTTP/1.1 origin server on the aio event loop (DESIGN.md §15).
+//
+// One HttpServer = one TcpListener plus a set of keep-alive connections,
+// each pairing a TcpConn with an incremental HttpParser(kRequest). The
+// handler is synchronous — the loopback origin answers from an in-memory
+// ObjectStore, so there is nothing to await — and every robustness decision
+// sits on this side of the wire:
+//
+//   * header caps    -- HttpParser::Limits breaches answer 431, malformed
+//                       requests 400, both followed by a drain-and-close.
+//   * request pacing -- a read deadline arms when the first byte of a
+//                       request lands and disarms when the message
+//                       completes; the idle timeout covers the gaps
+//                       between requests (slowloris shows up as one or the
+//                       other, never as a stuck connection).
+//   * overload       -- an optional shed hook (wired to the pipeline's
+//                       AdmissionController by http/transport.cc) may
+//                       condemn a parsed request to a fast 503; a write
+//                       buffer above its high-water mark sheds the same
+//                       way, because queueing more output onto a stuck
+//                       client is how buffers stop being bounded.
+//   * drain          -- drain() closes the listener and lets in-flight
+//                       requests finish; connections close as they go idle.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "http/message.h"
+#include "http/parser.h"
+#include "net/aio/tcp.h"
+
+namespace mfhttp::aio {
+
+struct HttpServerParams {
+  TcpConnParams conn;
+  HttpParser::Limits limits;
+  // Max bytes of one request's header+body span on the wire before the
+  // read deadline fires (wall clock; 0 disables).
+  TimeMs request_deadline_ms = 2000;
+  std::size_t max_connections = 256;
+  // Out-pipe level above which new requests on that connection shed (503)
+  // instead of queueing more output. 0: half the write buffer cap.
+  std::size_t write_high_water = 0;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+  // Returns true when the request must be shed with 503 (admission hook).
+  using ShedFn = std::function<bool(const HttpRequest&)>;
+
+  struct Stats {
+    std::size_t accepted = 0;
+    std::size_t requests = 0;
+    std::size_t responses = 0;
+    std::size_t shed = 0;              // 503 via the shed hook or backpressure
+    std::size_t bad_requests = 0;      // 400
+    std::size_t header_violations = 0; // 431
+    std::size_t timeouts = 0;          // idle/read/write deadline closes
+    std::size_t resets = 0;            // peer RST / injected RST
+    std::size_t over_capacity = 0;     // accepts beyond max_connections
+  };
+
+  // port 0 binds an ephemeral loopback port (see port()).
+  HttpServer(EventLoop& loop, std::uint16_t port, Handler handler,
+             HttpServerParams params = {}, ByteFaults* faults = nullptr);
+  ~HttpServer();
+
+  void set_shed_hook(ShedFn fn) { shed_ = std::move(fn); }
+
+  std::uint16_t port() const { return listener_.port(); }
+  std::size_t connection_count() const { return conns_.size(); }
+  const Stats& stats() const { return stats_; }
+
+  // Graceful shutdown: stop accepting; idle connections close now, busy
+  // ones when their current response drains.
+  void drain();
+  bool draining() const { return draining_; }
+
+ private:
+  struct Conn {
+    std::unique_ptr<TcpConn> tcp;
+    HttpParser parser;
+    bool request_deadline_armed = false;
+    explicit Conn(HttpParser::Limits limits)
+        : parser(HttpParser::Mode::kRequest, limits) {}
+  };
+
+  void on_accept(int fd);
+  void on_data(std::uint64_t ordinal);
+  void on_closed(std::uint64_t ordinal, TcpConn::CloseReason reason);
+  // Serialize + queue a response; returns false when the conn shed/closed.
+  bool respond(Conn& conn, const HttpResponse& response, bool close_after);
+
+  EventLoop& loop_;
+  Handler handler_;
+  HttpServerParams params_;
+  ByteFaults* faults_;
+  ShedFn shed_;
+  bool draining_ = false;
+  std::uint64_t next_ordinal_ = 0;
+  std::unordered_map<std::uint64_t, Conn> conns_;
+  Stats stats_;
+  TcpListener listener_;  // last: its accept callback touches the fields above
+};
+
+}  // namespace mfhttp::aio

@@ -1,0 +1,357 @@
+#include "net/aio/tcp.h"
+
+#include <errno.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "net/aio/syscall.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace mfhttp::aio {
+
+namespace {
+
+obs::Counter& accepted_counter() {
+  static obs::Counter& c = obs::metrics().counter("aio.accepted_total");
+  return c;
+}
+
+obs::Counter& timeout_counter() {
+  static obs::Counter& c = obs::metrics().counter("aio.timeout_total");
+  return c;
+}
+
+}  // namespace
+
+TcpListener::TcpListener(EventLoop& loop, std::uint16_t port, AcceptFn on_accept)
+    : loop_(loop), on_accept_(std::move(on_accept)) {
+  fd_ = listen_loopback(port, &port_);
+  MFHTTP_CHECK_MSG(fd_ >= 0, "cannot bind loopback listener");
+  loop_.add_fd(fd_, EPOLLIN, [this](std::uint32_t) {
+    // Drain the accept queue; level-triggered epoll re-fires if more arrive.
+    for (;;) {
+      int conn = ::accept4(fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (conn < 0) {
+        if (errno == EINTR) continue;
+        // ECONNABORTED: the peer gave up while queued — not our problem.
+        if (errno == ECONNABORTED) continue;
+        break;  // EAGAIN or a transient kernel error; wait for the next event
+      }
+      accepted_counter().inc();
+      on_accept_(conn);
+    }
+  });
+}
+
+TcpListener::~TcpListener() { close(); }
+
+void TcpListener::close() {
+  if (fd_ < 0) return;
+  loop_.remove_fd(fd_);
+  close_fd(fd_);
+  fd_ = -1;
+}
+
+const char* TcpConn::reason_name(CloseReason reason) {
+  switch (reason) {
+    case CloseReason::kLocal: return "local";
+    case CloseReason::kEof: return "eof";
+    case CloseReason::kReset: return "reset";
+    case CloseReason::kError: return "error";
+    case CloseReason::kIdleTimeout: return "idle_timeout";
+    case CloseReason::kReadTimeout: return "read_timeout";
+    case CloseReason::kWriteTimeout: return "write_timeout";
+    case CloseReason::kInjected: return "injected";
+  }
+  return "?";
+}
+
+TcpConn::TcpConn(EventLoop& loop, int fd, TcpConnParams params,
+                 std::uint64_t ordinal, ByteFaults* faults, bool await_connect)
+    : loop_(loop),
+      fd_(fd),
+      params_(params),
+      ordinal_(ordinal),
+      faults_(faults),
+      in_(4096, params.read_buffer_cap),
+      out_(4096, params.write_buffer_cap),
+      connected_(!await_connect) {
+  MFHTTP_CHECK(fd_ >= 0);
+  last_activity_ms_ = loop_.now_ms();
+  std::uint32_t events = EPOLLIN;
+  if (!connected_) events |= EPOLLOUT;
+  loop_.add_fd(fd_, events, [this](std::uint32_t ev) { on_event(ev); });
+  arm_idle_timer();
+}
+
+TcpConn::~TcpConn() {
+  *alive_ = false;
+  if (fd_ < 0) return;
+  // Silent teardown: the owner is destroying us, no on_closed_.
+  loop_.cancel_timer(idle_timer_);
+  loop_.cancel_timer(read_timer_);
+  loop_.cancel_timer(write_timer_);
+  loop_.cancel_timer(stall_timer_);
+  loop_.remove_fd(fd_);
+  close_fd(fd_);
+  fd_ = -1;
+}
+
+void TcpConn::on_event(std::uint32_t events) {
+  if (fd_ < 0) return;
+  // handle_readable() may run on_data_/on_closed_, and either callback may
+  // destroy this conn; the sentinel is the only safe thing left to read.
+  const std::shared_ptr<bool> alive = alive_;
+  if (!connected_ && (events & (EPOLLOUT | EPOLLERR | EPOLLHUP))) {
+    int err = connect_result(fd_);
+    if (err != 0) {
+      close(err == ECONNREFUSED || err == ECONNRESET ? CloseReason::kReset
+                                                     : CloseReason::kError);
+      return;
+    }
+    connected_ = true;
+    update_interest();
+  }
+  if (events & (EPOLLIN | EPOLLHUP | EPOLLERR)) handle_readable();
+  if (!*alive) return;
+  if (fd_ >= 0 && (events & EPOLLOUT)) handle_writable();
+}
+
+void TcpConn::handle_readable() {
+  const std::shared_ptr<bool> alive = alive_;
+  bool committed = false;
+  bool eof = false;
+  // Bounded batch: stay fair to the loop's other fds; level-triggered epoll
+  // re-fires while bytes remain.
+  for (int burst = 0; burst < 32; ++burst) {
+    if (fd_ < 0 || !want_read_ || stalled_read_) break;
+    BytePipe::WriteWindow w = in_.push_begin(4096);
+    if (w.size == 0) {
+      // In-pipe at its bound: stop watching EPOLLIN until the consumer
+      // drains it (resume_read).
+      want_read_ = false;
+      update_interest();
+      break;
+    }
+    std::size_t want = w.size;
+    if (faults_ != nullptr) {
+      ByteFaults::Op op = faults_->on_read(ordinal_, read_ops_++, want);
+      if (op.reset) {
+        in_.push_finish(0);
+        abort(CloseReason::kInjected);
+        return;
+      }
+      if (op.stall_ms > 0) {
+        in_.push_finish(0);
+        stall(/*read_side=*/true, op.stall_ms);
+        break;
+      }
+      want = std::min(want, std::max<std::size_t>(op.clamp, 1));
+    }
+    IoResult r = read_some(fd_, w.data, want);
+    if (r.status == IoStatus::kOk) {
+      in_.push_finish(r.n);
+      touch();
+      committed = true;
+      continue;
+    }
+    in_.push_finish(0);
+    if (r.status == IoStatus::kWouldBlock) break;
+    if (r.status == IoStatus::kEof) {
+      eof = true;
+      break;
+    }
+    // Deliver whatever arrived before the failure, then close.
+    if (committed && on_data_) on_data_();
+    if (!*alive) return;
+    if (fd_ >= 0)
+      close(r.status == IoStatus::kReset ? CloseReason::kReset
+                                         : CloseReason::kError);
+    return;
+  }
+  if (committed && on_data_) on_data_();
+  if (!*alive) return;
+  if (eof && fd_ >= 0) close(CloseReason::kEof);
+}
+
+void TcpConn::handle_writable() {
+  while (fd_ >= 0 && !out_.empty() && !stalled_write_) {
+    std::string_view data = out_.peek();
+    std::size_t want = data.size();
+    bool torn = false;
+    if (faults_ != nullptr) {
+      ByteFaults::Op op = faults_->on_write(ordinal_, write_ops_++, want);
+      if (op.reset) {
+        abort(CloseReason::kInjected);
+        return;
+      }
+      if (op.stall_ms > 0) {
+        stall(/*read_side=*/false, op.stall_ms);
+        break;
+      }
+      if (op.clamp < want) {
+        want = std::max<std::size_t>(op.clamp, 1);
+        torn = true;
+      }
+    }
+    IoResult r = write_some(fd_, data.data(), want);
+    if (r.status == IoStatus::kOk) {
+      out_.consume(r.n);
+      touch();
+      // A torn write ends this pass so the remainder goes out in a separate
+      // segment on the next readiness event.
+      if (torn) break;
+      continue;
+    }
+    if (r.status == IoStatus::kWouldBlock) break;
+    close(r.status == IoStatus::kReset ? CloseReason::kReset
+                                       : CloseReason::kError);
+    return;
+  }
+  if (fd_ < 0) return;
+  if (out_.empty()) {
+    disarm_write_deadline();
+    if (close_when_drained_) {
+      close(CloseReason::kLocal);
+      return;
+    }
+  }
+  update_interest();
+}
+
+bool TcpConn::send(std::string_view data) {
+  if (fd_ < 0) return false;
+  const bool was_empty = out_.empty();
+  if (!out_.append(data)) return false;  // bounded out-pipe full: shed
+  if (was_empty && !out_.empty()) arm_write_deadline();
+  // No inline flush: the bytes go out on the next poll pass. Flushing here
+  // could invoke on_closed_ (injected RST) beneath a caller still holding
+  // `this`.
+  update_interest();
+  return true;
+}
+
+void TcpConn::resume_read() {
+  if (fd_ < 0 || want_read_) return;
+  want_read_ = true;
+  update_interest();
+}
+
+void TcpConn::close_when_drained() {
+  if (fd_ < 0) return;
+  if (out_.empty()) {
+    close(CloseReason::kLocal);
+    return;
+  }
+  close_when_drained_ = true;
+}
+
+void TcpConn::update_interest() {
+  if (fd_ < 0) return;
+  std::uint32_t events = 0;
+  if (want_read_ && !stalled_read_) events |= EPOLLIN;
+  if (!connected_ || (!out_.empty() && !stalled_write_)) events |= EPOLLOUT;
+  loop_.modify_fd(fd_, events);
+}
+
+void TcpConn::touch() { last_activity_ms_ = loop_.now_ms(); }
+
+void TcpConn::arm_idle_timer() {
+  if (params_.idle_timeout_ms <= 0) return;
+  // Lazy idle clock: the timer fires at the *earliest possible* expiry and
+  // re-arms for the remainder if bytes moved meanwhile — O(1) per byte
+  // instead of cancel+insert per read.
+  const TimeMs due = last_activity_ms_ + params_.idle_timeout_ms;
+  idle_timer_ = loop_.add_timer_at(due, [this] {
+    idle_timer_ = EventLoop::kInvalidTimer;
+    const TimeMs now = loop_.now_ms();
+    if (now - last_activity_ms_ >= params_.idle_timeout_ms) {
+      timeout_counter().inc();
+      close(CloseReason::kIdleTimeout);
+      return;
+    }
+    arm_idle_timer();
+  });
+}
+
+void TcpConn::arm_read_deadline(TimeMs after_ms) {
+  disarm_read_deadline();
+  if (after_ms <= 0) return;
+  read_timer_ = loop_.add_timer_after(after_ms, [this] {
+    read_timer_ = EventLoop::kInvalidTimer;
+    timeout_counter().inc();
+    close(CloseReason::kReadTimeout);
+  });
+}
+
+void TcpConn::disarm_read_deadline() {
+  if (read_timer_ == EventLoop::kInvalidTimer) return;
+  loop_.cancel_timer(read_timer_);
+  read_timer_ = EventLoop::kInvalidTimer;
+}
+
+void TcpConn::arm_write_deadline() {
+  if (params_.write_deadline_ms <= 0 ||
+      write_timer_ != EventLoop::kInvalidTimer)
+    return;
+  write_timer_ = loop_.add_timer_after(params_.write_deadline_ms, [this] {
+    write_timer_ = EventLoop::kInvalidTimer;
+    timeout_counter().inc();
+    close(CloseReason::kWriteTimeout);
+  });
+}
+
+void TcpConn::disarm_write_deadline() {
+  if (write_timer_ == EventLoop::kInvalidTimer) return;
+  loop_.cancel_timer(write_timer_);
+  write_timer_ = EventLoop::kInvalidTimer;
+}
+
+void TcpConn::stall(bool read_side, TimeMs stall_ms) {
+  if (read_side)
+    stalled_read_ = true;
+  else
+    stalled_write_ = true;
+  update_interest();
+  // One stall window at a time; overlapping draws extend nothing.
+  if (stall_timer_ != EventLoop::kInvalidTimer) return;
+  stall_timer_ = loop_.add_timer_after(stall_ms, [this] {
+    stall_timer_ = EventLoop::kInvalidTimer;
+    stalled_read_ = false;
+    stalled_write_ = false;
+    update_interest();
+  });
+}
+
+void TcpConn::close(CloseReason reason) {
+  if (fd_ < 0) return;
+  MFHTTP_TRACE << "aio conn " << ordinal_ << " closed ("
+               << reason_name(reason) << ")";
+  loop_.cancel_timer(idle_timer_);
+  loop_.cancel_timer(read_timer_);
+  loop_.cancel_timer(write_timer_);
+  loop_.cancel_timer(stall_timer_);
+  idle_timer_ = read_timer_ = write_timer_ = stall_timer_ =
+      EventLoop::kInvalidTimer;
+  loop_.remove_fd(fd_);
+  close_fd(fd_);
+  fd_ = -1;
+  // Strictly last: the callback may destroy this object.
+  if (on_closed_) {
+    ClosedFn cb = std::move(on_closed_);
+    cb(reason);
+  }
+}
+
+void TcpConn::abort(CloseReason reason) {
+  if (fd_ < 0) return;
+  arm_abortive_close(fd_);
+  close(reason);
+}
+
+}  // namespace mfhttp::aio

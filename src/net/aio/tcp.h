@@ -1,0 +1,185 @@
+// Non-blocking TCP primitives on the aio event loop (DESIGN.md §15).
+//
+// TcpListener accepts loopback connections; TcpConn owns one connected
+// socket plus its two bounded BytePipes and enforces the connection-lifecycle
+// robustness contract:
+//
+//   * read path   -- kernel bytes land in in() via push_begin/push_finish;
+//                    when in() hits its bound the conn stops watching
+//                    EPOLLIN until the consumer drains it (backpressure,
+//                    never unbounded buffering).
+//   * write path  -- send() copies into out(); EPOLLOUT is armed only while
+//                    out() is non-empty and a full out() fails send()
+//                    (the caller sheds instead of buffering without bound).
+//   * deadlines   -- an idle timeout (no bytes either direction — the
+//                    slowloris guard), an optional read deadline (armed by
+//                    the protocol layer for the span of one message), and a
+//                    write deadline (pending output must drain) all ride the
+//                    loop's timer wheel and close the conn with a taxonomy-
+//                    bearing CloseReason.
+//
+// Byte-level chaos: every kernel read/write first consults the optional
+// ByteFaults hook — the seeded fault::SocketFaultInjector implements it —
+// which may clamp the operation (short read / torn write), stall the
+// direction for a window, or kill the connection with an RST mid-stream.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/aio/byte_pipe.h"
+#include "net/aio/event_loop.h"
+#include "util/types.h"
+
+namespace mfhttp::aio {
+
+// Seeded byte-level fault hook (implemented by fault::SocketFaultInjector;
+// the interface lives here so aio never depends on the fault layer). All
+// decisions must be pure functions of (conn ordinal, op ordinal) so a plan
+// replays the same chaos regardless of kernel scheduling.
+class ByteFaults {
+ public:
+  struct Op {
+    std::size_t clamp = SIZE_MAX;  // max bytes this op may move
+    bool reset = false;            // kill the connection with RST instead
+    TimeMs stall_ms = 0;           // pause this direction first
+  };
+  virtual ~ByteFaults() = default;
+  virtual Op on_read(std::uint64_t conn, std::uint64_t op,
+                     std::size_t want) = 0;
+  virtual Op on_write(std::uint64_t conn, std::uint64_t op,
+                      std::size_t want) = 0;
+};
+
+class TcpListener {
+ public:
+  // Receives connected, non-blocking fds. The callee owns the fd.
+  using AcceptFn = std::function<void(int fd)>;
+
+  // port 0 binds an ephemeral loopback port (see port()). CHECK-fails when
+  // the socket cannot be bound — a transport that silently is not listening
+  // would fail every fetch anyway.
+  TcpListener(EventLoop& loop, std::uint16_t port, AcceptFn on_accept);
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  // Stop accepting (graceful drain: existing conns live on).
+  void close();
+  bool listening() const { return fd_ >= 0; }
+
+ private:
+  EventLoop& loop_;
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  AcceptFn on_accept_;
+};
+
+struct TcpConnParams {
+  std::size_t read_buffer_cap = 64 * 1024;
+  std::size_t write_buffer_cap = 1024 * 1024;
+  TimeMs idle_timeout_ms = 5000;   // no bytes in either direction; 0 disables
+  TimeMs write_deadline_ms = 5000; // pending out() must drain; 0 disables
+};
+
+class TcpConn {
+ public:
+  enum class CloseReason {
+    kLocal,         // close() — orderly, ours
+    kEof,           // orderly FIN from the peer
+    kReset,         // RST / EPIPE from the peer
+    kError,         // unclassified syscall failure
+    kIdleTimeout,   // slowloris guard fired
+    kReadTimeout,   // protocol-layer read deadline fired
+    kWriteTimeout,  // out() failed to drain within the write deadline
+    kInjected,      // ByteFaults ordered an abortive close
+  };
+  // Fired after new bytes were committed to in().
+  using DataFn = std::function<void()>;
+  // Fired exactly once, strictly last — the conn may be destroyed from it.
+  using ClosedFn = std::function<void(CloseReason)>;
+
+  // Takes ownership of fd (must be non-blocking). `ordinal` feeds the fault
+  // hook's per-connection stream; `faults` may be nullptr. await_connect:
+  // the fd carries an in-flight non-blocking connect — the first EPOLLOUT
+  // checks SO_ERROR and closes with kReset/kError on a failed connect.
+  TcpConn(EventLoop& loop, int fd, TcpConnParams params, std::uint64_t ordinal,
+          ByteFaults* faults, bool await_connect = false);
+  ~TcpConn();
+  TcpConn(const TcpConn&) = delete;
+  TcpConn& operator=(const TcpConn&) = delete;
+
+  void set_on_data(DataFn fn) { on_data_ = std::move(fn); }
+  void set_on_closed(ClosedFn fn) { on_closed_ = std::move(fn); }
+
+  BytePipe& in() { return in_; }
+  BytePipe& out() { return out_; }
+
+  // Queue bytes; arms EPOLLOUT. False (nothing queued) when out() lacks
+  // room — the caller's shed signal.
+  bool send(std::string_view data);
+
+  // After in() was drained below its bound, resume watching EPOLLIN.
+  void resume_read();
+
+  // Close once out() drains (or immediately if already empty).
+  void close_when_drained();
+  void close(CloseReason reason = CloseReason::kLocal);
+  // Abortive close: RST to the peer, no FIN handshake.
+  void abort(CloseReason reason = CloseReason::kReset);
+
+  bool open() const { return fd_ >= 0; }
+  std::uint64_t ordinal() const { return ordinal_; }
+  static const char* reason_name(CloseReason reason);
+
+  // Protocol-layer read deadline covering one message; re-arming replaces.
+  void arm_read_deadline(TimeMs after_ms);
+  void disarm_read_deadline();
+
+ private:
+  void on_event(std::uint32_t events);
+  void handle_readable();
+  void handle_writable();
+  void update_interest();
+  void touch();  // bytes moved: reset the idle clock
+  void arm_idle_timer();
+  void arm_write_deadline();
+  void disarm_write_deadline();
+  // Pause one direction for a fault-injected stall window.
+  void stall(bool read_side, TimeMs stall_ms);
+
+  EventLoop& loop_;
+  int fd_;
+  TcpConnParams params_;
+  std::uint64_t ordinal_;
+  ByteFaults* faults_;
+
+  BytePipe in_;
+  BytePipe out_;
+  DataFn on_data_;
+  ClosedFn on_closed_;
+
+  bool want_read_ = true;
+  bool connected_ = true;      // false while a non-blocking connect is in flight
+  bool close_when_drained_ = false;
+  bool stalled_read_ = false;  // fault window: EPOLLIN masked
+  bool stalled_write_ = false;
+  TimeMs last_activity_ms_ = 0;  // idle clock (lazily re-armed timer)
+  std::uint64_t read_ops_ = 0;   // fault-stream op ordinals
+  std::uint64_t write_ops_ = 0;
+
+  EventLoop::TimerId idle_timer_ = EventLoop::kInvalidTimer;
+  EventLoop::TimerId read_timer_ = EventLoop::kInvalidTimer;
+  EventLoop::TimerId write_timer_ = EventLoop::kInvalidTimer;
+  EventLoop::TimerId stall_timer_ = EventLoop::kInvalidTimer;
+
+  // Destruction sentinel. A data/closed callback may destroy this conn
+  // (the server erases it from inside on_event's dispatch); frames still
+  // on the stack hold a copy and must re-check before touching members.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace mfhttp::aio

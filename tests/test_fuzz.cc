@@ -1,12 +1,19 @@
 // Randomized robustness suites: the HTTP parser against generated valid
 // traffic (round-trip at arbitrary split points) and against garbage; the
 // byte pipe against randomized send patterns; the knapsack against randomly
-// permuted capacities (validation contract).
+// permuted capacities (validation contract); the same corpora pushed through
+// a real aio socket pair into the loopback HTTP server (ISSUE 8).
 #include <gtest/gtest.h>
+
+#include <memory>
 
 #include "http/parser.h"
 #include "http/url.h"
 #include "http/wire.h"
+#include "net/aio/event_loop.h"
+#include "net/aio/http_server.h"
+#include "net/aio/syscall.h"
+#include "net/aio/tcp.h"
 #include "net/byte_pipe.h"
 #include "util/json.h"
 #include "util/rng.h"
@@ -297,6 +304,142 @@ TEST(ParserFuzz2, TruncatedChunkedResponseErrorsOnFinish) {
   EXPECT_TRUE(parser.has_error());
   EXPECT_EQ(parser.message_count(), 0u);
 }
+
+// ---------- header-cap corpus (ISSUE 8) ----------
+
+TEST_P(ParserFuzz, OversizedHeadersTrip431NeverCrash) {
+  Rng rng(GetParam() ^ 0xcafe);
+  HttpParser::Limits limits;
+  limits.max_header_bytes = 512;
+  limits.max_header_count = 12;
+  for (int round = 0; round < 60; ++round) {
+    HttpRequest req = random_request(rng);
+    // Randomly pile on header bytes or header count around the caps.
+    if (rng.chance(0.5)) {
+      req.headers.add("X-Bulk", std::string(static_cast<std::size_t>(
+                                                rng.uniform_int(1, 2000)),
+                                            'h'));
+    } else {
+      int count = static_cast<int>(rng.uniform_int(1, 30));
+      for (int i = 0; i < count; ++i)
+        req.headers.add("X-N" + std::to_string(i), "v");
+    }
+    HttpParser parser(HttpParser::Mode::kRequest, limits);
+    parser.feed(req.serialize());
+    parser.finish();
+    if (parser.has_error()) {
+      // The only errors valid traffic can produce here are cap breaches,
+      // and they must be labelled as such (431, not 400).
+      EXPECT_TRUE(parser.limit_violation()) << parser.error();
+      EXPECT_EQ(parser.message_count(), 0u);
+    } else {
+      ASSERT_TRUE(parser.has_message());
+      EXPECT_FALSE(parser.limit_violation());
+    }
+  }
+}
+
+TEST(ParserFuzz2, GarbageErrorsAreNotLimitViolations) {
+  HttpParser parser(HttpParser::Mode::kRequest);
+  parser.feed("\x7f\x03 not http\r\n\r\n");
+  parser.finish();
+  ASSERT_TRUE(parser.has_error());
+  EXPECT_FALSE(parser.limit_violation());  // malformed is 400, not 431
+}
+
+// ---------- corpora through a real socket pair (ISSUE 8) ----------
+
+// The same three corpus families — truncated, garbage, oversized-header —
+// but delivered through the kernel into the aio HTTP server, interleaved
+// with valid requests, so framing survives real chunking and the server's
+// 400/431/deadline taxonomy engages end to end.
+class SocketFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SocketFuzz, CorporaThroughARealSocketPair) {
+  Rng rng(GetParam() ^ 0xf00d);
+  aio::EventLoop loop;
+  aio::HttpServerParams params;
+  params.limits.max_header_bytes = 1024;
+  params.limits.max_header_count = 16;
+  params.request_deadline_ms = 50;
+  params.conn.idle_timeout_ms = 100;
+  aio::HttpServer server(
+      loop, 0, [](const HttpRequest&) {
+        return HttpResponse::make(200, "OK", "ok", "text/plain");
+      },
+      params);
+
+  std::size_t valid = 0, oversized = 0;
+  for (int round = 0; round < 16; ++round) {
+    int fd = aio::connect_loopback(server.port());
+    ASSERT_GE(fd, 0);
+    auto conn = std::make_unique<aio::TcpConn>(loop, fd, aio::TcpConnParams{},
+                                               static_cast<std::uint64_t>(round),
+                                               nullptr, /*await_connect=*/true);
+    std::string received;
+    bool closed = false;
+    conn->set_on_data([&] {
+      std::string_view chunk = conn->in().peek();
+      received.append(chunk);
+      conn->in().consume(chunk.size());
+      conn->resume_read();
+    });
+    conn->set_on_closed([&](aio::TcpConn::CloseReason) { closed = true; });
+
+    const int kind = round % 4;
+    std::string wire;
+    if (kind == 0) {  // valid
+      wire = "GET /x HTTP/1.1\r\nHost: h\r\n\r\n";
+      ++valid;
+    } else if (kind == 1) {  // truncated mid-message, then FIN
+      wire = random_request(rng).serialize();
+      wire.resize(static_cast<std::size_t>(
+          rng.uniform_int(1, static_cast<std::int64_t>(wire.size()) - 1)));
+    } else if (kind == 2) {  // garbage
+      std::size_t len = static_cast<std::size_t>(rng.uniform_int(1, 200));
+      for (std::size_t i = 0; i < len; ++i)
+        wire += static_cast<char>(rng.uniform_int(1, 255));
+      wire += "\r\n\r\n";
+    } else {  // oversized headers
+      wire = "GET /x HTTP/1.1\r\nHost: h\r\nX-Big: " +
+             std::string(4096, 'a') + "\r\n\r\n";
+      ++oversized;
+    }
+    ASSERT_TRUE(conn->send(wire));
+    if (kind == 1) conn->close_when_drained();  // FIN the truncated stream
+
+    HttpParser check(HttpParser::Mode::kResponse);
+    const bool got = loop.run_until(
+        [&] {
+          if (closed) return true;
+          if (kind != 0) return false;
+          HttpParser probe(HttpParser::Mode::kResponse);
+          probe.feed(received);
+          return probe.has_message();
+        },
+        loop.now_ms() + 2000);
+    ASSERT_TRUE(got) << "round " << round << " wedged";
+    check.feed(received);
+    if (kind == 0) {
+      ASSERT_TRUE(check.has_message());
+      EXPECT_EQ(check.take_response().status, 200);
+    } else if (kind == 3) {
+      ASSERT_TRUE(check.has_message());
+      EXPECT_EQ(check.take_response().status, 431);
+    } else if (check.has_message()) {
+      // Truncated/garbage may earn a 400 or just a close — never a 200.
+      EXPECT_NE(check.take_response().status, 200) << "round " << round;
+    }
+  }
+  EXPECT_EQ(server.stats().requests, valid);
+  EXPECT_EQ(server.stats().header_violations, oversized);
+  // Every connection is gone or going; nothing leaked, nothing wedged.
+  loop.run_until([&] { return server.connection_count() == 0; },
+                 loop.now_ms() + 2000);
+  EXPECT_EQ(server.connection_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SocketFuzz, ::testing::Values(11u, 12u, 13u));
 
 // ---------- malformed-JSON corpus ----------
 

@@ -78,6 +78,25 @@ SCHEMAS = {
             "time_to_detect_ms": ("wall", "ceiling"),
         },
     },
+    "loopback_matrix": {
+        # Request counts are exact (same seeded script every run), but the
+        # faulty arms' completion/error split is timing-dependent on the
+        # real wire -- which byte-stream coordinates get exercised depends
+        # on how the kernel chunks reads -- so rates gate as ratios.
+        # Throughput and the P99 fetch tail are wall metrics on whatever
+        # machine ran the arm (--skip-wall on shared runners).
+        "keys": ["transport", "wire"],
+        "top_exact": ["parity_clean", "all_taxonomy_accounted"],
+        "metrics": {
+            "requests": ("exact", "both"),
+            "taxonomy_accounted": ("exact", "both"),
+            "completed_rate": ("ratio", "floor"),
+            "error_rate": ("ratio", "ceiling"),
+            "shed_rate": ("ratio", "ceiling"),
+            "requests_per_sec": ("wall", "floor"),
+            "p99_fetch_us": ("wall", "ceiling"),
+        },
+    },
     "scale_matrix": {
         "keys": ["workers"],
         "top_exact": ["deterministic_across_workers"],
