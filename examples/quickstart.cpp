@@ -7,7 +7,12 @@
 //                                               and how much of it they cover.
 // 4. Bandwidth + QoE   -> FlowController     -> the optimal download policy.
 //
-// Build & run:  ./build/examples/quickstart
+// Device physics and the bandwidth trace come from a scenario::ScenarioSpec:
+// the paper default (Nexus 6 on the campus WLAN) unless --scenario points at
+// another spec — try bench/scenarios/cellular_handover.json to watch the
+// same fling optimized for a 3G link.
+//
+// Build & run:  ./build/examples/quickstart [--scenario spec.json]
 #include <cstdio>
 
 #include "core/flow_controller.h"
@@ -15,14 +20,20 @@
 #include "gesture/synthetic.h"
 #include "cli/standard_options.h"
 #include "obs/metrics.h"
+#include "scenario/scenario_spec.h"
 
 using namespace mfhttp;
 
 int main(int argc, char** argv) {
   mfhttp::cli::StandardOptions standard_options(argc, argv);
-  // The simulated device: a Nexus 6, the paper's test phone.
-  const DeviceProfile device = DeviceProfile::nexus6();
+  const scenario::ScenarioSpec spec = standard_options.has_scenario()
+                                          ? standard_options.scenario()
+                                          : scenario::ScenarioSpec::paper_default();
+  // The simulated device — paper default: a Nexus 6, the paper's test phone.
+  const DeviceProfile device = spec.device.profile;
   const Rect viewport{0, 0, device.screen_w_px, device.screen_h_px};
+  std::printf("scenario: %s (%s x %s)\n\n", spec.name.c_str(),
+              spec.device.name.c_str(), spec.network.name.c_str());
 
   // A tall page with one 800x400 image every 600 px.
   std::vector<MediaObject> images;
@@ -45,8 +56,11 @@ int main(int argc, char** argv) {
               fling.release_velocity.y);
 
   // --- 2. Gesture -> full scroll prediction (Eqs. 1-5) ----------------------
+  // The device class calibrates the fling physics: a low-end phone's
+  // heavier friction shortens the very same finger motion.
   ScrollTracker::Params tracker_params;
   tracker_params.scroll = ScrollConfig(device);
+  tracker_params.scroll.fling.friction *= spec.device.fling_friction_scale;
   ScrollTracker tracker(tracker_params);
   ScrollPrediction prediction = tracker.predict(fling, viewport);
   std::printf("predicted scroll: %.0f px over %.0f ms (viewport %0.f -> %.0f)\n",
@@ -66,11 +80,12 @@ int main(int argc, char** argv) {
                 cov.in_final_viewport ? "yes" : "no", "yes");
   }
 
-  // --- 4. Optimal download policy under 400 KB/s ----------------------------
+  // --- 4. Optimal download policy on the scenario's client hop --------------
   FlowController::Params flow_params;
   flow_params.weights = {1.0, 1.0};  // p = q = 1: balance QoE against cost
   FlowController flow(flow_params);
-  auto bandwidth = BandwidthTrace::constant(400e3);
+  BandwidthTrace bandwidth =
+      spec.network.client_trace(spec.seed, /*horizon_ms=*/60'000);
   DownloadPolicy policy = flow.optimize(analysis, images, bandwidth);
 
   std::printf("\ndownload policy (objective %.3f, %lld bytes):\n", policy.objective,

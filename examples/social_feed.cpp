@@ -4,30 +4,47 @@
 // thumbnails to clips the user merely flings past, and leaves the rest
 // untouched — versus a feed app that simply downloads everything.
 //
-// Build & run:  ./build/examples/social_feed
+// The feed shape, device, link, and fling schedule all come from a
+// scenario::ScenarioSpec wired through scenario::feed_config — with a
+// dynamic spec (workload.append_posts_per_fling > 0) the timeline grows
+// mid-scroll and the middleware's incremental knapsack absorbs the
+// appended posts without re-planning the prefix.
+//
+// Build & run:  ./build/examples/social_feed [--scenario spec.json]
 #include <cstdio>
 
 #include "feed/feed_experiment.h"
 #include "cli/standard_options.h"
 #include "obs/metrics.h"
+#include "scenario/wiring.h"
 
 using namespace mfhttp;
 
 int main(int argc, char** argv) {
   mfhttp::cli::StandardOptions standard_options(argc, argv);
-  const DeviceProfile device = DeviceProfile::nexus6();
-  FeedSpec spec;
-  spec.post_count = 120;
+  scenario::ScenarioSpec spec = standard_options.has_scenario()
+                                    ? standard_options.scenario()
+                                    : scenario::ScenarioSpec::paper_default();
+  if (!standard_options.has_scenario()) {
+    // Paper default describes the browsing workload; this example always
+    // runs the feed — with a longer timeline than the matrix cells use.
+    spec.workload.kind = scenario::WorkloadKind::kSocialFeed;
+    spec.workload.feed_posts = 120;
+  }
+
+  const DeviceProfile device = spec.device.profile;
   Rng rng(21);
-  Feed feed = generate_feed(spec, device, rng);
+  Feed feed = generate_feed(scenario::feed_spec(spec), device, rng);
+  std::printf("scenario: %s (%s x %s)\n", spec.name.c_str(),
+              spec.device.name.c_str(), spec.network.name.c_str());
   std::printf("feed: %zu posts (%zu video clips), %.0f px tall, %.1f MB if"
               " fully downloaded\n\n",
               feed.posts.size(), feed.clip_count(), feed.height,
               static_cast<double>(feed.total_full_bytes()) / 1e6);
 
-  FeedSessionConfig cfg;
-  cfg.device = device;
-  cfg.seed = 5;
+  const std::optional<fault::FaultPlan> plan = spec.compiled_fault_plan();
+  FeedSessionConfig cfg =
+      scenario::feed_config(spec, /*repeat=*/0, plan ? &*plan : nullptr);
 
   cfg.enable_mfhttp = false;
   FeedSessionResult base = run_feed_session(feed, cfg);

@@ -1,14 +1,22 @@
 // Web-browsing case study (§5.1): load an Alexa-like page through the full
-// simulated stack — browser, MITM proxy, middleware, WLAN link — once as a
+// simulated stack — browser, MITM proxy, middleware, client link — once as a
 // vanilla browser and once with MF-HTTP's block-list flow controller, and
 // compare what the user actually experiences.
 //
-// Build & run:  ./build/examples/web_browsing [site]
+// The whole run is described by a scenario::ScenarioSpec (the paper default
+// unless --scenario says otherwise) and wired through
+// scenario::browsing_config — the same path bench/scenario_matrix sweeps.
+// Swapping the spec swaps the device physics, the link, and any fault/
+// cache/overload sections in one move:
+//
+//   ./build/examples/web_browsing sohu
+//   ./build/examples/web_browsing sohu --scenario bench/scenarios/cellular_handover.json
 #include <cstdio>
 #include <cstring>
 
 #include "cli/standard_options.h"
 #include "obs/metrics.h"
+#include "scenario/wiring.h"
 #include "web/corpus.h"
 #include "web/experiment.h"
 
@@ -16,41 +24,50 @@ using namespace mfhttp;
 
 int main(int argc, char** argv) {
   mfhttp::cli::StandardOptions standard_options(argc, argv);
+  const scenario::ScenarioSpec spec =
+      standard_options.has_scenario() ? standard_options.scenario()
+                                      : scenario::ScenarioSpec::paper_default();
   const char* site = argc > 1 ? argv[1] : "sohu";
-  const DeviceProfile device = DeviceProfile::nexus6();
+  const DeviceProfile device = spec.device.profile;
 
   Rng rng(42);
   WebPage page;
   bool found = false;
-  for (const SiteSpec& spec : alexa25_specs()) {
+  for (const SiteSpec& site_spec : alexa25_specs()) {
     Rng site_rng = rng.fork();
-    if (spec.name == site) {
-      page = generate_page(spec, device, site_rng);
+    if (site_spec.name == site) {
+      page = generate_page(site_spec, device, site_rng);
       found = true;
       break;
     }
   }
   if (!found) {
     std::printf("unknown site '%s'; pick one of:", site);
-    for (const SiteSpec& spec : alexa25_specs()) std::printf(" %s", spec.name.c_str());
+    for (const SiteSpec& site_spec : alexa25_specs())
+      std::printf(" %s", site_spec.name.c_str());
     std::printf("\n");
     return 1;
   }
 
+  std::printf("scenario: %s (%s x %s)\n", spec.name.c_str(),
+              spec.device.name.c_str(), spec.network.name.c_str());
   std::printf("site: %s — %.0f x %.0f px page, %zu images (%.1f MB), viewport"
               " covers %.1f%%\n\n",
               page.site.c_str(), page.width, page.height, page.images.size(),
               static_cast<double>(page.total_image_bytes()) / 1e6,
               100.0 * page.viewport_ratio(device.screen_h_px));
 
-  BrowsingSessionConfig cfg;
-  cfg.device = device;
-  cfg.seed = 7;
+  // One repeat of the spec's browsing workload, plus the Fig. 8 timeline
+  // sampling the matrix runner leaves off.
+  const std::optional<fault::FaultPlan> plan = spec.compiled_fault_plan();
+  BrowsingSessionConfig cfg =
+      scenario::browsing_config(spec, page, /*repeat=*/0,
+                                plan ? &*plan : nullptr);
   cfg.fill_sample_ms = 250;
 
   cfg.enable_mfhttp = false;
   BrowsingSessionResult base = run_browsing_session(page, cfg);
-  cfg.enable_mfhttp = true;
+  cfg.enable_mfhttp = spec.workload.kind != scenario::WorkloadKind::kClientOnly;
   BrowsingSessionResult mf = run_browsing_session(page, cfg);
 
   std::printf("%-34s %14s %14s\n", "", "baseline", "mf-http");
@@ -60,7 +77,7 @@ int main(int argc, char** argv) {
   std::printf("%-34s %14lld %14lld\n", "final viewport load time (ms)",
               static_cast<long long>(base.final_viewport_load_ms),
               static_cast<long long>(mf.final_viewport_load_ms));
-  std::printf("%-34s %14.2f %14.2f\n", "bytes over the WLAN (MB)",
+  std::printf("%-34s %14.2f %14.2f\n", "bytes over the client link (MB)",
               static_cast<double>(base.bytes_downloaded) / 1e6,
               static_cast<double>(mf.bytes_downloaded) / 1e6);
   std::printf("%-34s %11zu/%zu %11zu/%zu\n", "images never transferred",

@@ -39,6 +39,12 @@ void Middleware::set_objects(std::vector<MediaObject> objects,
   last_policy_.reset();
 }
 
+void Middleware::append_objects(std::vector<MediaObject> objects) {
+  objects_.reserve(objects_.size() + objects.size());
+  for (MediaObject& o : objects) objects_.push_back(std::move(o));
+  object_index_.rebuild(objects_);
+}
+
 void Middleware::set_viewport_scale(double scale, TimeMs at_time_ms) {
   MFHTTP_CHECK_MSG(scale > 0, "viewport scale must be positive");
   Rect current = viewport_.interrupt(at_time_ms);

@@ -78,6 +78,13 @@ class Middleware {
   // Replace the content model (e.g. a new page was loaded).
   void set_objects(std::vector<MediaObject> objects, Rect initial_viewport);
 
+  // Grow the content model in place (an infinite-scroll feed revealing more
+  // posts). Unlike set_objects this preserves viewport state and the last
+  // analysis/policy: appended objects simply join the knapsack from the next
+  // gesture on — the incremental optimizer's prefix reuse carries across the
+  // append because existing object indices are unchanged.
+  void append_objects(std::vector<MediaObject> objects);
+
   // Viewport scale (§3.2 device configuration): pinch zoom. At scale s > 1
   // the screen shows 1/s of the content in each dimension, and finger travel
   // of Δ screen px pans the content by Δ/s. The viewport resizes about its

@@ -1,10 +1,9 @@
 #include "fault/fault_plan.h"
 
 #include <algorithm>
-#include <fstream>
-#include <sstream>
 
 #include "util/json.h"
+#include "util/json_config.h"
 #include "util/logging.h"
 
 namespace mfhttp::fault {
@@ -49,20 +48,6 @@ std::optional<ShardFault::Kind> shard_kind_from_name(std::string_view name) {
   if (name == "saturate") return ShardFault::Kind::kSaturate;
   return std::nullopt;
 }
-
-TimeMs time_field(const JsonValue& obj, std::string_view key, TimeMs fallback) {
-  const JsonValue* v = obj.find(key);
-  return v ? static_cast<TimeMs>(v->number_or(static_cast<double>(fallback)))
-           : fallback;
-}
-
-double rate_field(const JsonValue& obj, std::string_view key, double fallback) {
-  const JsonValue* v = obj.find(key);
-  return v ? v->number_or(fallback) : fallback;
-}
-
-bool valid_rate(double r) { return r >= 0.0 && r <= 1.0; }
-bool valid_fraction(double f) { return f > 0.0 && f < 1.0; }
 
 }  // namespace
 
@@ -128,167 +113,148 @@ BandwidthTrace FaultPlan::shape(const BandwidthTrace& base) const {
 
 std::optional<FaultPlan> FaultPlan::from_json(std::string_view json,
                                               std::string* error) {
-  auto fail = [error](const char* why) -> std::optional<FaultPlan> {
-    if (error != nullptr) *error = why;
-    return std::nullopt;
-  };
-  JsonParseError parse_error;
-  std::optional<JsonValue> doc = parse_json(json, &parse_error);
-  if (!doc) {
-    if (error != nullptr) *error = parse_error.to_string();
-    return std::nullopt;
-  }
-  if (!doc->is_object()) return fail("top level must be an object");
-  FaultPlan plan;
-  if (const JsonValue* seed = doc->find("seed")) {
-    if (!seed->is_number() || seed->number_value < 0)
-      return fail("'seed' must be a non-negative number");
-    plan.seed = static_cast<std::uint64_t>(seed->number_value);
-  }
-  if (const JsonValue* name = doc->find("name")) plan.name = name->string_or("");
+  std::optional<JsonValue> doc = jsoncfg::parse_object(json, error);
+  if (!doc.has_value()) return std::nullopt;
+  return from_value(*doc, error);
+}
 
-  if (const JsonValue* link = doc->find("link")) {
-    if (!link->is_array()) return fail("'link' must be an array");
-    for (const JsonValue& entry : link->array_value) {
-      if (!entry.is_object()) return fail("'link' entries must be objects");
-      const JsonValue* kind = entry.find("kind");
-      if (kind == nullptr || !kind->is_string())
-        return fail("link window needs a string 'kind'");
+std::optional<FaultPlan> FaultPlan::from_value(const JsonValue& doc,
+                                               std::string* error) {
+  FaultPlan plan;
+  jsoncfg::Fields top(doc, "", error);
+  top.seed("seed", &plan.seed);
+  top.string("name", &plan.name);
+
+  if (const JsonValue* link = top.array("link")) {
+    for (std::size_t i = 0; i < link->array_value.size(); ++i) {
+      jsoncfg::Fields f(link->array_value[i], "link[" + std::to_string(i) + "]",
+                        error);
+      const JsonValue* kind = f.member("kind");
+      if (kind == nullptr || !kind->is_string()) {
+        f.fail("needs a string 'kind'");
+        return std::nullopt;
+      }
       auto parsed_kind = kind_from_name(kind->string_value);
-      if (!parsed_kind)
-        return fail("unknown link 'kind' (outage|collapse|latency_spike)");
+      if (!parsed_kind) {
+        f.fail("unknown 'kind' (outage|collapse|latency_spike)");
+        return std::nullopt;
+      }
       LinkFaultWindow w;
       w.kind = *parsed_kind;
-      w.at_ms = time_field(entry, "at_ms", 0);
-      w.duration_ms = time_field(entry, "duration_ms", 0);
-      w.repeat = static_cast<int>(rate_field(entry, "repeat", 1));
-      w.period_ms = time_field(entry, "period_ms", 0);
-      w.factor = rate_field(entry, "factor", 0.0);
-      w.extra_latency_ms = time_field(entry, "extra_latency_ms", 0);
-      if (w.at_ms < 0 || w.duration_ms < 0 || w.repeat < 1 || w.period_ms < 0)
-        return fail("link window times must be non-negative, repeat >= 1");
-      if (w.repeat > 1 && w.period_ms < w.duration_ms)
-        return fail("repeating link window needs period_ms >= duration_ms");
-      if (w.kind == LinkFaultWindow::Kind::kCollapse &&
-          (w.factor < 0 || w.factor >= 1))
-        return fail("collapse 'factor' must be in [0, 1)");
-      if (w.kind == LinkFaultWindow::Kind::kLatencySpike && w.extra_latency_ms < 0)
-        return fail("latency_spike 'extra_latency_ms' must be >= 0");
+      f.time_ms("at_ms", 0, &w.at_ms);
+      f.time_ms("duration_ms", 0, &w.duration_ms);
+      f.integer("repeat", 1, &w.repeat);
+      f.time_ms("period_ms", 0, &w.period_ms);
+      f.number("factor", 0, &w.factor);
+      f.time_ms("extra_latency_ms", 0, &w.extra_latency_ms);
+      if (f.ok() && w.repeat > 1 && w.period_ms < w.duration_ms)
+        f.fail("repeating window needs period_ms >= duration_ms");
+      if (f.ok() && w.kind == LinkFaultWindow::Kind::kCollapse && w.factor >= 1)
+        f.fail("collapse 'factor' must be in [0, 1)");
+      if (!f.finish()) return std::nullopt;
       plan.link.push_back(w);
     }
   }
 
-  if (const JsonValue* transfer = doc->find("transfer")) {
-    if (!transfer->is_object()) return fail("'transfer' must be an object");
+  if (const JsonValue* transfer = top.object("transfer")) {
+    jsoncfg::Fields f(*transfer, "transfer", error);
     TransferFaults& t = plan.transfer;
-    t.stall_rate = rate_field(*transfer, "stall_rate", 0.0);
-    t.stall_ms = time_field(*transfer, "stall_ms", 0);
-    t.stall_fraction = rate_field(*transfer, "stall_fraction", 0.5);
-    t.truncate_rate = rate_field(*transfer, "truncate_rate", 0.0);
-    t.truncate_fraction = rate_field(*transfer, "truncate_fraction", 0.5);
-    if (!valid_rate(t.stall_rate) || !valid_rate(t.truncate_rate) ||
-        !valid_fraction(t.stall_fraction) || !valid_fraction(t.truncate_fraction) ||
-        t.stall_ms < 0)
-      return fail("transfer rates must be in [0,1], fractions in (0,1), stall_ms >= 0");
+    f.rate("stall_rate", &t.stall_rate);
+    f.time_ms("stall_ms", 0, &t.stall_ms);
+    f.fraction("stall_fraction", &t.stall_fraction);
+    f.rate("truncate_rate", &t.truncate_rate);
+    f.fraction("truncate_fraction", &t.truncate_fraction);
+    if (!f.finish()) return std::nullopt;
   }
 
-  if (const JsonValue* origin = doc->find("origin")) {
-    if (!origin->is_object()) return fail("'origin' must be an object");
+  if (const JsonValue* origin = top.object("origin")) {
+    jsoncfg::Fields f(*origin, "origin", error);
     OriginFaults& o = plan.origin;
-    o.error_rate = rate_field(*origin, "error_rate", 0.0);
-    o.error_delay_ms = time_field(*origin, "error_delay_ms", 10);
-    o.error_body_size = static_cast<Bytes>(rate_field(*origin, "error_body_size", 256));
-    o.abrupt_close_rate = rate_field(*origin, "abrupt_close_rate", 0.0);
-    o.abrupt_close_fraction = rate_field(*origin, "abrupt_close_fraction", 0.5);
-    if (const JsonValue* statuses = origin->find("error_statuses")) {
-      if (!statuses->is_array() || statuses->array_value.empty())
-        return fail("'error_statuses' must be a non-empty array");
+    f.rate("error_rate", &o.error_rate);
+    f.time_ms("error_delay_ms", 0, &o.error_delay_ms);
+    f.bytes("error_body_size", 0, &o.error_body_size);
+    f.rate("abrupt_close_rate", &o.abrupt_close_rate);
+    f.fraction("abrupt_close_fraction", &o.abrupt_close_fraction);
+    if (const JsonValue* statuses = f.array("error_statuses")) {
+      if (statuses->array_value.empty())
+        f.fail("'error_statuses' must be a non-empty array");
       o.error_statuses.clear();
       for (const JsonValue& s : statuses->array_value) {
-        if (!s.is_number()) return fail("'error_statuses' entries must be numbers");
-        int status = static_cast<int>(s.number_value);
-        if (status < 400 || status > 599)
-          return fail("'error_statuses' entries must be 4xx/5xx");
+        int status = s.is_number() ? static_cast<int>(s.number_value) : -1;
+        if (status < 400 || status > 599) {
+          f.fail("'error_statuses' entries must be 4xx/5xx");
+          break;
+        }
         o.error_statuses.push_back(status);
       }
     }
-    if (!valid_rate(o.error_rate) || !valid_rate(o.abrupt_close_rate) ||
-        !valid_fraction(o.abrupt_close_fraction) || o.error_delay_ms < 0 ||
-        o.error_body_size < 0)
-      return fail("origin rates must be in [0,1], fraction in (0,1), sizes >= 0");
+    if (!f.finish()) return std::nullopt;
   }
 
-  if (const JsonValue* frontdoor = doc->find("frontdoor")) {
-    if (!frontdoor->is_array()) return fail("'frontdoor' must be an array");
-    for (const JsonValue& entry : frontdoor->array_value) {
-      if (!entry.is_object()) return fail("'frontdoor' entries must be objects");
-      const JsonValue* kind = entry.find("kind");
-      if (kind == nullptr || !kind->is_string())
-        return fail("frontdoor fault needs a string 'kind'");
+  if (const JsonValue* frontdoor = top.array("frontdoor")) {
+    for (std::size_t i = 0; i < frontdoor->array_value.size(); ++i) {
+      jsoncfg::Fields f(frontdoor->array_value[i],
+                        "frontdoor[" + std::to_string(i) + "]", error);
+      const JsonValue* kind = f.member("kind");
+      if (kind == nullptr || !kind->is_string()) {
+        f.fail("needs a string 'kind'");
+        return std::nullopt;
+      }
       auto parsed_kind = shard_kind_from_name(kind->string_value);
-      if (!parsed_kind)
-        return fail("unknown frontdoor 'kind' (stall|crash|origin_slow|saturate)");
-      ShardFault f;
-      f.kind = *parsed_kind;
-      f.shard = static_cast<int>(rate_field(entry, "shard", 0));
-      f.at_event = static_cast<std::size_t>(rate_field(entry, "at_event", 0));
-      f.stall_ms = time_field(entry, "stall_ms", 0);
-      f.count = static_cast<std::size_t>(rate_field(entry, "count", 0));
-      f.factor = rate_field(entry, "factor", 1.0);
-      if (f.shard < -1) return fail("frontdoor 'shard' must be >= -1");
-      if (f.stall_ms < 0) return fail("frontdoor 'stall_ms' must be >= 0");
-      if ((f.kind == ShardFault::Kind::kStall ||
-           f.kind == ShardFault::Kind::kSaturate) &&
-          f.stall_ms <= 0)
-        return fail("stall/saturate frontdoor faults need stall_ms > 0");
-      if (f.kind == ShardFault::Kind::kSaturate && f.count == 0)
-        return fail("saturate frontdoor faults need count > 0");
-      if (f.kind == ShardFault::Kind::kOriginSlow && f.factor < 1.0)
-        return fail("origin_slow frontdoor 'factor' must be >= 1");
-      plan.frontdoor.push_back(f);
+      if (!parsed_kind) {
+        f.fail("unknown 'kind' (stall|crash|origin_slow|saturate)");
+        return std::nullopt;
+      }
+      ShardFault sf;
+      sf.kind = *parsed_kind;
+      f.integer("shard", -1, &sf.shard);
+      f.size("at_event", &sf.at_event);
+      f.time_ms("stall_ms", 0, &sf.stall_ms);
+      f.size("count", &sf.count);
+      f.number("factor", 1.0, &sf.factor);
+      if (f.ok() &&
+          (sf.kind == ShardFault::Kind::kStall ||
+           sf.kind == ShardFault::Kind::kSaturate) &&
+          sf.stall_ms <= 0)
+        f.fail("stall/saturate faults need stall_ms > 0");
+      if (f.ok() && sf.kind == ShardFault::Kind::kSaturate && sf.count == 0)
+        f.fail("saturate faults need count > 0");
+      if (!f.finish()) return std::nullopt;
+      plan.frontdoor.push_back(sf);
     }
   }
 
-  if (const JsonValue* socket = doc->find("socket")) {
-    if (!socket->is_object()) return fail("'socket' must be an object");
+  if (const JsonValue* socket = top.object("socket")) {
+    jsoncfg::Fields f(*socket, "socket", error);
     SocketFaults& s = plan.socket;
-    s.short_read_rate = rate_field(*socket, "short_read_rate", 0.0);
-    s.short_read_cap =
-        static_cast<std::size_t>(rate_field(*socket, "short_read_cap", 16));
-    s.torn_write_rate = rate_field(*socket, "torn_write_rate", 0.0);
-    s.torn_write_cap =
-        static_cast<std::size_t>(rate_field(*socket, "torn_write_cap", 16));
-    s.reset_rate = rate_field(*socket, "reset_rate", 0.0);
-    s.stall_rate = rate_field(*socket, "stall_rate", 0.0);
-    s.stall_ms = time_field(*socket, "stall_ms", 0);
-    if (!valid_rate(s.short_read_rate) || !valid_rate(s.torn_write_rate) ||
-        !valid_rate(s.reset_rate) || !valid_rate(s.stall_rate) ||
-        s.stall_ms < 0)
-      return fail("socket rates must be in [0,1], stall_ms >= 0");
-    if ((s.short_read_rate > 0 && s.short_read_cap == 0) ||
-        (s.torn_write_rate > 0 && s.torn_write_cap == 0))
-      return fail("socket short_read_cap/torn_write_cap must be >= 1");
-    if (s.stall_rate > 0 && s.stall_ms <= 0)
-      return fail("socket stalls need stall_ms > 0");
+    f.rate("short_read_rate", &s.short_read_rate);
+    f.size("short_read_cap", &s.short_read_cap);
+    f.rate("torn_write_rate", &s.torn_write_rate);
+    f.size("torn_write_cap", &s.torn_write_cap);
+    f.rate("reset_rate", &s.reset_rate);
+    f.rate("stall_rate", &s.stall_rate);
+    f.time_ms("stall_ms", 0, &s.stall_ms);
+    if (f.ok() && ((s.short_read_rate > 0 && s.short_read_cap == 0) ||
+                   (s.torn_write_rate > 0 && s.torn_write_cap == 0)))
+      f.fail("short_read_cap/torn_write_cap must be >= 1");
+    if (f.ok() && s.stall_rate > 0 && s.stall_ms <= 0)
+      f.fail("stalls need stall_ms > 0");
+    if (!f.finish()) return std::nullopt;
   }
+
+  if (!top.finish()) return std::nullopt;
   return plan;
 }
 
 std::optional<FaultPlan> FaultPlan::load(const std::string& path,
                                          std::string* error) {
-  std::ifstream in(path);
-  if (!in) {
-    if (error != nullptr) *error = "cannot open file";
-    MFHTTP_ERROR << "fault plan: cannot open " << path;
-    return std::nullopt;
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
+  std::optional<JsonValue> doc = jsoncfg::load_object(path, "fault plan", error);
+  if (!doc.has_value()) return std::nullopt;
   std::string why;
-  auto plan = from_json(buffer.str(), &why);
+  auto plan = from_value(*doc, &why);
   if (!plan) {
     if (error != nullptr) *error = why;
-    MFHTTP_ERROR << "fault plan: " << path << ": " << why;
+    MFHTTP_ERROR << "fault plan '" << path << "': " << why;
   }
   return plan;
 }

@@ -21,6 +21,10 @@
 #include "net/bandwidth_trace.h"
 #include "util/types.h"
 
+namespace mfhttp {
+struct JsonValue;
+}
+
 namespace mfhttp::fault {
 
 // One scheduled link-level fault window, optionally repeating.
@@ -159,6 +163,11 @@ struct FaultPlan {
   // JSON reports "line L, column C: why"; schema violations name the field.
   static std::optional<FaultPlan> from_json(std::string_view json,
                                             std::string* error = nullptr);
+  // Same schema over an already-parsed document node, for configs that embed
+  // a fault plan as a section (scenario::ScenarioSpec) — one parse path, no
+  // re-serialization.
+  static std::optional<FaultPlan> from_value(const JsonValue& doc,
+                                             std::string* error = nullptr);
   static std::optional<FaultPlan> load(const std::string& path,
                                        std::string* error = nullptr);
   std::string to_json() const;

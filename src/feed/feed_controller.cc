@@ -1,15 +1,18 @@
 #include "feed/feed_controller.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 #include "util/logging.h"
 
 namespace mfhttp {
 
 FeedController::FeedController(const Feed& feed, Rect initial_viewport,
-                               MitmProxy* proxy)
+                               MitmProxy* proxy, std::size_t initial_media)
     : feed_(feed), proxy_(proxy) {
   MFHTTP_CHECK(proxy_ != nullptr);
-  for (std::size_t i = 0; i < feed_.media.size(); ++i) {
+  std::size_t present = std::min(initial_media, feed_.media.size());
+  for (std::size_t i = 0; i < present; ++i) {
     if (!initial_viewport.overlaps(feed_.media[i].rect))
       block_list_.insert(feed_.media[i].top_version().url);
   }
@@ -46,10 +49,15 @@ void FeedController::release_as_version(std::size_t media_index, int version) {
   }
 }
 
+void FeedController::on_media_appended(std::size_t first_index) {
+  for (std::size_t i = first_index; i < feed_.media.size(); ++i)
+    block_list_.insert(feed_.media[i].top_version().url);
+}
+
 void FeedController::on_policy(const ScrollAnalysis& analysis,
                                const DownloadPolicy& policy) {
-  MFHTTP_CHECK(analysis.coverages.size() == feed_.media.size());
-  for (std::size_t i = 0; i < feed_.media.size(); ++i) {
+  MFHTTP_CHECK(analysis.coverages.size() <= feed_.media.size());
+  for (std::size_t i = 0; i < analysis.coverages.size(); ++i) {
     const ObjectCoverage& cov = analysis.coverages[i];
     // Settling in (or starting in) the viewport: full version, instantly
     // playable.

@@ -23,14 +23,24 @@ class FeedController : public Interceptor {
     std::size_t thumb_releases = 0;  // clips substituted with their thumbnail
   };
 
-  FeedController(const Feed& feed, Rect initial_viewport, MitmProxy* proxy);
+  // `initial_media` bounds the media considered present at construction —
+  // a dynamic feed starts with a prefix and reveals the rest through
+  // on_media_appended. Defaults to the whole feed (static).
+  FeedController(const Feed& feed, Rect initial_viewport, MitmProxy* proxy,
+                 std::size_t initial_media = static_cast<std::size_t>(-1));
 
   // Interceptor: the app always requests the top version; anything not yet
   // cleared by policy is parked.
   InterceptDecision on_request(const HttpRequest& request) override;
 
-  // Wire to Middleware::set_policy_callback.
+  // Wire to Middleware::set_policy_callback. The analysis may cover only a
+  // prefix of the feed's media (a policy computed before an append lands);
+  // media beyond the covered prefix are left as-is.
   void on_policy(const ScrollAnalysis& analysis, const DownloadPolicy& policy);
+
+  // Dynamic feeds: media [first_index, feed.media.size()) just appeared
+  // below the fold; park their top versions until policy clears them.
+  void on_media_appended(std::size_t first_index);
 
   bool is_blocked(const std::string& top_url) const {
     return block_list_.contains(top_url);

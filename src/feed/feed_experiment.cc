@@ -1,5 +1,6 @@
 #include "feed/feed_experiment.h"
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -34,8 +35,13 @@ FeedSessionResult run_feed_session(const Feed& feed, const FeedSessionConfig& co
   Simulator sim;
   Rng rng(config.seed);
 
+  const BandwidthTrace client_trace =
+      config.client_bandwidth_trace.has_value()
+          ? *config.client_bandwidth_trace
+          : BandwidthTrace::constant(config.client_bandwidth);
+
   Link::Params cp;
-  cp.bandwidth = BandwidthTrace::constant(config.client_bandwidth);
+  cp.bandwidth = client_trace;
   cp.latency_ms = config.client_latency_ms;
   cp.sharing = Link::Sharing::kFairShare;
   Link::Params sp;
@@ -49,8 +55,15 @@ FeedSessionResult run_feed_session(const Feed& feed, const FeedSessionConfig& co
     for (const MediaVersion& v : m.versions)
       store.put(parse_url(v.url)->path, v.size);
   SimHttpOrigin origin(sim, &store, &server_link);
-  std::unique_ptr<FetchPipeline> pipeline =
-      FetchPipelineBuilder(sim, &origin).client_link(cp).build();
+  FetchPipelineBuilder builder(sim, &origin);
+  builder.client_link(cp);
+  // Only engage fault wiring with an explicit plan: the historical feed
+  // runner never consulted the ambient plan, and keeping that means the
+  // pristine arms stay byte-identical under an installed --fault-plan.
+  if (config.fault_plan != nullptr) builder.with_faults(config.fault_plan);
+  if (config.enable_cache) builder.with_cache(config.cache);
+  if (config.admission.has_value()) builder.with_admission(*config.admission);
+  std::unique_ptr<FetchPipeline> pipeline = builder.build();
   MitmProxy& proxy = pipeline->proxy();
   Link& client_link = pipeline->client_link();
 
@@ -58,8 +71,18 @@ FeedSessionResult run_feed_session(const Feed& feed, const FeedSessionConfig& co
 
   ScrollTracker::Params tracker_params;
   tracker_params.scroll = ScrollConfig(config.device);
+  tracker_params.scroll.fling.friction *= config.fling_friction_scale;
   tracker_params.coverage_step_ms = 4.0;
   tracker_params.content_bounds = feed.bounds();
+
+  // Dynamic feed: only the first `initial_posts` media exist at open; the
+  // rest are revealed in batches just before each fling.
+  std::size_t revealed =
+      (config.initial_posts > 0 &&
+       static_cast<std::size_t>(config.initial_posts) < feed.media.size())
+          ? static_cast<std::size_t>(config.initial_posts)
+          : feed.media.size();
+  const bool dynamic = revealed < feed.media.size();
 
   // Ground-truth trajectory (same in both arms).
   ScrollTracker gt_tracker(tracker_params);
@@ -78,9 +101,12 @@ FeedSessionResult run_feed_session(const Feed& feed, const FeedSessionConfig& co
     mp.flow.ignore_bandwidth_constraint = true;  // feeds, like pages (§5.1.2)
     mp.initial_viewport = vp0;
     mp.gesture_uplink_ms = config.client_latency_ms;
-    middleware.emplace(mp, feed.media,
-                       BandwidthTrace::constant(config.client_bandwidth), &sim);
-    controller.emplace(feed, vp0, &proxy);
+    middleware.emplace(
+        mp,
+        std::vector<MediaObject>(feed.media.begin(),
+                                 feed.media.begin() + revealed),
+        client_trace, &sim);
+    controller.emplace(feed, vp0, &proxy, revealed);
     proxy.set_interceptor(&*controller);
     middleware->set_policy_callback(
         [&](const ScrollAnalysis& a, const DownloadPolicy& p) {
@@ -90,24 +116,44 @@ FeedSessionResult run_feed_session(const Feed& feed, const FeedSessionConfig& co
                     [&](const Gesture& g) { middleware->on_gesture(g); });
   }
 
-  // The feed app requests every post's media (top version) when it opens.
+  // The feed app requests every *present* post's media (top version) when it
+  // opens; a dynamic feed requests the rest as batches are revealed.
   std::vector<MediaLoadState> states(feed.media.size());
-  sim.schedule_at(0, [&] {
-    for (std::size_t i = 0; i < feed.media.size(); ++i) {
-      FetchCallbacks cbs;
-      cbs.on_complete = [&states, i, &sim](const FetchResult& r) {
-        if (r.blocked) return;
-        states[i].complete_ms = sim.now();
-        states[i].delivered = r.body_size;
-      };
-      proxy.fetch(HttpRequest::get(feed.media[i].top_version().url), std::move(cbs));
-    }
+  auto request_media = [&](std::size_t i) {
+    FetchCallbacks cbs;
+    cbs.on_complete = [&states, i, &sim](const FetchResult& r) {
+      if (r.blocked) return;
+      states[i].complete_ms = sim.now();
+      states[i].delivered = r.body_size;
+    };
+    proxy.fetch(HttpRequest::get(feed.media[i].top_version().url), std::move(cbs));
+  };
+  sim.schedule_at(0, [&, initial = revealed] {
+    for (std::size_t i = 0; i < initial; ++i) request_media(i);
   });
 
   // The flings.
   for (int k = 0; k < config.fling_count; ++k) {
     SwipeSpec spec;
     spec.start_time_ms = config.first_fling_ms + k * config.fling_interval_ms;
+    // Reveal the next batch a beat before the finger lands, so the fling's
+    // policy sees a feed that just grew — the knapsack's appended-suffix
+    // case (prefix reuse: existing indices are untouched).
+    if (dynamic && config.append_posts_per_fling > 0) {
+      sim.schedule_at(std::max<TimeMs>(1, spec.start_time_ms - 16), [&] {
+        std::size_t add =
+            std::min<std::size_t>(config.append_posts_per_fling,
+                                  feed.media.size() - revealed);
+        if (add == 0) return;
+        std::size_t first = revealed;
+        revealed += add;
+        if (middleware)
+          middleware->append_objects(std::vector<MediaObject>(
+              feed.media.begin() + first, feed.media.begin() + revealed));
+        if (controller) controller->on_media_appended(first);
+        for (std::size_t i = first; i < revealed; ++i) request_media(i);
+      });
+    }
     spec.start = {rng.uniform(config.device.screen_w_px * 0.3,
                               config.device.screen_w_px * 0.7),
                   config.device.screen_h_px * 0.75};
@@ -144,7 +190,9 @@ FeedSessionResult run_feed_session(const Feed& feed, const FeedSessionConfig& co
   result.full_corpus_bytes = feed.total_full_bytes();
   result.bytes_downloaded = client_link.bytes_delivered_total();
 
-  for (std::size_t i = 0; i < feed.media.size(); ++i) {
+  // Media never revealed (a dynamic session that ended early) cannot settle
+  // for the user, so only the revealed prefix is scored.
+  for (std::size_t i = 0; i < revealed; ++i) {
     const MediaObject& media = feed.media[i];
     bool is_clip = media.versions.size() > 1;
     if (!is_clip) continue;
@@ -173,6 +221,16 @@ FeedSessionResult run_feed_session(const Feed& feed, const FeedSessionConfig& co
     if (st.complete_ms >= 0) ++transferred;
   result.media_avoided = feed.media.size() - transferred;
   if (controller) result.thumbs_substituted = controller->stats().thumb_releases;
+  const MitmProxy::Stats& ps = proxy.stats();
+  result.requests_total = ps.allowed + ps.blocked + ps.deferred + ps.rejected +
+                          ps.shed + ps.header_violations + ps.cache_hits;
+  result.requests_rejected = ps.rejected;
+  result.requests_shed = ps.shed;
+  if (HttpCache* cache = pipeline->cache()) {
+    HttpCache::Stats cs = cache->stats();
+    result.cache_hits = cs.hits;
+    result.cache_misses = cs.misses;
+  }
   return result;
 }
 

@@ -1,136 +1,71 @@
 #include "overload/config.h"
 
-#include <fstream>
-#include <sstream>
-
 #include "util/json.h"
+#include "util/json_config.h"
 #include "util/logging.h"
 
 namespace mfhttp::overload {
 
-namespace {
-
-// Reads a finite number field into `out`; returns false (and reports) when
-// the member exists but is not a number or violates `min`.
-bool read_number(const JsonValue& obj, const char* key, double min, double* out,
-                 std::string* error) {
-  const JsonValue* v = obj.find(key);
-  if (v == nullptr) return true;
-  if (!v->is_number() || v->number_value < min) {
-    if (error != nullptr) {
-      *error = std::string("'") + key + "' must be a number >= " +
-               std::to_string(min);
-    }
-    return false;
-  }
-  *out = v->number_value;
-  return true;
-}
-
-bool read_int(const JsonValue& obj, const char* key, double min, int* out,
-              std::string* error) {
-  double d = *out;
-  if (!read_number(obj, key, min, &d, error)) return false;
-  *out = static_cast<int>(d);
-  return true;
-}
-
-bool read_time(const JsonValue& obj, const char* key, double min, TimeMs* out,
-               std::string* error) {
-  double d = static_cast<double>(*out);
-  if (!read_number(obj, key, min, &d, error)) return false;
-  *out = static_cast<TimeMs>(d);
-  return true;
-}
-
-}  // namespace
-
 std::optional<OverloadConfig> OverloadConfig::from_json(std::string_view json,
                                                         std::string* error) {
-  JsonParseError parse_error;
-  auto doc = parse_json(json, &parse_error);
-  if (!doc.has_value()) {
-    if (error != nullptr) *error = parse_error.to_string();
-    return std::nullopt;
-  }
-  if (!doc->is_object()) {
-    if (error != nullptr) *error = "top-level value must be an object";
-    return std::nullopt;
-  }
+  std::optional<JsonValue> doc = jsoncfg::parse_object(json, error);
+  if (!doc.has_value()) return std::nullopt;
+  return from_value(*doc, error);
+}
 
+std::optional<OverloadConfig> OverloadConfig::from_value(const JsonValue& doc,
+                                                         std::string* error) {
   OverloadConfig config;
-  if (const JsonValue* a = doc->find("admission"); a != nullptr) {
-    if (!a->is_object()) {
-      if (error != nullptr) *error = "'admission' must be an object";
-      return std::nullopt;
-    }
+  jsoncfg::Fields top(doc, "", error);
+
+  if (const JsonValue* a = top.object("admission")) {
+    jsoncfg::Fields f(*a, "admission", error);
     AdmissionParams& p = config.admission;
-    double seed = static_cast<double>(p.seed);
-    if (!read_number(*a, "global_rate_per_s", 0, &p.global_rate_per_s, error) ||
-        !read_number(*a, "global_burst", 0, &p.global_burst, error) ||
-        !read_number(*a, "session_rate_per_s", 0, &p.session_rate_per_s, error) ||
-        !read_number(*a, "session_burst", 0, &p.session_burst, error) ||
-        !read_int(*a, "max_inflight_upstream", 0, &p.max_inflight_upstream, error) ||
-        !read_int(*a, "max_dispatch_queue", 0, &p.max_dispatch_queue, error) ||
-        !read_int(*a, "max_deferred_per_session", 0, &p.max_deferred_per_session,
-                  error) ||
-        !read_int(*a, "max_deferred_global", 0, &p.max_deferred_global, error) ||
-        !read_number(*a, "speculative_guard", 0, &p.speculative_guard, error) ||
-        !read_number(*a, "transient_guard", 0, &p.transient_guard, error) ||
-        !read_number(*a, "guard_jitter", 0, &p.guard_jitter, error) ||
-        !read_number(*a, "seed", 0, &seed, error)) {
-      if (error != nullptr) *error = "'admission': " + *error;
-      return std::nullopt;
-    }
-    p.seed = static_cast<std::uint64_t>(seed);
-    if (p.speculative_guard > 1 || p.transient_guard > 1) {
-      if (error != nullptr) {
-        *error = "'admission': guard fractions must be in [0, 1]";
-      }
-      return std::nullopt;
-    }
+    f.number("global_rate_per_s", 0, &p.global_rate_per_s);
+    f.number("global_burst", 0, &p.global_burst);
+    f.number("session_rate_per_s", 0, &p.session_rate_per_s);
+    f.number("session_burst", 0, &p.session_burst);
+    f.integer("max_inflight_upstream", 0, &p.max_inflight_upstream);
+    f.integer("max_dispatch_queue", 0, &p.max_dispatch_queue);
+    f.integer("max_deferred_per_session", 0, &p.max_deferred_per_session);
+    f.integer("max_deferred_global", 0, &p.max_deferred_global);
+    f.number("speculative_guard", 0, &p.speculative_guard);
+    f.number("transient_guard", 0, &p.transient_guard);
+    f.number("guard_jitter", 0, &p.guard_jitter);
+    f.seed("seed", &p.seed);
+    if (f.ok() && (p.speculative_guard > 1 || p.transient_guard > 1))
+      f.fail("guard fractions must be in [0, 1]");
+    if (!f.finish()) return std::nullopt;
   }
 
-  if (const JsonValue* b = doc->find("brownout"); b != nullptr) {
-    if (!b->is_object()) {
-      if (error != nullptr) *error = "'brownout' must be an object";
-      return std::nullopt;
-    }
+  if (const JsonValue* b = top.object("brownout")) {
+    jsoncfg::Fields f(*b, "brownout", error);
     BrownoutParams& p = config.brownout;
-    int enter = p.hysteresis.enter_after;
-    int exit = p.hysteresis.exit_after;
-    if (!read_time(*b, "tick_ms", 1, &p.tick_ms, error) ||
-        !read_int(*b, "queue_depth_high", 0, &p.queue_depth_high, error) ||
-        !read_time(*b, "deferred_age_high_ms", 0, &p.deferred_age_high_ms, error) ||
-        !read_number(*b, "goodput_floor", 0, &p.goodput_floor, error) ||
-        !read_int(*b, "enter_after", 1, &enter, error) ||
-        !read_int(*b, "exit_after", 1, &exit, error)) {
-      if (error != nullptr) *error = "'brownout': " + *error;
-      return std::nullopt;
-    }
-    p.hysteresis.enter_after = enter;
-    p.hysteresis.exit_after = exit;
+    f.time_ms("tick_ms", 1, &p.tick_ms);
+    f.integer("queue_depth_high", 0, &p.queue_depth_high);
+    f.time_ms("deferred_age_high_ms", 0, &p.deferred_age_high_ms);
+    f.number("goodput_floor", 0, &p.goodput_floor);
+    f.integer("enter_after", 1, &p.hysteresis.enter_after);
+    f.integer("exit_after", 1, &p.hysteresis.exit_after);
+    if (!f.finish()) return std::nullopt;
   }
 
+  if (!top.finish()) return std::nullopt;
   return config;
 }
 
 std::optional<OverloadConfig> OverloadConfig::load(const std::string& path,
                                                   std::string* error) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    if (error != nullptr) *error = "'" + path + "': cannot open file";
-    MFHTTP_WARN << "overload config '" << path << "': cannot open file";
-    return std::nullopt;
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
   std::string why;
-  auto config = from_json(buffer.str(), &why);
-  if (!config.has_value()) {
-    if (error != nullptr) *error = "'" + path + "': " + why;
-    MFHTTP_WARN << "overload config '" << path << "': " << why;
+  auto doc = jsoncfg::load_object(path, "overload config", &why);
+  std::optional<OverloadConfig> config;
+  if (doc.has_value()) {
+    config = from_value(*doc, &why);
+    if (!config.has_value())
+      MFHTTP_WARN << "overload config '" << path << "': " << why;
   }
+  if (!config.has_value() && error != nullptr)
+    *error = "'" + path + "': " + why;
   return config;
 }
 

@@ -31,6 +31,10 @@
 #include "overload/admission.h"
 #include "overload/brownout.h"
 
+namespace mfhttp {
+struct JsonValue;
+}
+
 namespace mfhttp::overload {
 
 struct OverloadConfig {
@@ -39,6 +43,10 @@ struct OverloadConfig {
 
   static std::optional<OverloadConfig> from_json(std::string_view json,
                                                  std::string* error = nullptr);
+  // Same schema over an already-parsed node, for configs that embed an
+  // overload section (scenario::ScenarioSpec).
+  static std::optional<OverloadConfig> from_value(const JsonValue& doc,
+                                                  std::string* error = nullptr);
   static std::optional<OverloadConfig> load(const std::string& path,
                                             std::string* error = nullptr);
   std::string to_json() const;

@@ -1,130 +1,58 @@
 #include "prefetch/cache_config.h"
 
-#include <fstream>
-#include <sstream>
-
 #include "util/json.h"
+#include "util/json_config.h"
 #include "util/logging.h"
 
 namespace mfhttp::prefetch {
 
-namespace {
-
-bool read_number(const JsonValue& obj, const char* key, double min, double* out,
-                 std::string* error) {
-  const JsonValue* v = obj.find(key);
-  if (v == nullptr) return true;
-  if (!v->is_number() || v->number_value < min) {
-    if (error != nullptr) {
-      *error = std::string("'") + key + "' must be a number >= " +
-               std::to_string(min);
-    }
-    return false;
-  }
-  *out = v->number_value;
-  return true;
-}
-
-bool read_bytes(const JsonValue& obj, const char* key, double min, Bytes* out,
-                std::string* error) {
-  double d = static_cast<double>(*out);
-  if (!read_number(obj, key, min, &d, error)) return false;
-  *out = static_cast<Bytes>(d);
-  return true;
-}
-
-bool read_time(const JsonValue& obj, const char* key, double min, TimeMs* out,
-               std::string* error) {
-  double d = static_cast<double>(*out);
-  if (!read_number(obj, key, min, &d, error)) return false;
-  *out = static_cast<TimeMs>(d);
-  return true;
-}
-
-bool read_bool(const JsonValue& obj, const char* key, bool* out,
-               std::string* error) {
-  const JsonValue* v = obj.find(key);
-  if (v == nullptr) return true;
-  if (!v->is_bool()) {
-    if (error != nullptr) *error = std::string("'") + key + "' must be a boolean";
-    return false;
-  }
-  *out = v->bool_value;
-  return true;
-}
-
-}  // namespace
-
 std::optional<CacheConfig> CacheConfig::from_json(std::string_view json,
                                                   std::string* error) {
-  JsonParseError parse_error;
-  auto doc = parse_json(json, &parse_error);
-  if (!doc.has_value()) {
-    if (error != nullptr) *error = parse_error.to_string();
-    return std::nullopt;
-  }
-  if (!doc->is_object()) {
-    if (error != nullptr) *error = "top-level value must be an object";
-    return std::nullopt;
-  }
+  std::optional<JsonValue> doc = jsoncfg::parse_object(json, error);
+  if (!doc.has_value()) return std::nullopt;
+  return from_value(*doc, error);
+}
 
+std::optional<CacheConfig> CacheConfig::from_value(const JsonValue& doc,
+                                                   std::string* error) {
   CacheConfig config;
-  if (const JsonValue* c = doc->find("cache"); c != nullptr) {
-    if (!c->is_object()) {
-      if (error != nullptr) *error = "'cache' must be an object";
-      return std::nullopt;
-    }
+  jsoncfg::Fields top(doc, "", error);
+
+  if (const JsonValue* c = top.object("cache")) {
+    jsoncfg::Fields f(*c, "cache", error);
     CacheParams& p = config.cache;
-    if (!read_bytes(*c, "capacity_bytes", 0, &p.capacity_bytes, error) ||
-        !read_time(*c, "default_ttl_ms", 0, &p.default_ttl_ms, error) ||
-        !read_time(*c, "stale_while_revalidate_ms", 0,
-                   &p.stale_while_revalidate_ms, error) ||
-        !read_number(*c, "max_object_fraction", 0, &p.max_object_fraction,
-                     error) ||
-        !read_bool(*c, "cost_aware_admission", &p.cost_aware_admission, error)) {
-      if (error != nullptr) *error = "'cache': " + *error;
-      return std::nullopt;
-    }
-    if (p.max_object_fraction <= 0 || p.max_object_fraction > 1) {
-      if (error != nullptr) {
-        *error = "'cache': 'max_object_fraction' must be in (0, 1]";
-      }
-      return std::nullopt;
-    }
+    f.bytes("capacity_bytes", 0, &p.capacity_bytes);
+    f.time_ms("default_ttl_ms", 0, &p.default_ttl_ms);
+    f.time_ms("stale_while_revalidate_ms", 0, &p.stale_while_revalidate_ms);
+    f.number("max_object_fraction", 0, &p.max_object_fraction);
+    f.boolean("cost_aware_admission", &p.cost_aware_admission);
+    if (f.ok() &&
+        (p.max_object_fraction <= 0 || p.max_object_fraction > 1))
+      f.fail("'max_object_fraction' must be in (0, 1]");
+    if (!f.finish()) return std::nullopt;
   }
 
-  if (const JsonValue* f = doc->find("prefetch"); f != nullptr) {
-    if (!f->is_object()) {
-      if (error != nullptr) *error = "'prefetch' must be an object";
-      return std::nullopt;
-    }
+  if (const JsonValue* pf = top.object("prefetch")) {
+    jsoncfg::Fields f(*pf, "prefetch", error);
     PrefetchBudget& p = config.prefetch;
-    double min_value = p.min_value;
-    if (!read_bool(*f, "enabled", &config.prefetch_enabled, error) ||
-        !read_number(*f, "min_value", -1e18, &min_value, error) ||
-        !read_bytes(*f, "max_bytes_per_plan", 0, &p.max_bytes_per_plan, error) ||
-        !read_time(*f, "lead_time_ms", 0, &p.lead_time_ms, error)) {
-      if (error != nullptr) *error = "'prefetch': " + *error;
-      return std::nullopt;
-    }
-    p.min_value = min_value;
+    f.boolean("enabled", &config.prefetch_enabled);
+    f.number("min_value", -1e18, &p.min_value);
+    f.bytes("max_bytes_per_plan", 0, &p.max_bytes_per_plan);
+    f.time_ms("lead_time_ms", 0, &p.lead_time_ms);
+    if (!f.finish()) return std::nullopt;
   }
 
+  if (!top.finish()) return std::nullopt;
   return config;
 }
 
 std::optional<CacheConfig> CacheConfig::load(const std::string& path,
                                              std::string* error) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    if (error != nullptr) *error = "cannot open file";
-    MFHTTP_WARN << "cache config '" << path << "': cannot open file";
-    return std::nullopt;
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
+  std::optional<JsonValue> doc =
+      jsoncfg::load_object(path, "cache config", error);
+  if (!doc.has_value()) return std::nullopt;
   std::string why;
-  auto config = from_json(buffer.str(), &why);
+  auto config = from_value(*doc, &why);
   if (!config.has_value()) {
     if (error != nullptr) *error = why;
     MFHTTP_WARN << "cache config '" << path << "': " << why;

@@ -26,6 +26,10 @@
 #include "http/cache.h"
 #include "prefetch/planner.h"
 
+namespace mfhttp {
+struct JsonValue;
+}
+
 namespace mfhttp::prefetch {
 
 struct CacheConfig {
@@ -35,6 +39,10 @@ struct CacheConfig {
 
   static std::optional<CacheConfig> from_json(std::string_view json,
                                               std::string* error = nullptr);
+  // Same schema over an already-parsed node, for configs that embed a cache
+  // section (scenario::ScenarioSpec).
+  static std::optional<CacheConfig> from_value(const JsonValue& doc,
+                                               std::string* error = nullptr);
   static std::optional<CacheConfig> load(const std::string& path,
                                          std::string* error = nullptr);
   std::string to_json() const;

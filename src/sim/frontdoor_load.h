@@ -25,6 +25,10 @@
 
 #include "util/types.h"
 
+namespace mfhttp::scenario {
+struct ScenarioSpec;
+}
+
 namespace mfhttp::sim {
 
 struct FrontDoorLoadConfig {
@@ -47,6 +51,10 @@ struct FrontDoorLoadConfig {
   // t=0", which melts any box at a million sessions — keep it positive.
   double session_arrival_per_s = 2000.0;
   std::size_t max_urls_per_touch = 3;  // 1..3 objects per touch
+
+  // Load config from a scenario: seed, session count, touch cadence scaled
+  // by the device class. Defined in the mfhttp_scenario library.
+  static FrontDoorLoadConfig from_scenario(const scenario::ScenarioSpec& spec);
 };
 
 struct TouchEvent {

@@ -84,7 +84,7 @@ ScaleSessionResult run_scale_session(const ScaleSessionConfig& config,
   Rng bw_rng = master.fork();
   Rng gesture_rng = master.fork();
 
-  const DeviceProfile device = DeviceProfile::nexus6();
+  const DeviceProfile& device = config.device;
   const std::vector<SiteSpec>& specs = alexa25_specs();
   const SiteSpec& spec = specs[id % specs.size()];
   WebPage page = generate_page(spec, device, page_rng);
@@ -99,6 +99,8 @@ ScaleSessionResult run_scale_session(const ScaleSessionConfig& config,
       /*slots=*/180);
 
   Middleware::Params params;
+  params.tracker.scroll = ScrollConfig(device);
+  params.tracker.scroll.fling.friction *= config.fling_friction_scale;
   params.tracker.content_bounds = page.bounds();
   params.initial_viewport = {0, 0, device.screen_w_px, device.screen_h_px};
   Middleware middleware(std::move(params), std::move(objects),
@@ -129,8 +131,7 @@ ScaleSessionResult run_scale_session(const ScaleSessionConfig& config,
 
   TouchEventMonitor monitor(
       device, [&](const Gesture& g) { middleware.on_gesture(g); });
-  BrowsingGestureSource gestures(device, BrowsingGestureSource::Params{},
-                                 gesture_rng);
+  BrowsingGestureSource gestures(device, config.gestures, gesture_rng);
 
   TimeMs next_down_ms = 0;
   for (std::size_t g = 0; g < config.gestures_per_session; ++g) {

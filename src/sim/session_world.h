@@ -22,7 +22,13 @@
 #include <string>
 #include <vector>
 
+#include "gesture/synthetic.h"
+#include "scroll/device_profile.h"
 #include "sim/parallel_runner.h"
+
+namespace mfhttp::scenario {
+struct ScenarioSpec;
+}
 
 namespace mfhttp::sim {
 
@@ -37,6 +43,16 @@ struct ScaleSessionConfig {
   // resolution) so the knapsack solves a real multi-version instance.
   std::size_t versions_per_object = 3;
   double mean_bandwidth_mbps = 16.0;
+  // Device class driving page layout, fling physics, and gesture sampling
+  // (scenario::DeviceClassSpec). The defaults are the historical hardcoded
+  // values — BENCH_scale artifacts stay byte-identical.
+  DeviceProfile device = DeviceProfile::nexus6();
+  double fling_friction_scale = 1.0;
+  BrowsingGestureSource::Params gestures;
+
+  // Scale config from a scenario: seed, session count, device class and its
+  // gesture distribution. Defined in the mfhttp_scenario library.
+  static ScaleSessionConfig from_scenario(const scenario::ScenarioSpec& spec);
 };
 
 struct ScaleSessionResult {

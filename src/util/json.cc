@@ -118,6 +118,12 @@ JsonWriter& JsonWriter::value(bool b) {
   return *this;
 }
 
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  comma_if_needed();
+  out_ += json;
+  return *this;
+}
+
 JsonWriter& JsonWriter::null() {
   comma_if_needed();
   out_ += "null";

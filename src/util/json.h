@@ -43,6 +43,12 @@ class JsonWriter {
   JsonWriter& value(bool b);
   JsonWriter& null();
 
+  // Splices an already-serialized JSON value verbatim in value position
+  // (after key() or as an array element). The caller guarantees `json` is a
+  // complete valid value — used to embed one config's to_json() inside
+  // another's document (scenario::ScenarioSpec sections).
+  JsonWriter& raw(std::string_view json);
+
   // Finished document (all containers must be closed).
   const std::string& str() const;
 

@@ -1,0 +1,188 @@
+#include "util/json_config.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace mfhttp::jsoncfg {
+
+std::optional<JsonValue> parse_object(std::string_view json,
+                                      std::string* error) {
+  JsonParseError parse_error;
+  std::optional<JsonValue> doc = parse_json(json, &parse_error);
+  if (!doc.has_value()) {
+    if (error != nullptr) *error = parse_error.to_string();
+    return std::nullopt;
+  }
+  if (!doc->is_object()) {
+    if (error != nullptr) *error = "top-level value must be an object";
+    return std::nullopt;
+  }
+  return doc;
+}
+
+std::optional<JsonValue> load_object(const std::string& path, const char* what,
+                                     std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open file";
+    MFHTTP_WARN << what << " '" << path << "': cannot open file";
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string why;
+  std::optional<JsonValue> doc = parse_object(buffer.str(), &why);
+  if (!doc.has_value()) {
+    if (error != nullptr) *error = why;
+    MFHTTP_WARN << what << " '" << path << "': " << why;
+  }
+  return doc;
+}
+
+Fields::Fields(const JsonValue& object, std::string where, std::string* error)
+    : object_(object),
+      where_(std::move(where)),
+      error_(error),
+      consumed_(object.object_value.size(), false) {
+  if (!object.is_object()) fail("must be an object");
+}
+
+const JsonValue* Fields::find(const char* key) {
+  if (!ok_) return nullptr;
+  for (std::size_t i = 0; i < object_.object_value.size(); ++i) {
+    if (object_.object_value[i].first == key) {
+      consumed_[i] = true;
+      return &object_.object_value[i].second;
+    }
+  }
+  return nullptr;
+}
+
+bool Fields::number(const char* key, double min, double* out) {
+  const JsonValue* v = find(key);
+  if (v == nullptr) return ok_;
+  if (!v->is_number() || v->number_value < min) {
+    return fail(std::string("'") + key + "' must be a number >= " +
+                std::to_string(min));
+  }
+  *out = v->number_value;
+  return true;
+}
+
+bool Fields::rate(const char* key, double* out) {
+  const JsonValue* v = find(key);
+  if (v == nullptr) return ok_;
+  if (!v->is_number() || v->number_value < 0 || v->number_value > 1)
+    return fail(std::string("'") + key + "' must be a number in [0, 1]");
+  *out = v->number_value;
+  return true;
+}
+
+bool Fields::fraction(const char* key, double* out) {
+  const JsonValue* v = find(key);
+  if (v == nullptr) return ok_;
+  if (!v->is_number() || v->number_value <= 0 || v->number_value >= 1)
+    return fail(std::string("'") + key + "' must be a number in (0, 1)");
+  *out = v->number_value;
+  return true;
+}
+
+bool Fields::integer(const char* key, int min, int* out) {
+  double d = *out;
+  if (!number(key, min, &d)) return false;
+  *out = static_cast<int>(d);
+  return true;
+}
+
+bool Fields::size(const char* key, std::size_t* out) {
+  double d = static_cast<double>(*out);
+  if (!number(key, 0, &d)) return false;
+  *out = static_cast<std::size_t>(d);
+  return true;
+}
+
+bool Fields::time_ms(const char* key, TimeMs min, TimeMs* out) {
+  double d = static_cast<double>(*out);
+  if (!number(key, static_cast<double>(min), &d)) return false;
+  *out = static_cast<TimeMs>(d);
+  return true;
+}
+
+bool Fields::bytes(const char* key, Bytes min, Bytes* out) {
+  double d = static_cast<double>(*out);
+  if (!number(key, static_cast<double>(min), &d)) return false;
+  *out = static_cast<Bytes>(d);
+  return true;
+}
+
+bool Fields::boolean(const char* key, bool* out) {
+  const JsonValue* v = find(key);
+  if (v == nullptr) return ok_;
+  if (!v->is_bool()) return fail(std::string("'") + key + "' must be a boolean");
+  *out = v->bool_value;
+  return true;
+}
+
+bool Fields::string(const char* key, std::string* out) {
+  const JsonValue* v = find(key);
+  if (v == nullptr) return ok_;
+  if (!v->is_string()) return fail(std::string("'") + key + "' must be a string");
+  *out = v->string_value;
+  return true;
+}
+
+bool Fields::seed(const char* key, std::uint64_t* out) {
+  double d = static_cast<double>(*out);
+  const JsonValue* v = find(key);
+  if (v == nullptr) return ok_;
+  if (!v->is_number() || v->number_value < 0)
+    return fail(std::string("'") + key + "' must be a non-negative number");
+  d = v->number_value;
+  *out = static_cast<std::uint64_t>(d);
+  return true;
+}
+
+const JsonValue* Fields::object(const char* key) {
+  const JsonValue* v = find(key);
+  if (v == nullptr) return nullptr;
+  if (!v->is_object()) {
+    fail(std::string("'") + key + "' must be an object");
+    return nullptr;
+  }
+  return v;
+}
+
+const JsonValue* Fields::array(const char* key) {
+  const JsonValue* v = find(key);
+  if (v == nullptr) return nullptr;
+  if (!v->is_array()) {
+    fail(std::string("'") + key + "' must be an array");
+    return nullptr;
+  }
+  return v;
+}
+
+const JsonValue* Fields::member(const char* key) { return find(key); }
+
+bool Fields::fail(std::string_view why) {
+  if (ok_ && error_ != nullptr) {
+    *error_ = where_.empty() ? std::string(why)
+                             : "'" + where_ + "': " + std::string(why);
+  }
+  ok_ = false;
+  return false;
+}
+
+bool Fields::finish() {
+  if (!ok_) return false;
+  for (std::size_t i = 0; i < object_.object_value.size(); ++i) {
+    if (!consumed_[i]) {
+      return fail("unknown key '" + object_.object_value[i].first + "'");
+    }
+  }
+  return true;
+}
+
+}  // namespace mfhttp::jsoncfg

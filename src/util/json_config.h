@@ -1,0 +1,95 @@
+// Shared plumbing for JSON configuration loaders — fault plans, overload
+// configs, cache configs, scenario specs — so every config file in the tree
+// parses through one path and fails with one diagnostic style:
+//
+//   malformed JSON   ->  "line L, column C: why"            (JsonParseError)
+//   wrong type/range ->  "'section': 'key' must be ..."     (field named)
+//   unknown member   ->  "'section': unknown key 'x'"       (strict schemas)
+//
+// A loader wraps each JSON object in a `Fields` reader, pulls its members
+// through the typed accessors (absent members keep their defaults), and ends
+// with `finish()`, which rejects any member no accessor consumed. Readers
+// short-circuit once an error is recorded, so loaders can chain calls with
+// `&&` exactly like the hand-rolled predecessors did.
+//
+//   Fields f(*doc.find("admission"), "admission", &error);
+//   f.number("global_rate_per_s", 0, &p.global_rate_per_s);
+//   f.integer("max_dispatch_queue", 0, &p.max_dispatch_queue);
+//   if (!f.finish()) return std::nullopt;   // error == "'admission': ..."
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.h"
+#include "util/types.h"
+
+namespace mfhttp::jsoncfg {
+
+// Parses one JSON configuration document. Malformed input reports
+// "line L, column C: why"; a well-formed non-object top level reports
+// "top-level value must be an object".
+std::optional<JsonValue> parse_object(std::string_view json, std::string* error);
+
+// Reads `path` and parses it with parse_object. On failure *error (may be
+// nullptr) holds the cause and a warning naming `what` plus the path is
+// logged: `<what> '<path>': <why>`.
+std::optional<JsonValue> load_object(const std::string& path, const char* what,
+                                     std::string* error);
+
+// Typed member reader over one JSON object. Each accessor consumes one key;
+// `finish()` rejects the keys nothing consumed. All accessors return false
+// after the first error (recorded into the constructor's error slot with the
+// section prefix) so a loader's `&&` chains short-circuit naturally.
+class Fields {
+ public:
+  // `where` names this object in diagnostics ("admission", "link[2]");
+  // empty for a top-level document. `error` may be nullptr (errors still
+  // gate the return values, they just aren't reported).
+  Fields(const JsonValue& object, std::string where, std::string* error);
+
+  // Scalar accessors: absent members keep *out and return true; present
+  // members must match the type and bound or the call fails.
+  bool number(const char* key, double min, double* out);
+  bool rate(const char* key, double* out);      // number in [0, 1]
+  bool fraction(const char* key, double* out);  // number in (0, 1)
+  bool integer(const char* key, int min, int* out);
+  bool size(const char* key, std::size_t* out);  // number >= 0
+  bool time_ms(const char* key, TimeMs min, TimeMs* out);
+  bool bytes(const char* key, Bytes min, Bytes* out);
+  bool boolean(const char* key, bool* out);
+  bool string(const char* key, std::string* out);
+  bool seed(const char* key, std::uint64_t* out);  // non-negative number
+
+  // Nested members. Consumes the key; returns nullptr when absent (not an
+  // error) or on type mismatch (error recorded).
+  const JsonValue* object(const char* key);
+  const JsonValue* array(const char* key);
+  // Raw member access for fields with bespoke validation (e.g. a string-
+  // keyed enum). Consumes the key; nullptr when absent.
+  const JsonValue* member(const char* key);
+
+  // Records a custom validation failure scoped to this section and returns
+  // false, for cross-field rules the typed accessors cannot express.
+  bool fail(std::string_view why);
+
+  bool ok() const { return ok_; }
+
+  // Rejects members no accessor consumed ("unknown key 'x'"); returns ok().
+  // Call exactly once, after the last accessor.
+  bool finish();
+
+ private:
+  const JsonValue* find(const char* key);
+
+  const JsonValue& object_;
+  std::string where_;
+  std::string* error_;
+  std::vector<bool> consumed_;  // parallel to object_.object_value
+  bool ok_ = true;
+};
+
+}  // namespace mfhttp::jsoncfg

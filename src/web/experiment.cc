@@ -65,8 +65,13 @@ BrowsingSessionResult run_browsing_session(const WebPage& page,
   Simulator sim;
   Rng rng(config.seed);
 
+  const BandwidthTrace client_trace =
+      config.client_bandwidth_trace.has_value()
+          ? *config.client_bandwidth_trace
+          : BandwidthTrace::constant(config.client_bandwidth);
+
   Link::Params client_params;
-  client_params.bandwidth = BandwidthTrace::constant(config.client_bandwidth);
+  client_params.bandwidth = client_trace;
   client_params.latency_ms = config.client_latency_ms;
   client_params.sharing = config.client_sharing;
 
@@ -91,6 +96,7 @@ BrowsingSessionResult run_browsing_session(const WebPage& page,
     proxy_params.defer_timeout_ms = config.defer_timeout_ms;
   }
   if (config.enable_cache) builder.with_cache(config.cache);
+  if (config.admission.has_value()) builder.with_admission(*config.admission);
   builder.proxy_params(proxy_params);
   std::unique_ptr<FetchPipeline> pipeline = builder.build();
   MitmProxy& proxy = pipeline->proxy();
@@ -101,6 +107,7 @@ BrowsingSessionResult run_browsing_session(const WebPage& page,
 
   ScrollTracker::Params tracker_params;
   tracker_params.scroll = ScrollConfig(config.device);
+  tracker_params.scroll.fling.friction *= config.fling_friction_scale;
   tracker_params.content_bounds = page.bounds();
 
   // Ground-truth viewport trajectory — identical scrolling physics whether
@@ -121,8 +128,7 @@ BrowsingSessionResult run_browsing_session(const WebPage& page,
     mp.flow.ignore_bandwidth_constraint = true;
     mp.initial_viewport = vp0;
     mp.gesture_uplink_ms = config.client_latency_ms;
-    middleware.emplace(mp, page.images,
-                       BandwidthTrace::constant(config.client_bandwidth), &sim);
+    middleware.emplace(mp, page.images, client_trace, &sim);
     controller.emplace(page, vp0, &proxy);
     if (config.enable_cache && config.enable_prefetch)
       controller->set_prefetch_enabled(true);
@@ -190,6 +196,16 @@ BrowsingSessionResult run_browsing_session(const WebPage& page,
   result.images_completed = browser.images_completed();
   result.images_avoided = result.images_total - result.images_completed;
   result.stranded_deferred = proxy.deferred_urls().size();
+  const MitmProxy::Stats& ps = proxy.stats();
+  result.requests_total = ps.allowed + ps.blocked + ps.deferred + ps.rejected +
+                          ps.shed + ps.header_violations + ps.cache_hits;
+  result.requests_rejected = ps.rejected;
+  result.requests_shed = ps.shed;
+  if (HttpCache* cache = pipeline->cache()) {
+    HttpCache::Stats cs = cache->stats();
+    result.cache_hits = cs.hits;
+    result.cache_misses = cs.misses;
+  }
   return result;
 }
 

@@ -13,6 +13,7 @@
 #include "http/cache.h"
 #include "http/resilient_fetcher.h"
 #include "net/link.h"
+#include "overload/admission.h"
 #include "scroll/device_profile.h"
 #include "web/page.h"
 
@@ -32,10 +33,18 @@ struct BrowsingSessionConfig {
   Link::Sharing client_sharing = Link::Sharing::kFairShare;
   BytesPerSec server_bandwidth = 12.5e6;  // ~100 Mbps campus backbone
   TimeMs server_latency_ms = 4;
+  // Variable client-hop bandwidth (scenario network profiles); when set it
+  // replaces the constant client_bandwidth trace on the link AND as the
+  // flow controller's B(t).
+  std::optional<BandwidthTrace> client_bandwidth_trace;
 
   // One scrolling touch per session, fired once the page has had a moment
   // to start rendering.
   TimeMs scroll_at_ms = 1200;
+  // Device-class fling calibration (scenario::DeviceClassSpec): multiplies
+  // FlingParams::friction for both the ground-truth tracker and the
+  // middleware's predictor. 1.0 = stock Android physics, byte-identical.
+  double fling_friction_scale = 1.0;
   double swipe_speed_px_s = 5000;   // finger speed (fling intensity)
   bool swipe_up = false;            // finger direction; false = scroll down
   FlowWeights weights{1.0, 0.0};    // paper: q = 0 for web experiments
@@ -68,6 +77,10 @@ struct BrowsingSessionConfig {
   // BlockListController's prefetch hook). Ignored without enable_cache.
   bool enable_prefetch = false;
 
+  // Overload protection at the proxy (scenario "overload" section). Absent:
+  // no admission controller — byte-identical to the historical stack.
+  std::optional<overload::AdmissionParams> admission;
+
   static ResilientFetcherParams default_resilience() {
     ResilientFetcherParams p;
     p.attempt_timeout_ms = 8000;  // per-attempt deadline inside the session
@@ -87,6 +100,15 @@ struct BrowsingSessionResult {
   std::size_t images_total = 0;
   std::size_t images_completed = 0;
   std::size_t images_avoided = 0;   // never transferred (parked or refused)
+
+  // Proxy-side accounting for the scenario matrix columns: every request
+  // the proxy saw, the subset bounced by admission (429/503) or shed by
+  // brownout, and the middleware-cache hit/miss split (0/0 without a cache).
+  std::size_t requests_total = 0;
+  std::size_t requests_rejected = 0;
+  std::size_t requests_shed = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
 
   // Requests still parked at the proxy when the session ended. In a pristine
   // run this is ordinary parked speculation (the mf-http savings). With a

@@ -106,6 +106,27 @@ SCHEMAS = {
             "p99_touch_to_policy_ms": ("wall", "ceiling"),
         },
     },
+    "scenario_matrix": {
+        # One row per ScenarioSpec cell (device class x network profile x
+        # workload, plus the two paper-default witness rows). Every column
+        # except wall_ms is simulated time or a pure function of the spec,
+        # so they gate exact: the fingerprint folds every per-session
+        # deterministic quantity and catches sub-ulp drift the aggregate
+        # columns would round away.
+        "keys": ["scenario", "device", "network", "workload"],
+        "top_exact": ["paper_default_identical",
+                      "deterministic_across_workers"],
+        "metrics": {
+            "sessions": ("exact", "both"),
+            "fingerprint": ("exact", "both"),
+            "viewport_p99_ms": ("exact", "both"),
+            "goodput_bytes_per_s": ("exact", "both"),
+            "qoe": ("ratio", "floor"),
+            "cache_hit_ratio": ("ratio", "floor"),
+            "shed_rate": ("ratio", "ceiling"),
+            "wall_ms": ("wall", "ceiling"),
+        },
+    },
 }
 
 
