@@ -1,0 +1,56 @@
+#include "core/object_arena.h"
+
+#include <limits>
+
+namespace mfhttp {
+
+void ObjectArena::rebuild(const std::vector<MediaObject>& objects) {
+  count_ = objects.size();
+  source_ = &objects;
+  x0_.resize(count_);
+  y0_.resize(count_);
+  x1_.resize(count_);
+  y1_.resize(count_);
+  w_.resize(count_);
+  h_.resize(count_);
+  state_.resize(count_);
+  deg_.resize(count_);
+  top_size_.resize(count_);
+  offsets_.resize(count_ + 1);
+  ids_.resize(count_);
+  sizes_.clear();
+  resolutions_.clear();
+
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    const MediaObject& obj = objects[i];
+    MFHTTP_CHECK_MSG(obj.versions_sorted(),
+                     "versions must ascend by resolution");
+    const Rect& r = obj.rect;
+    x0_[i] = r.x;
+    y0_[i] = r.y;
+    // The sums are formed here, once, in double precision — batched geometry
+    // reads them back instead of recomputing, which is what makes it
+    // bit-identical to the scalar `o + o_extent` path.
+    x1_[i] = r.x + r.w;
+    y1_[i] = r.y + r.h;
+    w_[i] = r.w;
+    h_[i] = r.h;
+    // The flag, not x1 <= x0, decides degeneracy: a denormal-width rect at a
+    // large offset can round the sum back onto the corner.
+    state_[i] = r.empty() ? kEmptyRect : 0;
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    deg_[i] = r.empty() ? kInf : -kInf;
+    top_size_[i] = obj.top_version().size;
+    ids_[i] = obj.id;
+    offsets_[i] = offset;
+    for (const MediaVersion& v : obj.versions) {
+      sizes_.push_back(v.size);
+      resolutions_.push_back(v.resolution);
+    }
+    offset += obj.versions.size();
+  }
+  offsets_[count_] = offset;
+}
+
+}  // namespace mfhttp

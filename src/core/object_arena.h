@@ -1,0 +1,121 @@
+// Structure-of-arrays arena over a page's media objects.
+//
+// The planner hot path (touch -> analyze -> knapsack) walks every involved
+// object's rectangle and version ladder on every replan. In the AoS layout
+// (std::vector<MediaObject>, each owning a std::vector<MediaVersion>) that
+// walk chases two pointers per object and drags URL strings through the
+// cache for arithmetic that only needs 6 doubles and the version sizes.
+// ObjectArena rebuilds the numeric hot data into contiguous parallel arrays:
+//
+//   x0/y0/x1/y1  rectangle corners (x1/y1 store the double-precision sums
+//                x + w / y + h computed at build time, so batched geometry
+//                reproduces the scalar `o + o_extent` bit-for-bit)
+//   w/h          original extents (overlap-area math and Rect reconstruction)
+//   state        per-object flags (degenerate rect, sorted versions)
+//   top_size     f_{i,m} — the knapsack cost of the top version
+//   sizes/resolutions  all versions, flattened, ascending per object,
+//                sliced by version_offset/version_count
+//
+// Indices are STABLE: arena index i is the same object as objects[i] in the
+// source vector, so ScrollAnalysis/DownloadPolicy object_index values mean
+// the same thing on both layouts. The arena is a rebuild-on-layout-change
+// snapshot, like ObjectIntervalIndex: it keeps a pointer to the source
+// vector (for parity checks and URL lookups) but copies every number it
+// reads on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/media_object.h"
+#include "geom/coverage_batch.h"
+#include "geom/rect.h"
+#include "util/check.h"
+#include "util/types.h"
+
+namespace mfhttp {
+
+class ObjectArena {
+ public:
+  // State bits.
+  static constexpr std::uint8_t kEmptyRect = 1;  // w <= 0 || h <= 0
+
+  ObjectArena() = default;
+  explicit ObjectArena(const std::vector<MediaObject>& objects) {
+    rebuild(objects);
+  }
+
+  // Snapshot `objects` into SoA form. Call again after any layout or
+  // version-ladder change; a stale arena is undefined behavior the same way
+  // a stale ObjectIntervalIndex is.
+  void rebuild(const std::vector<MediaObject>& objects);
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  // The vector this arena was rebuilt from. Valid only while that vector is
+  // alive and unmodified; used by parity mode and URL lookups.
+  const std::vector<MediaObject>& source() const {
+    MFHTTP_CHECK(source_ != nullptr);
+    return *source_;
+  }
+  bool has_source() const { return source_ != nullptr; }
+
+  // ---- geometry ----
+  double x0(std::size_t i) const { return x0_[i]; }
+  double y0(std::size_t i) const { return y0_[i]; }
+  double x1(std::size_t i) const { return x1_[i]; }
+  double y1(std::size_t i) const { return y1_[i]; }
+  double width(std::size_t i) const { return w_[i]; }
+  double height(std::size_t i) const { return h_[i]; }
+  std::uint8_t state(std::size_t i) const { return state_[i]; }
+  Rect rect(std::size_t i) const { return Rect{x0_[i], y0_[i], w_[i], h_[i]}; }
+
+  // SoA view for the geom::coverage_batch kernels.
+  geom::RectSoA rects() const {
+    geom::RectSoA soa;
+    soa.x0 = x0_.data();
+    soa.y0 = y0_.data();
+    soa.x1 = x1_.data();
+    soa.y1 = y1_.data();
+    soa.degenerate = deg_.data();  // -inf live, +inf degenerate (kEmptyRect)
+    soa.count = count_;
+    return soa;
+  }
+
+  // ---- version ladders (flattened) ----
+  std::size_t version_count(std::size_t i) const {
+    return offsets_[i + 1] - offsets_[i];
+  }
+  std::size_t version_offset(std::size_t i) const { return offsets_[i]; }
+  Bytes version_size(std::size_t i, std::size_t j) const {
+    return sizes_[offsets_[i] + j];
+  }
+  double version_resolution(std::size_t i, std::size_t j) const {
+    return resolutions_[offsets_[i] + j];
+  }
+  Bytes top_size(std::size_t i) const { return top_size_[i]; }
+  double top_resolution(std::size_t i) const {
+    return resolutions_[offsets_[i + 1] - 1];
+  }
+  const std::string& id(std::size_t i) const { return ids_[i]; }
+
+  // Raw arrays for kernels that want to iterate without the accessor calls.
+  const std::vector<Bytes>& flat_sizes() const { return sizes_; }
+  const std::vector<double>& flat_resolutions() const { return resolutions_; }
+
+ private:
+  std::size_t count_ = 0;
+  const std::vector<MediaObject>* source_ = nullptr;
+  std::vector<double> x0_, y0_, x1_, y1_, w_, h_;
+  std::vector<std::uint8_t> state_;
+  std::vector<double> deg_;  // state_ & kEmptyRect as a guard: -inf/+inf
+  std::vector<Bytes> top_size_;
+  std::vector<std::size_t> offsets_;  // count_ + 1 prefix offsets
+  std::vector<Bytes> sizes_;          // all versions, ascending per object
+  std::vector<double> resolutions_;
+  std::vector<std::string> ids_;
+};
+
+}  // namespace mfhttp

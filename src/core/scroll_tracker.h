@@ -19,6 +19,8 @@
 
 namespace mfhttp {
 
+class ObjectArena;
+
 // Full prediction of one scrolling animation, made at finger release.
 struct ScrollPrediction {
   Gesture gesture;
@@ -81,6 +83,8 @@ class ObjectIntervalIndex {
   }
 
   void rebuild(const std::vector<MediaObject>& objects);
+  // Same index, built from an arena snapshot instead of the AoS vector.
+  void rebuild(const ObjectArena& arena);
   std::size_t size() const { return entries_.size(); }
 
   // Indices (ascending object top, ties by index) of all objects whose
@@ -128,6 +132,20 @@ class ScrollTracker {
   // hot path on large pages. `index` must be built from the same `objects`.
   ScrollAnalysis analyze(const ScrollPrediction& prediction,
                          const std::vector<MediaObject>& objects,
+                         const ObjectIntervalIndex& index) const;
+
+  // SoA fast path: identical results, bit for bit, to the AoS overloads, but
+  // the involvement test and first-overlap fraction run through the batched
+  // geom::coverage_batch kernels and the coverage integral reads the arena's
+  // contiguous corner arrays instead of chasing MediaObject pointers.
+  ScrollAnalysis analyze(const ScrollPrediction& prediction,
+                         const ObjectArena& arena) const;
+
+  // Batched AND index-pruned: candidates from the y-corridor query, SoA math
+  // on the gathered candidate set. `index` must be built from `arena` (or
+  // equivalently from its source objects).
+  ScrollAnalysis analyze(const ScrollPrediction& prediction,
+                         const ObjectArena& arena,
                          const ObjectIntervalIndex& index) const;
 
  private:

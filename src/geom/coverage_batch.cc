@@ -1,0 +1,172 @@
+#include "geom/coverage_batch.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mfhttp::geom {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// The public entry points are multiversioned (see MFHTTP_BATCH_CLONES
+// below), but GCC only compiles the ISA-specific clone bodies — helpers that
+// stay out-of-line are emitted once, for the baseline ISA, and every clone
+// calls the same scalar copy. Forcing the kernel helpers inline is therefore
+// load-bearing: it is what puts the loop inside each clone so the avx2 copy
+// is actually vectorized for avx2.
+#if defined(__GNUC__)
+#define MFHTTP_BATCH_INLINE inline __attribute__((always_inline))
+#else
+#define MFHTTP_BATCH_INLINE inline
+#endif
+
+// Per-object slab test with the uniform branches hoisted to template
+// parameters: displacement-axis degeneracy (DX_ZERO/DY_ZERO) and whether a
+// degenerate-rect guard array is present (HAS_GUARD). Every lane inside the
+// loop is a double — comparisons feed FP selects, never integer
+// accumulators, and "this object is dead" is expressed by forcing the
+// combined interval empty (lo = +inf >= hi) rather than by a flag, so the
+// body is a straight line of sub/div/min/max/blend the auto-vectorizer
+// handles whole.
+//
+// Expression shapes mirror geom/swept_region.cc exactly:
+//   a  = (o - p) - extent           [left-to-right as written there]
+//   b  = o + o_extent - p  ==  x1 - p   [x1 stores the sum from build time]
+//   t0 = a / d; t1 = b / d; lo = min(t0, t1); hi = max(t0, t1)
+// then lo = max(lo_x, lo_y), hi = min(hi_x, hi_y), empty iff lo >= hi.
+// A d == 0 axis contributes (-inf, +inf) when the viewport band overlaps
+// the object on that axis (non-constraining, as in the scalar code) and
+// (+inf, +inf) when it does not (forces empty, the scalar's axis-empty
+// flag). The degenerate guard folds in the same way: max(lo, -inf) is a
+// no-op for live rects, max(lo, +inf) forces empty for degenerate ones.
+template <bool DX_ZERO, bool DY_ZERO, bool HAS_GUARD, typename Emit>
+MFHTTP_BATCH_INLINE void sweep_pass(const SweptRegion& sweep, const RectSoA& o,
+                                    Emit emit) {
+  const double px = sweep.viewport.x, ex = sweep.viewport.w;
+  const double py = sweep.viewport.y, ey = sweep.viewport.h;
+  const double dx = sweep.displacement.x, dy = sweep.displacement.y;
+  for (std::size_t i = 0; i < o.count; ++i) {
+    const double ax = (o.x0[i] - px) - ex;
+    const double bx = o.x1[i] - px;
+    const double ay = (o.y0[i] - py) - ey;
+    const double by = o.y1[i] - py;
+
+    // A d == 0 axis contributes lo = -inf (non-constraining) when the band
+    // overlaps the object and lo = +inf (forces empty) when it does not; its
+    // hi is +inf either way, so it is dropped from the hi combine entirely
+    // rather than folded as min(+inf, ...). Two deliberate shapes for GCC 12:
+    // the overlap test is two single-compare FP selects, not
+    // `(ax < 0) & (0 < bx) ? ... : ...` (the fused form routes through an
+    // integer AND the vectorizer treats as control flow), and no min/max is
+    // ever taken against a constant infinity (that select pattern defeats
+    // loop vectorization wholesale).
+    double lo_x, hi_x, lo_y, hi_y;
+    if constexpr (DX_ZERO) {
+      const double t = ax < 0 ? -kInf : kInf;
+      lo_x = 0 < bx ? t : kInf;
+    } else {
+      const double t0 = ax / dx;
+      const double t1 = bx / dx;
+      lo_x = std::min(t0, t1);
+      hi_x = std::max(t0, t1);
+    }
+    if constexpr (DY_ZERO) {
+      const double t = ay < 0 ? -kInf : kInf;
+      lo_y = 0 < by ? t : kInf;
+    } else {
+      const double t0 = ay / dy;
+      const double t1 = by / dy;
+      lo_y = std::min(t0, t1);
+      hi_y = std::max(t0, t1);
+    }
+    double lo = std::max(lo_x, lo_y);
+    if constexpr (HAS_GUARD) lo = std::max(lo, o.degenerate[i]);
+    double hi;
+    if constexpr (DX_ZERO && DY_ZERO)
+      hi = kInf;
+    else if constexpr (DX_ZERO)
+      hi = hi_y;
+    else if constexpr (DY_ZERO)
+      hi = hi_x;
+    else
+      hi = std::min(hi_x, hi_y);
+    emit(i, lo, hi);
+  }
+}
+
+template <bool HAS_GUARD, typename Emit>
+MFHTTP_BATCH_INLINE void dispatch_axes(const SweptRegion& sweep,
+                                       const RectSoA& objects, Emit emit) {
+  const bool dx0 = sweep.displacement.x == 0;
+  const bool dy0 = sweep.displacement.y == 0;
+  if (dx0 && dy0)
+    sweep_pass<true, true, HAS_GUARD>(sweep, objects, emit);
+  else if (dx0)
+    sweep_pass<true, false, HAS_GUARD>(sweep, objects, emit);
+  else if (dy0)
+    sweep_pass<false, true, HAS_GUARD>(sweep, objects, emit);
+  else
+    sweep_pass<false, false, HAS_GUARD>(sweep, objects, emit);
+}
+
+template <typename Emit>
+MFHTTP_BATCH_INLINE void dispatch(const SweptRegion& sweep,
+                                  const RectSoA& objects, Emit emit) {
+  if (objects.degenerate != nullptr)
+    dispatch_axes<true>(sweep, objects, emit);
+  else
+    dispatch_axes<false>(sweep, objects, emit);
+}
+
+}  // namespace
+
+// Runtime ISA dispatch: one portable binary, with the loop compiled per
+// target and picked at load time. Every operation in the kernel is an IEEE
+// elementwise op (sub, div, min/max, compare, blend) — there is no mul+add
+// pair for FMA contraction to fuse — so all clones produce identical bits.
+// Disabled under sanitizers: target_clones emits GNU IFUNCs whose resolver
+// runs during relocation, before the TSan/ASan runtime is initialized, and
+// TSan binaries segfault on startup.
+#if defined(__GNUC__) && !defined(__clang__) && defined(__x86_64__) && \
+    !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_ADDRESS__)
+#define MFHTTP_BATCH_CLONES __attribute__((target_clones("default", "avx2")))
+#else
+#define MFHTTP_BATCH_CLONES
+#endif
+
+MFHTTP_BATCH_CLONES
+std::size_t intersects_swept_region_batch(const SweptRegion& sweep,
+                                          const RectSoA& objects,
+                                          std::uint8_t* out_involved) {
+  if (sweep.viewport.empty()) {
+    std::fill(out_involved, out_involved + objects.count, std::uint8_t{0});
+    return 0;
+  }
+  std::size_t involved = 0;
+  dispatch(sweep, objects, [&](std::size_t i, double lo, double hi) {
+    const unsigned in = static_cast<unsigned>(lo < hi) &
+                        static_cast<unsigned>(lo < 1.0) &
+                        static_cast<unsigned>(hi > 0.0);
+    out_involved[i] = static_cast<std::uint8_t>(in);
+    involved += in;
+  });
+  return involved;
+}
+
+MFHTTP_BATCH_CLONES
+void first_overlap_fraction_batch(const SweptRegion& sweep,
+                                  const RectSoA& objects,
+                                  double* out_fraction) {
+  if (sweep.viewport.empty()) {
+    std::fill(out_fraction, out_fraction + objects.count, -1.0);
+    return;
+  }
+  dispatch(sweep, objects, [&](std::size_t i, double lo, double hi) {
+    const bool na = (lo >= hi) | (lo >= 1.0) | (hi <= 0.0);
+    const double frac = std::min(std::max(lo, 0.0), 1.0);
+    out_fraction[i] = na ? -1.0 : frac;
+  });
+}
+
+}  // namespace mfhttp::geom

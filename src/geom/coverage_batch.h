@@ -1,0 +1,62 @@
+// Batched swept-viewport coverage over structure-of-arrays inputs.
+//
+// The scalar predicates in geom/swept_region.h answer "does object i appear
+// in the sweeping viewport, and when does it first appear?" one rectangle at
+// a time. The planner hot path asks those questions for every media object
+// on a page on every replan, so this header provides the same answers over
+// contiguous x0/y0/x1/y1 arrays in one branch-light pass per sweep.
+//
+// Bit-exactness contract: for every object the batch kernels compute the
+// SAME floating-point expressions in the SAME order as the scalar
+// implementation (a = (o - p) - extent; b = x1 - p where x1 stores the sum
+// o + o_extent produced at build time; t0 = a/d; t1 = b/d; min/max/clamp).
+// The uniform `d == 0` branches are hoisted out of the per-object loop via
+// specialization, which changes control flow but not arithmetic. The scalar
+// functions remain the test oracle; tests/test_geom.cc asserts bit-identical
+// results across random sweeps.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "geom/swept_region.h"
+
+namespace mfhttp::geom {
+
+// One page (or tile grid) worth of rectangles, in SoA form. x1/y1 must hold
+// exactly x + w / y + h as computed in double precision at build time, so
+// the kernels reproduce the scalar `o + o_extent - p` bit-for-bit.
+//
+// `degenerate` marks degenerate rectangles (w <= 0 || h <= 0, evaluated on
+// the ORIGINAL extents before the x1/y1 sums — the flag, not x1 <= x0, is
+// authoritative, because a denormal-width rect at a large offset can round
+// to x1 == x0). It is carried as a double guard value so the kernels stay
+// homogeneous double-lane loops: -inf for a live rectangle, +inf for a
+// degenerate one. Folding it with one `lo = max(lo, guard)` forces the
+// combined interval empty (lo >= hi) exactly like the scalar empty flag,
+// with no integer lanes for the vectorizer to trip over. nullptr means
+// "no rectangle is degenerate".
+struct RectSoA {
+  const double* x0 = nullptr;
+  const double* y0 = nullptr;
+  const double* x1 = nullptr;
+  const double* y1 = nullptr;
+  const double* degenerate = nullptr;  // optional: -inf live, +inf degenerate
+  std::size_t count = 0;
+};
+
+// Batched intersects_swept_region: out_involved[i] = 1 iff object i shares
+// positive area with the swept region. Returns the number of involved
+// objects. Bit-identical to calling the scalar predicate per object.
+std::size_t intersects_swept_region_batch(const SweptRegion& sweep,
+                                          const RectSoA& objects,
+                                          std::uint8_t* out_involved);
+
+// Batched first_overlap_fraction: out_fraction[i] is the earliest sweep
+// fraction t in [0, 1] at which object i overlaps the viewport, or a
+// negative value if it never appears. Bit-identical to the scalar function.
+void first_overlap_fraction_batch(const SweptRegion& sweep,
+                                  const RectSoA& objects,
+                                  double* out_fraction);
+
+}  // namespace mfhttp::geom

@@ -1,6 +1,21 @@
 // Case-insensitive HTTP header collection preserving insertion order.
+//
+// Hot-path representation (DESIGN.md §17): the first kInlineCapacity entries
+// live in a fixed in-object array — a mobile request/response carries a
+// handful of headers, so the common map never touches the heap for its
+// spine. Names spelled exactly like a well-known vocabulary entry
+// (http/header_names.h) are stored as a pointer into the interner's static
+// table: no copy on add, pointer-identity comparison on lookup. Values and
+// novel names ride std::string, whose small-buffer optimization keeps
+// typical short fields allocation-free too.
+//
+// The read side — get_view() / contains() / content_length() / iteration —
+// never allocates, whatever the contents. The zero-steady-state-allocation
+// contract for proxied requests is asserted by tests/test_header_alloc.cc
+// with a counting global allocator and tracked per PR by bench/micro_matrix.
 #pragma once
 
+#include <array>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -10,9 +25,22 @@ namespace mfhttp {
 
 class HeaderMap {
  public:
-  struct Entry {
-    std::string name;
-    std::string value;
+  static constexpr std::size_t kInlineCapacity = 8;
+
+  class Entry {
+   public:
+    // Original spelling (interned names point into static storage).
+    std::string_view name() const {
+      return interned_.data() != nullptr ? interned_
+                                         : std::string_view(owned_name_);
+    }
+    const std::string& value() const { return value_; }
+
+   private:
+    friend class HeaderMap;
+    std::string_view interned_;  // empty(): name is in owned_name_
+    std::string owned_name_;
+    std::string value_;
   };
 
   // Append a header (duplicates allowed, as in HTTP).
@@ -21,28 +49,64 @@ class HeaderMap {
   // Replace all occurrences of `name` with a single entry.
   void set(std::string_view name, std::string_view value);
 
-  // First value for `name` (case-insensitive), if any.
+  // First value for `name` (case-insensitive) as a view into this map;
+  // never allocates. The view is invalidated by any mutation of the map.
+  std::optional<std::string_view> get_view(std::string_view name) const;
+
+  // First value for `name`, copied (legacy convenience; allocates).
   std::optional<std::string> get(std::string_view name) const;
 
   // All values for `name`.
   std::vector<std::string> get_all(std::string_view name) const;
 
-  bool contains(std::string_view name) const { return get(name).has_value(); }
+  // Case-insensitive membership; never allocates.
+  bool contains(std::string_view name) const { return find(name) != nullptr; }
 
   // Remove all occurrences; returns number removed.
   std::size_t remove(std::string_view name);
 
-  // Parsed Content-Length, if present and a valid non-negative integer.
+  // Parsed Content-Length, if present and a valid non-negative integer;
+  // never allocates.
   std::optional<long long> content_length() const;
 
-  std::size_t size() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
-  const std::vector<Entry>& entries() const { return entries_; }
+  std::size_t size() const { return inline_count_ + overflow_.size(); }
+  bool empty() const { return size() == 0; }
 
-  bool operator==(const HeaderMap&) const = default;
+  const Entry& entry(std::size_t i) const {
+    return i < inline_count_ ? inline_[i] : overflow_[i - inline_count_];
+  }
+
+  class const_iterator {
+   public:
+    const_iterator(const HeaderMap* map, std::size_t i) : map_(map), i_(i) {}
+    const Entry& operator*() const { return map_->entry(i_); }
+    const Entry* operator->() const { return &map_->entry(i_); }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator==(const const_iterator&) const = default;
+
+   private:
+    const HeaderMap* map_;
+    std::size_t i_;
+  };
+
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, size()}; }
+
+  // Semantic equality: same sequence of (spelling, value) pairs.
+  bool operator==(const HeaderMap& other) const;
 
  private:
-  std::vector<Entry> entries_;
+  const Entry* find(std::string_view name) const;
+  Entry& entry_mut(std::size_t i) {
+    return i < inline_count_ ? inline_[i] : overflow_[i - inline_count_];
+  }
+
+  std::array<Entry, kInlineCapacity> inline_;
+  std::size_t inline_count_ = 0;
+  std::vector<Entry> overflow_;
 };
 
 }  // namespace mfhttp

@@ -1,0 +1,37 @@
+// Process-wide interner for well-known HTTP header names.
+//
+// Every header name the middleware itself emits or inspects — and the
+// overwhelming majority a mobile page's requests carry — comes from a small
+// fixed vocabulary. Interning maps any spelling of such a name ("ETAG",
+// "etag") to one canonical, statically allocated string, so HeaderMap can
+// store a pointer instead of copying the name and can compare names by
+// pointer identity instead of character-folding per entry (the
+// strcmp-per-entry ProxyServer-cache pattern this layer exists to beat).
+//
+// Lifetime and thread-safety contract (DESIGN.md §17): the table is a
+// compile-time constant in static storage. It is never mutated after load —
+// unknown names are NOT added at runtime (a request flood of novel names
+// must not grow process memory) — so lookups are lock-free, pointers remain
+// valid for the life of the process, and interned views may be shared
+// freely across threads.
+#pragma once
+
+#include <string_view>
+
+namespace mfhttp {
+
+// Canonical spelling of a well-known header name, or an empty view if the
+// name is not in the vocabulary. Case-insensitive; never allocates.
+// The returned view points into static storage (data() is stable: two
+// lookups of the same name under any casing return the same pointer).
+std::string_view intern_header_name(std::string_view name);
+
+// True iff `name` is in the well-known vocabulary.
+inline bool is_well_known_header(std::string_view name) {
+  return !intern_header_name(name).empty();
+}
+
+// Vocabulary size (test/diagnostic use).
+std::size_t interned_header_count();
+
+}  // namespace mfhttp

@@ -7,14 +7,19 @@ namespace mfhttp {
 std::optional<Url> HttpRequest::url() const {
   if (starts_with(target, "http://") || starts_with(target, "https://"))
     return parse_url(target);
-  auto host = headers.get("Host");
+  auto host = headers.get_view("Host");
   if (!host) return std::nullopt;
-  return parse_url("http://" + *host + target);
+  std::string absolute;
+  absolute.reserve(7 + host->size() + target.size());
+  absolute += "http://";
+  absolute += *host;
+  absolute += target;
+  return parse_url(absolute);
 }
 
 std::string HttpRequest::session() const {
-  auto v = headers.get("x-mfhttp-session");
-  return v ? *v : std::string();
+  auto v = headers.get_view("x-mfhttp-session");
+  return v ? std::string(*v) : std::string();
 }
 
 void HttpRequest::set_session(std::string_view session) {
@@ -22,7 +27,7 @@ void HttpRequest::set_session(std::string_view session) {
 }
 
 int HttpRequest::priority_hint(int fallback) const {
-  auto v = headers.get("x-mfhttp-priority");
+  auto v = headers.get_view("x-mfhttp-priority");
   if (!v || v->empty()) return fallback;
   int out = 0;
   for (char c : *v) {
@@ -43,7 +48,12 @@ std::string serialize_common(std::string start_line, const HeaderMap& headers,
   std::string out = std::move(start_line);
   bool has_length = headers.contains("Content-Length") ||
                     headers.contains("Transfer-Encoding");
-  for (const auto& e : headers.entries()) out += e.name + ": " + e.value + "\r\n";
+  for (const auto& e : headers) {
+    out += e.name();
+    out += ": ";
+    out += e.value();
+    out += "\r\n";
+  }
   if (!has_length && !body.empty())
     out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
   out += "\r\n";

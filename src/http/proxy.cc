@@ -77,8 +77,8 @@ HttpFetcher::FetchId MitmProxy::fetch(const HttpRequest& request,
   // transport's parser enforces on the wire — see HttpParser::Limits).
   if (params_.max_header_bytes > 0 || params_.max_header_count > 0) {
     std::size_t header_bytes = 0;
-    for (const auto& entry : request.headers.entries())
-      header_bytes += entry.name.size() + entry.value.size() + 4;  // ": " CRLF
+    for (const auto& entry : request.headers)
+      header_bytes += entry.name().size() + entry.value().size() + 4;  // ": " CRLF
     const bool too_big = params_.max_header_bytes > 0 &&
                          header_bytes > params_.max_header_bytes;
     const bool too_many = params_.max_header_count > 0 &&

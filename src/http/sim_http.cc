@@ -22,7 +22,8 @@ HttpFetcher::FetchId SimHttpOrigin::fetch(const HttpRequest& request,
   auto url = request.url();
   std::string url_str = url ? url->to_string() : request.target;
   std::string path = url ? url->path : request.target;
-  std::string if_none_match = request.headers.get("If-None-Match").value_or("");
+  std::string if_none_match(
+      request.headers.get_view("If-None-Match").value_or(std::string_view{}));
   TimeMs request_ms = sim_.now();
 
   Inflight& fl = inflight_[id];
@@ -40,7 +41,8 @@ HttpFetcher::FetchId SimHttpOrigin::fetch(const HttpRequest& request,
         obj != nullptr && !obj->etag.empty() && if_none_match == obj->etag;
     SimResponseMeta meta;
     meta.status = obj ? (not_modified ? 304 : 200) : 404;
-    meta.body_size = not_modified ? 0 : (obj ? obj->wire_size() : params_.error_body_size);
+    meta.body_size =
+        not_modified ? 0 : (obj ? obj->wire_size() : params_.error_body_size);
     meta.content_type = obj ? obj->content_type : "text/plain";
     meta.etag = obj ? obj->etag : "";
     if (cbs.on_headers) cbs.on_headers(meta);

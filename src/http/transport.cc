@@ -232,8 +232,10 @@ HttpFetcher::FetchId SocketTransport::SocketOrigin::fetch(
   SimResponseMeta meta;
   meta.status = wire.response.status;
   meta.body_size = static_cast<Bytes>(wire.response.body.size());
-  meta.content_type = wire.response.headers.get("Content-Type").value_or("");
-  meta.etag = wire.response.headers.get("ETag").value_or("");
+  meta.content_type = std::string(
+      wire.response.headers.get_view("Content-Type").value_or(std::string_view{}));
+  meta.etag = std::string(
+      wire.response.headers.get_view("ETag").value_or(std::string_view{}));
 
   fl.pending_event = sim_.schedule_after(
       params_.request_delay_ms,
@@ -327,8 +329,8 @@ SocketTransport::SocketTransport(Simulator& sim, const ObjectStore* store,
           404, "Not Found",
           std::string(static_cast<std::size_t>(error_body), 'x'), "text/plain");
     }
-    const std::string inm = req.headers.get("If-None-Match").value_or("");
-    if (!obj->etag.empty() && inm == obj->etag) {
+    const auto inm = req.headers.get_view("If-None-Match");
+    if (!obj->etag.empty() && inm && *inm == obj->etag) {
       HttpResponse resp;
       resp.status = 304;
       resp.reason = "Not Modified";

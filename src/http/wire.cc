@@ -95,7 +95,7 @@ HttpResponse WireHttpServer::handle(const HttpRequest& request) const {
   // Conditional requests: a weak entity tag derived from (path, size). A
   // matching If-None-Match short-circuits to 304 Not Modified.
   const std::string etag = object_etag(path, obj->wire_size());
-  if (auto inm = request.headers.get("If-None-Match")) {
+  if (auto inm = request.headers.get_view("If-None-Match")) {
     if (trim(*inm) == etag || trim(*inm) == "*") {
       HttpResponse resp;
       resp.status = 304;
@@ -110,7 +110,7 @@ HttpResponse WireHttpServer::handle(const HttpRequest& request) const {
 
   // RFC 9110 byte serving: a valid single Range gets 206 Partial Content
   // with a Content-Range header; an unsatisfiable one gets 416.
-  if (auto range_header = request.headers.get("Range")) {
+  if (auto range_header = request.headers.get_view("Range")) {
     auto body_size = static_cast<long long>(body.size());
     auto range = parse_byte_range(*range_header, body_size);
     if (!range) {

@@ -28,7 +28,7 @@ bool bodiless_status(int status) {
 }
 
 bool wants_close(const HttpRequest& request) {
-  auto connection = request.headers.get("Connection");
+  auto connection = request.headers.get_view("Connection");
   return connection && iequals(trim(*connection), "close");
 }
 
@@ -160,7 +160,7 @@ bool HttpServer::respond(Conn& conn, const HttpResponse& response,
   // non-bodiless body needs an explicit zero or keep-alive clients would
   // read until close.
   if (out.body.empty() && !bodiless_status(out.status) &&
-      !out.headers.get("Content-Length"))
+      !out.headers.contains("Content-Length"))
     out.headers.set("Content-Length", "0");
   if (!conn.tcp->send(out.serialize())) {
     // Out-pipe hard bound: nothing more can queue. Abort — the peer gets a

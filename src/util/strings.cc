@@ -30,17 +30,23 @@ std::string_view trim(std::string_view s) {
 
 bool iequals(std::string_view a, std::string_view b) {
   if (a.size() != b.size()) return false;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    if (std::tolower(static_cast<unsigned char>(a[i])) !=
-        std::tolower(static_cast<unsigned char>(b[i])))
-      return false;
-  }
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (ascii_lower(a[i]) != ascii_lower(b[i])) return false;
   return true;
+}
+
+std::uint64_t ifold_hash(std::string_view s) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(ascii_lower(c));
+    h *= 1099511628211ULL;
+  }
+  return h;
 }
 
 std::string to_lower(std::string_view s) {
   std::string out(s);
-  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  for (char& c : out) c = ascii_lower(c);
   return out;
 }
 

@@ -29,30 +29,36 @@ VideoAsset::VideoAsset(Params params)
                      "ladder must ascend by resolution");
 
   // Pre-draw every (segment, quality, tile) size so all schedulers see the
-  // same content.
+  // same content. The draw order (segment, then quality, then tile) is the
+  // same order the old nested-vector layout used, so the flat arena holds
+  // byte-identical sizes for a given seed.
   Rng rng(params_.seed);
   const int tiles = grid_.tile_count();
-  sizes_.resize(static_cast<std::size_t>(params_.duration_s));
+  const std::size_t qualities = params_.ladder.size();
+  sizes_.resize(static_cast<std::size_t>(params_.duration_s) * qualities *
+                static_cast<std::size_t>(tiles));
+  frame_sizes_.resize(static_cast<std::size_t>(params_.duration_s) * qualities);
+  std::vector<double> tile_factors(static_cast<std::size_t>(tiles));
   for (int s = 0; s < params_.duration_s; ++s) {
-    auto& per_quality = sizes_[static_cast<std::size_t>(s)];
-    per_quality.resize(params_.ladder.size());
     // One shared per-segment complexity factor: an action-heavy second is
     // expensive at every quality, preserving ladder monotonicity.
     double segment_factor = std::exp(rng.normal(0.0, params_.vbr_sigma));
     // Per-tile complexity is drawn once per segment and shared across
     // qualities so a tile's size stays monotone in quality.
-    std::vector<double> tile_factors(static_cast<std::size_t>(tiles));
     for (double& f : tile_factors)
       f = std::exp(rng.normal(0.0, params_.vbr_sigma / 2));
-    for (std::size_t q = 0; q < params_.ladder.size(); ++q) {
-      auto& per_tile = per_quality[q];
-      per_tile.resize(static_cast<std::size_t>(tiles));
+    for (std::size_t q = 0; q < qualities; ++q) {
+      Bytes* row = &sizes_[(static_cast<std::size_t>(s) * qualities + q) *
+                           static_cast<std::size_t>(tiles)];
       double tile_rate = params_.ladder[q].whole_frame_rate *
                          params_.bitrate_multiplier / tiles;
+      Bytes frame_total = 0;
       for (int t = 0; t < tiles; ++t) {
-        per_tile[static_cast<std::size_t>(t)] = static_cast<Bytes>(
+        row[t] = static_cast<Bytes>(
             tile_rate * segment_factor * tile_factors[static_cast<std::size_t>(t)]);
+        frame_total += row[t];
       }
+      frame_sizes_[static_cast<std::size_t>(s) * qualities + q] = frame_total;
     }
   }
 }
@@ -63,18 +69,24 @@ const Representation& VideoAsset::representation(int q) const {
 }
 
 Bytes VideoAsset::segment_size(int tile, int segment, int quality) const {
+  MFHTTP_CHECK(tile >= 0 && tile < grid_.tile_count());
+  return segment_sizes(segment, quality)[tile];
+}
+
+const Bytes* VideoAsset::segment_sizes(int segment, int quality) const {
   MFHTTP_CHECK(segment >= 0 && segment < segment_count());
   MFHTTP_CHECK(quality >= 0 && quality < quality_count());
-  MFHTTP_CHECK(tile >= 0 && tile < grid_.tile_count());
-  return sizes_[static_cast<std::size_t>(segment)][static_cast<std::size_t>(quality)]
-               [static_cast<std::size_t>(tile)];
+  const std::size_t qualities = params_.ladder.size();
+  return &sizes_[(static_cast<std::size_t>(segment) * qualities +
+                  static_cast<std::size_t>(quality)) *
+                 static_cast<std::size_t>(grid_.tile_count())];
 }
 
 Bytes VideoAsset::whole_frame_segment_size(int segment, int quality) const {
-  Bytes total = 0;
-  for (int t = 0; t < grid_.tile_count(); ++t)
-    total += segment_size(t, segment, quality);
-  return total;
+  MFHTTP_CHECK(segment >= 0 && segment < segment_count());
+  MFHTTP_CHECK(quality >= 0 && quality < quality_count());
+  return frame_sizes_[static_cast<std::size_t>(segment) * params_.ladder.size() +
+                      static_cast<std::size_t>(quality)];
 }
 
 std::string VideoAsset::segment_url(const std::string& origin, int tile, int segment,

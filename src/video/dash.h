@@ -53,6 +53,11 @@ class VideoAsset {
   // Sum over all tiles for one segment at a uniform quality.
   Bytes whole_frame_segment_size(int segment, int quality) const;
 
+  // Tile arena: all sizes for one (segment, quality) as one contiguous run
+  // of grid().tile_count() entries — the per-second scheduler reads these
+  // instead of issuing tile_count bounds-checked segment_size() calls.
+  const Bytes* segment_sizes(int segment, int quality) const;
+
   // DASH-style URL for a tile segment (used when streaming through the
   // simulated HTTP stack): /<name>/tile_<r>_<c>/<quality-name>/seg_<k>.m4s
   std::string segment_url(const std::string& origin, int tile, int segment,
@@ -61,8 +66,13 @@ class VideoAsset {
  private:
   Params params_;
   TileGrid grid_;
-  // sizes_[segment][quality][tile]
-  std::vector<std::vector<std::vector<Bytes>>> sizes_;
+  // Tile-record arena: one flat (segment, quality, tile)-major array instead
+  // of nested vectors — index (segment * quality_count + quality) *
+  // tile_count + tile. Keeps a whole segment-quality row on one or two cache
+  // lines for the scheduler's summing loops.
+  std::vector<Bytes> sizes_;
+  // Precomputed per-(segment, quality) whole-frame sums.
+  std::vector<Bytes> frame_sizes_;
 };
 
 }  // namespace mfhttp

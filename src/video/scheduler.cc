@@ -9,16 +9,6 @@ namespace mfhttp {
 
 namespace {
 
-Bytes plan_cost(const VideoAsset& video, int segment,
-                const std::vector<int>& tile_quality) {
-  Bytes total = 0;
-  for (int t = 0; t < video.grid().tile_count(); ++t) {
-    int q = tile_quality[static_cast<std::size_t>(t)];
-    if (q >= 0) total += video.segment_size(t, segment, q);
-  }
-  return total;
-}
-
 // Shared accounting for every scheduler's plan: totals, stalls, and tile
 // fetches by chosen quality (the Fig. 10 quality-constitution signal).
 TilePlan record_plan(TilePlan plan) {
@@ -73,10 +63,36 @@ TilePlan MfHttpTileScheduler::plan_segment(const VideoAsset& video, int segment,
                                            const SchedulerContext& context) const {
   const Bytes budget = context.budget;
   const int tiles = video.grid().tile_count();
+  const int qualities = video.quality_count();
   MFHTTP_CHECK(static_cast<int>(visible.size()) == tiles);
   TilePlan plan;
   plan.tile_quality.assign(static_cast<std::size_t>(tiles), -1);
   plan.visible_count = TileGrid::count_visible(visible);
+
+  // Every candidate plan is "visible tiles at q, invisible at 0 or skipped",
+  // so one sweep over the tile arena yields every cost the old per-quality
+  // trial vectors recomputed: per-quality visible sums plus the lowest-tier
+  // invisible sum. Integer sums — decisions are identical by construction.
+  std::vector<Bytes> visible_sum(static_cast<std::size_t>(qualities), 0);
+  Bytes invisible_low = 0;
+  for (int q = 0; q < qualities; ++q) {
+    const Bytes* row = video.segment_sizes(segment, q);
+    Bytes sum = 0;
+    for (int t = 0; t < tiles; ++t)
+      if (visible[static_cast<std::size_t>(t)]) sum += row[t];
+    visible_sum[static_cast<std::size_t>(q)] = sum;
+  }
+  {
+    const Bytes* row = video.segment_sizes(segment, 0);
+    for (int t = 0; t < tiles; ++t)
+      if (!visible[static_cast<std::size_t>(t)]) invisible_low += row[t];
+  }
+
+  auto fill = [&](int visible_q, int invisible_q) {
+    for (int t = 0; t < tiles; ++t)
+      plan.tile_quality[static_cast<std::size_t>(t)] =
+          visible[static_cast<std::size_t>(t)] ? visible_q : invisible_q;
+  };
 
   // Degraded: survival mode. Only the viewport, only the lowest tier — keep
   // playback alive through the outage rather than chase quality. Brownout
@@ -85,28 +101,20 @@ TilePlan MfHttpTileScheduler::plan_segment(const VideoAsset& video, int segment,
     static obs::Counter& degraded_plans =
         obs::metrics().counter("video.scheduler.degraded_plans_total");
     degraded_plans.inc();
-    std::vector<int> survival(static_cast<std::size_t>(tiles), -1);
-    for (int t = 0; t < tiles; ++t)
-      if (visible[static_cast<std::size_t>(t)])
-        survival[static_cast<std::size_t>(t)] = 0;
-    Bytes cost = plan_cost(video, segment, survival);
-    if (cost <= budget) {
-      plan.tile_quality = std::move(survival);
+    if (visible_sum[0] <= budget) {
+      fill(0, -1);
       plan.viewport_quality = 0;
-      plan.bytes = cost;
+      plan.bytes = visible_sum[0];
     }
     return record_plan(std::move(plan));  // NA if even survival does not fit
   }
 
   // Invisible tiles always at the lowest quality (they may become visible
   // mid-segment after a drag); visible tiles at the best quality that fits.
-  for (int q = video.quality_count() - 1; q >= 0; --q) {
-    std::vector<int> trial(static_cast<std::size_t>(tiles));
-    for (int t = 0; t < tiles; ++t)
-      trial[static_cast<std::size_t>(t)] = visible[static_cast<std::size_t>(t)] ? q : 0;
-    Bytes cost = plan_cost(video, segment, trial);
+  for (int q = qualities - 1; q >= 0; --q) {
+    Bytes cost = visible_sum[static_cast<std::size_t>(q)] + invisible_low;
     if (cost <= budget) {
-      plan.tile_quality = std::move(trial);
+      fill(q, 0);
       plan.viewport_quality = q;
       plan.bytes = cost;
       return record_plan(std::move(plan));
@@ -114,14 +122,10 @@ TilePlan MfHttpTileScheduler::plan_segment(const VideoAsset& video, int segment,
   }
   // Even the lowest uniform quality does not fit: shed the invisible tiles
   // and retry with the viewport alone.
-  std::vector<int> viewport_only(static_cast<std::size_t>(tiles), -1);
-  for (int t = 0; t < tiles; ++t)
-    if (visible[static_cast<std::size_t>(t)]) viewport_only[static_cast<std::size_t>(t)] = 0;
-  Bytes cost = plan_cost(video, segment, viewport_only);
-  if (cost <= budget) {
-    plan.tile_quality = std::move(viewport_only);
+  if (visible_sum[0] <= budget) {
+    fill(0, -1);
     plan.viewport_quality = 0;
-    plan.bytes = cost;
+    plan.bytes = visible_sum[0];
     return record_plan(std::move(plan));
   }
   // NA — bandwidth insufficient for any resolution.

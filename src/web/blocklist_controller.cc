@@ -17,25 +17,46 @@ BlockListController::BlockListController(const WebPage& page, Rect initial_viewp
       resilience_(resilience),
       degradation_("web.blocklist", resilience.degradation) {
   MFHTTP_CHECK(proxy_ != nullptr);
-  for (std::size_t i = 0; i < page_.images.size(); ++i) {
+  const std::size_t n = page_.images.size();
+  records_.resize(n);
+  canonical_.resize(n);
+  blocked_.assign(n, 0);
+  release_at_ms_.assign(n, kNeverReleased);
+  for (std::size_t i = 0; i < n; ++i) {
     const MediaObject& img = page_.images[i];
-    url_to_image_[img.top_version().url] = i;
-    if (!initial_viewport.overlaps(img.rect))
-      block_list_.insert(img.top_version().url);  // step (1)
+    ImageRecord& rec = records_[i];
+    rec.top_url = &img.top_version().url;
+    rec.lowest_url = &img.versions.front().url;
+    rec.multi_version = img.versions.size() > 1;
+    url_to_image_[*rec.top_url] = i;
   }
-  MFHTTP_INFO << "block list: " << block_list_.size() << "/" << page_.images.size()
+  // Canonical index per unique URL (last writer, matching the old map), so
+  // shared-URL images share one blocked bit like the old url set did.
+  for (std::size_t i = 0; i < n; ++i)
+    canonical_[i] = url_to_image_[*records_[i].top_url];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = canonical_[i];
+    if (!initial_viewport.overlaps(page_.images[i].rect) && blocked_[c] == 0) {
+      blocked_[c] = 1;  // step (1)
+      ++blocked_count_;
+    }
+  }
+  MFHTTP_INFO << "block list: " << blocked_count_ << "/" << page_.images.size()
               << " images start blocked";
   static obs::Counter& blocked_initial =
       obs::metrics().counter("web.blocklist.blocked_initial_total");
-  blocked_initial.inc(block_list_.size());
+  blocked_initial.inc(blocked_count_);
 }
 
 InterceptDecision BlockListController::on_request(const HttpRequest& request) {
   auto url = request.url();
   std::string url_str = url ? url->to_string() : request.target;
-  // Degraded: stop gating entirely — everything flows.
-  bool is_image = url_to_image_.contains(url_str);
-  if (!degradation_.degraded() && block_list_.contains(url_str)) {
+  // Degraded: stop gating entirely — everything flows. One hash lookup
+  // answers both "is this an image?" and "is it parked?".
+  auto it = url_to_image_.find(url_str);
+  const bool is_image = it != url_to_image_.end();
+  const bool parked = is_image && blocked_[canonical_[it->second]] != 0;
+  if (!degradation_.degraded() && parked) {
     // Deep brownout: a proxy that is shedding load must not grow its
     // deferred queue — condemned images fail fast instead of parking.
     if (brownout_level_ >= 3) return InterceptDecision::block();
@@ -49,7 +70,8 @@ InterceptDecision BlockListController::on_request(const HttpRequest& request) {
 void BlockListController::on_fetch_complete(const FetchResult& result) {
   // Only the images this controller gates inform its health; blocked results
   // are policy, not faults.
-  if (!url_to_image_.contains(result.url) || result.blocked) return;
+  auto image_it = url_to_image_.find(result.url);
+  if (image_it == url_to_image_.end() || result.blocked) return;
   const bool failed =
       result.status == 0 || result.status == 429 || result.status >= 500;
   bool entered = false;
@@ -59,8 +81,8 @@ void BlockListController::on_fetch_complete(const FetchResult& result) {
     // Slip: how long the image took from the moment the policy let it go
     // (or from request, if it was never parked) to the last byte.
     TimeMs start = result.request_ms;
-    if (auto it = release_at_.find(result.url); it != release_at_.end())
-      start = std::max(start, it->second);
+    const TimeMs released = release_at_ms_[canonical_[image_it->second]];
+    if (released != kNeverReleased) start = std::max(start, released);
     const TimeMs slip = result.complete_ms - start;
     if (slip > resilience_.slip_threshold_ms)
       entered = degradation_.observe_bad();
@@ -84,37 +106,40 @@ void BlockListController::set_brownout_level(int level) {
 }
 
 void BlockListController::release_all() {
-  MFHTTP_INFO << "block list degraded: releasing " << block_list_.size()
+  MFHTTP_INFO << "block list degraded: releasing " << blocked_count_
               << " parked urls";
   static obs::Counter& degraded_releases =
       obs::metrics().counter("web.blocklist.degraded_releases_total");
-  std::unordered_set<std::string> urls;
-  urls.swap(block_list_);
-  for (const std::string& url : urls) {
+  for (std::size_t i = 0; i < blocked_.size(); ++i) {
+    if (blocked_[i] == 0) continue;
+    blocked_[i] = 0;
     degraded_releases.inc();
-    release_at_[url] = proxy_->now();
-    proxy_->release(url, kPriorityTransient);
+    release_at_ms_[i] = proxy_->now();
+    proxy_->release(*records_[i].top_url, kPriorityTransient);
   }
+  blocked_count_ = 0;
 }
 
 void BlockListController::release_image(std::size_t index, int priority) {
-  const MediaObject& image = page_.images[index];
-  const std::string& url = image.top_version().url;
-  if (block_list_.erase(url) > 0) {
+  const std::size_t c = canonical_[index];
+  if (blocked_[c] != 0) {
+    const ImageRecord& rec = records_[index];
+    const std::string& url = *rec.top_url;
+    blocked_[c] = 0;
+    --blocked_count_;
     ++releases_;
-    release_at_[url] = proxy_->now();
+    release_at_ms_[c] = proxy_->now();
     static obs::Counter& releases =
         obs::metrics().counter("web.blocklist.releases_total");
     releases.inc();
     // Brownout level >= 2: the link only gets the cheapest representation —
     // the parked request completes with the lowest-resolution version's
     // bytes instead of the one the page asked for.
-    const MediaVersion& lowest = image.versions.front();
     std::size_t released;
-    if (brownout_level_ >= 2 && image.versions.size() > 1 && lowest.url != url) {
+    if (brownout_level_ >= 2 && rec.multi_version && *rec.lowest_url != url) {
       static obs::Counter& lowres =
           obs::metrics().counter("web.blocklist.brownout_lowres_total");
-      released = proxy_->release_rewritten(url, lowest.url, priority);
+      released = proxy_->release_rewritten(url, *rec.lowest_url, priority);
       lowres.inc(released);
     } else {
       released = proxy_->release(url, priority);
@@ -162,9 +187,8 @@ void BlockListController::on_policy(const ScrollAnalysis& analysis,
         obs::metrics().counter("web.blocklist.prefetches_total");
     for (std::size_t i = 0; i < page_.images.size(); ++i) {
       if (!analysis.coverages[i].involved) continue;
-      const std::string& url = page_.images[i].top_version().url;
-      if (!block_list_.contains(url)) continue;
-      if (proxy_->prefetch(url)) {
+      if (blocked_[canonical_[i]] == 0) continue;
+      if (proxy_->prefetch(*records_[i].top_url)) {
         ++prefetches_requested_;
         prefetched.inc();
       }

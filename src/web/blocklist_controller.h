@@ -18,9 +18,10 @@
 // strand the client.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 #include "core/flow_controller.h"
 #include "core/scroll_tracker.h"
@@ -80,21 +81,40 @@ class BlockListController : public Interceptor {
   bool prefetch_enabled() const { return prefetch_enabled_; }
   std::size_t prefetches_requested() const { return prefetches_requested_; }
 
-  bool is_blocked(const std::string& url) const { return block_list_.contains(url); }
-  std::size_t block_list_size() const { return block_list_.size(); }
+  bool is_blocked(const std::string& url) const {
+    auto it = url_to_image_.find(url);
+    return it != url_to_image_.end() && blocked_[canonical_[it->second]] != 0;
+  }
+  std::size_t block_list_size() const { return blocked_count_; }
   std::size_t releases() const { return releases_; }
 
  private:
   void release_image(std::size_t index, int priority);
   void release_all();
 
+  // Per-image hot records on arena-style indices, built once at
+  // construction. The per-gesture policy loop (on_policy -> release_image)
+  // walks these parallel vectors; the string hash map is only touched on
+  // the request path, where the URL is all we have.
+  struct ImageRecord {
+    const std::string* top_url = nullptr;     // into page_.images[i]
+    const std::string* lowest_url = nullptr;  // versions.front().url
+    bool multi_version = false;
+  };
+  static constexpr TimeMs kNeverReleased = -1;
+
   const WebPage& page_;
   MitmProxy* proxy_;
   Resilience resilience_;
   fault::DegradationState degradation_;
-  std::unordered_set<std::string> block_list_;
+  std::vector<ImageRecord> records_;
+  // Two images can share a URL; the old url-set semantics are kept by
+  // carrying the blocked bit on one canonical index per unique URL.
+  std::vector<std::size_t> canonical_;
+  std::vector<std::uint8_t> blocked_;  // 1 = parked, by canonical index
+  std::size_t blocked_count_ = 0;
+  std::vector<TimeMs> release_at_ms_;  // kNeverReleased until first release
   std::unordered_map<std::string, std::size_t> url_to_image_;
-  std::unordered_map<std::string, TimeMs> release_at_;
   std::size_t releases_ = 0;
   int brownout_level_ = 0;
   bool prefetch_enabled_ = false;

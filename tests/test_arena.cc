@@ -1,0 +1,366 @@
+// Decision-parity suite for the SoA hot path (DESIGN.md §17): the arena
+// overloads of ScrollTracker::analyze, ObjectIntervalIndex, and
+// FlowController::optimize/replan must produce bit-identical results to the
+// AoS paths across the fig7 corpus and the scenario device grid, and the
+// one-pass tile scheduler must match a trial-vector reference
+// reimplementation of the pre-arena algorithm.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/flow_controller.h"
+#include "core/object_arena.h"
+#include "core/scroll_tracker.h"
+#include "scenario/scenario_spec.h"
+#include "util/rng.h"
+#include "video/dash.h"
+#include "video/scheduler.h"
+#include "web/corpus.h"
+
+namespace mfhttp {
+namespace {
+
+// The PR-9 scenario device grid — every registered device class.
+const char* const kDeviceClasses[] = {"phone_flagship", "phone_midrange",
+                                      "phone_lowend", "tablet10"};
+
+Gesture fling_gesture(Vec2 v, const Rect& viewport) {
+  Gesture g;
+  g.kind = GestureKind::kFling;
+  g.down_time_ms = -150;
+  g.up_time_ms = 0;
+  g.down_pos = {viewport.w / 2, viewport.h * 0.7};
+  g.up_pos = g.down_pos + v * 0.15;
+  g.release_velocity = v;
+  return g;
+}
+
+ScrollTracker::Params tracker_params(const DeviceProfile& device) {
+  ScrollTracker::Params p;
+  p.scroll = ScrollConfig(device);
+  p.coverage_step_ms = 4.0;
+  return p;
+}
+
+void expect_coverage_eq(const ObjectCoverage& a, const ObjectCoverage& b,
+                        const std::string& where) {
+  EXPECT_EQ(a.object_index, b.object_index) << where;
+  EXPECT_EQ(a.involved, b.involved) << where;
+  EXPECT_EQ(a.entry_time_ms, b.entry_time_ms) << where;
+  EXPECT_EQ(a.coverage_integral, b.coverage_integral) << where;
+  EXPECT_EQ(a.final_coverage, b.final_coverage) << where;
+  EXPECT_EQ(a.in_initial_viewport, b.in_initial_viewport) << where;
+  EXPECT_EQ(a.in_final_viewport, b.in_final_viewport) << where;
+}
+
+void expect_analysis_eq(const ScrollAnalysis& a, const ScrollAnalysis& b,
+                        const std::string& where) {
+  ASSERT_EQ(a.coverages.size(), b.coverages.size()) << where;
+  for (std::size_t i = 0; i < a.coverages.size(); ++i)
+    expect_coverage_eq(a.coverages[i], b.coverages[i],
+                       where + " object " + std::to_string(i));
+}
+
+void expect_policy_eq(const DownloadPolicy& a, const DownloadPolicy& b,
+                      const std::string& where) {
+  ASSERT_EQ(a.decisions.size(), b.decisions.size()) << where;
+  for (std::size_t k = 0; k < a.decisions.size(); ++k) {
+    const DownloadDecision& da = a.decisions[k];
+    const DownloadDecision& db = b.decisions[k];
+    const std::string at = where + " decision " + std::to_string(k);
+    EXPECT_EQ(da.object_index, db.object_index) << at;
+    EXPECT_EQ(da.version, db.version) << at;
+    EXPECT_EQ(da.entry_time_ms, db.entry_time_ms) << at;
+    EXPECT_EQ(da.qoe, db.qoe) << at;
+    EXPECT_EQ(da.cost, db.cost) << at;
+    EXPECT_EQ(da.value, db.value) << at;
+  }
+  EXPECT_EQ(a.objective, b.objective) << where;
+  EXPECT_EQ(a.total_bytes, b.total_bytes) << where;
+}
+
+// One corpus instantiation per device class, deterministic by construction.
+std::vector<WebPage> corpus_for(const scenario::DeviceClassSpec& device) {
+  Rng rng(0xA23Au ^ static_cast<std::uint64_t>(device.profile.screen_w_px));
+  return generate_corpus(device.profile, rng);
+}
+
+// Per-repeat swipe speeds follow the device's deterministic ramp (the fig7
+// harness sequence), both directions.
+std::vector<Vec2> swipe_velocities(const scenario::DeviceClassSpec& device) {
+  std::vector<Vec2> v;
+  for (int r = 0; r < 3; ++r) {
+    double speed = device.swipe_speed_base_px_s + device.swipe_speed_step_px_s * r;
+    v.push_back({0, -speed});
+  }
+  v.push_back({0, device.swipe_speed_base_px_s});  // upward scroll
+  v.push_back({-400, -device.swipe_speed_base_px_s});  // slight diagonal
+  return v;
+}
+
+TEST(ArenaParity, AnalyzeMatchesAosAcrossCorpusAndDeviceGrid) {
+  for (const char* name : kDeviceClasses) {
+    auto device = scenario::DeviceClassSpec::named(name);
+    ASSERT_TRUE(device.has_value()) << name;
+    ScrollTracker tracker(tracker_params(device->profile));
+    const Rect viewport{0, 0, device->profile.screen_w_px, device->profile.screen_h_px};
+    for (const WebPage& page : corpus_for(*device)) {
+      ObjectArena arena(page.images);
+      ASSERT_EQ(arena.size(), page.images.size());
+      for (const Vec2& v : swipe_velocities(*device)) {
+        ScrollPrediction pred = tracker.predict(fling_gesture(v, viewport), viewport);
+        ScrollAnalysis aos = tracker.analyze(pred, page.images);
+        ScrollAnalysis soa = tracker.analyze(pred, arena);
+        expect_analysis_eq(aos, soa, std::string(name) + "/" + page.site);
+      }
+    }
+  }
+}
+
+TEST(ArenaParity, IndexedAnalyzeMatchesAosIndexedPath) {
+  auto device = scenario::DeviceClassSpec::named("phone_flagship");
+  ASSERT_TRUE(device.has_value());
+  ScrollTracker tracker(tracker_params(device->profile));
+  const Rect viewport{0, 0, device->profile.screen_w_px, device->profile.screen_h_px};
+  for (const WebPage& page : corpus_for(*device)) {
+    ObjectArena arena(page.images);
+    ObjectIntervalIndex aos_index(page.images);
+    ObjectIntervalIndex soa_index;
+    soa_index.rebuild(arena);
+    ASSERT_EQ(aos_index.size(), soa_index.size());
+    for (const Vec2& v : swipe_velocities(*device)) {
+      ScrollPrediction pred = tracker.predict(fling_gesture(v, viewport), viewport);
+      ScrollAnalysis aos = tracker.analyze(pred, page.images, aos_index);
+      ScrollAnalysis soa = tracker.analyze(pred, arena, soa_index);
+      expect_analysis_eq(aos, soa, "indexed/" + page.site);
+      // The indexed and full paths must themselves agree (pruning is an
+      // optimization, not a semantic).
+      expect_analysis_eq(tracker.analyze(pred, arena), soa,
+                         "full-vs-indexed/" + page.site);
+    }
+  }
+}
+
+TEST(ArenaParity, IntervalIndexQueriesMatchAfterArenaRebuild) {
+  auto device = scenario::DeviceClassSpec::named("phone_midrange");
+  ASSERT_TRUE(device.has_value());
+  Rng rng(99);
+  for (const WebPage& page : corpus_for(*device)) {
+    ObjectArena arena(page.images);
+    ObjectIntervalIndex aos_index(page.images);
+    ObjectIntervalIndex soa_index;
+    soa_index.rebuild(arena);
+    std::vector<std::size_t> a, b;
+    for (int i = 0; i < 32; ++i) {
+      double lo = rng.uniform(-500.0, page.bounds().bottom());
+      double hi = lo + rng.uniform(0.0, 4000.0);
+      a.clear();
+      b.clear();
+      aos_index.query(lo, hi, a);
+      soa_index.query(lo, hi, b);
+      EXPECT_EQ(a, b) << page.site << " window [" << lo << ", " << hi << "]";
+    }
+  }
+}
+
+TEST(ArenaParity, FlowOptimizeMatchesAosAcrossCorpusAndDeviceGrid) {
+  for (const char* name : kDeviceClasses) {
+    auto device = scenario::DeviceClassSpec::named(name);
+    ASSERT_TRUE(device.has_value()) << name;
+    ScrollTracker tracker(tracker_params(device->profile));
+    const Rect viewport{0, 0, device->profile.screen_w_px, device->profile.screen_h_px};
+    FlowController fc(FlowController::Params{});
+    fc.set_arena_parity_check(true);  // internal CHECK against the AoS plan
+    const auto bandwidth = BandwidthTrace::constant(500'000);
+    for (const WebPage& page : corpus_for(*device)) {
+      ObjectArena arena(page.images);
+      for (const Vec2& v : swipe_velocities(*device)) {
+        ScrollPrediction pred = tracker.predict(fling_gesture(v, viewport), viewport);
+        ScrollAnalysis analysis = tracker.analyze(pred, arena);
+        DownloadPolicy aos = fc.optimize(analysis, page.images, bandwidth);
+        DownloadPolicy soa = fc.optimize(analysis, arena, bandwidth);
+        expect_policy_eq(aos, soa, std::string(name) + "/" + page.site);
+      }
+    }
+  }
+}
+
+TEST(ArenaParity, ReplanMatchesAcrossGestureSequenceAndBandwidths) {
+  auto device = scenario::DeviceClassSpec::named("phone_lowend");
+  ASSERT_TRUE(device.has_value());
+  ScrollTracker tracker(tracker_params(device->profile));
+  const Rect viewport{0, 0, device->profile.screen_w_px, device->profile.screen_h_px};
+  const BytesPerSec rates[] = {120'000, 250'000, 1'000'000};
+  for (const WebPage& page : corpus_for(*device)) {
+    ObjectArena arena(page.images);
+    // Separate controllers so each scratch sees its own stream; the arena one
+    // additionally self-checks against the stateless AoS plan every call.
+    FlowController fc_aos{FlowController::Params{}};
+    FlowController fc_arena{FlowController::Params{}};
+    fc_arena.set_arena_parity_check(true);
+    for (BytesPerSec rate : rates) {
+      const auto bandwidth = BandwidthTrace::constant(rate);
+      for (const Vec2& v : swipe_velocities(*device)) {
+        ScrollPrediction pred = tracker.predict(fling_gesture(v, viewport), viewport);
+        ScrollAnalysis analysis = tracker.analyze(pred, arena);
+        DownloadPolicy aos = fc_aos.replan(analysis, page.images, bandwidth);
+        DownloadPolicy soa = fc_arena.replan(analysis, arena, bandwidth);
+        expect_policy_eq(aos, soa, page.site + " @" + std::to_string(rate));
+      }
+    }
+  }
+}
+
+// Reference reimplementation of the pre-arena MF-HTTP tile planner: build a
+// full trial quality vector per candidate and price it tile by tile through
+// segment_size(), exactly as the old per-quality loop did.
+TilePlan reference_tile_plan(const VideoAsset& video, int segment,
+                             const std::vector<bool>& visible,
+                             const SchedulerContext& context) {
+  const Bytes budget = context.budget;
+  const int tiles = video.grid().tile_count();
+  TilePlan plan;
+  plan.tile_quality.assign(static_cast<std::size_t>(tiles), -1);
+  plan.visible_count = TileGrid::count_visible(visible);
+  auto cost_of = [&](const std::vector<int>& tq) {
+    Bytes total = 0;
+    for (int t = 0; t < tiles; ++t)
+      if (tq[static_cast<std::size_t>(t)] >= 0)
+        total += video.segment_size(t, segment, tq[static_cast<std::size_t>(t)]);
+    return total;
+  };
+  auto trial = [&](int visible_q, int invisible_q) {
+    std::vector<int> tq(static_cast<std::size_t>(tiles));
+    for (int t = 0; t < tiles; ++t)
+      tq[static_cast<std::size_t>(t)] =
+          visible[static_cast<std::size_t>(t)] ? visible_q : invisible_q;
+    return tq;
+  };
+  if (context.degraded || context.brownout >= 2) {
+    auto tq = trial(0, -1);
+    Bytes cost = cost_of(tq);
+    if (cost <= budget) {
+      plan.tile_quality = tq;
+      plan.viewport_quality = 0;
+      plan.bytes = cost;
+    }
+    return plan;
+  }
+  for (int q = video.quality_count() - 1; q >= 0; --q) {
+    auto tq = trial(q, 0);
+    Bytes cost = cost_of(tq);
+    if (cost <= budget) {
+      plan.tile_quality = tq;
+      plan.viewport_quality = q;
+      plan.bytes = cost;
+      return plan;
+    }
+  }
+  auto tq = trial(0, -1);
+  Bytes cost = cost_of(tq);
+  if (cost <= budget) {
+    plan.tile_quality = tq;
+    plan.viewport_quality = 0;
+    plan.bytes = cost;
+  }
+  return plan;
+}
+
+TEST(ArenaParity, TileSchedulerMatchesTrialVectorReference) {
+  VideoAsset::Params vp;
+  vp.duration_s = 20;
+  vp.seed = 21;
+  VideoAsset video(vp);
+  MfHttpTileScheduler scheduler;
+  Rng rng(7);
+  const int tiles = video.grid().tile_count();
+  for (int segment = 0; segment < video.segment_count(); ++segment) {
+    std::vector<bool> visible(static_cast<std::size_t>(tiles));
+    for (int t = 0; t < tiles; ++t)
+      visible[static_cast<std::size_t>(t)] = rng.chance(0.4);
+    for (Bytes budget :
+         {Bytes{20'000}, Bytes{120'000}, Bytes{400'000}, Bytes{2'000'000}}) {
+      for (int mode = 0; mode < 3; ++mode) {
+        SchedulerContext context;
+        context.budget = budget;
+        context.degraded = mode == 1;
+        context.brownout = mode == 2 ? 2 : 0;
+        TilePlan got = scheduler.plan_segment(video, segment, visible, context);
+        TilePlan want = reference_tile_plan(video, segment, visible, context);
+        const std::string at = "segment " + std::to_string(segment) + " budget " +
+                               std::to_string(budget) + " mode " + std::to_string(mode);
+        EXPECT_EQ(got.tile_quality, want.tile_quality) << at;
+        EXPECT_EQ(got.viewport_quality, want.viewport_quality) << at;
+        EXPECT_EQ(got.bytes, want.bytes) << at;
+        EXPECT_EQ(got.visible_count, want.visible_count) << at;
+      }
+    }
+  }
+}
+
+TEST(ArenaParity, TileArenaRowsMatchScalarAccessor) {
+  VideoAsset::Params vp;
+  vp.duration_s = 8;
+  vp.seed = 5;
+  VideoAsset video(vp);
+  for (int s = 0; s < video.segment_count(); ++s) {
+    for (int q = 0; q < video.quality_count(); ++q) {
+      const Bytes* row = video.segment_sizes(s, q);
+      Bytes frame_total = 0;
+      for (int t = 0; t < video.grid().tile_count(); ++t) {
+        EXPECT_EQ(row[t], video.segment_size(t, s, q));
+        frame_total += row[t];
+      }
+      EXPECT_EQ(frame_total, video.whole_frame_segment_size(s, q));
+    }
+  }
+}
+
+TEST(ArenaParity, ArenaAccessorsMirrorSourceObjects) {
+  auto device = scenario::DeviceClassSpec::named("tablet10");
+  ASSERT_TRUE(device.has_value());
+  const WebPage page = corpus_for(*device).front();
+  ObjectArena arena(page.images);
+  ASSERT_TRUE(arena.has_source());
+  EXPECT_EQ(&arena.source(), &page.images);
+  for (std::size_t i = 0; i < arena.size(); ++i) {
+    const MediaObject& obj = page.images[i];
+    EXPECT_EQ(arena.x0(i), obj.rect.x);
+    EXPECT_EQ(arena.y0(i), obj.rect.y);
+    EXPECT_EQ(arena.x1(i), obj.rect.x + obj.rect.w);
+    EXPECT_EQ(arena.y1(i), obj.rect.y + obj.rect.h);
+    EXPECT_EQ(arena.state(i) == ObjectArena::kEmptyRect, obj.rect.empty());
+    EXPECT_EQ(arena.id(i), obj.id);
+    ASSERT_EQ(arena.version_count(i), obj.versions.size());
+    for (std::size_t j = 0; j < obj.versions.size(); ++j) {
+      EXPECT_EQ(arena.version_size(i, j), obj.versions[j].size);
+      EXPECT_EQ(arena.version_resolution(i, j), obj.versions[j].resolution);
+    }
+    EXPECT_EQ(arena.top_size(i), obj.top_version().size);
+    EXPECT_EQ(arena.top_resolution(i), obj.top_version().resolution);
+  }
+}
+
+// Degenerate rects must flow through the arena path with the same flags the
+// AoS analyze produced (state flag, not recomputed extents, decides).
+TEST(ArenaParity, DegenerateRectsKeepAosSemantics) {
+  std::vector<MediaObject> objects;
+  objects.push_back(make_single_version_object("zero-w", Rect{100, 300, 0, 200},
+                                               1000, "http://s/a"));
+  objects.push_back(make_single_version_object("zero-h", Rect{100, 900, 300, 0},
+                                               1000, "http://s/b"));
+  objects.push_back(make_single_version_object("live", Rect{100, 1500, 300, 200},
+                                               1000, "http://s/c"));
+  const DeviceProfile device = DeviceProfile::nexus6();
+  ScrollTracker tracker(tracker_params(device));
+  const Rect viewport{0, 0, device.screen_w_px, device.screen_h_px};
+  ObjectArena arena(objects);
+  ScrollPrediction pred =
+      tracker.predict(fling_gesture({0, -5000}, viewport), viewport);
+  expect_analysis_eq(tracker.analyze(pred, objects), tracker.analyze(pred, arena),
+                     "degenerate");
+}
+
+}  // namespace
+}  // namespace mfhttp

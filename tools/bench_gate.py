@@ -106,6 +106,25 @@ SCHEMAS = {
             "p99_touch_to_policy_ms": ("wall", "ceiling"),
         },
     },
+    "micro_matrix": {
+        # One row per hot-path stage (bench/micro_matrix.cc). Fingerprints
+        # are pure functions of the seed -- the batch/arena rows must match
+        # their scalar/AoS twins bit-for-bit, and that parity plus the
+        # zero-alloc header gate are asserted in-binary too. ns_per_op and
+        # the same-run speedup ratios are wall metrics: machine-dependent,
+        # loose-toleranced, skippable on noisy runners (the in-binary
+        # --assert-speedup floor still gates there).
+        "keys": ["stage"],
+        "top_exact": ["all_parity_ok", "zero_alloc_lookups"],
+        "metrics": {
+            "ops": ("exact", "both"),
+            "fingerprint": ("exact", "both"),
+            "parity_ok": ("exact", "both"),
+            "allocs_per_op": ("exact", "both"),
+            "speedup": ("wall", "floor"),
+            "ns_per_op": ("wall", "ceiling"),
+        },
+    },
     "scenario_matrix": {
         # One row per ScenarioSpec cell (device class x network profile x
         # workload, plus the two paper-default witness rows). Every column
